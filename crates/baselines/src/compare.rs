@@ -1,0 +1,218 @@
+//! Bank-benchmark drivers for the baseline protocols, shaped like
+//! `qrdtm_workloads::driver` so the Fig. 9 harness can compare QR-DTM,
+//! HyFlow (TFA) and Decent-STM on equal footing.
+
+use std::rc::Rc;
+
+use qrdtm_core::{ObjVal, ObjectId};
+use qrdtm_sim::{NodeId, SimDuration};
+
+use crate::decent::{DecentCluster, DecentConfig};
+use crate::tfa::{TfaCluster, TfaConfig};
+
+/// Fig. 9 bank workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct BankSpec {
+    /// Number of account objects.
+    pub accounts: u64,
+    /// Percentage of read-only audits.
+    pub read_pct: u32,
+    /// Warm-up window.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub duration: SimDuration,
+    /// Closed-loop clients per node.
+    pub clients_per_node: usize,
+}
+
+impl Default for BankSpec {
+    fn default() -> Self {
+        BankSpec {
+            accounts: 32,
+            read_pct: 50,
+            warmup: SimDuration::from_secs(2),
+            duration: SimDuration::from_secs(20),
+            clients_per_node: 1,
+        }
+    }
+}
+
+/// Measured outcome of a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Committed transactions per virtual second.
+    pub throughput: f64,
+    /// Committed transactions in the window.
+    pub commits: u64,
+    /// Aborted attempts in the window.
+    pub aborts: u64,
+    /// Messages sent in the window.
+    pub messages: u64,
+}
+
+/// Run the bank workload on a TFA (HyFlow) cluster.
+pub fn run_tfa_bank(cfg: TfaConfig, spec: &BankSpec) -> BaselineResult {
+    let nodes = cfg.nodes;
+    let cluster = Rc::new(TfaCluster::new(cfg));
+    for i in 0..spec.accounts {
+        cluster.preload(ObjectId(i), ObjVal::Int(1_000));
+    }
+    let sim = cluster.sim().clone();
+    for node in 0..nodes as u32 {
+        for _ in 0..spec.clients_per_node {
+            let c = Rc::clone(&cluster);
+            let s = sim.clone();
+            let spec = *spec;
+            sim.spawn(async move {
+                loop {
+                    let a = s.rand_below(spec.accounts);
+                    let mut b = s.rand_below(spec.accounts);
+                    if b == a {
+                        b = (b + 1) % spec.accounts;
+                    }
+                    if s.rand_below(100) < u64::from(spec.read_pct) {
+                        c.run_bank_audit(NodeId(node), ObjectId(a), ObjectId(b)).await;
+                    } else {
+                        c.run_bank_transfer(NodeId(node), ObjectId(a), ObjectId(b), 5)
+                            .await;
+                    }
+                }
+            });
+        }
+    }
+    sim.run_for(spec.warmup);
+    cluster.reset_stats();
+    sim.reset_metrics();
+    sim.run_for(spec.duration);
+    let st = cluster.stats();
+    BaselineResult {
+        throughput: st.commits as f64 / spec.duration.as_secs_f64(),
+        commits: st.commits,
+        aborts: st.aborts,
+        messages: sim.metrics().sent_total,
+    }
+}
+
+/// Run the bank workload on a Decent-STM cluster.
+pub fn run_decent_bank(cfg: DecentConfig, spec: &BankSpec) -> BaselineResult {
+    let nodes = cfg.nodes;
+    let cluster = Rc::new(DecentCluster::new(cfg));
+    for i in 0..spec.accounts {
+        cluster.preload(ObjectId(i), ObjVal::Int(1_000));
+    }
+    let sim = cluster.sim().clone();
+    for node in 0..nodes as u32 {
+        for _ in 0..spec.clients_per_node {
+            let c = Rc::clone(&cluster);
+            let s = sim.clone();
+            let spec = *spec;
+            sim.spawn(async move {
+                loop {
+                    let a = s.rand_below(spec.accounts);
+                    let mut b = s.rand_below(spec.accounts);
+                    if b == a {
+                        b = (b + 1) % spec.accounts;
+                    }
+                    if s.rand_below(100) < u64::from(spec.read_pct) {
+                        c.run_bank_audit(NodeId(node), ObjectId(a), ObjectId(b)).await;
+                    } else {
+                        c.run_bank_transfer(NodeId(node), ObjectId(a), ObjectId(b), 5)
+                            .await;
+                    }
+                }
+            });
+        }
+    }
+    sim.run_for(spec.warmup);
+    cluster.reset_stats();
+    sim.reset_metrics();
+    sim.run_for(spec.duration);
+    let st = cluster.stats();
+    BaselineResult {
+        throughput: st.commits as f64 / spec.duration.as_secs_f64(),
+        commits: st.commits,
+        aborts: st.aborts,
+        messages: sim.metrics().sent_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BankSpec {
+        BankSpec {
+            accounts: 16,
+            read_pct: 50,
+            warmup: SimDuration::from_millis(500),
+            duration: SimDuration::from_secs(5),
+            clients_per_node: 1,
+        }
+    }
+
+    #[test]
+    fn tfa_bank_commits() {
+        let r = run_tfa_bank(
+            TfaConfig {
+                nodes: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            &quick(),
+        );
+        assert!(r.commits > 0);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn decent_bank_commits() {
+        let r = run_decent_bank(
+            DecentConfig {
+                nodes: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            &quick(),
+        );
+        assert!(r.commits > 0);
+    }
+
+    #[test]
+    fn tfa_outpaces_decent_on_the_same_workload() {
+        // The paper's Fig. 9 ordering (HyFlow > Decent-STM) should hold for
+        // any reasonable window: unicast 5 ms RTTs against multicast
+        // consensus at 30 ms RTTs.
+        let spec = quick();
+        let t = run_tfa_bank(
+            TfaConfig {
+                nodes: 10,
+                seed: 5,
+                ..Default::default()
+            },
+            &spec,
+        );
+        let d = run_decent_bank(
+            DecentConfig {
+                nodes: 10,
+                seed: 5,
+                ..Default::default()
+            },
+            &spec,
+        );
+        assert!(
+            t.throughput > d.throughput,
+            "TFA {} <= Decent {}",
+            t.throughput,
+            d.throughput
+        );
+    }
+
+    #[test]
+    fn baseline_runs_are_deterministic() {
+        let spec = quick();
+        let a = run_tfa_bank(TfaConfig::default(), &spec);
+        let b = run_tfa_bank(TfaConfig::default(), &spec);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.messages, b.messages);
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench for the design-choice ablations DESIGN.md calls out:
+//! Rqv on/off, checkpoint granularity, read-quorum level, and backoff.
+//! Run `repro ablation` for the full sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrdtm_bench::quick;
+use qrdtm_core::NestingMode;
+use qrdtm_workloads::{run, Benchmark, WorkloadParams};
+
+fn params() -> WorkloadParams {
+    WorkloadParams {
+        read_pct: 20,
+        calls: 3,
+        objects: 48,
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for rqv in [true, false] {
+        g.bench_function(format!("rqv_{rqv}"), |b| {
+            b.iter(|| {
+                let mut cfg = quick::cfg(NestingMode::Closed);
+                cfg.rqv = rqv;
+                run(cfg, &quick::spec(Benchmark::SList, params()))
+            })
+        });
+    }
+    for threshold in [1usize, 8] {
+        g.bench_function(format!("chk_threshold_{threshold}"), |b| {
+            b.iter(|| {
+                let mut cfg = quick::cfg(NestingMode::Checkpoint);
+                cfg.chk_threshold = threshold;
+                run(cfg, &quick::spec(Benchmark::Hashmap, params()))
+            })
+        });
+    }
+    for level in [0usize, 1] {
+        g.bench_function(format!("read_level_{level}"), |b| {
+            b.iter(|| {
+                let mut cfg = quick::cfg(NestingMode::Closed);
+                cfg.read_level = level;
+                run(cfg, &quick::spec(Benchmark::Bank, params()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

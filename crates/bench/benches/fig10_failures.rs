@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 10 (throughput under node failures): samples
+//! the 28-node Hashmap run at 0, 4 and 8 failures. Run `repro fig10` for
+//! the full failure sweep over all three benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrdtm_core::{DtmConfig, LatencySpec, NestingMode};
+use qrdtm_sim::SimDuration;
+use qrdtm_workloads::{run, Benchmark, RunSpec, WorkloadParams};
+
+fn fig10_cfg() -> DtmConfig {
+    DtmConfig {
+        nodes: 28,
+        mode: NestingMode::Closed,
+        read_level: 0,
+        seed: 42,
+        latency: LatencySpec::Jittered(SimDuration::from_millis(15), 0.1),
+        service_time: SimDuration::from_millis(1),
+        ..Default::default()
+    }
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_failures");
+    g.sample_size(10);
+    for failures in [0usize, 4, 8] {
+        g.bench_function(format!("hashmap_failures{failures}"), |b| {
+            b.iter(|| {
+                run(
+                    fig10_cfg(),
+                    &RunSpec {
+                        bench: Benchmark::Hashmap,
+                        params: WorkloadParams {
+                            read_pct: 50,
+                            calls: 2,
+                            objects: 48,
+                        },
+                        warmup: SimDuration::from_millis(500),
+                        duration: SimDuration::from_secs(2),
+                        clients_per_node: 2,
+                        failures,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

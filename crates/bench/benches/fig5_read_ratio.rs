@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 5 (throughput vs read-workload percentage):
+//! samples the flat/closed/chk protocols at a read-light and a read-heavy
+//! mix on the Bank benchmark. Run `repro fig5` for the full paper grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrdtm_bench::quick;
+use qrdtm_core::NestingMode;
+use qrdtm_workloads::{run, Benchmark, WorkloadParams};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_read_ratio");
+    g.sample_size(10);
+    for mode in NestingMode::ALL {
+        for pct in [10u32, 90] {
+            let params = WorkloadParams {
+                read_pct: pct,
+                calls: 3,
+                objects: 48,
+            };
+            g.bench_function(format!("bank_{mode}_read{pct}"), |b| {
+                b.iter(|| run(quick::cfg(mode), &quick::spec(Benchmark::Bank, params)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

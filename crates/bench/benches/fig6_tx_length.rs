@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 6 (throughput vs number of nested calls):
+//! samples short and long transactions per protocol on SList, where the
+//! paper saw length matter most. Run `repro fig6` for the full grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrdtm_bench::quick;
+use qrdtm_core::NestingMode;
+use qrdtm_workloads::{run, Benchmark, WorkloadParams};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_tx_length");
+    g.sample_size(10);
+    for mode in NestingMode::ALL {
+        for calls in [1usize, 5] {
+            let params = WorkloadParams {
+                read_pct: 20,
+                calls,
+                objects: 48,
+            };
+            g.bench_function(format!("slist_{mode}_calls{calls}"), |b| {
+                b.iter(|| run(quick::cfg(mode), &quick::spec(Benchmark::SList, params)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

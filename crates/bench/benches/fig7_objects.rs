@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 7 (throughput vs number of objects): samples
+//! small and large object counts per protocol on Hashmap, where contention
+//! grows with the key space. Run `repro fig7` for the full grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrdtm_bench::quick;
+use qrdtm_core::NestingMode;
+use qrdtm_workloads::{run, Benchmark, WorkloadParams};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_objects");
+    g.sample_size(10);
+    for mode in NestingMode::ALL {
+        for objects in [12u64, 192] {
+            let params = WorkloadParams {
+                read_pct: 20,
+                calls: 3,
+                objects,
+            };
+            g.bench_function(format!("hashmap_{mode}_objects{objects}"), |b| {
+                b.iter(|| run(quick::cfg(mode), &quick::spec(Benchmark::Hashmap, params)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

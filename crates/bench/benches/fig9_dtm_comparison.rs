@@ -1,0 +1,66 @@
+//! Criterion bench for Fig. 9 (QR-DTM vs HyFlow vs Decent-STM on Bank):
+//! samples each protocol at the 50/50 mix. Run `repro fig9` for the full
+//! node sweep at both mixes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrdtm_baselines::{run_decent_bank, run_tfa_bank, BankSpec, DecentConfig, TfaConfig};
+use qrdtm_bench::quick;
+use qrdtm_core::NestingMode;
+use qrdtm_sim::SimDuration;
+use qrdtm_workloads::{run, Benchmark, WorkloadParams};
+
+fn bank_spec() -> BankSpec {
+    BankSpec {
+        accounts: 48,
+        read_pct: 50,
+        warmup: SimDuration::from_millis(500),
+        duration: SimDuration::from_secs(2),
+        clients_per_node: 1,
+    }
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_dtm_comparison");
+    g.sample_size(10);
+    let params = WorkloadParams {
+        read_pct: 50,
+        calls: 1,
+        objects: 48,
+    };
+    g.bench_function("qr_dtm", |b| {
+        b.iter(|| {
+            run(
+                quick::cfg(NestingMode::Flat),
+                &quick::spec(Benchmark::Bank, params),
+            )
+        })
+    });
+    g.bench_function("hyflow_tfa", |b| {
+        b.iter(|| {
+            run_tfa_bank(
+                TfaConfig {
+                    nodes: 13,
+                    seed: 42,
+                    ..Default::default()
+                },
+                &bank_spec(),
+            )
+        })
+    });
+    g.bench_function("decent_stm", |b| {
+        b.iter(|| {
+            run_decent_bank(
+                DecentConfig {
+                    nodes: 13,
+                    seed: 42,
+                    ..Default::default()
+                },
+                &bank_spec(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Table 8 (abort-rate and message deltas): samples
+//! each of the five benchmarks under closed nesting — the runs whose
+//! abort/message counters the table derives from. Run `repro table8` for
+//! the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrdtm_bench::quick;
+use qrdtm_core::NestingMode;
+use qrdtm_workloads::{run, Benchmark, WorkloadParams};
+
+fn bench_table8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8_abort_msg");
+    g.sample_size(10);
+    let params = WorkloadParams {
+        read_pct: 20,
+        calls: 3,
+        objects: 48,
+    };
+    for bench in Benchmark::FIGURE_SET {
+        g.bench_function(format!("{}_closed", bench.name().to_lowercase()), |b| {
+            b.iter(|| {
+                run(
+                    quick::cfg(NestingMode::Closed),
+                    &quick::spec(bench, params),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table8);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <fig5|fig6|fig7|table8|fig9|fig10|ablation|all> [--quick] [--out DIR]
+//! ```
+//!
+//! Prints each figure as aligned text tables (one per sub-figure) and, with
+//! `--out`, also writes CSVs. `--quick` shrinks the sweeps and the
+//! measurement window for a fast smoke pass; the default grid matches the
+//! paper's. Everything is deterministic for a fixed harness seed.
+
+use std::path::PathBuf;
+
+use qrdtm_bench::harness;
+use qrdtm_bench::{emit_figure, table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig5|fig6|fig7|table8|fig9|fig10|ablation|all> [--quick] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut quick = false;
+    let mut out_dir: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    let t0 = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig5" => emit_figure(&harness::fig5(quick), out_dir.as_ref()),
+        "fig6" => emit_figure(&harness::fig6(quick), out_dir.as_ref()),
+        "fig7" => emit_figure(&harness::fig7(quick), out_dir.as_ref()),
+        "table8" => emit_table8(quick, out_dir.as_ref()),
+        "fig9" => emit_figure(&harness::fig9(quick), out_dir.as_ref()),
+        "fig10" => emit_figure(&harness::fig10(quick), out_dir.as_ref()),
+        "ablation" => {
+            for fig in harness::ablations(quick) {
+                emit_figure(&fig, out_dir.as_ref());
+            }
+        }
+        "debug" => {
+            // Full per-mode counter dump at the default workload shape —
+            // not a paper artifact, but invaluable when calibrating.
+            for row in harness::table8(quick) {
+                println!("=== {} ===", row.bench);
+                for (mode, r) in ["flat", "closed", "chk"].iter().zip(&row.raw) {
+                    println!(
+                        "{mode:>7}: tput={:7.1} commits={} msgs/commit={:.0} lat(ms) mean={:.0} max={:.0} {:?}",
+                        r.throughput,
+                        r.commits,
+                        r.messages as f64 / r.commits.max(1) as f64,
+                        r.stats.mean_latency_ms(),
+                        r.stats.max_latency_ms(),
+                        r.stats
+                    );
+                }
+            }
+        }
+        "all" => {
+            emit_figure(&harness::fig5(quick), out_dir.as_ref());
+            emit_figure(&harness::fig6(quick), out_dir.as_ref());
+            emit_figure(&harness::fig7(quick), out_dir.as_ref());
+            emit_table8(quick, out_dir.as_ref());
+            emit_figure(&harness::fig9(quick), out_dir.as_ref());
+            emit_figure(&harness::fig10(quick), out_dir.as_ref());
+            for fig in harness::ablations(quick) {
+                emit_figure(&fig, out_dir.as_ref());
+            }
+        }
+        _ => usage(),
+    }
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn emit_table8(quick: bool, out_dir: Option<&PathBuf>) {
+    let rows = harness::table8(quick);
+    let headers: Vec<String> = [
+        "Bench.",
+        "QR-CN Abort %",
+        "QR-CHK Abort %",
+        "QR-CN Msg %",
+        "QR-CHK Msg %",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.clone(),
+                table::pct(r.cn_abort_pct),
+                table::pct(r.chk_abort_pct),
+                table::pct(r.cn_msg_pct),
+                table::pct(r.chk_msg_pct),
+            ]
+        })
+        .collect();
+    println!("## table8 — abort rate and messages vs flat nesting\n");
+    println!("{}", table::render(&headers, &body));
+    // Supplementary: raw throughput per mode, for EXPERIMENTS.md.
+    let headers2: Vec<String> = ["Bench.", "flat txn/s", "closed txn/s", "chk txn/s"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let body2: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.bench.clone()];
+            row.extend(r.raw.iter().map(|x| table::f(x.throughput)));
+            row
+        })
+        .collect();
+    println!("{}", table::render(&headers2, &body2));
+    if let Some(dir) = out_dir {
+        let _ = table::write_csv(&dir.join("table8.csv"), &headers, &body);
+        let _ = table::write_csv(&dir.join("table8_throughput.csv"), &headers2, &body2);
+    }
+}

@@ -1,0 +1,473 @@
+//! Cluster assembly: nodes, replica stores, quorum views, and the message
+//! handlers that make each simulated node a QR replica.
+//!
+//! Mirrors the paper's architecture (Fig. 4): the *Cluster Manager* role —
+//! tracking each node's designated read and write quorums — is the shared
+//! [`QuorumView`]; the *Transaction Manager* role is split between the node
+//! handlers installed here (remote side) and [`crate::Tx`] (local side).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use qrdtm_quorum::{QuorumError, Tree, TreeQuorum};
+use qrdtm_sim::{
+    ConstLatency, JitteredLatency, NodeId, Sim, SimConfig, SimDuration,
+};
+
+use crate::history::{CommitRecord, HistoryRecorder, Violation};
+use crate::msg::Msg;
+use crate::object::{ObjVal, ObjectId};
+use crate::stats::DtmStats;
+use crate::store::{NodeStore, ReadOutcome};
+use crate::txid::{NestingMode, TxId};
+
+/// What a transaction does when the object it requests is commit-locked.
+///
+/// The paper's PR/PW lists exist so "contention managers [can] decide which
+/// transaction needs to be aborted or committed"; these are the two
+/// simplest such managers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockPolicy {
+    /// Abort the requester's innermost scope immediately (the default, and
+    /// the behaviour the evaluation uses).
+    AbortRequester,
+    /// Retry the read up to `max_waits` times after `pause`, since commit
+    /// locks are transient (~one round trip); abort only after that.
+    WaitRetry {
+        /// Retries before giving up and aborting.
+        max_waits: u32,
+        /// Pause between retries.
+        pause: SimDuration,
+    },
+}
+
+/// Link-latency specification (kept plain-data so configs are `Clone`).
+#[derive(Clone, Debug)]
+pub enum LatencySpec {
+    /// Constant one-way latency.
+    Const(SimDuration),
+    /// Jittered one-way latency (base, jitter fraction).
+    Jittered(SimDuration, f64),
+    /// Metric-space network (cc-DTM style): nodes placed uniformly in the
+    /// unit square by the cluster seed; latency = distance x `per_unit`,
+    /// floored. `(per_unit, floor)`.
+    Metric(SimDuration, SimDuration),
+}
+
+impl LatencySpec {
+    /// Instantiate the model for a cluster of `nodes`, deriving placement
+    /// (for [`LatencySpec::Metric`]) from `seed`.
+    pub fn build(&self, nodes: usize, seed: u64) -> Box<dyn qrdtm_sim::LatencyModel> {
+        match *self {
+            LatencySpec::Const(d) => Box::new(ConstLatency::new(d)),
+            LatencySpec::Jittered(d, j) => Box::new(JitteredLatency::new(d, j)),
+            LatencySpec::Metric(per_unit, floor) => {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6d65_7472_6963);
+                Box::new(qrdtm_sim::MetricSpace::random(nodes, per_unit, floor, &mut rng))
+            }
+        }
+    }
+}
+
+/// Configuration of a QR-DTM cluster.
+#[derive(Clone, Debug)]
+pub struct DtmConfig {
+    /// Number of replica nodes (the paper's testbed: 40; Fig. 10: 28).
+    pub nodes: usize,
+    /// Nesting mode the whole cluster runs in.
+    pub mode: NestingMode,
+    /// Read-quorum level policy (0 = the root alone; 1 = majority of its
+    /// children, the paper's Fig. 3 assignment).
+    pub read_level: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// One-way link latency (paper: ~15 ms, i.e. ~30 ms RTT).
+    pub latency: LatencySpec,
+    /// Per-request server occupancy.
+    pub service_time: SimDuration,
+    /// QR-CHK: create a checkpoint whenever this many new objects entered
+    /// the data set since the previous one.
+    pub chk_threshold: usize,
+    /// QR-CHK: local cost of creating one checkpoint. The paper measured
+    /// ~6 % total overhead for checkpoint creation; at the default
+    /// threshold that amortizes to a few milliseconds per checkpoint
+    /// (continuation capture + transaction copy).
+    pub chk_cost: SimDuration,
+    /// Base of the randomized exponential backoff after an abort.
+    pub backoff_base: SimDuration,
+    /// Backoff cap.
+    pub backoff_max: SimDuration,
+    /// RPC timeout; `None` means "trust the quorum view" (fine while the
+    /// view is kept in sync with failures, which [`Cluster::fail_node`]
+    /// does).
+    pub rpc_timeout: Option<SimDuration>,
+    /// Enable Rqv incremental read validation (the paper's §III-B). Turning
+    /// it off under QR-CN is the ablation showing why local CT commits need
+    /// it: conflicts then surface only at root commit.
+    pub rqv: bool,
+    /// Contention policy for reads of commit-locked objects.
+    pub lock_policy: LockPolicy,
+}
+
+impl Default for DtmConfig {
+    fn default() -> Self {
+        DtmConfig {
+            nodes: 13,
+            mode: NestingMode::Flat,
+            read_level: 1,
+            seed: 1,
+            latency: LatencySpec::Jittered(SimDuration::from_millis(15), 0.1),
+            service_time: SimDuration::from_micros(200),
+            chk_threshold: 1,
+            chk_cost: SimDuration::from_millis(6),
+            backoff_base: SimDuration::from_millis(4),
+            backoff_max: SimDuration::from_millis(120),
+            rpc_timeout: None,
+            rqv: true,
+            lock_policy: LockPolicy::AbortRequester,
+        }
+    }
+}
+
+impl DtmConfig {
+    /// The paper's main testbed shape: 40 nodes, ~30 ms RTT.
+    pub fn paper_testbed(mode: NestingMode, seed: u64) -> Self {
+        DtmConfig {
+            nodes: 40,
+            mode,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The quorum view shared by every node (the Cluster Manager of Fig. 4).
+pub struct QuorumView {
+    tq: TreeQuorum,
+    read_level: usize,
+    pub(crate) read_q: Vec<NodeId>,
+    pub(crate) write_q: Vec<NodeId>,
+}
+
+impl QuorumView {
+    fn recompute(&mut self) -> Result<(), QuorumError> {
+        let r = self.tq.read_quorum_at_level(self.read_level)?;
+        let w = self.tq.write_quorum()?;
+        self.read_q = r.into_iter().map(|v| NodeId(v as u32)).collect();
+        self.write_q = w.into_iter().map(|v| NodeId(v as u32)).collect();
+        Ok(())
+    }
+}
+
+pub(crate) struct ClusterInner {
+    pub(crate) cfg: DtmConfig,
+    pub(crate) quorum: RefCell<QuorumView>,
+    pub(crate) stats: RefCell<DtmStats>,
+    pub(crate) next_seq: Cell<u64>,
+    pub(crate) stores: Vec<Rc<RefCell<NodeStore>>>,
+    pub(crate) history: RefCell<HistoryRecorder>,
+}
+
+impl ClusterInner {
+    pub(crate) fn fresh_txid(&self, node: NodeId) -> TxId {
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        TxId { node: node.0, seq }
+    }
+}
+
+/// A simulated QR-DTM cluster: `cfg.nodes` replicas, each holding a copy of
+/// every object, plus the shared quorum view and statistics.
+pub struct Cluster {
+    sim: Sim<Msg>,
+    pub(crate) inner: Rc<ClusterInner>,
+}
+
+impl Cluster {
+    /// Build a cluster and install the replica handler on every node.
+    pub fn new(cfg: DtmConfig) -> Self {
+        let sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: cfg.seed,
+            latency: cfg.latency.build(cfg.nodes, cfg.seed),
+            service_time: cfg.service_time,
+            service_by_class: [None; qrdtm_sim::MAX_CLASSES],
+        });
+        let nodes = sim.add_nodes(cfg.nodes);
+        let mut view = QuorumView {
+            tq: TreeQuorum::new(Tree::ternary(cfg.nodes)),
+            read_level: cfg.read_level,
+            read_q: Vec::new(),
+            write_q: Vec::new(),
+        };
+        view.recompute()
+            .expect("healthy cluster always has quorums");
+        let stores: Vec<Rc<RefCell<NodeStore>>> = (0..cfg.nodes)
+            .map(|_| Rc::new(RefCell::new(NodeStore::new())))
+            .collect();
+        for (&node, store) in nodes.iter().zip(&stores) {
+            let store = Rc::clone(store);
+            sim.set_handler(node, move |ctx, env| {
+                let mut st = store.borrow_mut();
+                match &env.msg {
+                    Msg::ReadReq {
+                        root,
+                        cur_level,
+                        cur_chk,
+                        oid,
+                        want_write,
+                        entries,
+                        kind,
+                    } => {
+                        let out = st.read(
+                            *root, *cur_level, *cur_chk, *oid, *want_write, entries, *kind,
+                        );
+                        let reply = match out {
+                            ReadOutcome::Ok(version, val) => Msg::ReadOk {
+                                oid: *oid,
+                                version,
+                                val,
+                            },
+                            ReadOutcome::Abort(target) => {
+                                Msg::ReadAbort { target, busy: false }
+                            }
+                            ReadOutcome::Busy(target) => {
+                                Msg::ReadAbort { target, busy: true }
+                            }
+                        };
+                        ctx.respond(&env, reply);
+                    }
+                    Msg::CommitReq {
+                        root,
+                        reads,
+                        writes,
+                    } => {
+                        let ok = st.vote(*root, reads, writes);
+                        ctx.respond(&env, Msg::Vote { ok });
+                    }
+                    Msg::Apply { root, writes } => {
+                        st.apply(*root, writes);
+                        ctx.respond(&env, Msg::Ack);
+                    }
+                    Msg::AbortReq { root, oids } => {
+                        st.release(*root, oids);
+                        ctx.respond(&env, Msg::Ack);
+                    }
+                    // Replies are routed to CallFutures by the simulator and
+                    // never reach a handler.
+                    _ => {}
+                }
+            });
+        }
+        Cluster {
+            sim,
+            inner: Rc::new(ClusterInner {
+                cfg,
+                quorum: RefCell::new(view),
+                stats: RefCell::new(DtmStats::default()),
+                next_seq: Cell::new(0),
+                stores,
+                history: RefCell::new(HistoryRecorder::default()),
+            }),
+        }
+    }
+
+    /// The underlying simulator (to spawn drivers, run, read metrics).
+    pub fn sim(&self) -> &Sim<Msg> {
+        &self.sim
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &DtmConfig {
+        &self.inner.cfg
+    }
+
+    /// Install an object on every replica (bootstrap; version 1).
+    pub fn preload(&self, oid: ObjectId, val: ObjVal) {
+        for s in &self.inner.stores {
+            s.borrow_mut().preload(oid, val.clone());
+        }
+    }
+
+    /// Install many objects on every replica.
+    pub fn preload_all(&self, objs: impl IntoIterator<Item = (ObjectId, ObjVal)>) {
+        for (oid, val) in objs {
+            self.preload(oid, val);
+        }
+    }
+
+    /// Current read quorum (every node uses the same designated quorums, as
+    /// in the paper's experiments).
+    pub fn read_quorum(&self) -> Vec<NodeId> {
+        self.inner.quorum.borrow().read_q.clone()
+    }
+
+    /// Current write quorum.
+    pub fn write_quorum(&self) -> Vec<NodeId> {
+        self.inner.quorum.borrow().write_q.clone()
+    }
+
+    /// Fail a node and reconfigure the shared quorum view (the Cluster
+    /// Manager reacting to a failure). Errors if no quorum survives.
+    pub fn fail_node(&self, node: NodeId) -> Result<(), QuorumError> {
+        {
+            let mut view = self.inner.quorum.borrow_mut();
+            view.tq.fail(node.index());
+            view.recompute()?;
+        }
+        self.sim.fail_node(node);
+        Ok(())
+    }
+
+    /// Recover a failed node.
+    ///
+    /// The replica state it kept while down is stale, and quorum
+    /// intersection says nothing about commits it missed — if it rejoined
+    /// as (part of) a read quorum unsynchronized, readers could observe
+    /// old versions. So rejoin performs a **state transfer**: every object
+    /// is brought up to the max-version copy held by the currently alive
+    /// nodes before the node re-enters the quorum view. (The transfer is
+    /// modelled as instantaneous; it is off the transaction fast path.)
+    pub fn recover_node(&self, node: NodeId) -> Result<(), QuorumError> {
+        let oids: Vec<ObjectId> = {
+            // Any alive store knows the full object census (full replication).
+            let donor = self
+                .inner
+                .stores
+                .iter()
+                .enumerate()
+                .find(|(i, _)| self.sim.is_alive(NodeId(*i as u32)))
+                .map(|(_, s)| s)
+                .expect("at least one alive node");
+            donor.borrow().object_ids()
+        };
+        for oid in oids {
+            let newest = (0..self.inner.cfg.nodes as u32)
+                .map(NodeId)
+                .filter(|&n| n != node && self.sim.is_alive(n))
+                .filter_map(|n| self.peek(n, oid))
+                .max_by_key(|(v, _)| *v);
+            if let Some((version, val)) = newest {
+                self.inner.stores[node.index()]
+                    .borrow_mut()
+                    .sync(oid, version, val);
+            }
+        }
+        {
+            let mut view = self.inner.quorum.borrow_mut();
+            view.tq.recover(node.index());
+            view.recompute()?;
+        }
+        self.sim.recover_node(node);
+        Ok(())
+    }
+
+    /// Snapshot of the transaction statistics.
+    pub fn stats(&self) -> DtmStats {
+        self.inner.stats.borrow().clone()
+    }
+
+    /// Zero the transaction statistics (e.g. after warm-up).
+    pub fn reset_stats(&self) {
+        *self.inner.stats.borrow_mut() = DtmStats::default();
+    }
+
+    /// Read an object's replica at a specific node (tests, invariants).
+    pub fn peek(&self, node: NodeId, oid: ObjectId) -> Option<(crate::object::Version, ObjVal)> {
+        self.inner.stores[node.index()]
+            .borrow()
+            .get(oid)
+            .map(|r| (r.version, r.val.clone()))
+    }
+
+    /// The latest committed value of an object, as a reader would see it:
+    /// max-version copy across the current read quorum.
+    pub fn latest(&self, oid: ObjectId) -> Option<(crate::object::Version, ObjVal)> {
+        self.read_quorum()
+            .into_iter()
+            .filter_map(|n| self.peek(n, oid))
+            .max_by_key(|(v, _)| *v)
+    }
+
+    /// Open a client bound to `node`; transactions it runs originate there.
+    pub fn client(&self, node: NodeId) -> crate::runtime::Client {
+        crate::runtime::Client::new(self.sim.clone(), Rc::clone(&self.inner), node)
+    }
+
+    /// Start recording the committed history for [`Cluster::verify_history`].
+    pub fn enable_history(&self) {
+        self.inner.history.borrow_mut().enable();
+    }
+
+    /// The commits recorded since [`Cluster::enable_history`].
+    pub fn history(&self) -> Vec<CommitRecord> {
+        self.inner.history.borrow().records().to_vec()
+    }
+
+    /// Check the recorded history for 1-copy-serializability violations
+    /// (see [`crate::history`]); empty means the execution is equivalent to
+    /// the serial order of its serialization points.
+    pub fn verify_history(&self) -> Vec<Violation> {
+        crate::history::verify(self.inner.history.borrow().records())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_builds_quorums() {
+        let c = Cluster::new(DtmConfig::default());
+        assert_eq!(c.read_quorum(), vec![NodeId(1), NodeId(2)], "Fig. 3's R1");
+        assert_eq!(c.write_quorum().len(), 7);
+        assert_eq!(c.sim().num_nodes(), 13);
+    }
+
+    #[test]
+    fn preload_reaches_every_replica() {
+        let c = Cluster::new(DtmConfig::default());
+        c.preload(ObjectId(5), ObjVal::Int(99));
+        for n in 0..13u32 {
+            let (v, val) = c.peek(NodeId(n), ObjectId(5)).unwrap();
+            assert_eq!(v, crate::object::Version::INITIAL);
+            assert_eq!(val, ObjVal::Int(99));
+        }
+    }
+
+    #[test]
+    fn fail_node_reconfigures_quorums() {
+        let c = Cluster::new(DtmConfig {
+            read_level: 0,
+            ..Default::default()
+        });
+        assert_eq!(c.read_quorum(), vec![NodeId(0)]);
+        c.fail_node(NodeId(0)).unwrap();
+        assert_eq!(c.read_quorum(), vec![NodeId(1), NodeId(2)]);
+        assert!(!c.sim().is_alive(NodeId(0)));
+        c.recover_node(NodeId(0)).unwrap();
+        assert_eq!(c.read_quorum(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn latest_picks_max_version_across_read_quorum() {
+        let c = Cluster::new(DtmConfig::default());
+        c.preload(ObjectId(1), ObjVal::Int(0));
+        // Bump the copy at node 2 only (as if a write quorum had touched it).
+        c.inner.stores[2].borrow_mut().apply(
+            TxId { node: 9, seq: 9 },
+            &[(ObjectId(1), crate::object::Version(4), ObjVal::Int(44))],
+        );
+        let (v, val) = c.latest(ObjectId(1)).unwrap();
+        assert_eq!(v, crate::object::Version(4));
+        assert_eq!(val, ObjVal::Int(44));
+    }
+
+    #[test]
+    fn txids_are_unique() {
+        let c = Cluster::new(DtmConfig::default());
+        let a = c.inner.fresh_txid(NodeId(3));
+        let b = c.inner.fresh_txid(NodeId(3));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,1193 @@
+//! The transaction runtime: the local side of QR, QR-CN and QR-CHK.
+//!
+//! A [`Client`] is bound to a node and runs root transactions to
+//! completion, retrying on aborts. A [`Tx`] handle is what transaction
+//! bodies program against:
+//!
+//! * [`Tx::read`] / [`Tx::write`] first search the transaction's own and
+//!   its ancestors' data sets (`checkParent`, Alg. 2 line 2) and otherwise
+//!   fetch the object from the read quorum, piggybacking the data set for
+//!   Rqv validation (QR-CN/QR-CHK) and taking the max-version copy.
+//! * [`Tx::closed`] runs a closed-nested transaction: a fresh frame on the
+//!   frame stack, independent retry on aborts addressed to its level, and
+//!   the paper's Alg. 3 local commit — merging its read/write sets into the
+//!   parent with **zero** messages.
+//! * Under QR-CHK the runtime creates a checkpoint each time the data set
+//!   grows by `chk_threshold` objects. A read-time conflict rolls back to
+//!   `abortChk`: the frame snapshot is restored, the operation log is
+//!   truncated, and the body is re-executed with logged results replayed
+//!   (our deterministic-replay substitute for the paper's Java
+//!   continuations — identical message behaviour, see DESIGN.md).
+//!
+//! Commit is the two-phase quorum protocol of §II; read-only transactions
+//! commit locally under QR-CN because Rqv already validated everything.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use qrdtm_sim::{NodeId, Sim, SimDuration, SimTime};
+
+use crate::cluster::{ClusterInner, LockPolicy};
+use crate::history::CommitRecord;
+use crate::msg::{Msg, ValEntry, ValidationKind};
+use crate::object::{ObjVal, ObjectId, Version};
+use crate::txid::{Abort, AbortTarget, NestingMode, TxId};
+
+/// A cached object copy inside a transaction's data set.
+#[derive(Clone, Debug)]
+struct Cached {
+    version: Version,
+    val: ObjVal,
+    /// Nesting level whose abort invalidates this entry (the `ownerTxn`).
+    owner_level: u32,
+    /// Checkpoint id current when the object was fetched (`ownerChkpnt`).
+    owner_chk: u32,
+}
+
+/// Read/write sets of one nesting level.
+#[derive(Clone, Debug, Default)]
+struct Frame {
+    reads: BTreeMap<ObjectId, Cached>,
+    writes: BTreeMap<ObjectId, Cached>,
+}
+
+impl Frame {
+    fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+/// A checkpoint: data-set snapshot plus the op-log position, enough to
+/// deterministically reconstruct the execution state by replay.
+#[derive(Clone, Debug)]
+struct ChkRec {
+    oplog_len: usize,
+    frame: Frame,
+    dataset_size: usize,
+}
+
+struct TxState {
+    root: TxId,
+    frames: Vec<Frame>,
+    /// One entry per operation: `Some(result)` for reads, `None` for writes.
+    oplog: Vec<Option<ObjVal>>,
+    op_index: usize,
+    replay_upto: usize,
+    checkpoints: Vec<ChkRec>,
+    last_chk_size: usize,
+    attempt: u32,
+    /// Completion instant of the latest remote (validated) read — the
+    /// serialization point of a read-only QR-CN commit.
+    last_remote_read_at: SimTime,
+    /// Compensating actions recorded by committed open-nested transactions
+    /// of the current attempt; run in reverse order if the attempt aborts.
+    compensations: Vec<Compensation>,
+}
+
+/// A compensating action: a transaction body undoing an open CT's effects.
+type Compensation = Rc<dyn Fn(Tx) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>>>;
+
+impl TxState {
+    fn new(root: TxId) -> Self {
+        TxState {
+            root,
+            frames: vec![Frame::default()],
+            oplog: Vec::new(),
+            op_index: 0,
+            replay_upto: 0,
+            checkpoints: vec![ChkRec {
+                oplog_len: 0,
+                frame: Frame::default(),
+                dataset_size: 0,
+            }],
+            last_chk_size: 0,
+            attempt: 0,
+            last_remote_read_at: SimTime::ZERO,
+            compensations: Vec::new(),
+        }
+    }
+
+    fn cur_chk(&self) -> u32 {
+        (self.checkpoints.len() - 1) as u32
+    }
+
+    fn replaying(&self) -> bool {
+        self.op_index < self.replay_upto
+    }
+
+    /// The merged data set as Rqv validation entries, innermost shadowing.
+    fn entries(&self) -> Vec<ValEntry> {
+        let mut map: BTreeMap<ObjectId, ValEntry> = BTreeMap::new();
+        for f in &self.frames {
+            for (oid, c) in f.reads.iter().chain(f.writes.iter()) {
+                map.insert(
+                    *oid,
+                    ValEntry {
+                        oid: *oid,
+                        version: c.version,
+                        owner_level: c.owner_level,
+                        owner_chk: c.owner_chk,
+                    },
+                );
+            }
+        }
+        map.into_values().collect()
+    }
+
+    /// Locate an object in the data set visible to `level` (own frame and
+    /// ancestors; writes shadow reads).
+    fn lookup(&self, level: u32, oid: ObjectId) -> Option<&Cached> {
+        for f in self.frames[..=(level as usize)].iter().rev() {
+            if let Some(c) = f.writes.get(&oid) {
+                return Some(c);
+            }
+            if let Some(c) = f.reads.get(&oid) {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+/// A client bound to a node; runs root transactions originating there.
+pub struct Client {
+    sim: Sim<Msg>,
+    inner: Rc<ClusterInner>,
+    node: NodeId,
+}
+
+impl Client {
+    pub(crate) fn new(sim: Sim<Msg>, inner: Rc<ClusterInner>, node: NodeId) -> Self {
+        Client { sim, inner, node }
+    }
+
+    /// The node this client's transactions execute on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Run `body` as a root transaction, retrying until it commits, and
+    /// return its result.
+    ///
+    /// The body receives a fresh [`Tx`] per (re-)execution attempt and must
+    /// be pure apart from `Tx` operations: on a checkpoint rollback it is
+    /// re-run with earlier operation results replayed from the log, so any
+    /// non-determinism outside `Tx` would diverge from the logged prefix.
+    pub async fn run<T, F, Fut>(&self, body: F) -> T
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+    {
+        let mode = self.inner.cfg.mode;
+        let started = self.sim.now();
+        let st = Rc::new(RefCell::new(TxState::new(self.inner.fresh_txid(self.node))));
+        let tx = Tx {
+            st: Rc::clone(&st),
+            sim: self.sim.clone(),
+            inner: Rc::clone(&self.inner),
+            node: self.node,
+            level: 0,
+        };
+        loop {
+            match body(tx.clone()).await {
+                Ok(v) => match self.commit_root(&tx).await {
+                    Ok(()) => {
+                        tx.st.borrow_mut().compensations.clear();
+                        let lat = self.sim.now().saturating_since(started).as_nanos();
+                        let mut stats = self.inner.stats.borrow_mut();
+                        stats.commits += 1;
+                        stats.latency_sum_ns += lat;
+                        stats.latency_max_ns = stats.latency_max_ns.max(lat);
+                        return v;
+                    }
+                    Err(_) => {
+                        self.inner.stats.borrow_mut().root_aborts += 1;
+                        tx.run_compensations().await;
+                        tx.full_reset();
+                        tx.backoff(true).await;
+                    }
+                },
+                Err(Abort {
+                    target: AbortTarget::Chk(c),
+                }) if mode == NestingMode::Checkpoint => {
+                    self.inner.stats.borrow_mut().chk_rollbacks += 1;
+                    tx.rollback_to(c);
+                    // The conflicting writer is still in flight; retrying
+                    // instantly would just detect the same conflict again
+                    // (the paper's "unnecessary partial aborts"), so the
+                    // rollback escalates contention backoff like an abort.
+                    tx.backoff(true).await;
+                }
+                Err(_) => {
+                    // Root-targeted abort (level 0), or a stray target that
+                    // nothing below caught: full retry.
+                    self.inner.stats.borrow_mut().root_aborts += 1;
+                    tx.run_compensations().await;
+                    tx.full_reset();
+                    tx.backoff(true).await;
+                }
+            }
+        }
+    }
+
+    /// Two-phase commit of the root transaction (paper §II), or the local
+    /// read-only commit Rqv enables under QR-CN.
+    async fn commit_root(&self, tx: &Tx) -> Result<(), Abort> {
+        let (root, reads, writes, payload) = {
+            let st = tx.st.borrow();
+            debug_assert_eq!(st.frames.len(), 1, "all CTs completed before root commit");
+            let f = &st.frames[0];
+            let writes: Vec<(ObjectId, Version)> =
+                f.writes.iter().map(|(o, c)| (*o, c.version)).collect();
+            let reads: Vec<(ObjectId, Version)> = f
+                .reads
+                .iter()
+                .filter(|(o, _)| !f.writes.contains_key(o))
+                .map(|(o, c)| (*o, c.version))
+                .collect();
+            let payload: Vec<(ObjectId, Version, ObjVal)> = f
+                .writes
+                .iter()
+                .map(|(o, c)| (*o, c.version.next(), c.val.clone()))
+                .collect();
+            (st.root, reads, writes, payload)
+        };
+        let mode = self.inner.cfg.mode;
+        if writes.is_empty() {
+            if mode == NestingMode::Closed && self.inner.cfg.rqv {
+                // Rqv validated every read as of the last remote operation;
+                // nothing to propagate — commit locally, zero messages.
+                // (Without Rqv this would be unsound, hence the guard.)
+                self.inner.stats.borrow_mut().local_commits += 1;
+                if self.inner.history.borrow().is_enabled() {
+                    // Serialization point: the last validated remote read.
+                    let at = tx.st.borrow().last_remote_read_at;
+                    self.inner.history.borrow_mut().push(CommitRecord {
+                        tx: root,
+                        at,
+                        reads,
+                        writes: vec![],
+                    });
+                }
+                return Ok(());
+            }
+            if reads.is_empty() {
+                return Ok(()); // touched nothing
+            }
+            // Flat QR / QR-CHK: read-only still validates at the quorum.
+            self.vote_round(root, reads.clone(), vec![]).await?;
+            if self.inner.history.borrow().is_enabled() {
+                let at = self.sim.now();
+                self.inner.history.borrow_mut().push(CommitRecord {
+                    tx: root,
+                    at,
+                    reads,
+                    writes: vec![],
+                });
+            }
+            return Ok(());
+        }
+        match self.vote_round(root, reads.clone(), writes.clone()).await {
+            Ok(()) => {
+                if self.inner.history.borrow().is_enabled() {
+                    // Serialization point: all write-quorum locks held.
+                    let at = self.sim.now();
+                    self.inner.history.borrow_mut().push(CommitRecord {
+                        tx: root,
+                        at,
+                        reads,
+                        writes: writes
+                            .iter()
+                            .map(|(o, v)| (*o, *v, v.next()))
+                            .collect(),
+                    });
+                }
+                // Commit confirm: apply writes, release locks.
+                let wq = self.inner.quorum.borrow().write_q.clone();
+                let _ = self
+                    .sim
+                    .call(
+                        self.node,
+                        &wq,
+                        Msg::Apply {
+                            root,
+                            writes: payload,
+                        },
+                        self.inner.cfg.rpc_timeout,
+                    )
+                    .await;
+                Ok(())
+            }
+            Err(e) => {
+                // Release any locks granted in phase one.
+                let wq = self.inner.quorum.borrow().write_q.clone();
+                let oids: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
+                let _ = self
+                    .sim
+                    .call(
+                        self.node,
+                        &wq,
+                        Msg::AbortReq { root, oids },
+                        self.inner.cfg.rpc_timeout,
+                    )
+                    .await;
+                Err(e)
+            }
+        }
+    }
+
+    /// 2PC phase one: all write-quorum members must vote yes.
+    async fn vote_round(
+        &self,
+        root: TxId,
+        reads: Vec<(ObjectId, Version)>,
+        writes: Vec<(ObjectId, Version)>,
+    ) -> Result<(), Abort> {
+        self.inner.stats.borrow_mut().commit_rounds += 1;
+        let wq = self.inner.quorum.borrow().write_q.clone();
+        let res = self
+            .sim
+            .call(
+                self.node,
+                &wq,
+                Msg::CommitReq {
+                    root,
+                    reads,
+                    writes,
+                },
+                self.inner.cfg.rpc_timeout,
+            )
+            .await;
+        if res.timed_out {
+            self.inner.stats.borrow_mut().timeouts += 1;
+            return Err(Abort::root());
+        }
+        let all_yes = res
+            .replies
+            .iter()
+            .all(|(_, m)| matches!(m, Msg::Vote { ok: true }));
+        if all_yes {
+            Ok(())
+        } else {
+            Err(Abort::root())
+        }
+    }
+}
+
+/// Handle a transaction body uses to access shared objects.
+///
+/// Cloning is cheap (reference-counted); each [`Tx::closed`] scope receives
+/// a handle one nesting level deeper.
+pub struct Tx {
+    st: Rc<RefCell<TxState>>,
+    sim: Sim<Msg>,
+    inner: Rc<ClusterInner>,
+    node: NodeId,
+    level: u32,
+}
+
+impl Clone for Tx {
+    fn clone(&self) -> Self {
+        Tx {
+            st: Rc::clone(&self.st),
+            sim: self.sim.clone(),
+            inner: Rc::clone(&self.inner),
+            node: self.node,
+            level: self.level,
+        }
+    }
+}
+
+impl Tx {
+    /// The nesting level of this handle (0 = root).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// An abort value addressed to this handle's scope: the innermost
+    /// closed-nested transaction under QR-CN, the whole transaction
+    /// otherwise.
+    ///
+    /// Transaction bodies use this to abort **voluntarily** — most
+    /// importantly as a *zombie guard*: under flat QR, reads are not
+    /// validated until commit, so a transaction can observe a torn
+    /// snapshot across objects; a pointer-chasing traversal over such a
+    /// snapshot may never terminate even though its commit would be
+    /// rejected. A traversal that exceeds any structurally possible length
+    /// proves the snapshot inconsistent and must `return
+    /// Err(tx.abort_here())` to retry with fresh reads.
+    pub fn abort_here(&self) -> Abort {
+        if self.mode() == NestingMode::Checkpoint {
+            // Roll all the way back: the torn prefix cannot be localized.
+            Abort::chk(0)
+        } else {
+            Abort::level(self.level)
+        }
+    }
+
+    /// The root transaction id of the current attempt.
+    pub fn root_id(&self) -> TxId {
+        self.st.borrow().root
+    }
+
+    /// The node this transaction executes on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn mode(&self) -> NestingMode {
+        self.inner.cfg.mode
+    }
+
+    /// Read an object (paper Alg. 2, local part). Checks the transaction's
+    /// own and ancestors' data sets first; otherwise one read-quorum round.
+    pub async fn read(&self, oid: ObjectId) -> Result<ObjVal, Abort> {
+        self.access(oid, None).await
+    }
+
+    /// Write an object. Promotes a previously read copy for free; fetches
+    /// the object (for its version) if the transaction has never seen it.
+    pub async fn write(&self, oid: ObjectId, val: ObjVal) -> Result<(), Abort> {
+        self.access(oid, Some(val)).await?;
+        Ok(())
+    }
+
+    async fn access(&self, oid: ObjectId, write_val: Option<ObjVal>) -> Result<ObjVal, Abort> {
+        let is_write = write_val.is_some();
+        let chk_mode = self.mode() == NestingMode::Checkpoint;
+        // Replay and local-hit fast paths.
+        {
+            let mut st = self.st.borrow_mut();
+            if chk_mode && st.replaying() {
+                let logged = st.oplog[st.op_index].clone();
+                st.op_index += 1;
+                self.inner.stats.borrow_mut().replayed_ops += 1;
+                return Ok(match write_val {
+                    // The restored frame already contains this write.
+                    Some(_) => ObjVal::Unit,
+                    None => logged.expect("read op has a logged result"),
+                });
+            }
+            if let Some(found) = st.lookup(self.level, oid).cloned() {
+                let out = match write_val {
+                    Some(v) => {
+                        // Promote/shadow into this level's write set keeping
+                        // the fetch-time version and owner (the owner is
+                        // whoever READ it — its abort invalidates the copy).
+                        st.frames[self.level as usize].writes.insert(
+                            oid,
+                            Cached {
+                                version: found.version,
+                                val: v,
+                                owner_level: found.owner_level,
+                                owner_chk: found.owner_chk,
+                            },
+                        );
+                        ObjVal::Unit
+                    }
+                    None => found.val.clone(),
+                };
+                if chk_mode {
+                    st.oplog.push(if is_write { None } else { Some(out.clone()) });
+                    st.op_index += 1;
+                }
+                self.inner.stats.borrow_mut().local_hits += 1;
+                return Ok(out);
+            }
+        }
+        // Remote acquisition from the read quorum.
+        let (root, cur_chk, entries, kind) = {
+            let st = self.st.borrow();
+            let kind = if !self.inner.cfg.rqv {
+                ValidationKind::None
+            } else {
+                match self.mode() {
+                    NestingMode::Flat => ValidationKind::None,
+                    NestingMode::Closed => ValidationKind::Closed,
+                    NestingMode::Checkpoint => ValidationKind::Checkpoint,
+                }
+            };
+            let entries = if kind == ValidationKind::None {
+                Vec::new()
+            } else {
+                st.entries()
+            };
+            (st.root, st.cur_chk(), entries, kind)
+        };
+        let mut waits = 0u32;
+        let (version, fetched) = loop {
+            let rq = self.inner.quorum.borrow().read_q.clone();
+            self.inner.stats.borrow_mut().read_rounds += 1;
+            let res = self
+                .sim
+                .call(
+                    self.node,
+                    &rq,
+                    Msg::ReadReq {
+                        root,
+                        cur_level: self.level,
+                        cur_chk,
+                        oid,
+                        want_write: is_write,
+                        entries: entries.clone(),
+                        kind,
+                    },
+                    self.inner.cfg.rpc_timeout,
+                )
+                .await;
+            if res.timed_out {
+                self.inner.stats.borrow_mut().timeouts += 1;
+                return Err(Abort::root());
+            }
+            let mut best: Option<(Version, ObjVal)> = None;
+            let mut abort: Option<AbortTarget> = None;
+            let mut only_busy = true;
+            for (_, m) in res.replies {
+                match m {
+                    Msg::ReadOk { version, val, .. }
+                        if best.as_ref().is_none_or(|(v, _)| version > *v) =>
+                    {
+                        best = Some((version, val));
+                    }
+                    Msg::ReadOk { .. } => {}
+                    Msg::ReadAbort { target, busy } => {
+                        only_busy &= busy;
+                        abort = Some(match abort {
+                            Some(prev) => prev.merge(target),
+                            None => target,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(target) = abort {
+                // Transient commit locks may be waited out instead of
+                // aborting, if the contention policy says so.
+                if only_busy {
+                    if let LockPolicy::WaitRetry { max_waits, pause } =
+                        self.inner.cfg.lock_policy
+                    {
+                        if waits < max_waits {
+                            waits += 1;
+                            self.inner.stats.borrow_mut().lock_waits += 1;
+                            self.sim.sleep(pause).await;
+                            continue;
+                        }
+                    }
+                }
+                return Err(Abort { target });
+            }
+            break best.expect("non-empty read quorum");
+        };
+        {
+            let mut st = self.st.borrow_mut();
+            st.last_remote_read_at = self.sim.now();
+            let cached = Cached {
+                version,
+                val: write_val.clone().unwrap_or_else(|| fetched.clone()),
+                owner_level: self.level,
+                owner_chk: cur_chk,
+            };
+            let frame = &mut st.frames[self.level as usize];
+            if is_write {
+                frame.writes.insert(oid, cached);
+            } else {
+                frame.reads.insert(oid, cached);
+            }
+            if chk_mode {
+                st.oplog
+                    .push(if is_write { None } else { Some(fetched.clone()) });
+                st.op_index += 1;
+            }
+        }
+        if chk_mode {
+            self.maybe_checkpoint().await;
+        }
+        Ok(if is_write { ObjVal::Unit } else { fetched })
+    }
+
+    /// Run `body` as a closed-nested transaction (QR-CN). Under flat
+    /// nesting the body runs inline in the enclosing transaction; under
+    /// checkpointing the structure is likewise flattened (the checkpoint
+    /// criterion, not nesting, decides rollback points).
+    ///
+    /// The CT retries independently on conflicts addressed to its level;
+    /// its commit merges its read/write sets into the parent locally with
+    /// no communication (paper Alg. 3).
+    pub async fn closed<T, F, Fut>(&self, body: F) -> Result<T, Abort>
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+    {
+        if self.mode() != NestingMode::Closed {
+            return body(self.clone()).await;
+        }
+        let child_level = self.level + 1;
+        loop {
+            let comp_mark = {
+                let mut st = self.st.borrow_mut();
+                debug_assert_eq!(
+                    st.frames.len(),
+                    child_level as usize,
+                    "closed() called from the innermost active scope"
+                );
+                st.frames.push(Frame::default());
+                st.compensations.len()
+            };
+            let mut child = self.clone();
+            child.level = child_level;
+            match body(child).await {
+                Ok(v) => {
+                    // commitCT (Alg. 3): merge into the parent, locally.
+                    let mut st = self.st.borrow_mut();
+                    let frame = st.frames.pop().expect("child frame present");
+                    let parent = &mut st.frames[self.level as usize];
+                    for (oid, mut c) in frame.reads {
+                        c.owner_level = c.owner_level.min(self.level);
+                        parent.reads.entry(oid).or_insert(c);
+                    }
+                    for (oid, mut c) in frame.writes {
+                        c.owner_level = c.owner_level.min(self.level);
+                        parent.writes.insert(oid, c);
+                    }
+                    drop(st);
+                    self.inner.stats.borrow_mut().ct_commits += 1;
+                    return Ok(v);
+                }
+                Err(Abort {
+                    target: AbortTarget::Level(l),
+                }) if l == child_level => {
+                    // Partial abort: discard only the child's work and retry
+                    // promptly — the whole point of closed nesting is that
+                    // the retry is cheap, so it only takes a jittered
+                    // de-synchronization delay, not an escalating backoff.
+                    // Open CTs the failed attempt already published must be
+                    // compensated first, or the retry would double-apply.
+                    self.compensate_down_to(comp_mark).await;
+                    self.st.borrow_mut().frames.truncate(child_level as usize);
+                    self.inner.stats.borrow_mut().ct_aborts += 1;
+                    self.backoff(false).await;
+                }
+                Err(e) => {
+                    // Addressed to an ancestor: unwind further.
+                    self.st.borrow_mut().frames.truncate(child_level as usize);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Run `body` as an **open-nested** transaction (the QR-ON extension;
+    /// the paper's §I-A taxonomy defines open nesting and defers it to
+    /// related work, N-TFA/TFA-ON style).
+    ///
+    /// The body executes as an independent sub-transaction with its own
+    /// read/write sets and commits **globally** through the regular quorum
+    /// two-phase commit as soon as it succeeds — its effects are visible to
+    /// every other transaction before the enclosing one commits. In
+    /// exchange, the caller supplies `compensate`: if the enclosing
+    /// transaction attempt later aborts, the recorded compensations run (in
+    /// reverse order, each as its own committed transaction) to undo the
+    /// published effects.
+    ///
+    /// Like classical open nesting, correctness is *abstract*
+    /// serializability: the body and its compensation must be semantic
+    /// inverses at the data-structure level (insert/remove, credit/debit) —
+    /// the runtime does not check this. Under flat and checkpoint modes the
+    /// body runs inline like [`Tx::closed`] (no early publication, no
+    /// compensation recorded).
+    pub async fn open<T, F, Fut, C>(&self, body: F, compensate: C) -> Result<T, Abort>
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+        C: Fn(Tx) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>> + 'static,
+    {
+        if self.mode() != NestingMode::Closed {
+            return body(self.clone()).await;
+        }
+        let v = self.run_subtransaction(&body).await;
+        self.st.borrow_mut().compensations.push(Rc::new(compensate));
+        self.inner.stats.borrow_mut().open_commits += 1;
+        Ok(v)
+    }
+
+    /// Run a body as an independent flat sub-transaction to commit
+    /// (retrying internally), leaving the enclosing transaction's state
+    /// untouched.
+    async fn run_subtransaction<T, F, Fut>(&self, body: &F) -> T
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+    {
+        let client = Client::new(self.sim.clone(), Rc::clone(&self.inner), self.node);
+        client.run(body).await
+    }
+
+    /// Execute and clear the recorded compensations, newest first. Each
+    /// runs as its own committed transaction (it must: the effects it
+    /// undoes are already globally visible).
+    /// Boxed to break the async type cycle `run -> run_compensations ->
+    /// run` (compensation bodies are flat and never record further
+    /// compensations).
+    pub(crate) fn run_compensations(&self) -> Pin<Box<dyn Future<Output = ()>>> {
+        self.compensate_down_to(0)
+    }
+
+    /// Pop and execute compensations until only `mark` remain — the
+    /// watermark form lets a retrying closed CT undo exactly the open CTs
+    /// it published during the failed attempt.
+    fn compensate_down_to(&self, mark: usize) -> Pin<Box<dyn Future<Output = ()>>> {
+        let tx = self.clone();
+        Box::pin(async move {
+            loop {
+                let comp = {
+                    let mut st = tx.st.borrow_mut();
+                    if st.compensations.len() <= mark {
+                        return;
+                    }
+                    st.compensations.pop()
+                };
+                let Some(comp) = comp else { return };
+                tx.inner.stats.borrow_mut().compensations += 1;
+                tx.run_subtransaction(&|t| comp(t)).await;
+            }
+        })
+    }
+
+    /// QR-CHK: create a checkpoint when the data set grew by the threshold.
+    async fn maybe_checkpoint(&self) {
+        let (due, cost) = {
+            let st = self.st.borrow();
+            let size = st.frames[0].len();
+            (
+                size >= st.last_chk_size + self.inner.cfg.chk_threshold,
+                self.inner.cfg.chk_cost,
+            )
+        };
+        if !due {
+            return;
+        }
+        // The measured ~6% creation overhead, as local compute time.
+        if cost > SimDuration::ZERO {
+            self.sim.sleep(cost).await;
+        }
+        let mut st = self.st.borrow_mut();
+        let rec = ChkRec {
+            oplog_len: st.oplog.len(),
+            frame: st.frames[0].clone(),
+            dataset_size: st.frames[0].len(),
+        };
+        st.last_chk_size = rec.dataset_size;
+        st.checkpoints.push(rec);
+        self.inner.stats.borrow_mut().checkpoints += 1;
+    }
+
+    /// Restore checkpoint `c` and arm deterministic replay of the logged
+    /// prefix.
+    fn rollback_to(&self, c: u32) {
+        let mut st = self.st.borrow_mut();
+        let c = (c as usize).min(st.checkpoints.len() - 1);
+        let rec = st.checkpoints[c].clone();
+        st.frames = vec![rec.frame];
+        st.oplog.truncate(rec.oplog_len);
+        st.replay_upto = rec.oplog_len;
+        st.op_index = 0;
+        st.checkpoints.truncate(c + 1);
+        st.last_chk_size = rec.dataset_size;
+        st.attempt += 1;
+    }
+
+    /// Full reset for a root retry; the new attempt gets a fresh TxId so
+    /// stale locks/metadata of the old attempt can never alias it.
+    fn full_reset(&self) {
+        let mut st = self.st.borrow_mut();
+        let attempt = st.attempt + 1;
+        *st = TxState::new(self.inner.fresh_txid(self.node));
+        st.attempt = attempt;
+    }
+
+    /// Randomized backoff. Escalating (exponential in the attempt counter)
+    /// after full aborts; a flat jittered delay after partial aborts, which
+    /// are cheap to retry.
+    pub(crate) async fn backoff(&self, escalate: bool) {
+        let base = self.inner.cfg.backoff_base;
+        let mut d = if escalate {
+            let attempt = self.st.borrow().attempt;
+            let cap = self.inner.cfg.backoff_max;
+            let exp = attempt.min(5);
+            let full = base * (1u64 << exp);
+            if full > cap {
+                cap
+            } else {
+                full
+            }
+        } else {
+            base
+        };
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let jitter = self.sim.with_rng(|r| {
+            use rand::RngExt;
+            r.random_range(0.5..1.5)
+        });
+        d = d.mul_f64(jitter);
+        self.sim.sleep(d).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, DtmConfig, LatencySpec};
+    use std::cell::Cell;
+
+    fn cfg(mode: NestingMode) -> DtmConfig {
+        DtmConfig {
+            mode,
+            latency: LatencySpec::Const(SimDuration::from_millis(10)),
+            ..Default::default()
+        }
+    }
+
+    fn o(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+
+    /// Run a single writer transaction and check the commit became visible.
+    #[test]
+    fn flat_write_commits_and_is_visible() {
+        let c = Cluster::new(cfg(NestingMode::Flat));
+        c.preload(o(1), ObjVal::Int(10));
+        let client = c.client(NodeId(5));
+        let sim = c.sim().clone();
+        sim.spawn(async move {
+            client
+                .run(|tx| async move {
+                    let v = tx.read(o(1)).await?.expect_int();
+                    tx.write(o(1), ObjVal::Int(v + 5)).await?;
+                    Ok(())
+                })
+                .await;
+        });
+        c.sim().run();
+        let (ver, val) = c.latest(o(1)).unwrap();
+        assert_eq!(val, ObjVal::Int(15));
+        assert_eq!(ver, Version(2));
+        let s = c.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.root_aborts, 0);
+        assert_eq!(s.commit_rounds, 1);
+        // Every write-quorum replica is unlocked afterwards.
+        for n in c.write_quorum() {
+            let (v, _) = c.peek(n, o(1)).unwrap();
+            assert_eq!(v, Version(2));
+        }
+    }
+
+    #[test]
+    fn second_read_is_a_local_hit() {
+        let c = Cluster::new(cfg(NestingMode::Closed));
+        c.preload(o(1), ObjVal::Int(1));
+        let client = c.client(NodeId(4));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move {
+                    tx.read(o(1)).await?;
+                    tx.read(o(1)).await?;
+                    tx.read(o(1)).await?;
+                    Ok(())
+                })
+                .await;
+        });
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.read_rounds, 1);
+        assert_eq!(s.local_hits, 2);
+    }
+
+    #[test]
+    fn read_only_commits_locally_under_closed_nesting() {
+        let c = Cluster::new(cfg(NestingMode::Closed));
+        c.preload(o(1), ObjVal::Int(1));
+        let client = c.client(NodeId(4));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move {
+                    tx.read(o(1)).await?;
+                    Ok(())
+                })
+                .await;
+        });
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.local_commits, 1);
+        assert_eq!(s.commit_rounds, 0, "zero commit messages");
+    }
+
+    #[test]
+    fn read_only_still_validates_remotely_under_flat() {
+        let c = Cluster::new(cfg(NestingMode::Flat));
+        c.preload(o(1), ObjVal::Int(1));
+        let client = c.client(NodeId(4));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move {
+                    tx.read(o(1)).await?;
+                    Ok(())
+                })
+                .await;
+        });
+        c.sim().run();
+        assert_eq!(c.stats().commit_rounds, 1);
+    }
+
+    #[test]
+    fn write_after_read_promotes_without_extra_round() {
+        let c = Cluster::new(cfg(NestingMode::Flat));
+        c.preload(o(1), ObjVal::Int(1));
+        let client = c.client(NodeId(4));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move {
+                    let v = tx.read(o(1)).await?.expect_int();
+                    tx.write(o(1), ObjVal::Int(v * 2)).await?;
+                    Ok(())
+                })
+                .await;
+        });
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.read_rounds, 1, "write reused the read's copy");
+        assert_eq!(c.latest(o(1)).unwrap().1, ObjVal::Int(2));
+    }
+
+    /// The paper's key scenario: a conflict on a CT-owned object aborts only
+    /// the CT; the root's work (and its reads) survive.
+    #[test]
+    fn conflict_on_ct_object_aborts_only_the_ct() {
+        let c = Cluster::new(cfg(NestingMode::Closed));
+        c.preload_all([(o(1), ObjVal::Int(1)), (o(2), ObjVal::Int(2)), (o(3), ObjVal::Int(3))]);
+        let sim = c.sim().clone();
+        // T1 at node 3: root reads o1; CT reads o2, dawdles, reads o3.
+        let t1 = c.client(NodeId(3));
+        let sim1 = sim.clone();
+        let result = Rc::new(Cell::new(0i64));
+        let result2 = Rc::clone(&result);
+        sim.spawn(async move {
+            let total = t1
+                .run(|tx| {
+                    let sim1 = sim1.clone();
+                    async move {
+                        let a = tx.read(o(1)).await?.expect_int();
+                        let bc = tx
+                            .closed(|tx2| {
+                                let sim1 = sim1.clone();
+                                async move {
+                                    let b = tx2.read(o(2)).await?.expect_int();
+                                    sim1.sleep(SimDuration::from_millis(100)).await;
+                                    let c = tx2.read(o(3)).await?.expect_int();
+                                    Ok(b + c)
+                                }
+                            })
+                            .await?;
+                        Ok(a + bc)
+                    }
+                })
+                .await;
+            result2.set(total);
+        });
+        // T2 at node 4: bump o2 while T1's CT holds its first copy.
+        let t2 = c.client(NodeId(4));
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(45)).await;
+            t2.run(|tx| async move {
+                let v = tx.read(o(2)).await?.expect_int();
+                tx.write(o(2), ObjVal::Int(v + 100)).await?;
+                Ok(())
+            })
+            .await;
+        });
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.commits, 2);
+        assert!(s.ct_aborts >= 1, "the CT retried: {s:?}");
+        assert_eq!(s.root_aborts, 0, "the root never aborted: {s:?}");
+        // T1 saw the committed bump after its CT retry: 1 + 102 + 3.
+        assert_eq!(result.get(), 106);
+    }
+
+    /// Same contention shape under flat nesting: the whole transaction
+    /// retries instead.
+    #[test]
+    fn conflict_under_flat_aborts_the_root() {
+        let c = Cluster::new(cfg(NestingMode::Flat));
+        c.preload_all([(o(1), ObjVal::Int(1)), (o(2), ObjVal::Int(2))]);
+        let sim = c.sim().clone();
+        let t1 = c.client(NodeId(3));
+        let sim1 = sim.clone();
+        sim.spawn(async move {
+            t1.run(|tx| {
+                let sim1 = sim1.clone();
+                async move {
+                    let a = tx.read(o(2)).await?.expect_int();
+                    sim1.sleep(SimDuration::from_millis(100)).await;
+                    tx.write(o(1), ObjVal::Int(a)).await?;
+                    Ok(())
+                }
+            })
+            .await;
+        });
+        let t2 = c.client(NodeId(4));
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(30)).await;
+            t2.run(|tx| async move {
+                let v = tx.read(o(2)).await?.expect_int();
+                tx.write(o(2), ObjVal::Int(v + 1)).await?;
+                Ok(())
+            })
+            .await;
+        });
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.commits, 2);
+        assert!(s.root_aborts >= 1, "flat conflict is a full abort: {s:?}");
+        assert_eq!(s.ct_aborts, 0);
+        // T1 committed after retry with the fresh value of o2.
+        assert_eq!(c.latest(o(1)).unwrap().1, ObjVal::Int(3));
+    }
+
+    /// QR-CHK: a read-time conflict rolls back to the newest checkpoint that
+    /// excludes the invalid object, replays the prefix, and commits.
+    #[test]
+    fn checkpoint_rollback_replays_and_commits() {
+        let mut config = cfg(NestingMode::Checkpoint);
+        config.chk_threshold = 2;
+        config.chk_cost = SimDuration::ZERO;
+        let c = Cluster::new(config);
+        c.preload_all((1..=5).map(|i| (o(i), ObjVal::Int(i as i64))));
+        let sim = c.sim().clone();
+        let t1 = c.client(NodeId(3));
+        let sim1 = sim.clone();
+        let result = Rc::new(Cell::new(0i64));
+        let result2 = Rc::clone(&result);
+        sim.spawn(async move {
+            let total = t1
+                .run(|tx| {
+                    let sim1 = sim1.clone();
+                    async move {
+                        let a = tx.read(o(1)).await?.expect_int();
+                        let b = tx.read(o(2)).await?.expect_int(); // checkpoint 1 here
+                        let c_ = tx.read(o(3)).await?.expect_int();
+                        sim1.sleep(SimDuration::from_millis(120)).await;
+                        let d = tx.read(o(4)).await?.expect_int();
+                        tx.write(o(5), ObjVal::Int(a + b + c_ + d)).await?;
+                        Ok(a + b + c_ + d)
+                    }
+                })
+                .await;
+            result2.set(total);
+        });
+        // Conflicting writer bumps o3 while T1 sleeps (o3 was fetched under
+        // checkpoint 1, so rollback lands exactly on checkpoint 1).
+        let t2 = c.client(NodeId(4));
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(70)).await;
+            t2.run(|tx| async move {
+                let v = tx.read(o(3)).await?.expect_int();
+                tx.write(o(3), ObjVal::Int(v + 10)).await?;
+                Ok(())
+            })
+            .await;
+        });
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.commits, 2);
+        assert!(s.chk_rollbacks >= 1, "partial rollback happened: {s:?}");
+        assert_eq!(s.root_aborts, 0, "never a full abort: {s:?}");
+        assert!(s.replayed_ops >= 2, "the prefix was replayed: {s:?}");
+        assert!(s.checkpoints >= 1);
+        // 1 + 2 + 13 + 4 after seeing T2's bump.
+        assert_eq!(result.get(), 20);
+        assert_eq!(c.latest(o(5)).unwrap().1, ObjVal::Int(20));
+    }
+
+    /// Two writers hammering the same object: locks, votes and releases keep
+    /// the history linear (versions strictly increase by one per commit).
+    #[test]
+    fn contending_writers_serialize() {
+        let c = Cluster::new(cfg(NestingMode::Flat));
+        c.preload(o(1), ObjVal::Int(0));
+        let sim = c.sim().clone();
+        for node in [3u32, 4, 5, 6] {
+            let client = c.client(NodeId(node));
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    client
+                        .run(|tx| async move {
+                            let v = tx.read(o(1)).await?.expect_int();
+                            tx.write(o(1), ObjVal::Int(v + 1)).await?;
+                            Ok(())
+                        })
+                        .await;
+                }
+            });
+        }
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.commits, 12);
+        let (ver, val) = c.latest(o(1)).unwrap();
+        assert_eq!(val, ObjVal::Int(12), "no lost updates");
+        assert_eq!(ver, Version(13), "one version bump per commit");
+        // No replica remains locked.
+        for n in 0..13u32 {
+            let r = c.inner.stores[n as usize].borrow();
+            assert!(!r.get(o(1)).unwrap().protected, "node {n} still locked");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        fn run_once(seed: u64) -> (crate::stats::DtmStats, u64, u64) {
+            let mut config = cfg(NestingMode::Closed);
+            config.seed = seed;
+            config.latency = LatencySpec::Jittered(SimDuration::from_millis(15), 0.2);
+            let c = Cluster::new(config);
+            c.preload_all((0..8).map(|i| (o(i), ObjVal::Int(0))));
+            let sim = c.sim().clone();
+            for node in 3..9u32 {
+                let client = c.client(NodeId(node));
+                let sim2 = sim.clone();
+                sim.spawn(async move {
+                    for i in 0..4u64 {
+                        let target = o((u64::from(node) + i) % 8);
+                        client
+                            .run(|tx| async move {
+                                let v = tx.read(target).await?.expect_int();
+                                tx.closed(|tx2| async move {
+                                    tx2.write(target, ObjVal::Int(v + 1)).await
+                                })
+                                .await?;
+                                Ok(())
+                            })
+                            .await;
+                        sim2.sleep(SimDuration::from_millis(1)).await;
+                    }
+                });
+            }
+            c.sim().run();
+            (c.stats(), c.sim().metrics().sent_total, c.sim().now().as_nanos())
+        }
+        assert_eq!(run_once(7), run_once(7));
+        // A different seed perturbs the jittered latencies, so the virtual
+        // end-of-run instant differs even if counts happen to coincide.
+        assert_ne!(run_once(7).2, run_once(8).2);
+    }
+}

@@ -1,0 +1,458 @@
+//! Server-side replica store: the state a QR node keeps and the operations
+//! it performs on behalf of remote transactions.
+//!
+//! This module is the heart of the paper's Algorithms 1, 2 (remote part)
+//! and 4:
+//!
+//! * [`NodeStore::validate`] — *read quorum validation* (Rqv): check every
+//!   piggybacked data-set entry against the local copies; an entry is
+//!   invalid if its version is behind this node's or the object is locked
+//!   by another committing transaction (Alg. 1 line 7). The result is the
+//!   most conservative abort target across invalid entries (`abortClosed`
+//!   = min owner level, Alg. 1 lines 9-10; `abortChk` = min owner
+//!   checkpoint, Alg. 4 lines 9-10). Invalid entries' owners are dropped
+//!   from PR/PW (line 8).
+//! * [`NodeStore::read`] — validate, then serve the local copy and record
+//!   the *root* transaction in PR/PW (Alg. 2 remote part; metadata is only
+//!   created for root transactions so CT commits stay local).
+//! * [`NodeStore::vote`] / [`NodeStore::apply`] / [`NodeStore::release`] —
+//!   the 2PC participant: validate read+write sets, lock write-set objects
+//!   by setting `protected`, then apply new versions or roll the locks
+//!   back.
+
+use std::collections::HashMap;
+
+use crate::msg::{ValEntry, ValidationKind};
+use crate::object::{ObjVal, ObjectId, Replica, Version};
+use crate::txid::{AbortTarget, TxId};
+
+/// PR/PW sets are pruned when they exceed this bound. The lists are
+/// advisory contention-manager metadata; bounding them keeps long
+/// simulations from accumulating entries for transactions that completed
+/// elsewhere (a real deployment piggybacks cleanup on later traffic).
+const PRUNE_AT: usize = 256;
+
+/// One node's object table.
+#[derive(Default)]
+pub struct NodeStore {
+    objects: HashMap<ObjectId, Replica>,
+}
+
+/// Outcome of serving a read request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReadOutcome {
+    /// Serve this copy.
+    Ok(Version, ObjVal),
+    /// Rqv validation failed; unwind to the target.
+    Abort(AbortTarget),
+    /// The requested object itself is locked by a committing transaction;
+    /// the suggested unwind target is the requester's innermost scope, but
+    /// a waiting contention policy may simply retry.
+    Busy(AbortTarget),
+}
+
+impl NodeStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        NodeStore::default()
+    }
+
+    /// Install an object with [`Version::INITIAL`] (bootstrap only).
+    pub fn preload(&mut self, oid: ObjectId, val: ObjVal) {
+        self.objects.insert(oid, Replica::new(val));
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Direct access to a replica (tests and invariant checks).
+    pub fn get(&self, oid: ObjectId) -> Option<&Replica> {
+        self.objects.get(&oid)
+    }
+
+    /// All object ids this replica holds (every node holds every object).
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Recovery state transfer: install `(version, val)` if newer than the
+    /// local copy, clearing any leftover lock from before the crash.
+    pub fn sync(&mut self, oid: ObjectId, version: Version, val: ObjVal) {
+        let obj = self.objects.entry(oid).or_insert_with(|| Replica::new(val.clone()));
+        if version > obj.version {
+            obj.version = version;
+            obj.val = val;
+        }
+        obj.protected = false;
+        obj.protected_by = None;
+        obj.pr.clear();
+        obj.pw.clear();
+    }
+
+    /// Rqv: validate the piggybacked data set. Returns `None` when every
+    /// entry is valid, otherwise the abort target that removes every
+    /// invalid object.
+    pub fn validate(
+        &mut self,
+        root: TxId,
+        entries: &[ValEntry],
+        kind: ValidationKind,
+    ) -> Option<AbortTarget> {
+        if matches!(kind, ValidationKind::None) {
+            return None;
+        }
+        let mut target: Option<AbortTarget> = None;
+        for e in entries {
+            let Some(obj) = self.objects.get_mut(&e.oid) else {
+                continue; // this replica has never seen the object; nothing newer here
+            };
+            let invalid = e.version < obj.version || obj.locked_by_other(root);
+            if invalid {
+                // Alg. 1 line 8: drop the owner from the advisory lists.
+                obj.pr.remove(&root);
+                obj.pw.remove(&root);
+                let t = match kind {
+                    ValidationKind::Closed => AbortTarget::Level(e.owner_level),
+                    ValidationKind::Checkpoint => AbortTarget::Chk(e.owner_chk),
+                    ValidationKind::None => unreachable!(),
+                };
+                target = Some(match target {
+                    Some(prev) => prev.merge(t),
+                    None => t,
+                });
+            }
+        }
+        target
+    }
+
+    /// Serve a read/acquire request (Alg. 2 remote part). `cur_level` /
+    /// `cur_chk` locate the requesting transaction for the abort target
+    /// when the *requested* object itself is locked.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read(
+        &mut self,
+        root: TxId,
+        cur_level: u32,
+        cur_chk: u32,
+        oid: ObjectId,
+        want_write: bool,
+        entries: &[ValEntry],
+        kind: ValidationKind,
+    ) -> ReadOutcome {
+        if let Some(target) = self.validate(root, entries, kind) {
+            return ReadOutcome::Abort(target);
+        }
+        let Some(obj) = self.objects.get_mut(&oid) else {
+            // Every QR node replicates every object; a miss is a driver bug.
+            panic!("read of unknown object {oid}");
+        };
+        if obj.locked_by_other(root) {
+            // The requested object is mid-commit elsewhere: the contention
+            // manager aborts the requester at its innermost active scope.
+            let target = match kind {
+                ValidationKind::Closed => AbortTarget::Level(cur_level),
+                ValidationKind::Checkpoint => AbortTarget::Chk(cur_chk),
+                ValidationKind::None => AbortTarget::ROOT,
+            };
+            return ReadOutcome::Busy(target);
+        }
+        // Alg. 2 lines 17-18: record metadata for the root transaction only.
+        let list = if want_write { &mut obj.pw } else { &mut obj.pr };
+        if list.len() >= PRUNE_AT {
+            list.clear();
+        }
+        list.insert(root);
+        ReadOutcome::Ok(obj.version, obj.val.clone())
+    }
+
+    /// 2PC phase one: validate the full data set; on success lock the
+    /// write-set objects for `root` and vote commit.
+    pub fn vote(
+        &mut self,
+        root: TxId,
+        reads: &[(ObjectId, Version)],
+        writes: &[(ObjectId, Version)],
+    ) -> bool {
+        let valid = |obj: &Replica, version: Version| {
+            !(version < obj.version || obj.locked_by_other(root))
+        };
+        for (oid, version) in reads.iter().chain(writes) {
+            if let Some(obj) = self.objects.get(oid) {
+                if !valid(obj, *version) {
+                    return false;
+                }
+            }
+        }
+        for (oid, _) in writes {
+            if let Some(obj) = self.objects.get_mut(oid) {
+                obj.protected = true;
+                obj.protected_by = Some(root);
+            }
+        }
+        true
+    }
+
+    /// 2PC phase two (commit confirm): install new values/versions, release
+    /// the locks, and retire `root` from the advisory lists.
+    pub fn apply(&mut self, root: TxId, writes: &[(ObjectId, Version, ObjVal)]) {
+        for (oid, version, val) in writes {
+            let Some(obj) = self.objects.get_mut(oid) else {
+                continue;
+            };
+            if *version > obj.version {
+                obj.version = *version;
+                obj.val = val.clone();
+            }
+            if obj.protected_by == Some(root) {
+                obj.protected = false;
+                obj.protected_by = None;
+            }
+            obj.pr.remove(&root);
+            obj.pw.remove(&root);
+        }
+    }
+
+    /// 2PC phase two after an abort: release any locks `root` holds.
+    pub fn release(&mut self, root: TxId, oids: &[ObjectId]) {
+        for oid in oids {
+            let Some(obj) = self.objects.get_mut(oid) else {
+                continue;
+            };
+            if obj.protected_by == Some(root) {
+                obj.protected = false;
+                obj.protected_by = None;
+            }
+            obj.pr.remove(&root);
+            obj.pw.remove(&root);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(n: u32, s: u64) -> TxId {
+        TxId { node: n, seq: s }
+    }
+
+    fn entry(oid: u64, ver: u64, level: u32, chk: u32) -> ValEntry {
+        ValEntry {
+            oid: ObjectId(oid),
+            version: Version(ver),
+            owner_level: level,
+            owner_chk: chk,
+        }
+    }
+
+    fn store_with(n: u64) -> NodeStore {
+        let mut s = NodeStore::new();
+        for i in 0..n {
+            s.preload(ObjectId(i), ObjVal::Int(i as i64));
+        }
+        s
+    }
+
+    #[test]
+    fn preload_sets_initial_version() {
+        let s = store_with(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(ObjectId(0)).unwrap().version, Version::INITIAL);
+    }
+
+    #[test]
+    fn validation_passes_on_matching_versions() {
+        let mut s = store_with(3);
+        let t = s.validate(
+            tx(0, 1),
+            &[entry(0, 1, 0, 0), entry(1, 1, 1, 0)],
+            ValidationKind::Closed,
+        );
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn validation_allows_reader_ahead_of_stale_node() {
+        // A node outside the last write quorum has an older version; the
+        // one-directional rule (entry.version < node.version) must not fail
+        // a reader holding a NEWER copy.
+        let mut s = store_with(1);
+        let t = s.validate(tx(0, 1), &[entry(0, 5, 0, 0)], ValidationKind::Closed);
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn abort_closed_is_min_owner_level() {
+        // Alg. 1: the target is the invalid owner highest in the hierarchy.
+        let mut s = store_with(4);
+        // Bump versions of objects 1 (owned by level 2) and 2 (level 1).
+        s.apply(
+            tx(9, 9),
+            &[
+                (ObjectId(1), Version(2), ObjVal::Int(10)),
+                (ObjectId(2), Version(2), ObjVal::Int(20)),
+            ],
+        );
+        let t = s.validate(
+            tx(0, 1),
+            &[
+                entry(0, 1, 0, 0),
+                entry(1, 1, 2, 0),
+                entry(2, 1, 1, 0),
+                entry(3, 1, 3, 0),
+            ],
+            ValidationKind::Closed,
+        );
+        assert_eq!(t, Some(AbortTarget::Level(1)));
+    }
+
+    #[test]
+    fn abort_chk_is_min_owner_checkpoint() {
+        let mut s = store_with(3);
+        s.apply(
+            tx(9, 9),
+            &[
+                (ObjectId(1), Version(2), ObjVal::Int(1)),
+                (ObjectId(2), Version(2), ObjVal::Int(2)),
+            ],
+        );
+        let t = s.validate(
+            tx(0, 1),
+            &[entry(0, 1, 0, 0), entry(1, 1, 0, 3), entry(2, 1, 0, 2)],
+            ValidationKind::Checkpoint,
+        );
+        assert_eq!(t, Some(AbortTarget::Chk(2)));
+    }
+
+    #[test]
+    fn flat_kind_never_validates() {
+        let mut s = store_with(1);
+        s.apply(tx(9, 9), &[(ObjectId(0), Version(10), ObjVal::Int(0))]);
+        let t = s.validate(tx(0, 1), &[entry(0, 1, 0, 0)], ValidationKind::None);
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn validation_fails_on_locked_object_and_cleans_lists() {
+        let mut s = store_with(2);
+        let reader = tx(0, 1);
+        let locker = tx(1, 1);
+        // The reader fetched object 1 earlier (lands in PR).
+        assert!(matches!(
+            s.read(reader, 0, 0, ObjectId(1), false, &[], ValidationKind::Closed),
+            ReadOutcome::Ok(..)
+        ));
+        assert!(s.get(ObjectId(1)).unwrap().pr.contains(&reader));
+        // Another transaction locks it in 2PC.
+        assert!(s.vote(locker, &[], &[(ObjectId(1), Version(1))]));
+        // Now the reader's validation of object 1 fails and PR is cleaned.
+        let t = s.validate(reader, &[entry(1, 1, 1, 0)], ValidationKind::Closed);
+        assert_eq!(t, Some(AbortTarget::Level(1)));
+        assert!(!s.get(ObjectId(1)).unwrap().pr.contains(&reader));
+    }
+
+    #[test]
+    fn read_of_locked_object_is_busy_at_current_scope() {
+        let mut s = store_with(1);
+        assert!(s.vote(tx(1, 1), &[], &[(ObjectId(0), Version(1))]));
+        let out = s.read(tx(0, 1), 2, 0, ObjectId(0), false, &[], ValidationKind::Closed);
+        assert_eq!(out, ReadOutcome::Busy(AbortTarget::Level(2)));
+        let out = s.read(tx(0, 2), 0, 4, ObjectId(0), false, &[], ValidationKind::Checkpoint);
+        assert_eq!(out, ReadOutcome::Busy(AbortTarget::Chk(4)));
+        let out = s.read(tx(0, 3), 0, 0, ObjectId(0), false, &[], ValidationKind::None);
+        assert_eq!(out, ReadOutcome::Busy(AbortTarget::ROOT));
+    }
+
+    #[test]
+    fn lock_holder_can_still_read_its_own_object() {
+        let mut s = store_with(1);
+        let t = tx(0, 1);
+        assert!(s.vote(t, &[], &[(ObjectId(0), Version(1))]));
+        assert!(matches!(
+            s.read(t, 0, 0, ObjectId(0), false, &[], ValidationKind::Closed),
+            ReadOutcome::Ok(..)
+        ));
+    }
+
+    #[test]
+    fn read_registers_pr_or_pw_for_root() {
+        let mut s = store_with(1);
+        let t = tx(0, 1);
+        s.read(t, 0, 0, ObjectId(0), false, &[], ValidationKind::None);
+        assert!(s.get(ObjectId(0)).unwrap().pr.contains(&t));
+        let t2 = tx(0, 2);
+        s.read(t2, 0, 0, ObjectId(0), true, &[], ValidationKind::None);
+        assert!(s.get(ObjectId(0)).unwrap().pw.contains(&t2));
+    }
+
+    #[test]
+    fn vote_rejects_stale_reader() {
+        let mut s = store_with(2);
+        s.apply(tx(9, 9), &[(ObjectId(0), Version(3), ObjVal::Int(7))]);
+        assert!(!s.vote(tx(0, 1), &[(ObjectId(0), Version(1))], &[]));
+        assert!(s.vote(tx(0, 2), &[(ObjectId(0), Version(3))], &[]));
+    }
+
+    #[test]
+    fn vote_locks_write_set_and_blocks_competitor() {
+        let mut s = store_with(1);
+        let a = tx(0, 1);
+        let b = tx(1, 1);
+        assert!(s.vote(a, &[], &[(ObjectId(0), Version(1))]));
+        assert!(s.get(ObjectId(0)).unwrap().protected);
+        assert!(!s.vote(b, &[], &[(ObjectId(0), Version(1))]), "second locker loses");
+        // The loser releases nothing; the winner applies.
+        s.apply(a, &[(ObjectId(0), Version(2), ObjVal::Int(42))]);
+        let r = s.get(ObjectId(0)).unwrap();
+        assert!(!r.protected);
+        assert_eq!(r.version, Version(2));
+        assert_eq!(r.val, ObjVal::Int(42));
+    }
+
+    #[test]
+    fn release_unlocks_only_own_locks() {
+        let mut s = store_with(2);
+        let a = tx(0, 1);
+        let b = tx(1, 1);
+        assert!(s.vote(a, &[], &[(ObjectId(0), Version(1))]));
+        assert!(s.vote(b, &[], &[(ObjectId(1), Version(1))]));
+        s.release(a, &[ObjectId(0), ObjectId(1)]);
+        assert!(!s.get(ObjectId(0)).unwrap().protected, "a's lock released");
+        assert!(s.get(ObjectId(1)).unwrap().protected, "b's lock survives");
+    }
+
+    #[test]
+    fn apply_is_idempotent_and_monotone() {
+        let mut s = store_with(1);
+        let t = tx(0, 1);
+        s.apply(t, &[(ObjectId(0), Version(5), ObjVal::Int(50))]);
+        // A delayed duplicate with an older version must not regress state.
+        s.apply(t, &[(ObjectId(0), Version(3), ObjVal::Int(30))]);
+        let r = s.get(ObjectId(0)).unwrap();
+        assert_eq!(r.version, Version(5));
+        assert_eq!(r.val, ObjVal::Int(50));
+    }
+
+    #[test]
+    fn pr_list_is_pruned_at_bound() {
+        let mut s = store_with(1);
+        for i in 0..400u64 {
+            s.read(tx(0, i), 0, 0, ObjectId(0), false, &[], ValidationKind::None);
+        }
+        assert!(s.get(ObjectId(0)).unwrap().pr.len() <= 256 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown object")]
+    fn read_of_unknown_object_is_a_bug() {
+        let mut s = NodeStore::new();
+        s.read(tx(0, 1), 0, 0, ObjectId(9), false, &[], ValidationKind::None);
+    }
+}

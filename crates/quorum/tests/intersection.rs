@@ -1,0 +1,125 @@
+//! Property tests for the quorum-intersection invariants that underpin
+//! 1-copy equivalence (paper Theorem V.1 relies on them):
+//!
+//! 1. every read quorum intersects every write quorum, at any read level,
+//!    under any failure view where both exist;
+//! 2. any two write quorums intersect (here: the construction is
+//!    deterministic per view, so we compare across *different* failure
+//!    views whose alive sets overlap enough to both be constructible);
+//! 3. quorums only ever contain alive nodes;
+//! 4. recovery restores exactly the no-failure quorums.
+
+use proptest::prelude::*;
+use qrdtm_quorum::{intersects, Tree, TreeQuorum};
+
+fn apply_failures(q: &mut TreeQuorum, failures: &[usize], n: usize) {
+    for &f in failures {
+        q.fail(f % n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn read_intersects_write_under_failures(
+        n in 1usize..60,
+        branching in 2usize..5,
+        failures in proptest::collection::vec(0usize..60, 0..12),
+        level in 0usize..4,
+    ) {
+        let mut q = TreeQuorum::new(Tree::with_branching(n, branching));
+        apply_failures(&mut q, &failures, n);
+        if let (Ok(r), Ok(w)) = (q.read_quorum_at_level(level), q.write_quorum()) {
+            prop_assert!(intersects(&r, &w), "r={r:?} w={w:?} failed={:?}", q.failed());
+        }
+    }
+
+    #[test]
+    fn writes_intersect_across_failure_views(
+        n in 1usize..60,
+        fa in proptest::collection::vec(0usize..60, 0..8),
+        fb in proptest::collection::vec(0usize..60, 0..8),
+    ) {
+        // Two transactions may hold different (but individually valid)
+        // failure views; their write quorums must still meet so 2PC can
+        // order them. This holds because a write quorum under view V is a
+        // superset-of-intersection of the no-failure quorum structure.
+        let tree = Tree::ternary(n);
+        let mut qa = TreeQuorum::new(tree);
+        let mut qb = TreeQuorum::new(tree);
+        apply_failures(&mut qa, &fa, n);
+        apply_failures(&mut qb, &fb, n);
+        if let (Ok(wa), Ok(wb)) = (qa.write_quorum(), qb.write_quorum()) {
+            prop_assert!(intersects(&wa, &wb), "wa={wa:?} wb={wb:?}");
+        }
+    }
+
+    #[test]
+    fn read_intersects_write_within_shared_view_any_levels(
+        n in 1usize..60,
+        failures in proptest::collection::vec(0usize..60, 0..10),
+        la in 0usize..4,
+    ) {
+        // Readers and writers derive quorums from the SAME failure view —
+        // in QR-DTM the Cluster Manager maintains a single agreed view
+        // (paper Fig. 4); reconfiguration without view agreement can break
+        // intersection (a reader that still trusts the root misses a write
+        // quorum built by substituting a "dead" root). Within one view,
+        // every read level must intersect the write quorum.
+        let mut q = TreeQuorum::new(Tree::ternary(n));
+        apply_failures(&mut q, &failures, n);
+        if let Ok(w) = q.write_quorum() {
+            if let Ok(r) = q.read_quorum_at_level(la) {
+                prop_assert!(intersects(&r, &w), "level {la}: r={r:?} w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quorums_contain_only_alive_nodes(
+        n in 1usize..60,
+        failures in proptest::collection::vec(0usize..60, 0..12),
+        level in 0usize..3,
+    ) {
+        let mut q = TreeQuorum::new(Tree::ternary(n));
+        apply_failures(&mut q, &failures, n);
+        if let Ok(r) = q.read_quorum_at_level(level) {
+            prop_assert!(r.iter().all(|&v| q.is_alive(v)), "read quorum has dead node: {r:?}");
+        }
+        if let Ok(w) = q.write_quorum() {
+            prop_assert!(w.iter().all(|&v| q.is_alive(v)), "write quorum has dead node: {w:?}");
+        }
+    }
+
+    #[test]
+    fn recovery_restores_baseline(
+        n in 1usize..60,
+        failures in proptest::collection::vec(0usize..60, 0..12),
+    ) {
+        let baseline = TreeQuorum::new(Tree::ternary(n));
+        let mut q = TreeQuorum::new(Tree::ternary(n));
+        apply_failures(&mut q, &failures, n);
+        for f in q.failed() {
+            q.recover(f);
+        }
+        prop_assert_eq!(q.read_quorum(), baseline.read_quorum());
+        prop_assert_eq!(q.write_quorum(), baseline.write_quorum());
+    }
+
+    #[test]
+    fn write_quorum_covers_a_node_at_every_level_when_healthy(
+        n in 2usize..60,
+    ) {
+        let q = TreeQuorum::new(Tree::ternary(n));
+        let w = q.write_quorum().unwrap();
+        let tree = q.tree();
+        let height = tree.height();
+        for lvl in 0..=height {
+            prop_assert!(
+                w.iter().any(|&v| tree.depth(v) == lvl),
+                "no write-quorum member at level {lvl}: {w:?}"
+            );
+        }
+    }
+}

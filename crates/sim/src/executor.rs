@@ -1,0 +1,153 @@
+//! A minimal single-threaded task executor.
+//!
+//! The simulator runs all protocol logic on one OS thread: node handlers are
+//! plain callbacks, and *transactions* are `async` tasks that suspend on
+//! virtual-time primitives (sleeps, quorum calls). Tasks are therefore plain
+//! `!Send` boxed futures; the only `Send + Sync` piece is the ready queue,
+//! which the [`std::task::Waker`] contract requires.
+//!
+//! Wake-ups never poll inline: a waker pushes the task id onto the shared
+//! ready queue and the simulation loop drains it after each event, keeping
+//! execution order a deterministic function of the event order.
+
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Wake, Waker};
+
+/// Identifier of a spawned task, unique for the lifetime of a simulation.
+pub(crate) type TaskId = u64;
+
+/// A boxed, non-`Send` future owned by the executor.
+pub(crate) type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Owns every live task. Tasks are removed while being polled so that the
+/// poll may re-enter the simulator (spawn, send, schedule) without holding
+/// any borrow of the store.
+#[derive(Default)]
+pub(crate) struct TaskStore {
+    tasks: HashMap<TaskId, LocalFuture>,
+    next: TaskId,
+}
+
+impl TaskStore {
+    pub(crate) fn insert(&mut self, fut: LocalFuture) -> TaskId {
+        let id = self.next;
+        self.next += 1;
+        self.tasks.insert(id, fut);
+        id
+    }
+
+    /// Remove the task for polling; `None` if it already completed.
+    pub(crate) fn take(&mut self, id: TaskId) -> Option<LocalFuture> {
+        self.tasks.remove(&id)
+    }
+
+    pub(crate) fn put_back(&mut self, id: TaskId, fut: LocalFuture) {
+        self.tasks.insert(id, fut);
+    }
+
+    pub(crate) fn live(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// FIFO of task ids made runnable by wakers. Shared with every waker, so it
+/// must satisfy the `Send + Sync` contract even though the simulator itself
+/// is single-threaded; an uncontended [`std::sync::Mutex`] costs a few
+/// nanoseconds per operation here.
+#[derive(Clone, Default)]
+pub(crate) struct ReadyQueue(Arc<Mutex<VecDeque<TaskId>>>);
+
+impl ReadyQueue {
+    pub(crate) fn push(&self, id: TaskId) {
+        self.0.lock().expect("ready queue poisoned").push_back(id);
+    }
+
+    pub(crate) fn pop(&self) -> Option<TaskId> {
+        self.0.lock().expect("ready queue poisoned").pop_front()
+    }
+
+    pub(crate) fn waker(&self, id: TaskId) -> Waker {
+        Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.clone(),
+        }))
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::Context;
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut store = TaskStore::default();
+        let a = store.insert(Box::pin(async {}));
+        let b = store.insert(Box::pin(async {}));
+        assert!(b > a);
+        assert_eq!(store.live(), 2);
+    }
+
+    #[test]
+    fn take_and_put_back_round_trip() {
+        let mut store = TaskStore::default();
+        let id = store.insert(Box::pin(async {}));
+        let fut = store.take(id).expect("present");
+        assert_eq!(store.live(), 0);
+        assert!(store.take(id).is_none(), "second take sees nothing");
+        store.put_back(id, fut);
+        assert_eq!(store.live(), 1);
+    }
+
+    #[test]
+    fn ready_queue_is_fifo() {
+        let q = ReadyQueue::default();
+        q.push(3);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn waker_enqueues_its_task() {
+        let q = ReadyQueue::default();
+        let w = q.waker(42);
+        w.wake_by_ref();
+        w.wake();
+        assert_eq!(q.pop(), Some(42));
+        assert_eq!(q.pop(), Some(42));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn waker_drives_a_real_future() {
+        let q = ReadyQueue::default();
+        let mut store = TaskStore::default();
+        let id = store.insert(Box::pin(async {}));
+        let waker = q.waker(id);
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = store.take(id).unwrap();
+        assert!(fut.as_mut().poll(&mut cx).is_ready());
+    }
+}

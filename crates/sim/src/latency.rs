@@ -1,0 +1,235 @@
+//! Link-latency models.
+//!
+//! The paper's testbed observed ~30 ms average round-trip latency for a
+//! remote request under JGroups multicast, while the HyFlow baseline's
+//! unicast RPCs took ~5 ms. Latency is *the* first-order cost in this system
+//! (CPU time is negligible next to it), so the model is pluggable:
+//!
+//! * [`ConstLatency`] — fixed one-way delay, with a cheaper loopback path.
+//! * [`JitteredLatency`] — fixed base plus uniform multiplicative jitter,
+//!   breaking ties so quorum replies don't all arrive in lock-step.
+//! * [`MetricSpace`] — distances derived from 2-D node coordinates, for
+//!   cc-DTM-style metric-space networks.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::time::SimDuration;
+use crate::NodeId;
+
+/// Samples the one-way delivery delay for a message.
+///
+/// Implementations may be stochastic; they draw only from the supplied
+/// seeded RNG so simulations stay deterministic.
+pub trait LatencyModel {
+    /// One-way latency for a message from `from` to `to`.
+    fn sample(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> SimDuration;
+}
+
+/// Fixed one-way latency; messages a node sends to itself take `local`.
+#[derive(Clone, Debug)]
+pub struct ConstLatency {
+    /// One-way delay between distinct nodes.
+    pub remote: SimDuration,
+    /// Delay for self-addressed messages (local delivery).
+    pub local: SimDuration,
+}
+
+impl ConstLatency {
+    /// A constant model with the given remote one-way delay and a 10 µs
+    /// loopback.
+    pub fn new(remote: SimDuration) -> Self {
+        ConstLatency {
+            remote,
+            local: SimDuration::from_micros(10),
+        }
+    }
+}
+
+impl LatencyModel for ConstLatency {
+    fn sample(&self, from: NodeId, to: NodeId, _rng: &mut StdRng) -> SimDuration {
+        if from == to {
+            self.local
+        } else {
+            self.remote
+        }
+    }
+}
+
+/// Base latency with multiplicative uniform jitter in `[1-j, 1+j]`.
+#[derive(Clone, Debug)]
+pub struct JitteredLatency {
+    /// Mean one-way delay between distinct nodes.
+    pub base: SimDuration,
+    /// Jitter fraction `j` in `[0, 1)`.
+    pub jitter: f64,
+    /// Delay for self-addressed messages.
+    pub local: SimDuration,
+}
+
+impl JitteredLatency {
+    /// A jittered model around `base` with fraction `jitter` and a 10 µs
+    /// loopback. Panics if `jitter` is outside `[0, 1)`.
+    pub fn new(base: SimDuration, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0,1)");
+        JitteredLatency {
+            base,
+            jitter,
+            local: SimDuration::from_micros(10),
+        }
+    }
+}
+
+impl LatencyModel for JitteredLatency {
+    fn sample(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> SimDuration {
+        if from == to {
+            return self.local;
+        }
+        if self.jitter == 0.0 {
+            return self.base;
+        }
+        let f: f64 = rng.random_range((1.0 - self.jitter)..(1.0 + self.jitter));
+        self.base.mul_f64(f)
+    }
+}
+
+/// Latency proportional to Euclidean distance between 2-D node coordinates
+/// (a metric-space network in the cc-DTM sense), plus a floor.
+#[derive(Clone, Debug)]
+pub struct MetricSpace {
+    coords: Vec<(f64, f64)>,
+    /// Latency per unit of Euclidean distance.
+    pub per_unit: SimDuration,
+    /// Minimum latency on any link (and the loopback latency).
+    pub floor: SimDuration,
+}
+
+impl MetricSpace {
+    /// Build from explicit coordinates.
+    pub fn new(coords: Vec<(f64, f64)>, per_unit: SimDuration, floor: SimDuration) -> Self {
+        MetricSpace {
+            coords,
+            per_unit,
+            floor,
+        }
+    }
+
+    /// Place `n` nodes uniformly at random in the unit square using the
+    /// given RNG (call before handing the RNG to the simulator if you want
+    /// one seed to control everything).
+    pub fn random(n: usize, per_unit: SimDuration, floor: SimDuration, rng: &mut StdRng) -> Self {
+        let coords = (0..n)
+            .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        MetricSpace::new(coords, per_unit, floor)
+    }
+}
+
+impl LatencyModel for MetricSpace {
+    fn sample(&self, from: NodeId, to: NodeId, _rng: &mut StdRng) -> SimDuration {
+        if from == to {
+            return self.floor;
+        }
+        let a = self.coords[from.index()];
+        let b = self.coords[to.index()];
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        let lat = self.per_unit.mul_f64(d);
+        if lat < self.floor {
+            self.floor
+        } else {
+            lat
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn const_model_distinguishes_loopback() {
+        let m = ConstLatency::new(SimDuration::from_millis(15));
+        let mut r = rng();
+        assert_eq!(
+            m.sample(NodeId(0), NodeId(1), &mut r),
+            SimDuration::from_millis(15)
+        );
+        assert_eq!(
+            m.sample(NodeId(2), NodeId(2), &mut r),
+            SimDuration::from_micros(10)
+        );
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let base = SimDuration::from_millis(10);
+        let m = JitteredLatency::new(base, 0.2);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = m.sample(NodeId(0), NodeId(1), &mut r);
+            assert!(s >= base.mul_f64(0.8) && s <= base.mul_f64(1.2), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_zero_is_exact() {
+        let base = SimDuration::from_millis(10);
+        let m = JitteredLatency::new(base, 0.0);
+        assert_eq!(m.sample(NodeId(0), NodeId(1), &mut rng()), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn jitter_out_of_range_rejected() {
+        let _ = JitteredLatency::new(SimDuration::from_millis(1), 1.0);
+    }
+
+    #[test]
+    fn metric_space_is_symmetric_and_floored() {
+        let m = MetricSpace::new(
+            vec![(0.0, 0.0), (3.0, 4.0), (0.0, 1e-9)],
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(100),
+        );
+        let mut r = rng();
+        let ab = m.sample(NodeId(0), NodeId(1), &mut r);
+        let ba = m.sample(NodeId(1), NodeId(0), &mut r);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, SimDuration::from_millis(5), "3-4-5 triangle");
+        // Nearly-coincident nodes hit the floor.
+        assert_eq!(
+            m.sample(NodeId(0), NodeId(2), &mut r),
+            SimDuration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn metric_space_random_is_seed_deterministic() {
+        let a = MetricSpace::random(
+            8,
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+            &mut rng(),
+        );
+        let b = MetricSpace::random(
+            8,
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+            &mut rng(),
+        );
+        let mut r = rng();
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                assert_eq!(
+                    a.sample(NodeId(i), NodeId(j), &mut r),
+                    b.sample(NodeId(i), NodeId(j), &mut r)
+                );
+            }
+        }
+    }
+}

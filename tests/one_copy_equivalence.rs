@@ -1,0 +1,240 @@
+//! Integration tests for 1-copy equivalence (paper Theorem V.1): under
+//! concurrency, every committed transaction observed the latest committed
+//! state, in all three nesting modes.
+//!
+//! The sharpest observable consequence: N concurrent increment transactions
+//! on one replicated counter must leave exactly N, and each committed
+//! transfer must have read the balances its commit was serialized against —
+//! so money is conserved exactly.
+
+use qr_dtm::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn cluster(mode: NestingMode, seed: u64) -> Cluster {
+    Cluster::new(DtmConfig {
+        nodes: 13,
+        mode,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// N concurrent increments leave exactly N (lost updates are impossible).
+fn counter_is_linear(mode: NestingMode) {
+    let c = cluster(mode, 5);
+    let counter = ObjectId(1);
+    c.preload(counter, ObjVal::Int(0));
+    let per_client = 5i64;
+    let clients = 8u32;
+    for node in 0..clients {
+        let client = c.client(NodeId(node));
+        c.sim().spawn(async move {
+            for _ in 0..per_client {
+                client
+                    .run(|tx| async move {
+                        let v = tx.read(counter).await?.expect_int();
+                        tx.write(counter, ObjVal::Int(v + 1)).await?;
+                        Ok(())
+                    })
+                    .await;
+            }
+        });
+    }
+    c.sim().run();
+    let expected = per_client * i64::from(clients);
+    let (version, val) = c.latest(counter).unwrap();
+    assert_eq!(val, ObjVal::Int(expected), "{mode}: lost update");
+    assert_eq!(
+        version,
+        qr_dtm::core::Version(expected as u64 + 1),
+        "{mode}: exactly one version bump per commit"
+    );
+    assert_eq!(c.stats().commits, expected as u64);
+}
+
+#[test]
+fn counter_is_linear_flat() {
+    counter_is_linear(NestingMode::Flat);
+}
+
+#[test]
+fn counter_is_linear_closed() {
+    counter_is_linear(NestingMode::Closed);
+}
+
+#[test]
+fn counter_is_linear_checkpoint() {
+    counter_is_linear(NestingMode::Checkpoint);
+}
+
+/// Concurrent random transfers conserve the total balance exactly.
+fn money_is_conserved(mode: NestingMode) {
+    let c = cluster(mode, 9);
+    let accounts = 6u64;
+    for i in 0..accounts {
+        c.preload(ObjectId(i), ObjVal::Int(1_000));
+    }
+    for node in 0..10u32 {
+        let client = c.client(NodeId(node));
+        let sim = c.sim().clone();
+        c.sim().spawn(async move {
+            for k in 0..4u64 {
+                let from = sim.rand_below(accounts);
+                let to = (from + 1 + sim.rand_below(accounts - 1)) % accounts;
+                let amount = 1 + k as i64;
+                client
+                    .run(|tx| async move {
+                        let a = tx.read(ObjectId(from)).await?.expect_int();
+                        let b = tx.read(ObjectId(to)).await?.expect_int();
+                        tx.write(ObjectId(from), ObjVal::Int(a - amount)).await?;
+                        tx.write(ObjectId(to), ObjVal::Int(b + amount)).await?;
+                        Ok(())
+                    })
+                    .await;
+            }
+        });
+    }
+    c.sim().run();
+    let total: i64 = (0..accounts)
+        .map(|i| c.latest(ObjectId(i)).unwrap().1.expect_int())
+        .sum();
+    assert_eq!(total, 6_000, "{mode}: money leaked");
+    assert_eq!(c.stats().commits, 40);
+}
+
+#[test]
+fn money_is_conserved_flat() {
+    money_is_conserved(NestingMode::Flat);
+}
+
+#[test]
+fn money_is_conserved_closed() {
+    money_is_conserved(NestingMode::Closed);
+}
+
+#[test]
+fn money_is_conserved_checkpoint() {
+    money_is_conserved(NestingMode::Checkpoint);
+}
+
+/// After a commit, any read quorum already sees it (write/read quorums
+/// intersect): a reader transaction started strictly after a writer
+/// finished must observe the write.
+#[test]
+fn committed_writes_are_immediately_visible() {
+    let c = cluster(NestingMode::Closed, 21);
+    let obj = ObjectId(1);
+    c.preload(obj, ObjVal::Int(0));
+    let writer = c.client(NodeId(3));
+    let sim = c.sim().clone();
+    let observed = Rc::new(Cell::new(-1i64));
+    let observed2 = Rc::clone(&observed);
+    c.sim().spawn(async move {
+        writer
+            .run(|tx| async move { tx.write(obj, ObjVal::Int(42)).await })
+            .await;
+    });
+    // The writer's commit completes well within a second of virtual time.
+    c.sim().run_for(SimDuration::from_secs(1));
+    let reader = c.client(NodeId(9));
+    c.sim().spawn(async move {
+        let v = reader
+            .run(|tx| async move { tx.read(obj).await.map(|v| v.expect_int()) })
+            .await;
+        observed2.set(v);
+        let _ = sim;
+    });
+    c.sim().run();
+    assert_eq!(observed.get(), 42);
+}
+
+/// Stale replicas don't matter: even when only the write quorum has the new
+/// version, the max-version rule at the read quorum returns it.
+#[test]
+fn reads_pick_newest_copy_across_quorum() {
+    let c = cluster(NestingMode::Flat, 33);
+    let obj = ObjectId(1);
+    c.preload(obj, ObjVal::Int(0));
+    let writer = c.client(NodeId(0));
+    c.sim().spawn(async move {
+        writer
+            .run(|tx| async move { tx.write(obj, ObjVal::Int(7)).await })
+            .await;
+    });
+    c.sim().run();
+    // Nodes outside the write quorum still hold version 1...
+    let wq = c.write_quorum();
+    let stale = (0..13u32)
+        .map(NodeId)
+        .find(|n| !wq.contains(n))
+        .expect("some node outside the write quorum");
+    let (v_stale, _) = c.peek(stale, obj).unwrap();
+    assert_eq!(v_stale, qr_dtm::core::Version(1), "replica outside wq is stale");
+    // ...yet the system-wide latest is the committed version.
+    let (v, val) = c.latest(obj).unwrap();
+    assert_eq!(v, qr_dtm::core::Version(2));
+    assert_eq!(val, ObjVal::Int(7));
+}
+
+/// The paper's Fig. 1/2 scenario: a conflicting writer between a reader's
+/// two reads forces the reader to observe either the old state twice or
+/// the new state on retry — never a mix (no fractured reads).
+fn no_fractured_reads(mode: NestingMode) {
+    let c = cluster(mode, 13);
+    let (x, y) = (ObjectId(1), ObjectId(2));
+    c.preload(x, ObjVal::Int(0));
+    c.preload(y, ObjVal::Int(0));
+    // Writer keeps x == y, bumping both.
+    let writer = c.client(NodeId(3));
+    c.sim().spawn(async move {
+        for i in 1..=10i64 {
+            writer
+                .run(|tx| async move {
+                    tx.write(x, ObjVal::Int(i)).await?;
+                    tx.write(y, ObjVal::Int(i)).await?;
+                    Ok(())
+                })
+                .await;
+        }
+    });
+    // Reader repeatedly checks the invariant x == y with a slow read pair.
+    let reader = c.client(NodeId(7));
+    let sim = c.sim().clone();
+    let checks = Rc::new(Cell::new(0));
+    let checks2 = Rc::clone(&checks);
+    c.sim().spawn(async move {
+        for _ in 0..10 {
+            let (a, b) = reader
+                .run(|tx| {
+                    let sim = sim.clone();
+                    async move {
+                        let a = tx.read(x).await?.expect_int();
+                        sim.sleep(SimDuration::from_millis(40)).await;
+                        let b = tx.read(y).await?.expect_int();
+                        Ok((a, b))
+                    }
+                })
+                .await;
+            assert_eq!(a, b, "{mode}: fractured read {a} != {b}");
+            checks2.set(checks2.get() + 1);
+        }
+    });
+    c.sim().run();
+    assert_eq!(checks.get(), 10);
+}
+
+#[test]
+fn no_fractured_reads_flat() {
+    no_fractured_reads(NestingMode::Flat);
+}
+
+#[test]
+fn no_fractured_reads_closed() {
+    no_fractured_reads(NestingMode::Closed);
+}
+
+#[test]
+fn no_fractured_reads_checkpoint() {
+    no_fractured_reads(NestingMode::Checkpoint);
+}

@@ -1,0 +1,236 @@
+//! Tests for the QR-ON open-nesting extension: early global visibility,
+//! compensation on enclosing abort (root- and CT-level), and the
+//! flattening behaviour outside QR-CN mode.
+
+use qr_dtm::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn cluster(mode: NestingMode, seed: u64) -> Cluster {
+    Cluster::new(DtmConfig {
+        nodes: 13,
+        mode,
+        seed,
+        latency: LatencySpec::Const(SimDuration::from_millis(10)),
+        ..Default::default()
+    })
+}
+
+const COUNTER: ObjectId = ObjectId(1);
+const OTHER: ObjectId = ObjectId(2);
+
+/// Increment COUNTER as an open CT; compensation decrements it.
+async fn open_increment(tx: &Tx) -> Result<(), Abort> {
+    tx.open(
+        |t| async move {
+            let v = t.read(COUNTER).await?.expect_int();
+            t.write(COUNTER, ObjVal::Int(v + 1)).await
+        },
+        |t| {
+            Box::pin(async move {
+                let v = t.read(COUNTER).await?.expect_int();
+                t.write(COUNTER, ObjVal::Int(v - 1)).await
+            })
+        },
+    )
+    .await
+}
+
+/// An open CT's commit is globally visible while the parent is still
+/// running (unlike a closed CT — contrast
+/// `nesting_semantics::ct_commit_is_not_globally_visible_before_root_commit`).
+#[test]
+fn open_commit_is_visible_before_root_commit() {
+    let c = cluster(NestingMode::Closed, 1);
+    c.preload(COUNTER, ObjVal::Int(0));
+    let sim = c.sim().clone();
+    let client = c.client(NodeId(4));
+    let sim1 = sim.clone();
+    sim.spawn(async move {
+        client
+            .run(|tx| {
+                let sim1 = sim1.clone();
+                async move {
+                    open_increment(&tx).await?;
+                    sim1.sleep(SimDuration::from_millis(400)).await;
+                    Ok(())
+                }
+            })
+            .await;
+    });
+    sim.run_for(SimDuration::from_millis(300));
+    assert_eq!(
+        c.latest(COUNTER).unwrap().1,
+        ObjVal::Int(1),
+        "published before the root committed"
+    );
+    sim.run();
+    assert_eq!(c.latest(COUNTER).unwrap().1, ObjVal::Int(1));
+    let s = c.stats();
+    assert_eq!(s.open_commits, 1);
+    assert_eq!(s.compensations, 0, "root committed; nothing to undo");
+    // The open CT and the root each committed a transaction.
+    assert_eq!(s.commits, 2);
+}
+
+/// If the root aborts after an open CT published, the compensation runs
+/// and the published effect is undone.
+#[test]
+fn root_abort_triggers_compensation() {
+    let c = cluster(NestingMode::Closed, 2);
+    c.preload(COUNTER, ObjVal::Int(0));
+    c.preload(OTHER, ObjVal::Int(0));
+    let sim = c.sim().clone();
+    // T1: open-increment, then read OTHER, dawdle, and write it — the
+    // conflicting T2 forces T1's commit to abort once.
+    let t1 = c.client(NodeId(4));
+    let sim1 = sim.clone();
+    let attempts = Rc::new(Cell::new(0));
+    let at = Rc::clone(&attempts);
+    sim.spawn(async move {
+        t1.run(|tx| {
+            let sim1 = sim1.clone();
+            let at = Rc::clone(&at);
+            async move {
+                at.set(at.get() + 1);
+                let base = tx.read(OTHER).await?.expect_int();
+                open_increment(&tx).await?;
+                sim1.sleep(SimDuration::from_millis(200)).await;
+                tx.write(OTHER, ObjVal::Int(base + 10)).await?;
+                Ok(())
+            }
+        })
+        .await;
+    });
+    let t2 = c.client(NodeId(7));
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        sim2.sleep(SimDuration::from_millis(80)).await;
+        t2.run(|tx| async move {
+            let v = tx.read(OTHER).await?.expect_int();
+            tx.write(OTHER, ObjVal::Int(v + 1)).await?;
+            Ok(())
+        })
+        .await;
+    });
+    sim.run();
+    let s = c.stats();
+    assert!(attempts.get() >= 2, "T1 was forced to retry");
+    assert!(s.compensations >= 1, "the published increment was undone: {s:?}");
+    assert_eq!(s.open_commits as i64 - s.compensations as i64, 1,
+        "net effect: exactly one surviving increment");
+    // Counter reflects exactly the surviving open commit.
+    assert_eq!(c.latest(COUNTER).unwrap().1, ObjVal::Int(1));
+    assert_eq!(c.latest(OTHER).unwrap().1, ObjVal::Int(11));
+}
+
+/// A closed CT that retries compensates the open CTs it published during
+/// the failed attempt (the watermark logic).
+#[test]
+fn ct_retry_compensates_its_open_children() {
+    let c = cluster(NestingMode::Closed, 3);
+    c.preload(COUNTER, ObjVal::Int(0));
+    c.preload(OTHER, ObjVal::Int(0));
+    let sim = c.sim().clone();
+    let t1 = c.client(NodeId(4));
+    let sim1 = sim.clone();
+    sim.spawn(async move {
+        t1.run(|tx| {
+            let sim1 = sim1.clone();
+            async move {
+                tx.closed(|ct| {
+                    let sim1 = sim1.clone();
+                    async move {
+                        // Publish via an open grandchild, then conflict on
+                        // OTHER so this closed CT retries.
+                        open_increment(&ct).await?;
+                        let v = ct.read(OTHER).await?.expect_int();
+                        sim1.sleep(SimDuration::from_millis(200)).await;
+                        // Remote read -> Rqv detects the bump of OTHER.
+                        ct.read(ObjectId(3)).await?;
+                        let _ = v;
+                        Ok(())
+                    }
+                })
+                .await
+            }
+        })
+        .await;
+    });
+    c.preload(ObjectId(3), ObjVal::Int(0));
+    let t2 = c.client(NodeId(7));
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        sim2.sleep(SimDuration::from_millis(100)).await;
+        t2.run(|tx| async move {
+            let v = tx.read(OTHER).await?.expect_int();
+            tx.write(OTHER, ObjVal::Int(v + 1)).await?;
+            Ok(())
+        })
+        .await;
+    });
+    sim.run();
+    let s = c.stats();
+    assert!(s.ct_aborts >= 1, "the closed CT retried: {s:?}");
+    assert!(s.compensations >= 1, "its open child was compensated: {s:?}");
+    assert_eq!(
+        s.open_commits as i64 - s.compensations as i64,
+        1,
+        "one increment survives the successful attempt"
+    );
+    assert_eq!(c.latest(COUNTER).unwrap().1, ObjVal::Int(1));
+}
+
+/// Outside QR-CN, `open()` flattens like `closed()` — no publication, no
+/// compensations.
+#[test]
+fn open_flattens_under_flat_and_checkpoint_modes() {
+    for mode in [NestingMode::Flat, NestingMode::Checkpoint] {
+        let c = cluster(mode, 4);
+        c.preload(COUNTER, ObjVal::Int(0));
+        let client = c.client(NodeId(4));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move { open_increment(&tx).await })
+                .await;
+        });
+        c.sim().run();
+        let s = c.stats();
+        assert_eq!(s.open_commits, 0, "{mode}: flattened");
+        assert_eq!(s.compensations, 0);
+        assert_eq!(s.commits, 1);
+        assert_eq!(c.latest(COUNTER).unwrap().1, ObjVal::Int(1));
+    }
+}
+
+/// Open CTs under contention: N concurrent roots each publish one open
+/// increment; whatever aborts is compensated, so the final counter equals
+/// the number of committed roots.
+#[test]
+fn open_increments_balance_under_contention() {
+    let c = cluster(NestingMode::Closed, 5);
+    c.preload(COUNTER, ObjVal::Int(0));
+    c.preload(OTHER, ObjVal::Int(0));
+    for node in 0..6u32 {
+        let client = c.client(NodeId(node));
+        c.sim().spawn(async move {
+            for _ in 0..3 {
+                client
+                    .run(|tx| async move {
+                        open_increment(&tx).await?;
+                        // A contended write makes some roots abort & retry.
+                        let v = tx.read(OTHER).await?.expect_int();
+                        tx.write(OTHER, ObjVal::Int(v + 1)).await?;
+                        Ok(())
+                    })
+                    .await;
+            }
+        });
+    }
+    c.sim().run();
+    let s = c.stats();
+    let net = s.open_commits as i64 - s.compensations as i64;
+    assert_eq!(net, 18, "one net increment per committed root: {s:?}");
+    assert_eq!(c.latest(COUNTER).unwrap().1, ObjVal::Int(18));
+    assert_eq!(c.latest(OTHER).unwrap().1, ObjVal::Int(18));
+}

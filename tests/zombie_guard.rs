@@ -1,0 +1,130 @@
+//! Regression tests for the zombie-transaction guards (see DESIGN.md,
+//! "flat QR is not opaque"): the exact configuration that exposed the
+//! hazard — SList under flat nesting with a tiny key space on the
+//! 40-node testbed — must terminate. Without the guards, a torn snapshot
+//! around t≈24.5s of virtual time sent a transaction into an infinite
+//! local-hit traversal and the process never returned.
+
+use qr_dtm::prelude::*;
+use qr_dtm::workloads::{run, Benchmark, RunSpec, WorkloadParams};
+
+fn testbed(mode: NestingMode) -> DtmConfig {
+    DtmConfig {
+        nodes: 40,
+        mode,
+        read_level: 1,
+        seed: 42,
+        latency: LatencySpec::Jittered(SimDuration::from_millis(15), 0.1),
+        ..Default::default()
+    }
+}
+
+fn hot_spec(bench: Benchmark) -> RunSpec {
+    RunSpec {
+        bench,
+        params: WorkloadParams {
+            read_pct: 50,
+            calls: 3,
+            objects: 12, // tiny key space maximizes torn-snapshot odds
+        },
+        warmup: SimDuration::from_secs(2),
+        duration: SimDuration::from_secs(28), // past the historical t≈24.5s
+        clients_per_node: 1,
+        failures: 0,
+    }
+}
+
+/// The configuration that originally hung, plus the sibling
+/// pointer-chasing workloads, across all three modes. Termination IS the
+/// assertion; the commit counts confirm real progress.
+#[test]
+fn pointer_chasing_workloads_terminate_under_extreme_contention() {
+    for bench in [Benchmark::SList, Benchmark::RBTree, Benchmark::Bst] {
+        for mode in NestingMode::ALL {
+            let r = run(testbed(mode), &hot_spec(bench));
+            assert!(
+                r.commits > 0,
+                "{} under {mode} made no progress",
+                bench.name()
+            );
+        }
+    }
+}
+
+/// `abort_here` unwinds to the right scope per mode.
+#[test]
+fn abort_here_targets_the_innermost_scope() {
+    use qr_dtm::core::AbortTarget;
+    for (mode, expected_root) in [
+        (NestingMode::Flat, AbortTarget::Level(0)),
+        (NestingMode::Closed, AbortTarget::Level(0)),
+        (NestingMode::Checkpoint, AbortTarget::Chk(0)),
+    ] {
+        let c = Cluster::new(DtmConfig {
+            nodes: 13,
+            mode,
+            seed: 1,
+            ..Default::default()
+        });
+        c.preload(ObjectId(1), ObjVal::Int(0));
+        let client = c.client(NodeId(3));
+        c.sim().spawn(async move {
+            client
+                .run(|tx| async move {
+                    assert_eq!(tx.abort_here().target, expected_root, "{mode} root scope");
+                    let inner_target = tx
+                        .closed(|tx2| async move { Ok(tx2.abort_here().target) })
+                        .await?;
+                    match mode {
+                        NestingMode::Closed => {
+                            assert_eq!(inner_target, AbortTarget::Level(1), "CT scope")
+                        }
+                        NestingMode::Flat => {
+                            assert_eq!(inner_target, AbortTarget::Level(0), "flattened")
+                        }
+                        NestingMode::Checkpoint => {
+                            assert_eq!(inner_target, AbortTarget::Chk(0), "full rollback")
+                        }
+                    }
+                    Ok(())
+                })
+                .await;
+        });
+        c.sim().run();
+    }
+}
+
+/// A body that aborts voluntarily retries and eventually succeeds.
+#[test]
+fn voluntary_abort_retries_the_body() {
+    let c = Cluster::new(DtmConfig {
+        nodes: 13,
+        mode: NestingMode::Closed,
+        seed: 2,
+        ..Default::default()
+    });
+    c.preload(ObjectId(1), ObjVal::Int(0));
+    let client = c.client(NodeId(3));
+    let attempts = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let at = std::rc::Rc::clone(&attempts);
+    c.sim().spawn(async move {
+        client
+            .run(|tx| {
+                let at = std::rc::Rc::clone(&at);
+                async move {
+                    at.set(at.get() + 1);
+                    tx.read(ObjectId(1)).await?;
+                    if at.get() < 3 {
+                        return Err(tx.abort_here());
+                    }
+                    tx.write(ObjectId(1), ObjVal::Int(99)).await?;
+                    Ok(())
+                }
+            })
+            .await;
+    });
+    c.sim().run();
+    assert_eq!(attempts.get(), 3);
+    assert_eq!(c.latest(ObjectId(1)).unwrap().1, ObjVal::Int(99));
+    assert_eq!(c.stats().commits, 1);
+}
