@@ -25,7 +25,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use qrdtm_core::{LatencySpec, ObjVal, ObjectId, Version};
+use qrdtm_core::{Abort, DtmProtocol, LatencySpec, ObjVal, ObjectId, ProtocolStats, Version};
 use qrdtm_sim::{NodeId, Sim, SimConfig, SimDuration, SimMessage};
 
 /// Bounded per-object version history kept by each replica.
@@ -169,8 +169,6 @@ pub struct DecentCluster {
     backoff_base: SimDuration,
 }
 
-
-
 impl DecentCluster {
     /// Build a cluster and install the replica handlers.
     pub fn new(cfg: DecentConfig) -> Self {
@@ -287,12 +285,7 @@ impl DecentCluster {
     pub fn latest(&self, oid: ObjectId) -> Option<ObjVal> {
         self.stores
             .iter()
-            .filter_map(|s| {
-                s.borrow()
-                    .objects
-                    .get(&oid)
-                    .map(|o| o.newest().clone())
-            })
+            .filter_map(|s| s.borrow().objects.get(&oid).map(|o| o.newest().clone()))
             .max_by_key(|(v, _)| *v)
             .map(|(_, val)| val)
     }
@@ -329,82 +322,63 @@ impl DecentCluster {
             .expect("read fan-out non-empty")
     }
 
-    /// Run one bank transfer to completion, retrying on failed consensus.
-    pub async fn run_bank_transfer(&self, node: NodeId, from: ObjectId, to: ObjectId, amount: i64) {
-        loop {
-            if self.try_transfer(node, from, to, amount).await {
-                self.stats.borrow_mut().commits += 1;
-                return;
-            }
-            self.stats.borrow_mut().aborts += 1;
-            let d = self.backoff_base.mul_f64(self.sim.with_rng(|r| {
-                use rand::RngExt;
-                r.random_range(0.5..2.0)
-            }));
-            self.sim.sleep(d).await;
-        }
-    }
-
-    /// Read-only audit. Multi-versioning lets the reads proceed on a
-    /// possibly-stale snapshot, but "consistency in hindsight" still
-    /// requires a decentralized validation round before the transaction's
-    /// result is final — the snapshot versions must be confirmed against
-    /// every replica's history.
-    pub async fn run_bank_audit(&self, node: NodeId, a: ObjectId, b: ObjectId) -> i64 {
-        loop {
-            let (va_v, va) = self.snapshot_read(node, a).await;
-            let (vb_v, vb) = self.snapshot_read(node, b).await;
-            let all: Vec<NodeId> = self.nodes.clone();
-            let res = self
-                .sim
-                .call(
-                    node,
-                    &all,
-                    DecentMsg::ConfirmSnapshot {
-                        entries: vec![(a, va_v), (b, vb_v)],
-                    },
-                    None,
-                )
-                .await;
-            let ok = res
-                .replies
-                .iter()
-                .all(|(_, m)| matches!(m, DecentMsg::Promise { ok: true }));
-            if ok {
-                self.stats.borrow_mut().commits += 1;
-                return va.expect_int() + vb.expect_int();
-            }
-            self.stats.borrow_mut().aborts += 1;
-            self.sim.sleep(self.backoff_base).await;
-        }
-    }
-
-    async fn try_transfer(&self, node: NodeId, from: ObjectId, to: ObjectId, amount: i64) -> bool {
+    /// Start a fresh attempt at `node`: new proposer id, empty snapshot.
+    fn fresh_handle(&self, node: NodeId) -> DecentTxHandle {
         let seq = self.next_seq.get();
         self.next_seq.set(seq + 1);
-        let tx = (node.0, seq);
-        let (vf, f) = self.snapshot_read(node, from).await;
-        let (vt, t) = self.snapshot_read(node, to).await;
-        let writes: BTreeMap<ObjectId, (Version, ObjVal)> = [
-            (from, (vf, ObjVal::Int(f.expect_int() - amount))),
-            (to, (vt, ObjVal::Int(t.expect_int() + amount))),
-        ]
-        .into_iter()
-        .collect();
-        // One consensus round per written object, across ALL replicas.
+        DecentTxHandle {
+            node,
+            id: (node.0, seq),
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// "Consistency in hindsight": confirm the snapshot `entries` against
+    /// every replica's version history.
+    async fn confirm_snapshot(&self, node: NodeId, entries: Vec<(ObjectId, Version)>) -> bool {
+        let all: Vec<NodeId> = self.nodes.clone();
+        let res = self
+            .sim
+            .call(node, &all, DecentMsg::ConfirmSnapshot { entries }, None)
+            .await;
+        res.replies
+            .iter()
+            .all(|(_, m)| matches!(m, DecentMsg::Promise { ok: true }))
+    }
+
+    /// Commit one attempt. Read-only transactions proceeded on a
+    /// possibly-stale snapshot (the multi-version payoff) but still pay a
+    /// decentralized hindsight-validation round before their result is
+    /// final. Writers run one consensus round per written object across
+    /// ALL replicas, then an apply round; failed consensus withdraws every
+    /// proposal made so far.
+    async fn commit_handle(&self, tx: &DecentTxHandle) -> Result<(), Abort> {
+        if tx.writes.is_empty() {
+            if tx.reads.is_empty() {
+                return Ok(());
+            }
+            let entries = tx.reads.iter().map(|(o, (v, _))| (*o, *v)).collect();
+            return if self.confirm_snapshot(tx.node, entries).await {
+                Ok(())
+            } else {
+                Err(Abort::root())
+            };
+        }
         let all: Vec<NodeId> = self.nodes.clone();
         let mut agreed = true;
         let mut proposed: Vec<ObjectId> = Vec::new();
-        for (&oid, (version, _)) in &writes {
+        for &oid in tx.writes.keys() {
+            let version = tx.reads[&oid].0;
             let res = self
                 .sim
                 .call(
-                    node,
+                    tx.node,
                     &all,
                     DecentMsg::Propose {
-                        tx,
+                        tx: tx.id,
                         oid,
-                        version: *version,
+                        version,
                     },
                     None,
                 )
@@ -419,23 +393,37 @@ impl DecentCluster {
                 break;
             }
         }
+        // Hindsight-validate reads not shadowed by writes while the
+        // proposals hold the written objects.
+        if agreed {
+            let pure: Vec<(ObjectId, Version)> = tx
+                .reads
+                .iter()
+                .filter(|(o, _)| !tx.writes.contains_key(o))
+                .map(|(o, (v, _))| (*o, *v))
+                .collect();
+            if !pure.is_empty() {
+                agreed = self.confirm_snapshot(tx.node, pure).await;
+            }
+        }
         if !agreed {
             for oid in proposed {
                 let _ = self
                     .sim
-                    .call(node, &all, DecentMsg::Withdraw { tx, oid }, None)
+                    .call(tx.node, &all, DecentMsg::Withdraw { tx: tx.id, oid }, None)
                     .await;
             }
-            return false;
+            return Err(Abort::root());
         }
-        for (&oid, (version, val)) in &writes {
+        for (&oid, val) in &tx.writes {
+            let version = tx.reads[&oid].0;
             let _ = self
                 .sim
                 .call(
-                    node,
+                    tx.node,
                     &all,
                     DecentMsg::Apply {
-                        tx,
+                        tx: tx.id,
                         oid,
                         version: version.next(),
                         val: val.clone(),
@@ -444,7 +432,96 @@ impl DecentCluster {
                 )
                 .await;
         }
-        true
+        Ok(())
+    }
+}
+
+/// An in-flight Decent-STM transaction: the snapshot assembled so far plus
+/// buffered writes, driven through the [`DtmProtocol`] methods on
+/// [`DecentCluster`].
+pub struct DecentTxHandle {
+    node: NodeId,
+    id: (u32, u64),
+    reads: BTreeMap<ObjectId, (Version, ObjVal)>,
+    writes: BTreeMap<ObjectId, ObjVal>,
+}
+
+/// Decent-STM as a [`DtmProtocol`]: snapshot reads, per-object consensus
+/// commit across all replicas.
+impl DtmProtocol for DecentCluster {
+    type Msg = DecentMsg;
+    type TxHandle = DecentTxHandle;
+
+    fn protocol_name(&self) -> &'static str {
+        "Decent-STM"
+    }
+
+    fn sim(&self) -> &Sim<DecentMsg> {
+        &self.sim
+    }
+
+    fn preload(&self, oid: ObjectId, val: ObjVal) {
+        DecentCluster::preload(self, oid, val);
+    }
+
+    fn begin(&self, node: NodeId) -> DecentTxHandle {
+        self.fresh_handle(node)
+    }
+
+    async fn read(&self, tx: &mut DecentTxHandle, oid: ObjectId) -> Result<ObjVal, Abort> {
+        if let Some(val) = tx.writes.get(&oid) {
+            return Ok(val.clone());
+        }
+        if let Some((_, val)) = tx.reads.get(&oid) {
+            return Ok(val.clone());
+        }
+        let (version, val) = self.snapshot_read(tx.node, oid).await;
+        tx.reads.insert(oid, (version, val.clone()));
+        Ok(val)
+    }
+
+    async fn write(
+        &self,
+        tx: &mut DecentTxHandle,
+        oid: ObjectId,
+        val: ObjVal,
+    ) -> Result<(), Abort> {
+        // Consensus proposes against the snapshot version, so a blind write
+        // assembles the snapshot entry first.
+        if !tx.reads.contains_key(&oid) {
+            let snap = self.snapshot_read(tx.node, oid).await;
+            tx.reads.insert(oid, snap);
+        }
+        tx.writes.insert(oid, val);
+        Ok(())
+    }
+
+    async fn commit(&self, tx: &mut DecentTxHandle) -> Result<(), Abort> {
+        self.commit_handle(tx).await?;
+        self.stats.borrow_mut().commits += 1;
+        Ok(())
+    }
+
+    async fn restart(&self, tx: &mut DecentTxHandle, _abort: Abort) {
+        self.stats.borrow_mut().aborts += 1;
+        let d = self.backoff_base.mul_f64(self.sim.with_rng(|r| {
+            use rand::RngExt;
+            r.random_range(0.5..2.0)
+        }));
+        self.sim.sleep(d).await;
+        *tx = self.fresh_handle(tx.node);
+    }
+
+    fn protocol_stats(&self) -> ProtocolStats {
+        let s = self.stats.borrow();
+        ProtocolStats {
+            commits: s.commits,
+            aborts: s.aborts,
+        }
+    }
+
+    fn reset_protocol_stats(&self) {
+        self.reset_stats();
     }
 }
 
@@ -460,23 +537,53 @@ mod tests {
         c
     }
 
+    async fn transfer(c: &DecentCluster, node: NodeId, from: ObjectId, to: ObjectId, amount: i64) {
+        let mut h = c.begin(node);
+        loop {
+            let r = async {
+                let a = c.read(&mut h, from).await?.expect_int();
+                let b = c.read(&mut h, to).await?.expect_int();
+                c.write(&mut h, from, ObjVal::Int(a - amount)).await?;
+                c.write(&mut h, to, ObjVal::Int(b + amount)).await?;
+                c.commit(&mut h).await
+            }
+            .await;
+            match r {
+                Ok(()) => return,
+                Err(e) => c.restart(&mut h, e).await,
+            }
+        }
+    }
+
+    async fn audit(c: &DecentCluster, node: NodeId, a: ObjectId, b: ObjectId) -> i64 {
+        let mut h = c.begin(node);
+        loop {
+            let r = async {
+                let va = c.read(&mut h, a).await?.expect_int();
+                let vb = c.read(&mut h, b).await?.expect_int();
+                c.commit(&mut h).await.map(|()| va + vb)
+            }
+            .await;
+            match r {
+                Ok(sum) => return sum,
+                Err(e) => c.restart(&mut h, e).await,
+            }
+        }
+    }
+
     #[test]
     fn transfer_commits_everywhere() {
         let c = Rc::new(cluster());
         let c2 = Rc::clone(&c);
         c.sim().spawn(async move {
-            c2.run_bank_transfer(NodeId(0), ObjectId(1), ObjectId(2), 40)
-                .await;
+            transfer(&c2, NodeId(0), ObjectId(1), ObjectId(2), 40).await;
         });
         c.sim().run();
         assert_eq!(c.latest(ObjectId(1)), Some(ObjVal::Int(60)));
         assert_eq!(c.latest(ObjectId(2)), Some(ObjVal::Int(140)));
         // Applied on every replica (full replication).
         for s in &c.stores {
-            assert_eq!(
-                s.borrow().objects[&ObjectId(1)].newest().0,
-                Version(2)
-            );
+            assert_eq!(s.borrow().objects[&ObjectId(1)].newest().0, Version(2));
         }
     }
 
@@ -489,7 +596,7 @@ mod tests {
                 for i in 0..3u64 {
                     let from = ObjectId((u64::from(node) + i) % 8);
                     let to = ObjectId((u64::from(node) + i + 3) % 8);
-                    c2.run_bank_transfer(NodeId(node), from, to, 5).await;
+                    transfer(&c2, NodeId(node), from, to, 5).await;
                 }
             });
         }
@@ -507,8 +614,7 @@ mod tests {
         let c2 = Rc::clone(&c);
         c.sim().spawn(async move {
             for _ in 0..HISTORY + 4 {
-                c2.run_bank_transfer(NodeId(0), ObjectId(0), ObjectId(1), 1)
-                    .await;
+                transfer(&c2, NodeId(0), ObjectId(0), ObjectId(1), 1).await;
             }
         });
         c.sim().run();
@@ -522,7 +628,7 @@ mod tests {
         let c = Rc::new(cluster());
         let c2 = Rc::clone(&c);
         c.sim().spawn(async move {
-            let sum = c2.run_bank_audit(NodeId(4), ObjectId(0), ObjectId(1)).await;
+            let sum = audit(&c2, NodeId(4), ObjectId(0), ObjectId(1)).await;
             assert_eq!(sum, 200);
         });
         c.sim().run();

@@ -13,18 +13,17 @@
 //!   per-object commit consensus. Fault-tolerant like QR but with a heavier
 //!   snapshot/commit path.
 //!
-//! [`compare`] packages both behind Bank-workload drivers shaped like the
-//! QR-DTM experiment driver, so the Fig. 9 harness can sweep all three.
+//! Both clusters implement `qrdtm_core`'s `DtmProtocol` trait, so the
+//! Fig. 9 harness sweeps all three protocols through the single generic
+//! bank driver in `qrdtm_workloads::protocol_bank`.
 
 #![warn(missing_docs)]
 
-pub mod compare;
 pub mod decent;
 pub mod tfa;
 
-pub use compare::{run_decent_bank, run_tfa_bank, BankSpec, BaselineResult};
-pub use decent::{DecentCluster, DecentConfig, DecentStats};
-pub use tfa::{TfaCluster, TfaConfig, TfaStats, TfaTx};
+pub use decent::{DecentCluster, DecentConfig, DecentStats, DecentTxHandle};
+pub use tfa::{TfaCluster, TfaConfig, TfaStats, TfaTxHandle};
 
 /// SplitMix64 finalizer used for home-node placement.
 pub(crate) fn mix(mut x: u64) -> u64 {

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use qrdtm_core::{LatencySpec, ObjVal, ObjectId, Version};
+use qrdtm_core::{Abort, DtmProtocol, LatencySpec, ObjVal, ObjectId, ProtocolStats, Version};
 use qrdtm_sim::{NodeId, Sim, SimConfig, SimDuration, SimMessage};
 
 /// TFA wire protocol.
@@ -155,8 +155,6 @@ pub struct TfaStats {
     pub forwards: u64,
 }
 
-
-
 impl TfaCluster {
     /// Build a cluster and install the home handlers.
     pub fn new(cfg: TfaConfig) -> Self {
@@ -289,81 +287,12 @@ impl TfaCluster {
             .map(|o| o.val.clone())
     }
 
-    /// Run a flat transaction from `node` until it commits; `ops` describes
-    /// the accesses: read keys then write `(key, fn(old values) -> new)`.
-    ///
-    /// TFA is flat-only, so the API is a simple op list rather than the
-    /// QR-DTM closure API; the Fig. 9 bank workload needs nothing more.
-    pub async fn run_bank_transfer(&self, node: NodeId, from: ObjectId, to: ObjectId, amount: i64) {
-        loop {
-            match self.try_transfer(node, from, to, amount).await {
-                Ok(()) => {
-                    self.stats.borrow_mut().commits += 1;
-                    return;
-                }
-                Err(()) => {
-                    self.stats.borrow_mut().aborts += 1;
-                    let d = self
-                        .backoff_base
-                        .mul_f64(self.sim.with_rng(|r| {
-                            use rand::RngExt;
-                            r.random_range(0.5..2.0)
-                        }));
-                    self.sim.sleep(d).await;
-                }
-            }
-        }
-    }
-
-    /// Read-only audit of two accounts.
-    pub async fn run_bank_audit(&self, node: NodeId, a: ObjectId, b: ObjectId) {
-        loop {
-            let mut tx = TfaTx::new(self, node);
-            let ra = tx.read(a).await;
-            let rb = ra.and(tx.read(b).await.map(|_| ObjVal::Unit));
-            if rb.is_ok() && tx.commit_read_only().await {
-                self.stats.borrow_mut().commits += 1;
-                return;
-            }
-            self.stats.borrow_mut().aborts += 1;
-            self.sim.sleep(self.backoff_base).await;
-        }
-    }
-
-    async fn try_transfer(
-        &self,
-        node: NodeId,
-        from: ObjectId,
-        to: ObjectId,
-        amount: i64,
-    ) -> Result<(), ()> {
-        let mut tx = TfaTx::new(self, node);
-        let a = tx.read(from).await?.expect_int();
-        let b = tx.read(to).await?.expect_int();
-        tx.buffer_write(from, ObjVal::Int(a - amount));
-        tx.buffer_write(to, ObjVal::Int(b + amount));
-        tx.commit().await
-    }
-}
-
-/// An in-flight TFA transaction.
-pub struct TfaTx<'a> {
-    cluster: &'a TfaCluster,
-    node: NodeId,
-    id: (u32, u64),
-    clock: u64,
-    reads: BTreeMap<ObjectId, (Version, ObjVal)>,
-    writes: BTreeMap<ObjectId, (Version, ObjVal)>,
-}
-
-impl<'a> TfaTx<'a> {
-    /// Start a transaction at `node`.
-    pub fn new(cluster: &'a TfaCluster, node: NodeId) -> Self {
-        let seq = cluster.next_seq.get();
-        cluster.next_seq.set(seq + 1);
-        let clock = cluster.stores[node.index()].borrow().clock;
-        TfaTx {
-            cluster,
+    /// Start a fresh attempt at `node`: new id, clock snapshot, empty sets.
+    fn fresh_handle(&self, node: NodeId) -> TfaTxHandle {
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        let clock = self.stores[node.index()].borrow().clock;
+        TfaTxHandle {
             node,
             id: (node.0, seq),
             clock,
@@ -374,42 +303,38 @@ impl<'a> TfaTx<'a> {
 
     /// Acquire an object copy, transaction-forwarding if the home's clock
     /// ran ahead.
-    pub async fn read(&mut self, oid: ObjectId) -> Result<ObjVal, ()> {
-        if let Some((_, v)) = self.writes.get(&oid).or_else(|| self.reads.get(&oid)) {
+    async fn acquire(&self, tx: &mut TfaTxHandle, oid: ObjectId) -> Result<ObjVal, Abort> {
+        if let Some((_, v)) = tx.writes.get(&oid).or_else(|| tx.reads.get(&oid)) {
             return Ok(v.clone());
         }
-        let home = self.cluster.home(oid);
+        let home = self.home(oid);
         let res = self
-            .cluster
             .sim
-            .call(self.node, &[home], TfaMsg::Read { oid }, None)
+            .call(tx.node, &[home], TfaMsg::Read { oid }, None)
             .await;
         match res.replies.into_iter().next() {
-            Some((_, TfaMsg::ReadOk { val, version, clock })) => {
-                if clock > self.clock {
+            Some((
+                _,
+                TfaMsg::ReadOk {
+                    val,
+                    version,
+                    clock,
+                },
+            )) => {
+                if clock > tx.clock {
                     // Transaction forwarding: prove the read-set still holds,
                     // then advance our clock.
-                    if !self.validate_reads().await {
-                        return Err(());
+                    if !self.validate_entries(tx.node, &tx.reads).await {
+                        return Err(Abort::root());
                     }
-                    self.clock = clock;
-                    self.cluster.stats.borrow_mut().forwards += 1;
+                    tx.clock = clock;
+                    self.stats.borrow_mut().forwards += 1;
                 }
-                self.reads.insert(oid, (version, val.clone()));
+                tx.reads.insert(oid, (version, val.clone()));
                 Ok(val)
             }
-            _ => Err(()),
+            _ => Err(Abort::root()),
         }
-    }
-
-    /// Buffer a write to an already-read object.
-    pub fn buffer_write(&mut self, oid: ObjectId, val: ObjVal) {
-        let version = self
-            .reads
-            .get(&oid)
-            .map(|(v, _)| *v)
-            .expect("TFA write follows a read in the bank workload");
-        self.writes.insert(oid, (version, val));
     }
 
     /// Group entries by home node.
@@ -419,21 +344,20 @@ impl<'a> TfaTx<'a> {
     ) -> BTreeMap<NodeId, Vec<(ObjectId, Version)>> {
         let mut out: BTreeMap<NodeId, Vec<(ObjectId, Version)>> = BTreeMap::new();
         for (oid, (v, _)) in set {
-            out.entry(self.cluster.home(*oid)).or_default().push((*oid, *v));
+            out.entry(self.home(*oid)).or_default().push((*oid, *v));
         }
         out
     }
 
-    async fn validate_reads(&self) -> bool {
-        self.validate_entries(&self.reads).await
-    }
-
-    async fn validate_entries(&self, set: &BTreeMap<ObjectId, (Version, ObjVal)>) -> bool {
+    async fn validate_entries(
+        &self,
+        node: NodeId,
+        set: &BTreeMap<ObjectId, (Version, ObjVal)>,
+    ) -> bool {
         for (home, entries) in self.by_home(set) {
             let res = self
-                .cluster
                 .sim
-                .call(self.node, &[home], TfaMsg::Validate { entries }, None)
+                .call(node, &[home], TfaMsg::Validate { entries }, None)
                 .await;
             let ok = matches!(
                 res.replies.first(),
@@ -446,26 +370,28 @@ impl<'a> TfaTx<'a> {
         true
     }
 
-    /// Commit a read-only transaction: a final read-set validation.
-    pub async fn commit_read_only(&self) -> bool {
-        self.validate_reads().await
-    }
-
-    /// Commit a writer: lock write homes, validate reads, apply (or
-    /// release on failure).
-    pub async fn commit(self) -> Result<(), ()> {
-        let write_homes = self.by_home(&self.writes);
+    /// Commit one attempt: read-only transactions revalidate their read set;
+    /// writers lock the write homes, validate the remaining reads, and apply
+    /// (or release on failure).
+    async fn commit_handle(&self, tx: &TfaTxHandle) -> Result<(), Abort> {
+        if tx.writes.is_empty() {
+            return if self.validate_entries(tx.node, &tx.reads).await {
+                Ok(())
+            } else {
+                Err(Abort::root())
+            };
+        }
+        let write_homes = self.by_home(&tx.writes);
         let mut locked: Vec<(NodeId, Vec<ObjectId>)> = Vec::new();
         let mut ok = true;
         for (home, entries) in &write_homes {
             let res = self
-                .cluster
                 .sim
                 .call(
-                    self.node,
+                    tx.node,
                     &[*home],
                     TfaMsg::Lock {
-                        tx: self.id,
+                        tx: tx.id,
                         entries: entries.clone(),
                     },
                     None,
@@ -480,49 +406,115 @@ impl<'a> TfaTx<'a> {
         }
         // Validate reads not shadowed by writes.
         if ok {
-            let read_only: BTreeMap<ObjectId, (Version, ObjVal)> = self
+            let read_only: BTreeMap<ObjectId, (Version, ObjVal)> = tx
                 .reads
                 .iter()
-                .filter(|(o, _)| !self.writes.contains_key(o))
+                .filter(|(o, _)| !tx.writes.contains_key(o))
                 .map(|(o, v)| (*o, v.clone()))
                 .collect();
-            ok = self.validate_entries(&read_only).await;
+            ok = self.validate_entries(tx.node, &read_only).await;
         }
         if !ok {
             for (home, oids) in locked {
                 let _ = self
-                    .cluster
                     .sim
-                    .call(
-                        self.node,
-                        &[home],
-                        TfaMsg::Release { tx: self.id, oids },
-                        None,
-                    )
+                    .call(tx.node, &[home], TfaMsg::Release { tx: tx.id, oids }, None)
                     .await;
             }
-            return Err(());
+            return Err(Abort::root());
         }
         for (home, entries) in &write_homes {
             let writes: Vec<(ObjectId, Version, ObjVal)> = entries
                 .iter()
-                .map(|(oid, v)| (*oid, v.next(), self.writes[oid].1.clone()))
+                .map(|(oid, v)| (*oid, v.next(), tx.writes[oid].1.clone()))
                 .collect();
             let _ = self
-                .cluster
                 .sim
-                .call(
-                    self.node,
-                    &[*home],
-                    TfaMsg::Apply {
-                        tx: self.id,
-                        writes,
-                    },
-                    None,
-                )
+                .call(tx.node, &[*home], TfaMsg::Apply { tx: tx.id, writes }, None)
                 .await;
         }
         Ok(())
+    }
+}
+
+/// An in-flight TFA transaction: owned copy-acquisition state, driven
+/// through the [`DtmProtocol`] methods on [`TfaCluster`].
+pub struct TfaTxHandle {
+    node: NodeId,
+    id: (u32, u64),
+    clock: u64,
+    reads: BTreeMap<ObjectId, (Version, ObjVal)>,
+    writes: BTreeMap<ObjectId, (Version, ObjVal)>,
+}
+
+/// TFA as a [`DtmProtocol`]: flat transactions over unicast home-node
+/// copies. Reported under the suite name "HyFlow", as in Fig. 9.
+impl DtmProtocol for TfaCluster {
+    type Msg = TfaMsg;
+    type TxHandle = TfaTxHandle;
+
+    fn protocol_name(&self) -> &'static str {
+        "HyFlow"
+    }
+
+    fn sim(&self) -> &Sim<TfaMsg> {
+        &self.sim
+    }
+
+    fn preload(&self, oid: ObjectId, val: ObjVal) {
+        TfaCluster::preload(self, oid, val);
+    }
+
+    fn begin(&self, node: NodeId) -> TfaTxHandle {
+        self.fresh_handle(node)
+    }
+
+    async fn read(&self, tx: &mut TfaTxHandle, oid: ObjectId) -> Result<ObjVal, Abort> {
+        self.acquire(tx, oid).await
+    }
+
+    async fn write(&self, tx: &mut TfaTxHandle, oid: ObjectId, val: ObjVal) -> Result<(), Abort> {
+        // TFA buffers writes against the version it acquired; a blind write
+        // acquires the copy first.
+        if !tx.writes.contains_key(&oid) && !tx.reads.contains_key(&oid) {
+            self.acquire(tx, oid).await?;
+        }
+        let version = tx
+            .writes
+            .get(&oid)
+            .or_else(|| tx.reads.get(&oid))
+            .map(|(v, _)| *v)
+            .expect("copy acquired above");
+        tx.writes.insert(oid, (version, val));
+        Ok(())
+    }
+
+    async fn commit(&self, tx: &mut TfaTxHandle) -> Result<(), Abort> {
+        self.commit_handle(tx).await?;
+        self.stats.borrow_mut().commits += 1;
+        Ok(())
+    }
+
+    async fn restart(&self, tx: &mut TfaTxHandle, _abort: Abort) {
+        self.stats.borrow_mut().aborts += 1;
+        let d = self.backoff_base.mul_f64(self.sim.with_rng(|r| {
+            use rand::RngExt;
+            r.random_range(0.5..2.0)
+        }));
+        self.sim.sleep(d).await;
+        *tx = self.fresh_handle(tx.node);
+    }
+
+    fn protocol_stats(&self) -> ProtocolStats {
+        let s = self.stats.borrow();
+        ProtocolStats {
+            commits: s.commits,
+            aborts: s.aborts,
+        }
+    }
+
+    fn reset_protocol_stats(&self) {
+        self.reset_stats();
     }
 }
 
@@ -536,6 +528,40 @@ mod tests {
             c.preload(ObjectId(i), ObjVal::Int(100));
         }
         c
+    }
+
+    async fn transfer(c: &TfaCluster, node: NodeId, from: ObjectId, to: ObjectId, amount: i64) {
+        let mut h = c.begin(node);
+        loop {
+            let r = async {
+                let a = c.read(&mut h, from).await?.expect_int();
+                let b = c.read(&mut h, to).await?.expect_int();
+                c.write(&mut h, from, ObjVal::Int(a - amount)).await?;
+                c.write(&mut h, to, ObjVal::Int(b + amount)).await?;
+                c.commit(&mut h).await
+            }
+            .await;
+            match r {
+                Ok(()) => return,
+                Err(e) => c.restart(&mut h, e).await,
+            }
+        }
+    }
+
+    async fn audit(c: &TfaCluster, node: NodeId, a: ObjectId, b: ObjectId) {
+        let mut h = c.begin(node);
+        loop {
+            let r = async {
+                c.read(&mut h, a).await?;
+                c.read(&mut h, b).await?;
+                c.commit(&mut h).await
+            }
+            .await;
+            match r {
+                Ok(()) => return,
+                Err(e) => c.restart(&mut h, e).await,
+            }
+        }
     }
 
     #[test]
@@ -552,8 +578,7 @@ mod tests {
         let c = Rc::new(cluster());
         let c2 = Rc::clone(&c);
         c.sim().spawn(async move {
-            c2.run_bank_transfer(NodeId(0), ObjectId(1), ObjectId(2), 25)
-                .await;
+            transfer(&c2, NodeId(0), ObjectId(1), ObjectId(2), 25).await;
         });
         c.sim().run();
         assert_eq!(c.latest(ObjectId(1)), Some(ObjVal::Int(75)));
@@ -570,7 +595,7 @@ mod tests {
                 for i in 0..4u64 {
                     let from = ObjectId((u64::from(node) + i) % 8);
                     let to = ObjectId((u64::from(node) + i + 1) % 8);
-                    c2.run_bank_transfer(NodeId(node), from, to, 7).await;
+                    transfer(&c2, NodeId(node), from, to, 7).await;
                 }
             });
         }
@@ -587,9 +612,23 @@ mod tests {
         let c = Rc::new(cluster());
         let c2 = Rc::clone(&c);
         c.sim().spawn(async move {
-            c2.run_bank_audit(NodeId(3), ObjectId(0), ObjectId(1)).await;
+            audit(&c2, NodeId(3), ObjectId(0), ObjectId(1)).await;
         });
         c.sim().run();
+        assert_eq!(c.stats().commits, 1);
+    }
+
+    #[test]
+    fn blind_write_acquires_the_copy_first() {
+        let c = Rc::new(cluster());
+        let c2 = Rc::clone(&c);
+        c.sim().spawn(async move {
+            let mut h = c2.begin(NodeId(0));
+            c2.write(&mut h, ObjectId(4), ObjVal::Int(1)).await.unwrap();
+            c2.commit(&mut h).await.unwrap();
+        });
+        c.sim().run();
+        assert_eq!(c.latest(ObjectId(4)), Some(ObjVal::Int(1)));
         assert_eq!(c.stats().commits, 1);
     }
 
@@ -602,13 +641,13 @@ mod tests {
         let sim = c.sim().clone();
         c.sim().spawn(async move {
             // Reader starts first (clock 0), reads o1.
-            let mut tx = TfaTx::new(&c2, NodeId(5));
-            tx.read(ObjectId(1)).await.unwrap();
+            let mut tx = c2.begin(NodeId(5));
+            c2.read(&mut tx, ObjectId(1)).await.unwrap();
             sim.sleep(SimDuration::from_millis(100)).await;
             // By now the writer committed elsewhere; reading o2 sees a newer
             // clock and triggers forwarding (revalidation of o1 — still
             // valid because the writer touched different objects).
-            tx.read(ObjectId(2)).await.unwrap();
+            c2.read(&mut tx, ObjectId(2)).await.unwrap();
             assert!(c2.stats().forwards >= 1);
         });
         let c3 = Rc::clone(&c);
@@ -617,8 +656,7 @@ mod tests {
             sim2.sleep(SimDuration::from_millis(20)).await;
             // Write o2 (among others) so home(o2)'s clock advances before
             // the reader's second acquisition.
-            c3.run_bank_transfer(NodeId(0), ObjectId(2), ObjectId(3), 1)
-                .await;
+            transfer(&c3, NodeId(0), ObjectId(2), ObjectId(3), 1).await;
         });
         c.sim().run();
     }

@@ -3,11 +3,11 @@
 //! node sweep at both mixes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qrdtm_baselines::{run_decent_bank, run_tfa_bank, BankSpec, DecentConfig, TfaConfig};
+use qrdtm_baselines::{DecentConfig, TfaConfig};
 use qrdtm_bench::quick;
 use qrdtm_core::NestingMode;
 use qrdtm_sim::SimDuration;
-use qrdtm_workloads::{run, Benchmark, WorkloadParams};
+use qrdtm_workloads::{run_decent_bank, run_qr_bank, run_tfa_bank, BankSpec};
 
 fn bank_spec() -> BankSpec {
     BankSpec {
@@ -22,18 +22,8 @@ fn bank_spec() -> BankSpec {
 fn bench_fig9(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_dtm_comparison");
     g.sample_size(10);
-    let params = WorkloadParams {
-        read_pct: 50,
-        calls: 1,
-        objects: 48,
-    };
     g.bench_function("qr_dtm", |b| {
-        b.iter(|| {
-            run(
-                quick::cfg(NestingMode::Flat),
-                &quick::spec(Benchmark::Bank, params),
-            )
-        })
+        b.iter(|| run_qr_bank(quick::cfg(NestingMode::Flat), &bank_spec()))
     });
     g.bench_function("hyflow_tfa", |b| {
         b.iter(|| {

@@ -18,12 +18,7 @@ fn bench_table8(c: &mut Criterion) {
     };
     for bench in Benchmark::FIGURE_SET {
         g.bench_function(format!("{}_closed", bench.name().to_lowercase()), |b| {
-            b.iter(|| {
-                run(
-                    quick::cfg(NestingMode::Closed),
-                    &quick::spec(bench, params),
-                )
-            })
+            b.iter(|| run(quick::cfg(NestingMode::Closed), &quick::spec(bench, params)))
         });
     }
     g.finish();

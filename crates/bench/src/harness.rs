@@ -5,18 +5,27 @@
 //! single-threaded and deterministic), and returns structured rows that
 //! the `repro` binary prints and the Criterion benches sample.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
-use qrdtm_baselines::{run_decent_bank, run_tfa_bank, BankSpec, DecentConfig, TfaConfig};
+use qrdtm_baselines::{DecentConfig, TfaConfig};
 use qrdtm_core::{DtmConfig, LatencySpec, NestingMode};
 use qrdtm_sim::SimDuration;
-use qrdtm_workloads::{run, Benchmark, RunResult, RunSpec, WorkloadParams};
+use qrdtm_workloads::{
+    run, run_decent_bank, run_qr_bank, run_tfa_bank, BankSpec, Benchmark, RunResult, RunSpec,
+    WorkloadParams,
+};
 
 /// Base RNG seed for every experiment (results are deterministic given it).
 pub const SEED: u64 = 42;
 
 /// Run every input through `f` on a pool of OS threads, preserving order.
+///
+/// If `f` panics, the panic is re-raised on the caller's thread with the
+/// **index of the offending input** in the message, so a single diverging
+/// sweep cell names its configuration instead of dying as an anonymous
+/// worker. When several inputs panic, the lowest index wins.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -27,26 +36,50 @@ where
     let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
     let inputs: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let input = inputs[i].lock().take().expect("each input taken once");
-                let out = f(input);
-                slots.lock()[i] = Some(out);
+                let input = inputs[i]
+                    .lock()
+                    .expect("input lock")
+                    .take()
+                    .expect("each input taken once");
+                match catch_unwind(AssertUnwindSafe(|| f(input))) {
+                    Ok(out) => slots.lock().expect("slot lock")[i] = Some(out),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|m| (*m).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        let mut fail = failure.lock().expect("failure lock");
+                        match &mut *fail {
+                            Some((first, _)) if *first <= i => {}
+                            other => *other = Some((i, msg)),
+                        }
+                        // Stop handing out further work; the sweep is dead.
+                        next.store(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
-    })
-    .expect("worker panicked");
+    });
+    if let Some((i, msg)) = failure.into_inner().expect("failure lock") {
+        panic!("parallel_map: worker panicked on input #{i}: {msg}");
+    }
     slots
         .into_inner()
+        .expect("slot lock")
         .into_iter()
         .map(|o| o.expect("all slots filled"))
         .collect()
@@ -232,7 +265,11 @@ pub fn fig5(quick: bool) -> Figure {
 
 /// Fig. 6: throughput vs number of nested calls (1–5).
 pub fn fig6(quick: bool) -> Figure {
-    let calls: Vec<usize> = if quick { vec![1, 3, 5] } else { vec![1, 2, 3, 4, 5] };
+    let calls: Vec<usize> = if quick {
+        vec![1, 3, 5]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     let benches = Benchmark::FIGURE_SET;
     let xs: Vec<(f64, usize)> = calls.iter().map(|&c| (c as f64, c)).collect();
     let xps: Vec<(f64, WorkloadParams)> = xs
@@ -247,11 +284,18 @@ pub fn fig6(quick: bool) -> Figure {
             )
         })
         .collect();
-    let mut fig = mode_sweep("fig6", "nested calls", &benches, &xps, quick, |cfg, spec| {
-        // Objects follow the benchmark default, not Bank's.
-        spec.params.objects = default_params(spec.bench).objects;
-        cfg.seed = SEED;
-    });
+    let mut fig = mode_sweep(
+        "fig6",
+        "nested calls",
+        &benches,
+        &xps,
+        quick,
+        |cfg, spec| {
+            // Objects follow the benchmark default, not Bank's.
+            spec.params.objects = default_params(spec.bench).objects;
+            cfg.seed = SEED;
+        },
+    );
     fig.name = "fig6".into();
     fig
 }
@@ -332,8 +376,7 @@ pub fn table8(quick: bool) -> Vec<Table8Row> {
             let flat = get(bench, NestingMode::Flat);
             let cn = get(bench, NestingMode::Closed);
             let chk = get(bench, NestingMode::Checkpoint);
-            let msgs_per_commit =
-                |r: &RunResult| r.messages as f64 / r.commits.max(1) as f64;
+            let msgs_per_commit = |r: &RunResult| r.messages as f64 / r.commits.max(1) as f64;
             let abort_rate = |r: &RunResult| r.stats.abort_rate();
             let delta = |a: f64, b: f64| {
                 if b.abs() < 1e-9 {
@@ -377,19 +420,14 @@ pub fn fig9(quick: bool) -> Figure {
         0 => {
             let mut cfg = paper_cfg(NestingMode::Flat);
             cfg.nodes = n;
-            let r = run(
+            let r = run_qr_bank(
                 cfg,
-                &RunSpec {
-                    bench: Benchmark::Bank,
-                    params: WorkloadParams {
-                        read_pct: mix,
-                        calls: 1,
-                        objects: accounts,
-                    },
+                &BankSpec {
+                    accounts,
+                    read_pct: mix,
                     warmup,
                     duration,
                     clients_per_node: 1,
-                    failures: 0,
                 },
             );
             r.throughput
@@ -481,9 +519,9 @@ pub fn fig10(quick: bool) -> Figure {
         let mut cfg = paper_cfg(NestingMode::Closed);
         cfg.nodes = 28;
         cfg.read_level = 0; // single-node read quorum initially
-        // Server occupancy high enough that the singleton read quorum is a
-        // genuine hot spot; spreading it is what produces the initial
-        // throughput rise of Fig. 10.
+                            // Server occupancy high enough that the singleton read quorum is a
+                            // genuine hot spot; spreading it is what produces the initial
+                            // throughput rise of Fig. 10.
         cfg.service_time = SimDuration::from_millis(2);
         run(
             cfg,

@@ -15,9 +15,7 @@ use qrdtm_bench::harness;
 use qrdtm_bench::{emit_figure, table};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: repro <fig5|fig6|fig7|table8|fig9|fig10|ablation|all> [--quick] [--out DIR]"
-    );
+    eprintln!("usage: repro <fig5|fig6|fig7|table8|fig9|fig10|ablation|all> [--quick] [--out DIR]");
     std::process::exit(2);
 }
 

@@ -10,9 +10,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use qrdtm_quorum::{QuorumError, Tree, TreeQuorum};
-use qrdtm_sim::{
-    ConstLatency, JitteredLatency, NodeId, Sim, SimConfig, SimDuration,
-};
+use qrdtm_sim::{ConstLatency, JitteredLatency, NodeId, Sim, SimConfig, SimDuration};
 
 use crate::history::{CommitRecord, HistoryRecorder, Violation};
 use crate::msg::Msg;
@@ -64,7 +62,9 @@ impl LatencySpec {
             LatencySpec::Metric(per_unit, floor) => {
                 use rand::SeedableRng;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6d65_7472_6963);
-                Box::new(qrdtm_sim::MetricSpace::random(nodes, per_unit, floor, &mut rng))
+                Box::new(qrdtm_sim::MetricSpace::random(
+                    nodes, per_unit, floor, &mut rng,
+                ))
             }
         }
     }
@@ -220,7 +220,13 @@ impl Cluster {
                         kind,
                     } => {
                         let out = st.read(
-                            *root, *cur_level, *cur_chk, *oid, *want_write, entries, *kind,
+                            *root,
+                            *cur_level,
+                            *cur_chk,
+                            *oid,
+                            *want_write,
+                            entries,
+                            *kind,
                         );
                         let reply = match out {
                             ReadOutcome::Ok(version, val) => Msg::ReadOk {
@@ -228,12 +234,11 @@ impl Cluster {
                                 version,
                                 val,
                             },
-                            ReadOutcome::Abort(target) => {
-                                Msg::ReadAbort { target, busy: false }
-                            }
-                            ReadOutcome::Busy(target) => {
-                                Msg::ReadAbort { target, busy: true }
-                            }
+                            ReadOutcome::Abort(target) => Msg::ReadAbort {
+                                target,
+                                busy: false,
+                            },
+                            ReadOutcome::Busy(target) => Msg::ReadAbort { target, busy: true },
                         };
                         ctx.respond(&env, reply);
                     }
@@ -390,8 +395,8 @@ impl Cluster {
     }
 
     /// Open a client bound to `node`; transactions it runs originate there.
-    pub fn client(&self, node: NodeId) -> crate::runtime::Client {
-        crate::runtime::Client::new(self.sim.clone(), Rc::clone(&self.inner), node)
+    pub fn client(&self, node: NodeId) -> crate::engine::Client {
+        crate::engine::Client::new(self.sim.clone(), Rc::clone(&self.inner), node)
     }
 
     /// Start recording the committed history for [`Cluster::verify_history`].

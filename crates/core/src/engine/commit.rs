@@ -1,0 +1,101 @@
+//! Commit layer: the two-phase quorum commit of a root transaction.
+//!
+//! Collects the root frame's read/write sets, runs the vote round against
+//! the write quorum and, on success, the apply/confirm round (paper §II).
+//! Read-only transactions take one of two shortcuts: under a policy with
+//! Rqv-validated reads they commit locally with zero messages, otherwise
+//! they still validate their read set at the quorum.
+
+use std::cell::RefCell;
+
+use crate::history::CommitRecord;
+use crate::object::{ObjVal, ObjectId, Version};
+use crate::txid::Abort;
+
+use super::nesting::{NestingPolicy, TxState};
+use super::transport::Endpoint;
+
+/// Two-phase commit of the root transaction, or the local read-only commit
+/// Rqv enables under QR-CN.
+pub(super) async fn commit_root(
+    ep: &Endpoint,
+    st: &RefCell<TxState>,
+    pol: &dyn NestingPolicy,
+) -> Result<(), Abort> {
+    let (root, reads, writes, payload) = {
+        let st = st.borrow();
+        debug_assert_eq!(st.frames.len(), 1, "all CTs completed before root commit");
+        let f = &st.frames[0];
+        let writes: Vec<(ObjectId, Version)> =
+            f.writes.iter().map(|(o, c)| (*o, c.version)).collect();
+        let reads: Vec<(ObjectId, Version)> = f
+            .reads
+            .iter()
+            .filter(|(o, _)| !f.writes.contains_key(o))
+            .map(|(o, c)| (*o, c.version))
+            .collect();
+        let payload: Vec<(ObjectId, Version, ObjVal)> = f
+            .writes
+            .iter()
+            .map(|(o, c)| (*o, c.version.next(), c.val.clone()))
+            .collect();
+        (st.root, reads, writes, payload)
+    };
+    if writes.is_empty() {
+        if pol.local_read_only_commit() && ep.inner.cfg.rqv {
+            // Rqv validated every read as of the last remote operation;
+            // nothing to propagate — commit locally, zero messages.
+            // (Without Rqv this would be unsound, hence the guard.)
+            ep.inner.stats.borrow_mut().local_commits += 1;
+            if ep.inner.history.borrow().is_enabled() {
+                // Serialization point: the last validated remote read.
+                let at = st.borrow().last_remote_read_at;
+                ep.inner.history.borrow_mut().push(CommitRecord {
+                    tx: root,
+                    at,
+                    reads,
+                    writes: vec![],
+                });
+            }
+            return Ok(());
+        }
+        if reads.is_empty() {
+            return Ok(()); // touched nothing
+        }
+        // Flat QR / QR-CHK: read-only still validates at the quorum.
+        ep.vote_round(root, reads.clone(), vec![]).await?;
+        if ep.inner.history.borrow().is_enabled() {
+            let at = ep.sim.now();
+            ep.inner.history.borrow_mut().push(CommitRecord {
+                tx: root,
+                at,
+                reads,
+                writes: vec![],
+            });
+        }
+        return Ok(());
+    }
+    match ep.vote_round(root, reads.clone(), writes.clone()).await {
+        Ok(()) => {
+            if ep.inner.history.borrow().is_enabled() {
+                // Serialization point: all write-quorum locks held.
+                let at = ep.sim.now();
+                ep.inner.history.borrow_mut().push(CommitRecord {
+                    tx: root,
+                    at,
+                    reads,
+                    writes: writes.iter().map(|(o, v)| (*o, *v, v.next())).collect(),
+                });
+            }
+            // Commit confirm: apply writes, release locks.
+            ep.apply(root, payload).await;
+            Ok(())
+        }
+        Err(e) => {
+            // Release any locks granted in phase one.
+            let oids: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
+            ep.release(root, oids).await;
+            Err(e)
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! The layered protocol engine: the local side of QR, QR-CN and QR-CHK.
+//!
+//! What used to be a monolithic runtime is split along the protocol's own
+//! seams, one module per layer:
+//!
+//! * [`transport`] — quorum RPC rounds (read fetch, 2PC vote,
+//!   apply/release) plus round/timeout accounting,
+//! * [`validation`] — the Rqv incremental-validation path: outbound
+//!   data-set payloads and read-reply merging,
+//! * [`nesting`] — per-transaction state ([`nesting::TxState`]) and the
+//!   flat/closed/checkpoint strategy objects behind
+//!   [`nesting::NestingPolicy`],
+//! * [`commit`] — the two-phase quorum commit of a root transaction.
+//!
+//! This module composes them. A [`Client`] is bound to a node and runs root
+//! transactions to completion, retrying on aborts. A [`Tx`] handle is what
+//! transaction bodies program against:
+//!
+//! * [`Tx::read`] / [`Tx::write`] first search the transaction's own and
+//!   its ancestors' data sets (`checkParent`, Alg. 2 line 2) and otherwise
+//!   fetch the object from the read quorum, piggybacking the data set for
+//!   Rqv validation (QR-CN/QR-CHK) and taking the max-version copy.
+//! * [`Tx::closed`] runs a closed-nested transaction: a fresh frame on the
+//!   frame stack, independent retry on aborts addressed to its level, and
+//!   the paper's Alg. 3 local commit — merging its read/write sets into the
+//!   parent with **zero** messages.
+//! * Under QR-CHK the engine creates a checkpoint each time the data set
+//!   grows by `chk_threshold` objects. A read-time conflict rolls back to
+//!   `abortChk`: the frame snapshot is restored, the operation log is
+//!   truncated, and the body is re-executed with logged results replayed
+//!   (our deterministic-replay substitute for the paper's Java
+//!   continuations — identical message behaviour, see DESIGN.md).
+//!
+//! At each layer boundary the engine emits structured
+//! [`EngineEventKind`] events into the simulator's metrics sink:
+//! quorum rounds in the transport, validated reads and checkpoints in the
+//! access path, and aborts (with their encoded target) where the retry
+//! decision is made.
+
+mod commit;
+mod nesting;
+mod transport;
+mod validation;
+
+#[cfg(test)]
+mod tests;
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use qrdtm_sim::{EngineEventKind, NodeId, Sim, SimDuration};
+
+use crate::cluster::{ClusterInner, LockPolicy};
+use crate::msg::{Msg, ValidationKind};
+use crate::object::{ObjVal, ObjectId};
+use crate::txid::{Abort, AbortTarget, TxId};
+
+use nesting::{Cached, Frame, NestingPolicy, TxState};
+use transport::Endpoint;
+
+/// Encode an abort target into an [`EngineEventKind::AbortWithTarget`]
+/// event's `detail` field: levels map to their value, checkpoint targets
+/// set bit 32.
+fn abort_detail(target: AbortTarget) -> u64 {
+    match target {
+        AbortTarget::Level(l) => u64::from(l),
+        AbortTarget::Chk(c) => (1u64 << 32) | u64::from(c),
+    }
+}
+
+/// A client bound to a node; runs root transactions originating there.
+pub struct Client {
+    ep: Endpoint,
+}
+
+impl Client {
+    pub(crate) fn new(sim: Sim<Msg>, inner: Rc<ClusterInner>, node: NodeId) -> Self {
+        Client {
+            ep: Endpoint::new(sim, inner, node),
+        }
+    }
+
+    /// The node this client's transactions execute on.
+    pub fn node(&self) -> NodeId {
+        self.ep.node
+    }
+
+    /// Run `body` as a root transaction, retrying until it commits, and
+    /// return its result.
+    ///
+    /// The body receives a fresh [`Tx`] per (re-)execution attempt and must
+    /// be pure apart from `Tx` operations: on a checkpoint rollback it is
+    /// re-run with earlier operation results replayed from the log, so any
+    /// non-determinism outside `Tx` would diverge from the logged prefix.
+    pub async fn run<T, F, Fut>(&self, body: F) -> T
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+    {
+        let started = self.ep.sim.now();
+        let tx = self.begin_tx();
+        loop {
+            match body(tx.clone()).await {
+                Ok(v) => match tx.commit_attempt().await {
+                    Ok(()) => {
+                        tx.record_commit(started);
+                        return v;
+                    }
+                    Err(e) => tx.restart_after(e).await,
+                },
+                Err(abort) => tx.restart_after(abort).await,
+            }
+        }
+    }
+
+    /// A fresh root transaction handle at nesting level 0 — the attempt-
+    /// level API [`crate::protocol::DtmProtocol`] builds on (where the
+    /// caller, not [`Client::run`], drives the retry loop).
+    pub(crate) fn begin_tx(&self) -> Tx {
+        Tx {
+            st: Rc::new(RefCell::new(TxState::new(
+                self.ep.inner.fresh_txid(self.ep.node),
+            ))),
+            ep: self.ep.clone(),
+            level: 0,
+        }
+    }
+}
+
+/// Handle a transaction body uses to access shared objects.
+///
+/// Cloning is cheap (reference-counted); each [`Tx::closed`] scope receives
+/// a handle one nesting level deeper.
+pub struct Tx {
+    st: Rc<RefCell<TxState>>,
+    ep: Endpoint,
+    level: u32,
+}
+
+impl Clone for Tx {
+    fn clone(&self) -> Self {
+        Tx {
+            st: Rc::clone(&self.st),
+            ep: self.ep.clone(),
+            level: self.level,
+        }
+    }
+}
+
+impl Tx {
+    /// The nesting level of this handle (0 = root).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    fn policy(&self) -> &'static dyn NestingPolicy {
+        nesting::policy(self.ep.inner.cfg.mode)
+    }
+
+    /// An abort value addressed to this handle's scope: the innermost
+    /// closed-nested transaction under QR-CN, the whole transaction
+    /// otherwise.
+    ///
+    /// Transaction bodies use this to abort **voluntarily** — most
+    /// importantly as a *zombie guard*: under flat QR, reads are not
+    /// validated until commit, so a transaction can observe a torn
+    /// snapshot across objects; a pointer-chasing traversal over such a
+    /// snapshot may never terminate even though its commit would be
+    /// rejected. A traversal that exceeds any structurally possible length
+    /// proves the snapshot inconsistent and must `return
+    /// Err(tx.abort_here())` to retry with fresh reads.
+    pub fn abort_here(&self) -> Abort {
+        self.policy().abort_here(self.level)
+    }
+
+    /// The root transaction id of the current attempt.
+    pub fn root_id(&self) -> TxId {
+        self.st.borrow().root
+    }
+
+    /// The node this transaction executes on.
+    pub fn node(&self) -> NodeId {
+        self.ep.node
+    }
+
+    /// Read an object (paper Alg. 2, local part). Checks the transaction's
+    /// own and ancestors' data sets first; otherwise one read-quorum round.
+    pub async fn read(&self, oid: ObjectId) -> Result<ObjVal, Abort> {
+        self.access(oid, None).await
+    }
+
+    /// Write an object. Promotes a previously read copy for free; fetches
+    /// the object (for its version) if the transaction has never seen it.
+    pub async fn write(&self, oid: ObjectId, val: ObjVal) -> Result<(), Abort> {
+        self.access(oid, Some(val)).await?;
+        Ok(())
+    }
+
+    async fn access(&self, oid: ObjectId, write_val: Option<ObjVal>) -> Result<ObjVal, Abort> {
+        let is_write = write_val.is_some();
+        let pol = self.policy();
+        // Replay and local-hit fast paths (no communication).
+        {
+            let mut st = self.st.borrow_mut();
+            if let Some(out) = pol.replay_hit(&mut st, is_write) {
+                self.ep.inner.stats.borrow_mut().replayed_ops += 1;
+                return Ok(out);
+            }
+            if let Some(found) = st.lookup(self.level, oid).cloned() {
+                let out = match write_val {
+                    Some(v) => {
+                        // Promote/shadow into this level's write set keeping
+                        // the fetch-time version and owner (the owner is
+                        // whoever READ it — its abort invalidates the copy).
+                        st.frames[self.level as usize].writes.insert(
+                            oid,
+                            Cached {
+                                version: found.version,
+                                val: v,
+                                owner_level: found.owner_level,
+                                owner_chk: found.owner_chk,
+                            },
+                        );
+                        ObjVal::Unit
+                    }
+                    None => found.val.clone(),
+                };
+                pol.log_op(&mut st, is_write, &out);
+                self.ep.inner.stats.borrow_mut().local_hits += 1;
+                return Ok(out);
+            }
+        }
+        // Remote acquisition: validation payload, then read-quorum rounds.
+        let (root, cur_chk, entries, kind) = {
+            let st = self.st.borrow();
+            let (kind, entries) = validation::read_validation(&st, self.ep.inner.cfg.rqv, pol);
+            (st.root, st.cur_chk(), entries, kind)
+        };
+        let mut waits = 0u32;
+        let (version, fetched) = loop {
+            let replies = self
+                .ep
+                .read_round(
+                    root,
+                    self.level,
+                    cur_chk,
+                    oid,
+                    is_write,
+                    entries.clone(),
+                    kind,
+                )
+                .await?;
+            let r = validation::resolve_replies(replies);
+            if let Some(target) = r.abort {
+                // Transient commit locks may be waited out instead of
+                // aborting, if the contention policy says so.
+                if r.only_busy {
+                    if let LockPolicy::WaitRetry { max_waits, pause } =
+                        self.ep.inner.cfg.lock_policy
+                    {
+                        if waits < max_waits {
+                            waits += 1;
+                            self.ep.inner.stats.borrow_mut().lock_waits += 1;
+                            self.ep.sim.sleep(pause).await;
+                            continue;
+                        }
+                    }
+                }
+                return Err(Abort { target });
+            }
+            break r.best.expect("non-empty read quorum");
+        };
+        if kind != ValidationKind::None {
+            self.ep
+                .sim
+                .emit_engine_event(EngineEventKind::ReadValidated, self.ep.node, oid.0);
+        }
+        {
+            let mut st = self.st.borrow_mut();
+            st.last_remote_read_at = self.ep.sim.now();
+            let cached = Cached {
+                version,
+                val: write_val.clone().unwrap_or_else(|| fetched.clone()),
+                owner_level: self.level,
+                owner_chk: cur_chk,
+            };
+            let frame = &mut st.frames[self.level as usize];
+            if is_write {
+                frame.writes.insert(oid, cached);
+            } else {
+                frame.reads.insert(oid, cached);
+            }
+            pol.log_op(&mut st, is_write, &fetched);
+        }
+        self.maybe_checkpoint().await;
+        Ok(if is_write { ObjVal::Unit } else { fetched })
+    }
+
+    /// Run `body` as a closed-nested transaction (QR-CN). Under flat
+    /// nesting the body runs inline in the enclosing transaction; under
+    /// checkpointing the structure is likewise flattened (the checkpoint
+    /// criterion, not nesting, decides rollback points).
+    ///
+    /// The CT retries independently on conflicts addressed to its level;
+    /// its commit merges its read/write sets into the parent locally with
+    /// no communication (paper Alg. 3).
+    pub async fn closed<T, F, Fut>(&self, body: F) -> Result<T, Abort>
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+    {
+        if !self.policy().real_nested_scopes() {
+            return body(self.clone()).await;
+        }
+        let child_level = self.level + 1;
+        loop {
+            let comp_mark = {
+                let mut st = self.st.borrow_mut();
+                debug_assert_eq!(
+                    st.frames.len(),
+                    child_level as usize,
+                    "closed() called from the innermost active scope"
+                );
+                st.frames.push(Frame::default());
+                st.compensations.len()
+            };
+            let mut child = self.clone();
+            child.level = child_level;
+            match body(child).await {
+                Ok(v) => {
+                    // commitCT (Alg. 3): merge into the parent, locally.
+                    let mut st = self.st.borrow_mut();
+                    let frame = st.frames.pop().expect("child frame present");
+                    let parent = &mut st.frames[self.level as usize];
+                    for (oid, mut c) in frame.reads {
+                        c.owner_level = c.owner_level.min(self.level);
+                        parent.reads.entry(oid).or_insert(c);
+                    }
+                    for (oid, mut c) in frame.writes {
+                        c.owner_level = c.owner_level.min(self.level);
+                        parent.writes.insert(oid, c);
+                    }
+                    drop(st);
+                    self.ep.inner.stats.borrow_mut().ct_commits += 1;
+                    return Ok(v);
+                }
+                Err(Abort {
+                    target: AbortTarget::Level(l),
+                }) if l == child_level => {
+                    self.ep.sim.emit_engine_event(
+                        EngineEventKind::AbortWithTarget,
+                        self.ep.node,
+                        abort_detail(AbortTarget::Level(l)),
+                    );
+                    // Partial abort: discard only the child's work and retry
+                    // promptly — the whole point of closed nesting is that
+                    // the retry is cheap, so it only takes a jittered
+                    // de-synchronization delay, not an escalating backoff.
+                    // Open CTs the failed attempt already published must be
+                    // compensated first, or the retry would double-apply.
+                    self.compensate_down_to(comp_mark).await;
+                    self.st.borrow_mut().frames.truncate(child_level as usize);
+                    self.ep.inner.stats.borrow_mut().ct_aborts += 1;
+                    self.backoff(false).await;
+                }
+                Err(e) => {
+                    // Addressed to an ancestor: unwind further.
+                    self.st.borrow_mut().frames.truncate(child_level as usize);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Run `body` as an **open-nested** transaction (the QR-ON extension;
+    /// the paper's §I-A taxonomy defines open nesting and defers it to
+    /// related work, N-TFA/TFA-ON style).
+    ///
+    /// The body executes as an independent sub-transaction with its own
+    /// read/write sets and commits **globally** through the regular quorum
+    /// two-phase commit as soon as it succeeds — its effects are visible to
+    /// every other transaction before the enclosing one commits. In
+    /// exchange, the caller supplies `compensate`: if the enclosing
+    /// transaction attempt later aborts, the recorded compensations run (in
+    /// reverse order, each as its own committed transaction) to undo the
+    /// published effects.
+    ///
+    /// Like classical open nesting, correctness is *abstract*
+    /// serializability: the body and its compensation must be semantic
+    /// inverses at the data-structure level (insert/remove, credit/debit) —
+    /// the engine does not check this. Under flat and checkpoint modes the
+    /// body runs inline like [`Tx::closed`] (no early publication, no
+    /// compensation recorded).
+    pub async fn open<T, F, Fut, C>(&self, body: F, compensate: C) -> Result<T, Abort>
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+        C: Fn(Tx) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>> + 'static,
+    {
+        if !self.policy().real_nested_scopes() {
+            return body(self.clone()).await;
+        }
+        let v = self.run_subtransaction(&body).await;
+        self.st.borrow_mut().compensations.push(Rc::new(compensate));
+        self.ep.inner.stats.borrow_mut().open_commits += 1;
+        Ok(v)
+    }
+
+    /// Run a body as an independent flat sub-transaction to commit
+    /// (retrying internally), leaving the enclosing transaction's state
+    /// untouched.
+    async fn run_subtransaction<T, F, Fut>(&self, body: &F) -> T
+    where
+        F: Fn(Tx) -> Fut,
+        Fut: Future<Output = Result<T, Abort>>,
+    {
+        let client = Client {
+            ep: self.ep.clone(),
+        };
+        client.run(body).await
+    }
+
+    /// Execute and clear the recorded compensations, newest first. Each
+    /// runs as its own committed transaction (it must: the effects it
+    /// undoes are already globally visible).
+    /// Boxed to break the async type cycle `run -> run_compensations ->
+    /// run` (compensation bodies are flat and never record further
+    /// compensations).
+    pub(crate) fn run_compensations(&self) -> Pin<Box<dyn Future<Output = ()>>> {
+        self.compensate_down_to(0)
+    }
+
+    /// Pop and execute compensations until only `mark` remain — the
+    /// watermark form lets a retrying closed CT undo exactly the open CTs
+    /// it published during the failed attempt.
+    fn compensate_down_to(&self, mark: usize) -> Pin<Box<dyn Future<Output = ()>>> {
+        let tx = self.clone();
+        Box::pin(async move {
+            loop {
+                let comp = {
+                    let mut st = tx.st.borrow_mut();
+                    if st.compensations.len() <= mark {
+                        return;
+                    }
+                    st.compensations.pop()
+                };
+                let Some(comp) = comp else { return };
+                tx.ep.inner.stats.borrow_mut().compensations += 1;
+                tx.run_subtransaction(&|t| comp(t)).await;
+            }
+        })
+    }
+
+    /// QR-CHK: create a checkpoint when the data set grew by the threshold
+    /// (the policy decides; other modes are never "due").
+    async fn maybe_checkpoint(&self) {
+        let pol = self.policy();
+        let (due, cost) = {
+            let st = self.st.borrow();
+            (
+                pol.checkpoint_due(&st, self.ep.inner.cfg.chk_threshold),
+                self.ep.inner.cfg.chk_cost,
+            )
+        };
+        if !due {
+            return;
+        }
+        // The measured ~6% creation overhead, as local compute time.
+        if cost > SimDuration::ZERO {
+            self.ep.sim.sleep(cost).await;
+        }
+        let mut st = self.st.borrow_mut();
+        pol.take_checkpoint(&mut st);
+        self.ep.inner.stats.borrow_mut().checkpoints += 1;
+        self.ep.sim.emit_engine_event(
+            EngineEventKind::CheckpointTaken,
+            self.ep.node,
+            u64::from(st.cur_chk()),
+        );
+    }
+
+    /// Try to commit this root transaction's current attempt; clears the
+    /// recorded compensations on success (they are no longer needed — the
+    /// attempt's open CTs stand).
+    pub(crate) async fn commit_attempt(&self) -> Result<(), Abort> {
+        let pol = self.policy();
+        commit::commit_root(&self.ep, &self.st, pol).await?;
+        self.st.borrow_mut().compensations.clear();
+        Ok(())
+    }
+
+    /// Account a successful commit: one commit plus its latency measured
+    /// from `started` (the begin instant, spanning every retry).
+    pub(crate) fn record_commit(&self, started: qrdtm_sim::SimTime) {
+        let lat = self.ep.sim.now().saturating_since(started).as_nanos();
+        let mut stats = self.ep.inner.stats.borrow_mut();
+        stats.commits += 1;
+        stats.latency_sum_ns += lat;
+        stats.latency_max_ns = stats.latency_max_ns.max(lat);
+    }
+
+    /// Prepare the next attempt after an aborted one: emit the abort event,
+    /// then either roll back to the targeted checkpoint (QR-CHK partial
+    /// abort) or compensate, fully reset and take escalating backoff.
+    pub(crate) async fn restart_after(&self, abort: Abort) {
+        self.ep.sim.emit_engine_event(
+            EngineEventKind::AbortWithTarget,
+            self.ep.node,
+            abort_detail(abort.target),
+        );
+        match self.policy().rollback_checkpoint(&abort) {
+            Some(c) => {
+                self.ep.inner.stats.borrow_mut().chk_rollbacks += 1;
+                self.rollback_to(c);
+                // The conflicting writer is still in flight; retrying
+                // instantly would just detect the same conflict again (the
+                // paper's "unnecessary partial aborts"), so the rollback
+                // escalates contention backoff like an abort.
+                self.backoff(true).await;
+            }
+            None => {
+                // Root-targeted abort (level 0), or a stray target that
+                // nothing below caught: full retry.
+                self.ep.inner.stats.borrow_mut().root_aborts += 1;
+                self.run_compensations().await;
+                self.full_reset();
+                self.backoff(true).await;
+            }
+        }
+    }
+
+    /// Restore checkpoint `c` and arm deterministic replay of the logged
+    /// prefix.
+    fn rollback_to(&self, c: u32) {
+        self.st.borrow_mut().rollback_to(c);
+    }
+
+    /// Full reset for a root retry; the new attempt gets a fresh TxId so
+    /// stale locks/metadata of the old attempt can never alias it.
+    fn full_reset(&self) {
+        let fresh = self.ep.inner.fresh_txid(self.ep.node);
+        self.st.borrow_mut().reset_for_retry(fresh);
+    }
+
+    /// Randomized backoff. Escalating (exponential in the attempt counter)
+    /// after full aborts; a flat jittered delay after partial aborts, which
+    /// are cheap to retry.
+    pub(crate) async fn backoff(&self, escalate: bool) {
+        let base = self.ep.inner.cfg.backoff_base;
+        let mut d = if escalate {
+            let attempt = self.st.borrow().attempt;
+            let cap = self.ep.inner.cfg.backoff_max;
+            let exp = attempt.min(5);
+            let full = base * (1u64 << exp);
+            if full > cap {
+                cap
+            } else {
+                full
+            }
+        } else {
+            base
+        };
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let jitter = self.ep.sim.with_rng(|r| {
+            use rand::RngExt;
+            r.random_range(0.5..1.5)
+        });
+        d = d.mul_f64(jitter);
+        self.ep.sim.sleep(d).await;
+    }
+}

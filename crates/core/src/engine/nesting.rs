@@ -1,0 +1,308 @@
+//! Nesting layer: per-transaction data-set state and the [`NestingPolicy`]
+//! strategies.
+//!
+//! The paper's three protocols differ only in *how a transaction reacts to
+//! conflicts and structures its data set*: flat QR retries wholesale, QR-CN
+//! keeps per-level frames so a closed-nested scope can abort alone, and
+//! QR-CHK snapshots the root frame at checkpoints and replays a logged
+//! operation prefix after a partial rollback. Each variant is a stateless
+//! strategy object behind [`NestingPolicy`]; the engine core consults the
+//! policy instead of matching on [`NestingMode`] mid-access.
+
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use qrdtm_sim::SimTime;
+
+use crate::msg::{ValEntry, ValidationKind};
+use crate::object::{ObjVal, ObjectId, Version};
+use crate::txid::{Abort, AbortTarget, NestingMode, TxId};
+
+use super::Tx;
+
+/// A cached object copy inside a transaction's data set.
+#[derive(Clone, Debug)]
+pub(super) struct Cached {
+    pub(super) version: Version,
+    pub(super) val: ObjVal,
+    /// Nesting level whose abort invalidates this entry (the `ownerTxn`).
+    pub(super) owner_level: u32,
+    /// Checkpoint id current when the object was fetched (`ownerChkpnt`).
+    pub(super) owner_chk: u32,
+}
+
+/// Read/write sets of one nesting level.
+#[derive(Clone, Debug, Default)]
+pub(super) struct Frame {
+    pub(super) reads: BTreeMap<ObjectId, Cached>,
+    pub(super) writes: BTreeMap<ObjectId, Cached>,
+}
+
+impl Frame {
+    pub(super) fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+/// A checkpoint: data-set snapshot plus the op-log position, enough to
+/// deterministically reconstruct the execution state by replay.
+#[derive(Clone, Debug)]
+pub(super) struct ChkRec {
+    pub(super) oplog_len: usize,
+    pub(super) frame: Frame,
+    pub(super) dataset_size: usize,
+}
+
+/// A compensating action: a transaction body undoing an open CT's effects.
+pub(super) type Compensation = Rc<dyn Fn(Tx) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>>>;
+
+/// The mutable state of one root transaction attempt (all nesting levels).
+pub(super) struct TxState {
+    pub(super) root: TxId,
+    pub(super) frames: Vec<Frame>,
+    /// One entry per operation: `Some(result)` for reads, `None` for writes.
+    pub(super) oplog: Vec<Option<ObjVal>>,
+    pub(super) op_index: usize,
+    pub(super) replay_upto: usize,
+    pub(super) checkpoints: Vec<ChkRec>,
+    pub(super) last_chk_size: usize,
+    pub(super) attempt: u32,
+    /// Completion instant of the latest remote (validated) read — the
+    /// serialization point of a read-only QR-CN commit.
+    pub(super) last_remote_read_at: SimTime,
+    /// Compensating actions recorded by committed open-nested transactions
+    /// of the current attempt; run in reverse order if the attempt aborts.
+    pub(super) compensations: Vec<Compensation>,
+}
+
+impl TxState {
+    pub(super) fn new(root: TxId) -> Self {
+        TxState {
+            root,
+            frames: vec![Frame::default()],
+            oplog: Vec::new(),
+            op_index: 0,
+            replay_upto: 0,
+            checkpoints: vec![ChkRec {
+                oplog_len: 0,
+                frame: Frame::default(),
+                dataset_size: 0,
+            }],
+            last_chk_size: 0,
+            attempt: 0,
+            last_remote_read_at: SimTime::ZERO,
+            compensations: Vec::new(),
+        }
+    }
+
+    pub(super) fn cur_chk(&self) -> u32 {
+        (self.checkpoints.len() - 1) as u32
+    }
+
+    pub(super) fn replaying(&self) -> bool {
+        self.op_index < self.replay_upto
+    }
+
+    /// The merged data set as Rqv validation entries, innermost shadowing.
+    pub(super) fn entries(&self) -> Vec<ValEntry> {
+        let mut map: BTreeMap<ObjectId, ValEntry> = BTreeMap::new();
+        for f in &self.frames {
+            for (oid, c) in f.reads.iter().chain(f.writes.iter()) {
+                map.insert(
+                    *oid,
+                    ValEntry {
+                        oid: *oid,
+                        version: c.version,
+                        owner_level: c.owner_level,
+                        owner_chk: c.owner_chk,
+                    },
+                );
+            }
+        }
+        map.into_values().collect()
+    }
+
+    /// Locate an object in the data set visible to `level` (own frame and
+    /// ancestors; writes shadow reads).
+    pub(super) fn lookup(&self, level: u32, oid: ObjectId) -> Option<&Cached> {
+        for f in self.frames[..=(level as usize)].iter().rev() {
+            if let Some(c) = f.writes.get(&oid) {
+                return Some(c);
+            }
+            if let Some(c) = f.reads.get(&oid) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Restore checkpoint `c` and arm deterministic replay of the logged
+    /// prefix (QR-CHK `abortChk`).
+    pub(super) fn rollback_to(&mut self, c: u32) {
+        let c = (c as usize).min(self.checkpoints.len() - 1);
+        let rec = self.checkpoints[c].clone();
+        self.frames = vec![rec.frame];
+        self.oplog.truncate(rec.oplog_len);
+        self.replay_upto = rec.oplog_len;
+        self.op_index = 0;
+        self.checkpoints.truncate(c + 1);
+        self.last_chk_size = rec.dataset_size;
+        self.attempt += 1;
+    }
+
+    /// Full reset for a root retry; the new attempt gets a fresh [`TxId`] so
+    /// stale locks/metadata of the old attempt can never alias it.
+    pub(super) fn reset_for_retry(&mut self, fresh: TxId) {
+        let attempt = self.attempt + 1;
+        *self = TxState::new(fresh);
+        self.attempt = attempt;
+    }
+}
+
+/// Protocol variant as a strategy object: every place the engine used to
+/// branch on [`NestingMode`] asks the policy instead.
+pub(super) trait NestingPolicy {
+    /// The abort value a body at `level` uses to abort voluntarily.
+    fn abort_here(&self, level: u32) -> Abort;
+
+    /// Validation kind piggybacked on remote reads (assuming Rqv is on).
+    fn validation_kind(&self) -> ValidationKind;
+
+    /// Whether [`Tx::closed`]/[`Tx::open`] create real nested scopes; when
+    /// `false`, bodies run inline in the enclosing transaction.
+    fn real_nested_scopes(&self) -> bool {
+        false
+    }
+
+    /// Whether a read-only root commit may complete locally (Rqv already
+    /// validated every read) — the QR-CN zero-message commit.
+    fn local_read_only_commit(&self) -> bool {
+        false
+    }
+
+    /// Serve the current operation from the replay log if a rollback armed
+    /// one. `Some(result)` consumes the log entry; `None` executes normally.
+    fn replay_hit(&self, _st: &mut TxState, _is_write: bool) -> Option<ObjVal> {
+        None
+    }
+
+    /// Record a completed operation in the op log (QR-CHK only).
+    fn log_op(&self, _st: &mut TxState, _is_write: bool, _out: &ObjVal) {}
+
+    /// Whether the data set grew enough since the last checkpoint that a new
+    /// one is due.
+    fn checkpoint_due(&self, _st: &TxState, _threshold: usize) -> bool {
+        false
+    }
+
+    /// Snapshot the current root frame as a new checkpoint.
+    fn take_checkpoint(&self, _st: &mut TxState) {
+        unreachable!("only the checkpoint policy takes checkpoints");
+    }
+
+    /// How a root-level abort retries: `Some(c)` rolls back to checkpoint
+    /// `c` (partial, replayed); `None` resets the whole transaction.
+    fn rollback_checkpoint(&self, _abort: &Abort) -> Option<u32> {
+        None
+    }
+}
+
+/// Flat QR: no partial aborts, no piggybacked validation.
+struct FlatPolicy;
+
+impl NestingPolicy for FlatPolicy {
+    fn abort_here(&self, level: u32) -> Abort {
+        Abort::level(level)
+    }
+
+    fn validation_kind(&self) -> ValidationKind {
+        ValidationKind::None
+    }
+}
+
+/// QR-CN: per-level frames, Rqv validation, local read-only commits.
+struct ClosedPolicy;
+
+impl NestingPolicy for ClosedPolicy {
+    fn abort_here(&self, level: u32) -> Abort {
+        Abort::level(level)
+    }
+
+    fn validation_kind(&self) -> ValidationKind {
+        ValidationKind::Closed
+    }
+
+    fn real_nested_scopes(&self) -> bool {
+        true
+    }
+
+    fn local_read_only_commit(&self) -> bool {
+        true
+    }
+}
+
+/// QR-CHK: op logging, periodic checkpoints, partial rollback with replay.
+struct CheckpointPolicy;
+
+impl NestingPolicy for CheckpointPolicy {
+    fn abort_here(&self, _level: u32) -> Abort {
+        // Roll all the way back: the torn prefix cannot be localized.
+        Abort::chk(0)
+    }
+
+    fn validation_kind(&self) -> ValidationKind {
+        ValidationKind::Checkpoint
+    }
+
+    fn replay_hit(&self, st: &mut TxState, is_write: bool) -> Option<ObjVal> {
+        if !st.replaying() {
+            return None;
+        }
+        let logged = st.oplog[st.op_index].clone();
+        st.op_index += 1;
+        Some(if is_write {
+            // The restored frame already contains this write.
+            ObjVal::Unit
+        } else {
+            logged.expect("read op has a logged result")
+        })
+    }
+
+    fn log_op(&self, st: &mut TxState, is_write: bool, out: &ObjVal) {
+        st.oplog
+            .push(if is_write { None } else { Some(out.clone()) });
+        st.op_index += 1;
+    }
+
+    fn checkpoint_due(&self, st: &TxState, threshold: usize) -> bool {
+        st.frames[0].len() >= st.last_chk_size + threshold
+    }
+
+    fn take_checkpoint(&self, st: &mut TxState) {
+        let rec = ChkRec {
+            oplog_len: st.oplog.len(),
+            frame: st.frames[0].clone(),
+            dataset_size: st.frames[0].len(),
+        };
+        st.last_chk_size = rec.dataset_size;
+        st.checkpoints.push(rec);
+    }
+
+    fn rollback_checkpoint(&self, abort: &Abort) -> Option<u32> {
+        match abort.target {
+            AbortTarget::Chk(c) => Some(c),
+            AbortTarget::Level(_) => None,
+        }
+    }
+}
+
+/// The strategy object for a mode (policies are stateless singletons).
+pub(super) fn policy(mode: NestingMode) -> &'static dyn NestingPolicy {
+    match mode {
+        NestingMode::Flat => &FlatPolicy,
+        NestingMode::Closed => &ClosedPolicy,
+        NestingMode::Checkpoint => &CheckpointPolicy,
+    }
+}

@@ -1,0 +1,156 @@
+//! Transport layer: quorum RPC rounds.
+//!
+//! Everything that puts protocol messages on the wire lives here — the
+//! read-quorum fetch round, the 2PC vote round, and the commit-confirm /
+//! lock-release fan-outs — together with the round/timeout accounting and
+//! the [`EngineEventKind::QuorumRound`] boundary events. Layers above deal
+//! in replies and outcomes, never in `sim.call` plumbing.
+
+use std::rc::Rc;
+
+use qrdtm_sim::{EngineEventKind, NodeId, Sim};
+
+use crate::cluster::ClusterInner;
+use crate::msg::{class, Msg, ValEntry, ValidationKind};
+use crate::object::{ObjVal, ObjectId, Version};
+use crate::txid::{Abort, TxId};
+
+/// A node-bound handle on the cluster: the shared plumbing every engine
+/// layer works through (simulator, cluster state, origin node).
+pub(crate) struct Endpoint {
+    pub(super) sim: Sim<Msg>,
+    pub(super) inner: Rc<ClusterInner>,
+    pub(super) node: NodeId,
+}
+
+impl Clone for Endpoint {
+    fn clone(&self) -> Self {
+        Endpoint {
+            sim: self.sim.clone(),
+            inner: Rc::clone(&self.inner),
+            node: self.node,
+        }
+    }
+}
+
+impl Endpoint {
+    pub(super) fn new(sim: Sim<Msg>, inner: Rc<ClusterInner>, node: NodeId) -> Self {
+        Endpoint { sim, inner, node }
+    }
+
+    /// One read round against the current read quorum. Returns the raw
+    /// replies for the validation layer to merge; a timeout is a root
+    /// abort (an asynchronous system only learns of failures this way).
+    #[allow(clippy::too_many_arguments)]
+    pub(super) async fn read_round(
+        &self,
+        root: TxId,
+        cur_level: u32,
+        cur_chk: u32,
+        oid: ObjectId,
+        want_write: bool,
+        entries: Vec<ValEntry>,
+        kind: ValidationKind,
+    ) -> Result<Vec<(NodeId, Msg)>, Abort> {
+        let rq = self.inner.quorum.borrow().read_q.clone();
+        self.inner.stats.borrow_mut().read_rounds += 1;
+        self.sim.emit_engine_event(
+            EngineEventKind::QuorumRound,
+            self.node,
+            u64::from(class::READ_REQ),
+        );
+        let res = self
+            .sim
+            .call(
+                self.node,
+                &rq,
+                Msg::ReadReq {
+                    root,
+                    cur_level,
+                    cur_chk,
+                    oid,
+                    want_write,
+                    entries,
+                    kind,
+                },
+                self.inner.cfg.rpc_timeout,
+            )
+            .await;
+        if res.timed_out {
+            self.inner.stats.borrow_mut().timeouts += 1;
+            return Err(Abort::root());
+        }
+        Ok(res.replies)
+    }
+
+    /// 2PC phase one: all write-quorum members must vote yes.
+    pub(super) async fn vote_round(
+        &self,
+        root: TxId,
+        reads: Vec<(ObjectId, Version)>,
+        writes: Vec<(ObjectId, Version)>,
+    ) -> Result<(), Abort> {
+        self.inner.stats.borrow_mut().commit_rounds += 1;
+        self.sim.emit_engine_event(
+            EngineEventKind::QuorumRound,
+            self.node,
+            u64::from(class::COMMIT_REQ),
+        );
+        let wq = self.inner.quorum.borrow().write_q.clone();
+        let res = self
+            .sim
+            .call(
+                self.node,
+                &wq,
+                Msg::CommitReq {
+                    root,
+                    reads,
+                    writes,
+                },
+                self.inner.cfg.rpc_timeout,
+            )
+            .await;
+        if res.timed_out {
+            self.inner.stats.borrow_mut().timeouts += 1;
+            return Err(Abort::root());
+        }
+        let all_yes = res
+            .replies
+            .iter()
+            .all(|(_, m)| matches!(m, Msg::Vote { ok: true }));
+        if all_yes {
+            Ok(())
+        } else {
+            Err(Abort::root())
+        }
+    }
+
+    /// 2PC phase two, success: apply writes and release locks on the write
+    /// quorum.
+    pub(super) async fn apply(&self, root: TxId, writes: Vec<(ObjectId, Version, ObjVal)>) {
+        let wq = self.inner.quorum.borrow().write_q.clone();
+        let _ = self
+            .sim
+            .call(
+                self.node,
+                &wq,
+                Msg::Apply { root, writes },
+                self.inner.cfg.rpc_timeout,
+            )
+            .await;
+    }
+
+    /// 2PC phase two, failure: release any locks granted in phase one.
+    pub(super) async fn release(&self, root: TxId, oids: Vec<ObjectId>) {
+        let wq = self.inner.quorum.borrow().write_q.clone();
+        let _ = self
+            .sim
+            .call(
+                self.node,
+                &wq,
+                Msg::AbortReq { root, oids },
+                self.inner.cfg.rpc_timeout,
+            )
+            .await;
+    }
+}

@@ -1,0 +1,77 @@
+//! Validation layer: the Rqv incremental-validation path.
+//!
+//! Under Rqv every remote read piggybacks the transaction's merged data
+//! set; each read-quorum node revalidates it and either serves the object
+//! or reports a conflict with an abort target. This module assembles the
+//! outbound payload and merges the inbound replies — the max-version copy
+//! wins, abort targets merge toward the outermost scope, and the
+//! `only_busy` flag distinguishes real conflicts from transient commit
+//! locks the contention policy may wait out.
+
+use qrdtm_sim::NodeId;
+
+use crate::msg::{Msg, ValEntry, ValidationKind};
+use crate::object::{ObjVal, Version};
+use crate::txid::AbortTarget;
+
+use super::nesting::{NestingPolicy, TxState};
+
+/// The validation payload piggybacked on a remote read: the kind the
+/// policy mandates (or [`ValidationKind::None`] with Rqv disabled) plus
+/// the merged data set when a validating kind is in effect.
+pub(super) fn read_validation(
+    st: &TxState,
+    rqv: bool,
+    pol: &dyn NestingPolicy,
+) -> (ValidationKind, Vec<ValEntry>) {
+    let kind = if rqv {
+        pol.validation_kind()
+    } else {
+        ValidationKind::None
+    };
+    let entries = if kind == ValidationKind::None {
+        Vec::new()
+    } else {
+        st.entries()
+    };
+    (kind, entries)
+}
+
+/// The merged outcome of one read round's replies.
+pub(super) struct ReadResolution {
+    /// Highest-version copy served, if any node served one.
+    pub(super) best: Option<(Version, ObjVal)>,
+    /// Merged abort target, if any node reported a conflict.
+    pub(super) abort: Option<AbortTarget>,
+    /// Whether every abort reply was a transient commit-lock rejection.
+    pub(super) only_busy: bool,
+}
+
+/// Merge a read round's replies (paper Alg. 2, quorum part): take the
+/// max-version copy; merge abort targets toward the outermost scope.
+pub(super) fn resolve_replies(replies: Vec<(NodeId, Msg)>) -> ReadResolution {
+    let mut best: Option<(Version, ObjVal)> = None;
+    let mut abort: Option<AbortTarget> = None;
+    let mut only_busy = true;
+    for (_, m) in replies {
+        match m {
+            Msg::ReadOk { version, val, .. } if best.as_ref().is_none_or(|(v, _)| version > *v) => {
+                best = Some((version, val));
+            }
+            Msg::ReadOk { .. } => {}
+            Msg::ReadAbort { target, busy } => {
+                only_busy &= busy;
+                abort = Some(match abort {
+                    Some(prev) => prev.merge(target),
+                    None => target,
+                });
+            }
+            _ => {}
+        }
+    }
+    ReadResolution {
+        best,
+        abort,
+        only_busy,
+    }
+}

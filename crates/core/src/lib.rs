@@ -53,19 +53,21 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod engine;
 pub mod history;
 pub mod msg;
 mod object;
-mod runtime;
+pub mod protocol;
 mod stats;
 mod store;
 mod txid;
 
 pub use cluster::{Cluster, DtmConfig, LatencySpec, LockPolicy, QuorumView};
+pub use engine::{Client, Tx};
 pub use history::{CommitRecord, HistoryRecorder, Violation};
 pub use msg::{Msg, ValEntry, ValidationKind};
 pub use object::{ObjVal, ObjectId, Replica, SkipNode, TableRow, TreeNode, Version};
-pub use runtime::{Client, Tx};
+pub use protocol::{DtmProtocol, ProtocolStats, QrTxHandle};
 pub use stats::DtmStats;
 pub use store::{NodeStore, ReadOutcome};
 pub use txid::{Abort, AbortTarget, NestingMode, TxId};

@@ -248,7 +248,10 @@ mod tests {
     fn expect_accessors_round_trip() {
         assert_eq!(ObjVal::Int(5).expect_int(), 5);
         assert_eq!(ObjVal::IntList(vec![1, 2]).expect_list(), &vec![1, 2]);
-        assert_eq!(ObjVal::Ptr(Some(ObjectId(3))).expect_ptr(), Some(ObjectId(3)));
+        assert_eq!(
+            ObjVal::Ptr(Some(ObjectId(3))).expect_ptr(),
+            Some(ObjectId(3))
+        );
         let n = TreeNode {
             key: 1,
             val: 2,

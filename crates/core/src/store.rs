@@ -85,7 +85,10 @@ impl NodeStore {
     /// Recovery state transfer: install `(version, val)` if newer than the
     /// local copy, clearing any leftover lock from before the crash.
     pub fn sync(&mut self, oid: ObjectId, version: Version, val: ObjVal) {
-        let obj = self.objects.entry(oid).or_insert_with(|| Replica::new(val.clone()));
+        let obj = self
+            .objects
+            .entry(oid)
+            .or_insert_with(|| Replica::new(val.clone()));
         if version > obj.version {
             obj.version = version;
             obj.val = val;
@@ -180,9 +183,8 @@ impl NodeStore {
         reads: &[(ObjectId, Version)],
         writes: &[(ObjectId, Version)],
     ) -> bool {
-        let valid = |obj: &Replica, version: Version| {
-            !(version < obj.version || obj.locked_by_other(root))
-        };
+        let valid =
+            |obj: &Replica, version: Version| !(version < obj.version || obj.locked_by_other(root));
         for (oid, version) in reads.iter().chain(writes) {
             if let Some(obj) = self.objects.get(oid) {
                 if !valid(obj, *version) {
@@ -346,7 +348,15 @@ mod tests {
         let locker = tx(1, 1);
         // The reader fetched object 1 earlier (lands in PR).
         assert!(matches!(
-            s.read(reader, 0, 0, ObjectId(1), false, &[], ValidationKind::Closed),
+            s.read(
+                reader,
+                0,
+                0,
+                ObjectId(1),
+                false,
+                &[],
+                ValidationKind::Closed
+            ),
             ReadOutcome::Ok(..)
         ));
         assert!(s.get(ObjectId(1)).unwrap().pr.contains(&reader));
@@ -362,11 +372,35 @@ mod tests {
     fn read_of_locked_object_is_busy_at_current_scope() {
         let mut s = store_with(1);
         assert!(s.vote(tx(1, 1), &[], &[(ObjectId(0), Version(1))]));
-        let out = s.read(tx(0, 1), 2, 0, ObjectId(0), false, &[], ValidationKind::Closed);
+        let out = s.read(
+            tx(0, 1),
+            2,
+            0,
+            ObjectId(0),
+            false,
+            &[],
+            ValidationKind::Closed,
+        );
         assert_eq!(out, ReadOutcome::Busy(AbortTarget::Level(2)));
-        let out = s.read(tx(0, 2), 0, 4, ObjectId(0), false, &[], ValidationKind::Checkpoint);
+        let out = s.read(
+            tx(0, 2),
+            0,
+            4,
+            ObjectId(0),
+            false,
+            &[],
+            ValidationKind::Checkpoint,
+        );
         assert_eq!(out, ReadOutcome::Busy(AbortTarget::Chk(4)));
-        let out = s.read(tx(0, 3), 0, 0, ObjectId(0), false, &[], ValidationKind::None);
+        let out = s.read(
+            tx(0, 3),
+            0,
+            0,
+            ObjectId(0),
+            false,
+            &[],
+            ValidationKind::None,
+        );
         assert_eq!(out, ReadOutcome::Busy(AbortTarget::ROOT));
     }
 
@@ -407,7 +441,10 @@ mod tests {
         let b = tx(1, 1);
         assert!(s.vote(a, &[], &[(ObjectId(0), Version(1))]));
         assert!(s.get(ObjectId(0)).unwrap().protected);
-        assert!(!s.vote(b, &[], &[(ObjectId(0), Version(1))]), "second locker loses");
+        assert!(
+            !s.vote(b, &[], &[(ObjectId(0), Version(1))]),
+            "second locker loses"
+        );
         // The loser releases nothing; the winner applies.
         s.apply(a, &[(ObjectId(0), Version(2), ObjVal::Int(42))]);
         let r = s.get(ObjectId(0)).unwrap();
@@ -444,7 +481,15 @@ mod tests {
     fn pr_list_is_pruned_at_bound() {
         let mut s = store_with(1);
         for i in 0..400u64 {
-            s.read(tx(0, i), 0, 0, ObjectId(0), false, &[], ValidationKind::None);
+            s.read(
+                tx(0, i),
+                0,
+                0,
+                ObjectId(0),
+                false,
+                &[],
+                ValidationKind::None,
+            );
         }
         assert!(s.get(ObjectId(0)).unwrap().pr.len() <= 256 + 1);
     }
@@ -453,6 +498,14 @@ mod tests {
     #[should_panic(expected = "unknown object")]
     fn read_of_unknown_object_is_a_bug() {
         let mut s = NodeStore::new();
-        s.read(tx(0, 1), 0, 0, ObjectId(9), false, &[], ValidationKind::None);
+        s.read(
+            tx(0, 1),
+            0,
+            0,
+            ObjectId(9),
+            false,
+            &[],
+            ValidationKind::None,
+        );
     }
 }

@@ -14,7 +14,13 @@ fn mode_strategy() -> impl Strategy<Value = NestingMode> {
     ]
 }
 
-fn contended_run(mode: NestingMode, seed: u64, nodes: usize, clients: u32, objects: u64) -> Cluster {
+fn contended_run(
+    mode: NestingMode,
+    seed: u64,
+    nodes: usize,
+    clients: u32,
+    objects: u64,
+) -> Cluster {
     let c = Cluster::new(DtmConfig {
         nodes,
         mode,

@@ -54,8 +54,10 @@ mod sim;
 mod time;
 
 pub use latency::{ConstLatency, JitteredLatency, LatencyModel, MetricSpace};
-pub use metrics::{Metrics, MAX_CLASSES};
-pub use sim::{CallFuture, CallId, CallResult, Envelope, HandlerCtx, Sim, SimConfig, SimMessage, Sleep};
+pub use metrics::{EngineEvent, EngineEventKind, Metrics, ENGINE_EVENT_KINDS, MAX_CLASSES};
+pub use sim::{
+    CallFuture, CallId, CallResult, Envelope, HandlerCtx, Sim, SimConfig, SimMessage, Sleep,
+};
 pub use time::{SimDuration, SimTime};
 
 use std::fmt;

@@ -11,6 +11,42 @@
 /// Upper bound on distinct message classes a protocol may use.
 pub const MAX_CLASSES: usize = 16;
 
+/// Number of [`EngineEventKind`] variants (size of the counter array).
+pub const ENGINE_EVENT_KINDS: usize = 4;
+
+/// Structured events a protocol engine emits at its layer boundaries.
+///
+/// The simulator is protocol-agnostic, but every engine built on it shares
+/// the same observable milestones, so the sink lives here: one stream that
+/// every figure and future profiling hook reads, instead of per-protocol
+/// ad-hoc counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineEventKind {
+    /// A remote read completed with piggybacked data-set validation.
+    ReadValidated = 0,
+    /// A quorum RPC round was issued (read round or commit/vote round);
+    /// `detail` carries the message class.
+    QuorumRound = 1,
+    /// An abort surfaced to the transaction body; `detail` encodes the
+    /// abort target (protocol-defined).
+    AbortWithTarget = 2,
+    /// A checkpoint was taken; `detail` is the checkpoint index.
+    CheckpointTaken = 3,
+}
+
+/// One recorded engine event (see [`Metrics::engine_event_log`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineEvent {
+    /// Virtual timestamp, nanoseconds since simulation start.
+    pub at_ns: u64,
+    /// Node the event happened on.
+    pub node: u32,
+    /// What happened.
+    pub kind: EngineEventKind,
+    /// Kind-specific payload (object id, message class, abort target, …).
+    pub detail: u64,
+}
+
 /// Counters accumulated by the simulator while it runs.
 ///
 /// Obtain a snapshot via [`Sim::metrics`](crate::Sim::metrics). Counters are
@@ -31,6 +67,13 @@ pub struct Metrics {
     pub processed_by_node: Vec<u64>,
     /// Total events executed by the simulator loop.
     pub events: u64,
+    /// Engine events emitted, by [`EngineEventKind`].
+    pub engine_events_by_kind: [u64; ENGINE_EVENT_KINDS],
+    /// Full engine-event stream; populated only while recording is enabled
+    /// (see [`Sim::record_engine_events`](crate::Sim::record_engine_events)),
+    /// since counters are enough for the figures.
+    pub engine_event_log: Vec<EngineEvent>,
+    pub(crate) record_engine_events: bool,
 }
 
 impl Metrics {
@@ -55,10 +98,25 @@ impl Metrics {
         self.processed_by_node[node] += 1;
     }
 
-    /// Zero every counter, keeping the per-node vector length.
+    pub(crate) fn on_engine_event(&mut self, ev: EngineEvent) {
+        self.engine_events_by_kind[ev.kind as usize] += 1;
+        if self.record_engine_events {
+            self.engine_event_log.push(ev);
+        }
+    }
+
+    /// Zero every counter, keeping the per-node vector length and whether
+    /// engine-event recording is enabled.
     pub fn reset(&mut self) {
         let nodes = self.processed_by_node.len();
+        let record = self.record_engine_events;
         *self = Metrics::new(nodes);
+        self.record_engine_events = record;
+    }
+
+    /// Engine events emitted for one kind.
+    pub fn engine_events(&self, kind: EngineEventKind) -> u64 {
+        self.engine_events_by_kind[kind as usize]
     }
 
     /// Messages sent for a given class index.
@@ -145,5 +203,45 @@ mod tests {
         let m = Metrics::new(2);
         assert_eq!(m.load_cv(&[]), 0.0);
         assert_eq!(m.load_cv(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn engine_events_count_without_recording() {
+        let mut m = Metrics::new(2);
+        m.on_engine_event(EngineEvent {
+            at_ns: 10,
+            node: 0,
+            kind: EngineEventKind::QuorumRound,
+            detail: 1,
+        });
+        m.on_engine_event(EngineEvent {
+            at_ns: 20,
+            node: 1,
+            kind: EngineEventKind::CheckpointTaken,
+            detail: 2,
+        });
+        assert_eq!(m.engine_events(EngineEventKind::QuorumRound), 1);
+        assert_eq!(m.engine_events(EngineEventKind::CheckpointTaken), 1);
+        assert_eq!(m.engine_events(EngineEventKind::ReadValidated), 0);
+        assert!(m.engine_event_log.is_empty(), "off by default");
+    }
+
+    #[test]
+    fn engine_event_recording_survives_reset() {
+        let mut m = Metrics::new(1);
+        m.record_engine_events = true;
+        let ev = EngineEvent {
+            at_ns: 5,
+            node: 0,
+            kind: EngineEventKind::AbortWithTarget,
+            detail: 0,
+        };
+        m.on_engine_event(ev);
+        assert_eq!(m.engine_event_log, vec![ev]);
+        m.reset();
+        assert!(m.engine_event_log.is_empty());
+        assert_eq!(m.engine_events(EngineEventKind::AbortWithTarget), 0);
+        m.on_engine_event(ev);
+        assert_eq!(m.engine_event_log.len(), 1, "recording stayed on");
     }
 }

@@ -320,6 +320,30 @@ impl<M: SimMessage> Sim<M> {
         self.core.inner.borrow_mut().metrics.reset();
     }
 
+    /// Emit a structured engine event into the metrics sink (counted
+    /// always; recorded in full only after [`Sim::record_engine_events`]).
+    pub fn emit_engine_event(
+        &self,
+        kind: crate::metrics::EngineEventKind,
+        node: NodeId,
+        detail: u64,
+    ) {
+        let mut inner = self.core.inner.borrow_mut();
+        let at_ns = inner.now.as_nanos();
+        inner.metrics.on_engine_event(crate::metrics::EngineEvent {
+            at_ns,
+            node: node.0,
+            kind,
+            detail,
+        });
+    }
+
+    /// Enable or disable recording of the full engine-event stream in
+    /// [`Metrics::engine_event_log`]. Counters are always maintained.
+    pub fn record_engine_events(&self, on: bool) {
+        self.core.inner.borrow_mut().metrics.record_engine_events = on;
+    }
+
     /// Draw from the simulation RNG.
     pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
         f(&mut self.core.inner.borrow_mut().rng)
@@ -364,7 +388,13 @@ impl<M: SimMessage> Sim<M> {
     /// or at `timeout` with whatever replies came by then. Without a timeout
     /// the caller must know every destination is alive, or the call never
     /// resolves (like a real RPC with no failure detector).
-    pub fn call(&self, from: NodeId, dests: &[NodeId], msg: M, timeout: Option<SimDuration>) -> CallFuture<M> {
+    pub fn call(
+        &self,
+        from: NodeId,
+        dests: &[NodeId],
+        msg: M,
+        timeout: Option<SimDuration>,
+    ) -> CallFuture<M> {
         let mut inner = self.core.inner.borrow_mut();
         let id = CallId(inner.next_call);
         inner.next_call += 1;
@@ -717,9 +747,7 @@ mod tests {
         // 15ms there + 200us service + 15ms back.
         assert_eq!(
             t,
-            SimTime::ZERO
-                + SimDuration::from_millis(30)
-                + SimDuration::from_micros(200)
+            SimTime::ZERO + SimDuration::from_millis(30) + SimDuration::from_micros(200)
         );
     }
 
@@ -735,7 +763,12 @@ mod tests {
         let got2 = Rc::clone(&got);
         s.spawn(async move {
             let r = s2
-                .call(NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)], Msg::Ping(1), None)
+                .call(
+                    NodeId(0),
+                    &[NodeId(1), NodeId(2), NodeId(3)],
+                    Msg::Ping(1),
+                    None,
+                )
                 .await;
             got2.set(r.replies.len());
             assert!(r.complete());
@@ -774,10 +807,7 @@ mod tests {
     fn service_time_serializes_a_hot_node() {
         // Two pings arrive at the same instant; the second is served after
         // the first (FIFO), so its reply comes one service time later.
-        let mut cfg = SimConfig::new(
-            1,
-            Box::new(ConstLatency::new(SimDuration::from_millis(10))),
-        );
+        let mut cfg = SimConfig::new(1, Box::new(ConstLatency::new(SimDuration::from_millis(10))));
         cfg.service_time = SimDuration::from_millis(5);
         let s: Sim<Msg> = Sim::new(cfg);
         let n = s.add_nodes(3);

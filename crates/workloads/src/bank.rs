@@ -45,7 +45,8 @@ pub async fn transfer(
 ) -> Result<(), Abort> {
     let a = tx.read(bank.account(from)).await?.expect_int();
     let b = tx.read(bank.account(to)).await?.expect_int();
-    tx.write(bank.account(from), ObjVal::Int(a - amount)).await?;
+    tx.write(bank.account(from), ObjVal::Int(a - amount))
+        .await?;
     tx.write(bank.account(to), ObjVal::Int(b + amount)).await?;
     Ok(())
 }

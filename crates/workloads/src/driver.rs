@@ -589,7 +589,12 @@ enum Op {
 }
 
 /// Draw a root transaction's operation plan: `calls` (key, op) pairs.
-fn op_plan(sim: &qrdtm_sim::Sim<qrdtm_core::Msg>, calls: usize, read_pct: u32, keyspace: u64) -> Vec<(i64, Op)> {
+fn op_plan(
+    sim: &qrdtm_sim::Sim<qrdtm_core::Msg>,
+    calls: usize,
+    read_pct: u32,
+    keyspace: u64,
+) -> Vec<(i64, Op)> {
     (0..calls)
         .map(|_| {
             let key = sim.rand_below(keyspace) as i64;
@@ -661,8 +666,14 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run(quick_cfg(NestingMode::Closed), &quick_spec(Benchmark::Hashmap));
-        let b = run(quick_cfg(NestingMode::Closed), &quick_spec(Benchmark::Hashmap));
+        let a = run(
+            quick_cfg(NestingMode::Closed),
+            &quick_spec(Benchmark::Hashmap),
+        );
+        let b = run(
+            quick_cfg(NestingMode::Closed),
+            &quick_spec(Benchmark::Hashmap),
+        );
         assert_eq!(a.commits, b.commits);
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.stats, b.stats);

@@ -59,7 +59,12 @@ pub async fn put(tx: &Tx, map: &HashmapLayout, key: i64) -> Result<bool, Abort> 
 /// Membership test (read-only).
 pub async fn get(tx: &Tx, map: &HashmapLayout, key: i64) -> Result<bool, Abort> {
     let oid = map.bucket(key);
-    Ok(tx.read(oid).await?.expect_list().binary_search(&key).is_ok())
+    Ok(tx
+        .read(oid)
+        .await?
+        .expect_list()
+        .binary_search(&key)
+        .is_ok())
 }
 
 /// Remove `key`; returns true if it was present.
@@ -98,7 +103,10 @@ mod tests {
             mode: NestingMode::Closed,
             ..Default::default()
         });
-        let map = HashmapLayout { base: 0, buckets: 4 };
+        let map = HashmapLayout {
+            base: 0,
+            buckets: 4,
+        };
         c.preload_all(map.setup());
         (c, map)
     }
@@ -125,10 +133,7 @@ mod tests {
             *out2.borrow_mut() = r;
         });
         c.sim().run();
-        assert_eq!(
-            *out.borrow(),
-            vec![true, false, true, true, false, false]
-        );
+        assert_eq!(*out.borrow(), vec![true, false, true, true, false, false]);
     }
 
     #[test]
@@ -164,9 +169,7 @@ mod tests {
                 };
                 assert_eq!(did, expect, "step {step} key {key} op {op}");
             }
-            let n = client
-                .run(|tx| async move { size(&tx, &map).await })
-                .await;
+            let n = client.run(|tx| async move { size(&tx, &map).await }).await;
             assert_eq!(n, oracle.len());
         });
         c.sim().run();
@@ -174,7 +177,10 @@ mod tests {
 
     #[test]
     fn keys_spread_across_buckets() {
-        let map = HashmapLayout { base: 0, buckets: 8 };
+        let map = HashmapLayout {
+            base: 0,
+            buckets: 8,
+        };
         let mut seen = std::collections::HashSet::new();
         for k in 0..64 {
             seen.insert(map.bucket(k));

@@ -17,8 +17,12 @@ pub mod bank;
 pub mod bst;
 pub mod driver;
 pub mod hashmap;
+pub mod protocol_bank;
 pub mod rbtree;
 pub mod skiplist;
 pub mod vacation;
 
 pub use driver::{run, Benchmark, RunResult, RunSpec, WorkloadParams};
+pub use protocol_bank::{
+    run_bank, run_decent_bank, run_qr_bank, run_tfa_bank, BankRunResult, BankSpec,
+};

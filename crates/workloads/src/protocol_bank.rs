@@ -1,0 +1,265 @@
+//! The unified Fig. 9 bank driver: one closed-loop workload, generic over
+//! [`DtmProtocol`].
+//!
+//! Section VI-D of the paper compares QR-DTM, HyFlow (TFA) and Decent-STM
+//! on the Bank benchmark. Each protocol used to carry its own hand-wired
+//! driver loop; with the [`DtmProtocol`] trait there is exactly one —
+//! [`run_bank`] — and thin per-protocol constructors ([`run_qr_bank`],
+//! [`run_tfa_bank`], [`run_decent_bank`]) that only assemble the cluster.
+//! Every client draws the same account/mix stream from the protocol's own
+//! simulator RNG, so runs stay deterministic per seed.
+
+use std::rc::Rc;
+
+use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
+use qrdtm_core::{Cluster, DtmConfig, DtmProtocol, ObjVal, ObjectId};
+use qrdtm_sim::{NodeId, SimDuration};
+
+/// Fig. 9 bank workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct BankSpec {
+    /// Number of account objects.
+    pub accounts: u64,
+    /// Percentage of read-only audits.
+    pub read_pct: u32,
+    /// Warm-up window.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub duration: SimDuration,
+    /// Closed-loop clients per node.
+    pub clients_per_node: usize,
+}
+
+impl Default for BankSpec {
+    fn default() -> Self {
+        BankSpec {
+            accounts: 32,
+            read_pct: 50,
+            warmup: SimDuration::from_secs(2),
+            duration: SimDuration::from_secs(20),
+            clients_per_node: 1,
+        }
+    }
+}
+
+/// Measured outcome of a bank run.
+#[derive(Clone, Debug)]
+pub struct BankRunResult {
+    /// Committed transactions per virtual second.
+    pub throughput: f64,
+    /// Committed transactions in the window.
+    pub commits: u64,
+    /// Aborted attempts in the window.
+    pub aborts: u64,
+    /// Messages sent in the window.
+    pub messages: u64,
+}
+
+/// Transfer `amount` between two accounts, retrying until it commits.
+pub async fn transfer<P: DtmProtocol>(
+    p: &P,
+    node: NodeId,
+    from: ObjectId,
+    to: ObjectId,
+    amount: i64,
+) {
+    let mut h = p.begin(node);
+    loop {
+        let r = async {
+            let a = p.read(&mut h, from).await?.expect_int();
+            let b = p.read(&mut h, to).await?.expect_int();
+            p.write(&mut h, from, ObjVal::Int(a - amount)).await?;
+            p.write(&mut h, to, ObjVal::Int(b + amount)).await?;
+            p.commit(&mut h).await
+        }
+        .await;
+        match r {
+            Ok(()) => return,
+            Err(e) => p.restart(&mut h, e).await,
+        }
+    }
+}
+
+/// Read-only audit of two accounts, retrying until it commits.
+pub async fn audit<P: DtmProtocol>(p: &P, node: NodeId, a: ObjectId, b: ObjectId) -> i64 {
+    let mut h = p.begin(node);
+    loop {
+        let r = async {
+            let va = p.read(&mut h, a).await?.expect_int();
+            let vb = p.read(&mut h, b).await?.expect_int();
+            p.commit(&mut h).await.map(|()| va + vb)
+        }
+        .await;
+        match r {
+            Ok(sum) => return sum,
+            Err(e) => p.restart(&mut h, e).await,
+        }
+    }
+}
+
+/// Run the closed-loop bank mix on any [`DtmProtocol`] cluster with
+/// `nodes` nodes: warm up, reset counters, measure for `spec.duration`.
+pub fn run_bank<P: DtmProtocol + 'static>(
+    proto: Rc<P>,
+    nodes: usize,
+    spec: &BankSpec,
+) -> BankRunResult {
+    for i in 0..spec.accounts {
+        proto.preload(ObjectId(i), ObjVal::Int(1_000));
+    }
+    let sim = proto.sim().clone();
+    for node in 0..nodes as u32 {
+        for _ in 0..spec.clients_per_node {
+            let p = Rc::clone(&proto);
+            let spec = *spec;
+            sim.spawn(async move {
+                loop {
+                    let s = p.sim();
+                    let a = s.rand_below(spec.accounts);
+                    let mut b = s.rand_below(spec.accounts);
+                    if b == a {
+                        b = (b + 1) % spec.accounts;
+                    }
+                    if s.rand_below(100) < u64::from(spec.read_pct) {
+                        audit(&*p, NodeId(node), ObjectId(a), ObjectId(b)).await;
+                    } else {
+                        transfer(&*p, NodeId(node), ObjectId(a), ObjectId(b), 5).await;
+                    }
+                }
+            });
+        }
+    }
+    sim.run_for(spec.warmup);
+    proto.reset_protocol_stats();
+    sim.reset_metrics();
+    sim.run_for(spec.duration);
+    let st = proto.protocol_stats();
+    BankRunResult {
+        throughput: st.commits as f64 / spec.duration.as_secs_f64(),
+        commits: st.commits,
+        aborts: st.aborts,
+        messages: sim.metrics().sent_total,
+    }
+}
+
+/// Run the bank workload on a QR-DTM cluster (mode per `cfg`).
+pub fn run_qr_bank(cfg: DtmConfig, spec: &BankSpec) -> BankRunResult {
+    let nodes = cfg.nodes;
+    run_bank(Rc::new(Cluster::new(cfg)), nodes, spec)
+}
+
+/// Run the bank workload on a TFA (HyFlow) cluster.
+pub fn run_tfa_bank(cfg: TfaConfig, spec: &BankSpec) -> BankRunResult {
+    let nodes = cfg.nodes;
+    run_bank(Rc::new(TfaCluster::new(cfg)), nodes, spec)
+}
+
+/// Run the bank workload on a Decent-STM cluster.
+pub fn run_decent_bank(cfg: DecentConfig, spec: &BankSpec) -> BankRunResult {
+    let nodes = cfg.nodes;
+    run_bank(Rc::new(DecentCluster::new(cfg)), nodes, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BankSpec {
+        BankSpec {
+            accounts: 16,
+            read_pct: 50,
+            warmup: SimDuration::from_millis(500),
+            duration: SimDuration::from_secs(5),
+            clients_per_node: 1,
+        }
+    }
+
+    #[test]
+    fn qr_bank_commits() {
+        let r = run_qr_bank(
+            DtmConfig {
+                nodes: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            &quick(),
+        );
+        assert!(r.commits > 0);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn tfa_bank_commits() {
+        let r = run_tfa_bank(
+            TfaConfig {
+                nodes: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            &quick(),
+        );
+        assert!(r.commits > 0);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn decent_bank_commits() {
+        let r = run_decent_bank(
+            DecentConfig {
+                nodes: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            &quick(),
+        );
+        assert!(r.commits > 0);
+    }
+
+    #[test]
+    fn tfa_outpaces_decent_on_the_same_workload() {
+        // The paper's Fig. 9 ordering (HyFlow > Decent-STM) should hold for
+        // any reasonable window: unicast 5 ms RTTs against multicast
+        // consensus at 30 ms RTTs.
+        let spec = quick();
+        let t = run_tfa_bank(
+            TfaConfig {
+                nodes: 10,
+                seed: 5,
+                ..Default::default()
+            },
+            &spec,
+        );
+        let d = run_decent_bank(
+            DecentConfig {
+                nodes: 10,
+                seed: 5,
+                ..Default::default()
+            },
+            &spec,
+        );
+        assert!(
+            t.throughput > d.throughput,
+            "TFA {} <= Decent {}",
+            t.throughput,
+            d.throughput
+        );
+    }
+
+    #[test]
+    fn bank_runs_are_deterministic() {
+        let spec = quick();
+        for (a, b) in [
+            (
+                run_tfa_bank(TfaConfig::default(), &spec),
+                run_tfa_bank(TfaConfig::default(), &spec),
+            ),
+            (
+                run_qr_bank(DtmConfig::default(), &spec),
+                run_qr_bank(DtmConfig::default(), &spec),
+            ),
+        ] {
+            assert_eq!(a.commits, b.commits);
+            assert_eq!(a.messages, b.messages);
+        }
+    }
+}

@@ -143,7 +143,8 @@ pub async fn insert(tx: &Tx, t: &RBTreeLayout, key: i64, val: i64) -> Result<boo
             },
         )
         .await?;
-        tx.write(t.root_ptr(), ObjVal::Ptr(Some(t.node(key)))).await?;
+        tx.write(t.root_ptr(), ObjVal::Ptr(Some(t.node(key))))
+            .await?;
         return Ok(true);
     };
     let mut path: Vec<ObjectId> = Vec::new();
@@ -193,7 +194,12 @@ pub async fn insert(tx: &Tx, t: &RBTreeLayout, key: i64, val: i64) -> Result<boo
 
 /// CLRS insertion fixup driven by the recorded root path (`path.last()` is
 /// `z`'s parent).
-async fn fixup(tx: &Tx, t: &RBTreeLayout, mut z: ObjectId, mut path: Vec<ObjectId>) -> Result<(), Abort> {
+async fn fixup(
+    tx: &Tx,
+    t: &RBTreeLayout,
+    mut z: ObjectId,
+    mut path: Vec<ObjectId>,
+) -> Result<(), Abort> {
     loop {
         let Some(&p_oid) = path.last() else {
             // z climbed to the root: roots are black.

@@ -92,13 +92,7 @@ async fn find_preds(
     sl: &SkiplistLayout,
     key: i64,
 ) -> Result<Vec<(ObjectId, SkipNode)>, Abort> {
-    let mut preds = vec![
-        (
-            sl.head(),
-            tx.read(sl.head()).await?.expect_skip().clone()
-        );
-        sl.levels
-    ];
+    let mut preds = vec![(sl.head(), tx.read(sl.head()).await?.expect_skip().clone()); sl.levels];
     let max_hops = 2 * (sl.key_space as usize + sl.levels + 4);
     let mut hops = 0usize;
     let (mut cur_oid, mut cur) = preds[0].clone();
@@ -150,15 +144,8 @@ pub async fn insert(tx: &Tx, sl: &SkiplistLayout, key: i64, val: i64) -> Result<
     for (lvl, next) in nexts.iter_mut().enumerate() {
         *next = preds[lvl].1.nexts.get(lvl).copied().flatten();
     }
-    tx.write(
-        node_oid,
-        ObjVal::SkipNode(SkipNode {
-            key,
-            val,
-            nexts,
-        }),
-    )
-    .await?;
+    tx.write(node_oid, ObjVal::SkipNode(SkipNode { key, val, nexts }))
+        .await?;
     let mut pending: BTreeMap<ObjectId, SkipNode> = BTreeMap::new();
     for (lvl, (poid, psnap)) in preds.iter().enumerate().take(height) {
         let p = pending.entry(*poid).or_insert_with(|| psnap.clone());

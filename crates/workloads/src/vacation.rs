@@ -165,7 +165,12 @@ pub async fn delete_customer(tx: &Tx, v: &VacationLayout, customer: u64) -> Resu
 }
 
 /// Maintenance: bump the price of a picked row per relation.
-pub async fn update_tables(tx: &Tx, v: &VacationLayout, picks: [u64; 3], delta: i64) -> Result<(), Abort> {
+pub async fn update_tables(
+    tx: &Tx,
+    v: &VacationLayout,
+    picks: [u64; 3],
+    delta: i64,
+) -> Result<(), Abort> {
     for (table, &pick) in picks.iter().enumerate() {
         let v2 = *v;
         tx.closed(move |tx2| async move {

@@ -65,7 +65,10 @@ fn main() {
 
     cluster.sim().run_for(SimDuration::from_secs(5));
     let after = committed.get();
-    println!("t=10s  committed {after:>4} increments ({} since the crashes)", after - before);
+    println!(
+        "t=10s  committed {after:>4} increments ({} since the crashes)",
+        after - before
+    );
     assert!(after > before, "progress despite failures");
 
     // 1-copy equivalence check: the latest committed value visible through

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: run this before every PR. Fails fast on the first broken
+# stage — build, tests, formatting, lints — in that order, so the cheapest
+# signal that something is wrong arrives first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --quiet --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ok: all tier-1 checks passed"

@@ -31,8 +31,8 @@ pub use qrdtm_workloads as workloads;
 /// Commonly used items for writing QR-DTM programs.
 pub mod prelude {
     pub use qrdtm_core::{
-        Abort, AbortTarget, Cluster, Client, DtmConfig, LatencySpec, NestingMode, ObjVal,
-        ObjectId, Tx,
+        Abort, AbortTarget, Client, Cluster, DtmConfig, DtmProtocol, LatencySpec, NestingMode,
+        ObjVal, ObjectId, ProtocolStats, Tx,
     };
     pub use qrdtm_sim::{NodeId, SimDuration, SimTime};
 }

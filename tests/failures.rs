@@ -47,7 +47,15 @@ fn commits_continue_after_losing_the_whole_read_quorum() {
     let after = c.stats().commits;
     assert!(after > before, "no progress after failover");
     let (_, val) = c.latest(ObjectId(1)).unwrap();
-    assert_eq!(val, ObjVal::Int(after as i64), "no committed increment lost");
+    // `run_for` halts virtual time at an arbitrary instant, so the single
+    // client may have a commit applied on the quorum whose acknowledgement
+    // it has not yet counted — the value may lead the counter by at most
+    // that one in-flight transaction, but must never trail it.
+    let v = val.expect_int();
+    assert!(
+        v == after as i64 || v == after as i64 + 1,
+        "committed increments lost or duplicated: value {v}, commits {after}"
+    );
 }
 
 #[test]
@@ -106,7 +114,11 @@ fn recovered_node_catches_up_through_new_commits() {
     assert_eq!(v_before, qr_dtm::core::Version(1), "stale while down");
     c.recover_node(root).unwrap();
     let (v_synced, val_synced) = c.peek(root, ObjectId(1)).unwrap();
-    assert_eq!(v_synced, qr_dtm::core::Version(11), "state transfer on rejoin");
+    assert_eq!(
+        v_synced,
+        qr_dtm::core::Version(11),
+        "state transfer on rejoin"
+    );
     assert_eq!(val_synced, ObjVal::Int(10));
     assert_eq!(c.read_quorum(), vec![root]);
     // And new commits keep flowing through it.

@@ -170,7 +170,11 @@ fn reads_pick_newest_copy_across_quorum() {
         .find(|n| !wq.contains(n))
         .expect("some node outside the write quorum");
     let (v_stale, _) = c.peek(stale, obj).unwrap();
-    assert_eq!(v_stale, qr_dtm::core::Version(1), "replica outside wq is stale");
+    assert_eq!(
+        v_stale,
+        qr_dtm::core::Version(1),
+        "replica outside wq is stale"
+    );
     // ...yet the system-wide latest is the committed version.
     let (v, val) = c.latest(obj).unwrap();
     assert_eq!(v, qr_dtm::core::Version(2));

@@ -116,9 +116,15 @@ fn root_abort_triggers_compensation() {
     sim.run();
     let s = c.stats();
     assert!(attempts.get() >= 2, "T1 was forced to retry");
-    assert!(s.compensations >= 1, "the published increment was undone: {s:?}");
-    assert_eq!(s.open_commits as i64 - s.compensations as i64, 1,
-        "net effect: exactly one surviving increment");
+    assert!(
+        s.compensations >= 1,
+        "the published increment was undone: {s:?}"
+    );
+    assert_eq!(
+        s.open_commits as i64 - s.compensations as i64,
+        1,
+        "net effect: exactly one surviving increment"
+    );
     // Counter reflects exactly the surviving open commit.
     assert_eq!(c.latest(COUNTER).unwrap().1, ObjVal::Int(1));
     assert_eq!(c.latest(OTHER).unwrap().1, ObjVal::Int(11));
@@ -172,7 +178,10 @@ fn ct_retry_compensates_its_open_children() {
     sim.run();
     let s = c.stats();
     assert!(s.ct_aborts >= 1, "the closed CT retried: {s:?}");
-    assert!(s.compensations >= 1, "its open child was compensated: {s:?}");
+    assert!(
+        s.compensations >= 1,
+        "its open child was compensated: {s:?}"
+    );
     assert_eq!(
         s.open_commits as i64 - s.compensations as i64,
         1,

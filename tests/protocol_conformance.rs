@@ -1,0 +1,200 @@
+//! Protocol-conformance suite: one parameterized scenario set run against
+//! every [`DtmProtocol`] implementation — QR flat, QR-CN, QR-CHK, TFA
+//! (HyFlow) and Decent-STM.
+//!
+//! The trait promises begin/read/write/commit/restart semantics that the
+//! workload drivers rely on regardless of protocol:
+//!
+//! * **read-your-writes** — a transaction observes its own buffered write;
+//! * **write visibility after commit** — a committed write is observed by
+//!   a later transaction from another node;
+//! * **abort isolation** — a write buffered by an aborted attempt is never
+//!   observed, neither by the restarted attempt nor by other transactions;
+//! * **determinism per seed** — a contended run is reproducible message-
+//!   for-message given the same seed.
+
+use std::rc::Rc;
+
+use qr_dtm::baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
+use qr_dtm::core::{Cluster, DtmConfig, DtmProtocol, ObjVal, ObjectId, ProtocolStats};
+use qr_dtm::prelude::{Abort, NestingMode, NodeId};
+use qr_dtm::workloads::protocol_bank::transfer;
+
+const ACCOUNTS: u64 = 8;
+const INITIAL: i64 = 100;
+
+/// Run every scenario against clusters produced by `mk(seed)` (preloaded
+/// with `ACCOUNTS` integer objects of value `INITIAL`).
+fn conforms<P, F>(mk: F)
+where
+    P: DtmProtocol + 'static,
+    F: Fn(u64) -> Rc<P>,
+{
+    read_your_writes(mk(11));
+    write_visibility_after_commit(mk(12));
+    abort_isolation(mk(13));
+    determinism_per_seed(&mk);
+}
+
+fn read_your_writes<P: DtmProtocol + 'static>(p: Rc<P>) {
+    let p2 = Rc::clone(&p);
+    p.sim().spawn(async move {
+        let mut h = p2.begin(NodeId(0));
+        let a = p2.read(&mut h, ObjectId(1)).await.unwrap().expect_int();
+        assert_eq!(a, INITIAL);
+        p2.write(&mut h, ObjectId(1), ObjVal::Int(7)).await.unwrap();
+        assert_eq!(
+            p2.read(&mut h, ObjectId(1)).await.unwrap(),
+            ObjVal::Int(7),
+            "a transaction must observe its own write"
+        );
+        p2.commit(&mut h).await.unwrap();
+    });
+    p.sim().run();
+    assert_eq!(
+        p.protocol_stats(),
+        ProtocolStats {
+            commits: 1,
+            aborts: 0
+        }
+    );
+}
+
+fn write_visibility_after_commit<P: DtmProtocol + 'static>(p: Rc<P>) {
+    let p2 = Rc::clone(&p);
+    p.sim().spawn(async move {
+        let mut h = p2.begin(NodeId(0));
+        p2.write(&mut h, ObjectId(2), ObjVal::Int(INITIAL + 23))
+            .await
+            .unwrap();
+        p2.commit(&mut h).await.unwrap();
+
+        let mut h2 = p2.begin(NodeId(3));
+        assert_eq!(
+            p2.read(&mut h2, ObjectId(2)).await.unwrap(),
+            ObjVal::Int(INITIAL + 23),
+            "a committed write must be visible to later transactions"
+        );
+        p2.commit(&mut h2).await.unwrap();
+    });
+    p.sim().run();
+    assert_eq!(p.protocol_stats().commits, 2);
+}
+
+fn abort_isolation<P: DtmProtocol + 'static>(p: Rc<P>) {
+    let p2 = Rc::clone(&p);
+    p.sim().spawn(async move {
+        let mut h = p2.begin(NodeId(0));
+        p2.write(&mut h, ObjectId(0), ObjVal::Int(-1))
+            .await
+            .unwrap();
+        // The attempt aborts before commit; restart must discard the write.
+        p2.restart(&mut h, Abort::root()).await;
+        assert_eq!(
+            p2.read(&mut h, ObjectId(0)).await.unwrap(),
+            ObjVal::Int(INITIAL),
+            "the restarted attempt must not observe the aborted write"
+        );
+        p2.commit(&mut h).await.unwrap();
+
+        let mut h2 = p2.begin(NodeId(5));
+        assert_eq!(
+            p2.read(&mut h2, ObjectId(0)).await.unwrap(),
+            ObjVal::Int(INITIAL),
+            "other transactions must not observe the aborted write"
+        );
+        p2.commit(&mut h2).await.unwrap();
+    });
+    p.sim().run();
+}
+
+fn determinism_per_seed<P, F>(mk: &F)
+where
+    P: DtmProtocol + 'static,
+    F: Fn(u64) -> Rc<P>,
+{
+    let run_once = || {
+        let p = mk(99);
+        for node in 0..4u32 {
+            let p2 = Rc::clone(&p);
+            p.sim().spawn(async move {
+                for i in 0..3u64 {
+                    let from = ObjectId((u64::from(node) + i) % ACCOUNTS);
+                    let to = ObjectId((u64::from(node) + i + 1) % ACCOUNTS);
+                    transfer(&*p2, NodeId(node), from, to, 3).await;
+                }
+            });
+        }
+        p.sim().run();
+        (p.protocol_stats(), p.sim().metrics().sent_total)
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.0.commits, 12, "every transfer eventually commits");
+    assert_eq!(a, b, "same seed must replay the same run");
+}
+
+fn qr(mode: NestingMode) -> impl Fn(u64) -> Rc<Cluster> {
+    move |seed| {
+        let c = Rc::new(Cluster::new(DtmConfig {
+            nodes: 13,
+            mode,
+            seed,
+            ..Default::default()
+        }));
+        for i in 0..ACCOUNTS {
+            c.preload(ObjectId(i), ObjVal::Int(INITIAL));
+        }
+        c
+    }
+}
+
+#[test]
+fn qr_flat_conforms() {
+    assert_eq!(qr(NestingMode::Flat)(1).protocol_name(), "QR");
+    conforms(qr(NestingMode::Flat));
+}
+
+#[test]
+fn qr_cn_conforms() {
+    assert_eq!(qr(NestingMode::Closed)(1).protocol_name(), "QR-CN");
+    conforms(qr(NestingMode::Closed));
+}
+
+#[test]
+fn qr_chk_conforms() {
+    assert_eq!(qr(NestingMode::Checkpoint)(1).protocol_name(), "QR-CHK");
+    conforms(qr(NestingMode::Checkpoint));
+}
+
+#[test]
+fn tfa_conforms() {
+    let mk = |seed| {
+        let c = Rc::new(TfaCluster::new(TfaConfig {
+            seed,
+            ..Default::default()
+        }));
+        for i in 0..ACCOUNTS {
+            c.preload(ObjectId(i), ObjVal::Int(INITIAL));
+        }
+        c
+    };
+    assert_eq!(mk(1).protocol_name(), "HyFlow");
+    conforms(mk);
+}
+
+#[test]
+fn decent_conforms() {
+    let mk = |seed| {
+        let c = Rc::new(DecentCluster::new(DecentConfig {
+            seed,
+            ..Default::default()
+        }));
+        for i in 0..ACCOUNTS {
+            c.preload(ObjectId(i), ObjVal::Int(INITIAL));
+        }
+        c
+    };
+    assert_eq!(mk(1).protocol_name(), "Decent-STM");
+    conforms(mk);
+}

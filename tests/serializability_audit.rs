@@ -73,7 +73,10 @@ fn contended_bank_history_serializable_checkpoint() {
 #[test]
 fn contended_hashmap_history_serializable() {
     let c = audited_cluster(NestingMode::Closed, 67);
-    let map = hashmap::HashmapLayout { base: 0, buckets: 4 };
+    let map = hashmap::HashmapLayout {
+        base: 0,
+        buckets: 4,
+    };
     c.preload_all(map.setup());
     for node in 0..8u32 {
         let client = c.client(NodeId(node));
@@ -193,10 +196,7 @@ fn metric_space_cluster_runs_and_is_deterministic() {
             nodes: 13,
             mode: NestingMode::Closed,
             seed: 79,
-            latency: LatencySpec::Metric(
-                SimDuration::from_millis(20),
-                SimDuration::from_millis(1),
-            ),
+            latency: LatencySpec::Metric(SimDuration::from_millis(20), SimDuration::from_millis(1)),
             ..Default::default()
         });
         c.preload(ObjectId(1), ObjVal::Int(0));

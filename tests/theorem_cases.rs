@@ -31,7 +31,8 @@ fn case1_commit_before_first_read_is_visible() {
     c.preload(O_PRIME, ObjVal::Int(0));
     let tc = c.client(NodeId(4));
     c.sim().spawn(async move {
-        tc.run(|tx| async move { tx.write(O, ObjVal::Int(77)).await }).await;
+        tc.run(|tx| async move { tx.write(O, ObjVal::Int(77)).await })
+            .await;
     });
     c.sim().run(); // Tc fully committed
     let observed = Rc::new(Cell::new((0i64, 0i64)));
@@ -125,8 +126,8 @@ fn case3_commit_after_last_read_fails_t1_at_commit() {
             async move {
                 let a = tx.read(O).await?.expect_int();
                 let b = tx.read(O_PRIME).await?.expect_int(); // t2: last read
-                // Long pause AFTER all reads; Tc slips in here. No further
-                // reads happen, so only commit-time validation can catch it.
+                                                              // Long pause AFTER all reads; Tc slips in here. No further
+                                                              // reads happen, so only commit-time validation can catch it.
                 sim1.sleep(SimDuration::from_millis(150)).await;
                 tx.write(O_PRIME, ObjVal::Int(a + b + 1)).await?;
                 Ok(())
@@ -147,7 +148,10 @@ fn case3_commit_after_last_read_fails_t1_at_commit() {
     });
     c.sim().run();
     let s = c.stats();
-    assert!(s.root_aborts >= 1, "T1's first commit request was denied: {s:?}");
+    assert!(
+        s.root_aborts >= 1,
+        "T1's first commit request was denied: {s:?}"
+    );
     assert_eq!(s.commits, 2);
     // T1 retried from scratch and used the fresh o: 9 + 0 + 1.
     assert_eq!(c.latest(O_PRIME).unwrap().1, ObjVal::Int(10));

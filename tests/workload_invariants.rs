@@ -25,7 +25,10 @@ fn drive(c: &Cluster, n_clients: u32, spawner: impl Fn(qr_dtm::core::Client, u32
 
 fn hashmap_under_contention(mode: NestingMode) {
     let c = cluster(mode, 17);
-    let map = hashmap::HashmapLayout { base: 0, buckets: 4 };
+    let map = hashmap::HashmapLayout {
+        base: 0,
+        buckets: 4,
+    };
     c.preload_all(map.setup());
     drive(&c, 8, |client, node| {
         let sim = c.sim().clone();

@@ -1,0 +1,129 @@
+//! Offline drop-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal harness with the same call shape: `benchmark_group`,
+//! `sample_size`, `bench_function(|b| b.iter(..))`, `finish`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs its
+//! closure `sample_size` times and prints mean wall-clock time per
+//! iteration as plain text — enough to spot regressions by eye; there is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Top-level benchmark context (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f`'s `iter` closure and print the mean per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = b.elapsed_ns / b.timed_iters.max(1);
+        println!(
+            "  {}/{id}: {:.3} ms/iter ({} iters)",
+            self.name,
+            mean_ns as f64 / 1e6,
+            b.timed_iters
+        );
+        self
+    }
+
+    /// End the group (output is already printed incrementally).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly under the wall clock. The result is dropped,
+    /// but note the compiler may still optimise aggressively — keep real
+    /// work (like running a simulation) inside `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            let _ = f();
+        }
+        self.elapsed_ns += t0.elapsed().as_nanos() as u64;
+        self.timed_iters += self.iters;
+    }
+}
+
+/// Collect benchmark functions into a runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,393 @@
+//! Offline drop-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a small generator-only implementation: strategies produce random values
+//! from a per-test deterministic seed, and the [`proptest!`] macro runs the
+//! body for `ProptestConfig::cases` generated inputs. There is **no
+//! shrinking** — a failing case panics with the generated arguments left to
+//! the assertion message. Coverage comes from the tests' own case counts.
+//!
+//! Supported surface (exactly what the repo's property tests use):
+//! integer-range strategies, tuples of strategies, [`prelude::Just`],
+//! [`prelude::any`]`::<bool>()`, [`collection::vec`], `prop_map`,
+//! [`prop_oneof!`], and the `prop_assert!`/`prop_assert_eq!` family.
+
+pub mod strategy {
+    //! Core [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type from a seeded RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among same-valued strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the macro's boxed arms. Panics if empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng.random_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+
+    /// Strategy for `any::<bool>()`: a fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng.random_bool(0.5)
+        }
+    }
+
+    /// Types with a canonical strategy, for [`crate::arbitrary::any`].
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `any` entry point.
+
+    use crate::strategy::{Arbitrary, Strategy};
+
+    /// The canonical strategy for `T` (only `bool` is wired up here).
+    pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Half-open length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration and the per-test RNG.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many generated cases each `proptest!` test runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// The RNG handed to strategies: seeded from the test's name so every
+    /// run of the suite generates the same inputs (reproducibility over
+    /// novelty — failures are always replayable).
+    pub struct TestRng {
+        /// Underlying generator; strategies draw from it directly.
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for the named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: an optional `#![proptest_config(..)]` header and
+/// one or more `#[test] fn name(arg in strategy, ..) { body }` items. Each
+/// body runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Assert inside a property test (panics; there is no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Op {
+        A(i64),
+        B(i64),
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        crate::collection::vec(
+            (0..2u8, 0..10i64).prop_map(|(k, v)| if k == 0 { Op::A(v) } else { Op::B(v) }),
+            1..8,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0u64..100, (b, c) in (0u32..4, 1usize..9), flip in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert!(b < 4, "b={}", b);
+            prop_assert!((1..9).contains(&c));
+            let _ = flip;
+        }
+
+        #[test]
+        fn oneof_and_collections(mut v in ops(), pick in prop_oneof![Just(1i32), Just(2), Just(3)]) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!((1..=3).contains(&pick));
+            v.clear();
+            prop_assert_eq!(v.len(), 0);
+            prop_assert_ne!(pick, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let draw = || {
+            let mut rng = TestRng::for_test("fixed-name");
+            (0..20)
+                .map(|_| (0u64..1000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

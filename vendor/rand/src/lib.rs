@@ -1,0 +1,151 @@
+//! Offline drop-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a tiny, dependency-free implementation of exactly the surface the
+//! simulator needs: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`RngExt`] sampling helpers. The generator is SplitMix64 — not the
+//! upstream ChaCha stream, which is fine because nothing in this repo
+//! depends on the upstream byte stream; all results are calibrated against
+//! *this* generator and stay deterministic per seed.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Minimal core-RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Named RNGs (mirrors `rand::rngs`).
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Passes through all-zero seeds safely and has a full 2^64 period,
+    /// which is plenty for simulation workloads.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleRange: Sized {
+    /// Draw a value in `[range.start, range.end)`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u128;
+                // Modulo reduction: bias is < 2^-60 for every span this
+                // workspace draws from, and determinism is what matters.
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                range.start.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Sampling conveniences layered over any [`RngCore`] (mirrors the helper
+/// methods of `rand::Rng`).
+pub trait RngExt: RngCore {
+    /// Uniform draw from a half-open range.
+    fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self, 0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.random_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(11);
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.0));
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.random_range(0u64..1_000_000)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+}
