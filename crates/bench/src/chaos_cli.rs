@@ -1,0 +1,310 @@
+//! `repro chaos` — randomized fault injection with invariant checking.
+//!
+//! Drives the [`qrdtm_chaos`] nemesis against any of the five protocol
+//! configurations (QR, QR-CN, QR-CHK, TFA/HyFlow, Decent-STM) under the
+//! bank workload: generates seeded [`FaultPlan`]s (budget masked to what
+//! each protocol can honestly tolerate), runs them, checks balance
+//! conservation, serializability, liveness and re-convergence, and — on a
+//! violation — shrinks the plan to a minimal deterministic reproducer.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
+use qrdtm_chaos::{generate, run_plan, shrink, ChaosReport, ChaosSpec, FaultBudget, FaultPlan};
+use qrdtm_core::{Cluster, DtmConfig, NestingMode};
+use qrdtm_sim::SimDuration;
+
+/// One of the five protocol configurations the nemesis can target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Proto {
+    Qr,
+    QrCn,
+    QrChk,
+    Tfa,
+    Decent,
+}
+
+const ALL_PROTOS: [Proto; 5] = [
+    Proto::Qr,
+    Proto::QrCn,
+    Proto::QrChk,
+    Proto::Tfa,
+    Proto::Decent,
+];
+
+impl Proto {
+    fn label(self) -> &'static str {
+        match self {
+            Proto::Qr => "qr",
+            Proto::QrCn => "qr-cn",
+            Proto::QrChk => "qr-chk",
+            Proto::Tfa => "tfa",
+            Proto::Decent => "decent",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Vec<Proto>> {
+        if s == "all" {
+            return Some(ALL_PROTOS.to_vec());
+        }
+        ALL_PROTOS.iter().find(|p| p.label() == s).map(|p| vec![*p])
+    }
+
+    /// The fault budget this protocol can honestly be subjected to: the QR
+    /// configurations take the full vocabulary, the baselines (which the
+    /// paper states are not fault-tolerant) only gray failures.
+    fn budget(self, events: usize) -> FaultBudget {
+        match self {
+            Proto::Qr | Proto::QrCn | Proto::QrChk => FaultBudget::full(events),
+            Proto::Tfa | Proto::Decent => FaultBudget::gray(events),
+        }
+    }
+
+    /// Build a fresh cluster and run `plan` against it. A new cluster per
+    /// run is what makes replays (and the shrinker's re-runs) exact.
+    fn run(self, nodes: usize, seed: u64, spec: &ChaosSpec, plan: &FaultPlan) -> ChaosReport {
+        match self {
+            Proto::Qr => run_plan(qr(NestingMode::Flat, nodes, seed), nodes, spec, plan),
+            Proto::QrCn => run_plan(qr(NestingMode::Closed, nodes, seed), nodes, spec, plan),
+            Proto::QrChk => run_plan(qr(NestingMode::Checkpoint, nodes, seed), nodes, spec, plan),
+            Proto::Tfa => {
+                let cl = Rc::new(TfaCluster::new(TfaConfig {
+                    nodes,
+                    seed,
+                    ..Default::default()
+                }));
+                run_plan(cl, nodes, spec, plan)
+            }
+            Proto::Decent => {
+                let cl = Rc::new(DecentCluster::new(DecentConfig {
+                    nodes,
+                    seed,
+                    ..Default::default()
+                }));
+                run_plan(cl, nodes, spec, plan)
+            }
+        }
+    }
+}
+
+fn qr(mode: NestingMode, nodes: usize, seed: u64) -> Rc<Cluster> {
+    Rc::new(Cluster::new(DtmConfig {
+        nodes,
+        mode,
+        seed,
+        ..Default::default()
+    }))
+}
+
+struct ChaosArgs {
+    smoke: bool,
+    seed: u64,
+    seeds: u64,
+    protos: Vec<Proto>,
+    events: usize,
+    horizon_ms: Option<u64>,
+    nodes: usize,
+    plan: Option<PathBuf>,
+    save_plan: Option<PathBuf>,
+    fig10: Option<usize>,
+}
+
+fn chaos_usage() -> ! {
+    eprintln!(
+        "usage: repro chaos [--smoke] [--proto qr|qr-cn|qr-chk|tfa|decent|all] \
+         [--seed S] [--seeds N] [--events N] [--nodes N] [--horizon-ms H] \
+         [--fig10 K] [--plan FILE] [--save-plan FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> ChaosArgs {
+    let mut a = ChaosArgs {
+        smoke: false,
+        seed: 1,
+        seeds: 1,
+        protos: ALL_PROTOS.to_vec(),
+        events: 6,
+        horizon_ms: None,
+        nodes: 10,
+        plan: None,
+        save_plan: None,
+        fig10: None,
+    };
+    let val = |args: &mut dyn Iterator<Item = String>| -> String {
+        args.next().unwrap_or_else(|| chaos_usage())
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => a.smoke = true,
+            "--proto" => {
+                a.protos = Proto::parse(&val(&mut args)).unwrap_or_else(|| chaos_usage());
+            }
+            "--seed" => a.seed = val(&mut args).parse().unwrap_or_else(|_| chaos_usage()),
+            "--seeds" => a.seeds = val(&mut args).parse().unwrap_or_else(|_| chaos_usage()),
+            "--events" => a.events = val(&mut args).parse().unwrap_or_else(|_| chaos_usage()),
+            "--nodes" => a.nodes = val(&mut args).parse().unwrap_or_else(|_| chaos_usage()),
+            "--horizon-ms" => {
+                a.horizon_ms = Some(val(&mut args).parse().unwrap_or_else(|_| chaos_usage()));
+            }
+            "--fig10" => a.fig10 = Some(val(&mut args).parse().unwrap_or_else(|_| chaos_usage())),
+            "--plan" => a.plan = Some(PathBuf::from(val(&mut args))),
+            "--save-plan" => a.save_plan = Some(PathBuf::from(val(&mut args))),
+            _ => chaos_usage(),
+        }
+    }
+    a
+}
+
+/// Entry point for `repro chaos ...`. Returns the process exit code:
+/// 0 when every run's invariants held, 1 on any violation.
+pub fn run(args: impl Iterator<Item = String>) -> i32 {
+    let a = parse_args(args);
+    if a.smoke {
+        return smoke();
+    }
+    let mut spec = ChaosSpec::default();
+    if let Some(ms) = a.horizon_ms {
+        spec.horizon = SimDuration::from_millis(ms);
+    }
+    // A plan fixed on the command line (replay or Fig. 10 schedule)
+    // overrides seeded generation; the seed still varies the workload.
+    let fixed_plan: Option<FaultPlan> = if let Some(path) = &a.plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("chaos: cannot read {}: {e}", path.display());
+                return 2;
+            }
+        };
+        match FaultPlan::parse(&text) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("chaos: bad plan {}: {e}", path.display());
+                return 2;
+            }
+        }
+    } else {
+        a.fig10.map(|k| fig10_plan(k, spec.horizon))
+    };
+    println!("## chaos — randomized fault injection + invariant checking\n");
+    let mut failures = 0usize;
+    for seed in a.seed..a.seed + a.seeds {
+        for &proto in &a.protos {
+            let plan = match &fixed_plan {
+                Some(p) => p.clone(),
+                None => generate(seed, a.nodes as u32, spec.horizon, &proto.budget(a.events)),
+            };
+            if let Some(path) = &a.save_plan {
+                save_plan(path, &plan, proto, seed, a.nodes);
+            }
+            if !run_one(proto, seed, a.nodes, &spec, &plan, a.save_plan.as_deref()) {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("\nchaos: {failures} run(s) violated invariants");
+        1
+    } else {
+        println!("\nchaos: all invariants held");
+        0
+    }
+}
+
+/// The paper's Fig. 10 crash schedule as a plan: `k` successive crashes of
+/// the current first read-quorum member, spread over the fault window.
+fn fig10_plan(k: usize, horizon: SimDuration) -> FaultPlan {
+    let start = SimDuration::from_nanos(horizon.as_nanos() / 5);
+    let span = horizon.as_nanos() * 3 / 5;
+    let spacing = SimDuration::from_nanos(span / k.max(1) as u64);
+    FaultPlan::fig10(k, start, spacing)
+}
+
+fn save_plan(path: &std::path::Path, plan: &FaultPlan, proto: Proto, seed: u64, nodes: usize) {
+    let text = format!(
+        "# generated for --proto {} --seed {seed} --nodes {nodes}\n{}",
+        proto.label(),
+        plan.to_text()
+    );
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("chaos: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Run one (protocol, seed, plan) scenario, print its report line and, on
+/// a violation, the shrunken reproducer. Returns whether invariants held.
+fn run_one(
+    proto: Proto,
+    seed: u64,
+    nodes: usize,
+    spec: &ChaosSpec,
+    plan: &FaultPlan,
+    save_to: Option<&std::path::Path>,
+) -> bool {
+    let r = proto.run(nodes, seed, spec, plan);
+    println!(
+        "[{:<7} seed={seed} nodes={nodes}] plan={:>2}ev applied={:>2} skipped={} \
+         commits={:>5} aborts={:>4} dropped dead:{} part:{} link:{} drained={} => {}",
+        proto.label(),
+        plan.len(),
+        r.applied,
+        r.skipped,
+        r.commits,
+        r.aborts,
+        r.dropped,
+        r.dropped_by_partition,
+        r.dropped_by_link,
+        if r.drained { "yes" } else { "NO" },
+        if r.ok() { "OK" } else { "VIOLATION" },
+    );
+    if r.ok() {
+        return true;
+    }
+    for v in &r.violations {
+        println!("    ! {v}");
+    }
+    println!(
+        "    shrinking the {}-event plan to a minimal reproducer...",
+        plan.len()
+    );
+    let min = shrink(plan, |cand| !proto.run(nodes, seed, spec, cand).ok());
+    println!("    minimized plan ({} event(s)):", min.len());
+    for line in min.to_text().lines() {
+        println!("      {line}");
+    }
+    if let Some(path) = save_to {
+        save_plan(path, &min, proto, seed, nodes);
+        println!("    minimized plan written to {}", path.display());
+    }
+    println!(
+        "    repro: save the plan to FILE and run `repro chaos --proto {} --seed {seed} \
+         --nodes {nodes} --plan FILE` (fully deterministic)",
+        proto.label()
+    );
+    false
+}
+
+/// The fixed smoke suite `scripts/check.sh` runs: two seeds across all
+/// five protocols with the short spec, plus one Fig. 10 crash schedule.
+fn smoke() -> i32 {
+    let spec = ChaosSpec::smoke();
+    println!("## chaos --smoke — 2 seeds x 5 protocols + fig10 schedule\n");
+    let mut ok = true;
+    for seed in 1..=2u64 {
+        for proto in ALL_PROTOS {
+            let plan = generate(seed, 10, spec.horizon, &proto.budget(5));
+            ok &= run_one(proto, seed, 10, &spec, &plan, None);
+        }
+    }
+    let fig10 = fig10_plan(3, spec.horizon);
+    ok &= run_one(Proto::QrCn, 3, 10, &spec, &fig10, None);
+    if ok {
+        println!("\nchaos smoke: all invariants held");
+        0
+    } else {
+        eprintln!("\nchaos smoke: invariant violations found");
+        1
+    }
+}

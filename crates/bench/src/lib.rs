@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos_cli;
 pub mod harness;
 pub mod table;
 

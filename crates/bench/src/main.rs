@@ -16,12 +16,17 @@ use qrdtm_bench::{emit_figure, table};
 
 fn usage() -> ! {
     eprintln!("usage: repro <fig5|fig6|fig7|table8|fig9|fig10|ablation|all> [--quick] [--out DIR]");
+    eprintln!("       repro chaos [--smoke] [...]   (see `repro chaos --help`)");
     std::process::exit(2);
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
+    if cmd == "chaos" {
+        // The chaos subcommand owns its flag vocabulary.
+        std::process::exit(qrdtm_bench::chaos_cli::run(args));
+    }
     let mut quick = false;
     let mut out_dir: Option<PathBuf> = None;
     while let Some(a) = args.next() {

@@ -1,0 +1,235 @@
+//! Safety and liveness checkers run over a finished (or sampled) nemesis
+//! run.
+//!
+//! Safety is checked post-hoc at quiescence: bank-balance conservation
+//! (transfers move money, never create or destroy it) and, for targets
+//! with a history recorder, 1-copy serializability of the committed
+//! history (which subsumes read-your-writes and lost-update detection —
+//! see `qrdtm_core::history`). Liveness is checked from progress samples
+//! taken during the run: in every sufficiently long *quiet* window (no
+//! fault active, after a grace period for timeout/backoff recovery) the
+//! commit counter must advance — this covers both "progress between
+//! faults" and "re-convergence after heal", since the post-heal tail is
+//! itself a quiet window.
+
+use std::fmt;
+
+use qrdtm_sim::SimDuration;
+
+/// One invariant violation found by the checkers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosViolation {
+    /// The summed committed balances differ from the preloaded total.
+    BalanceLeak {
+        /// What the accounts were seeded with, summed.
+        expected: i64,
+        /// What they summed to at quiescence.
+        actual: i64,
+    },
+    /// An account object disappeared from committed state.
+    MissingAccount {
+        /// The vanished object id.
+        oid: u64,
+    },
+    /// The committed history is not 1-copy serializable (stale read, lost
+    /// update, broken version chain — stringified from `core::history`).
+    History(
+        /// The underlying violation, rendered.
+        String,
+    ),
+    /// A quiet window saw no commits.
+    NoProgress {
+        /// Window start (virtual time, ms).
+        from_ms: u64,
+        /// Window end (virtual time, ms).
+        to_ms: u64,
+    },
+    /// The run never quiesced: tasks were still stuck after every fault
+    /// was healed and the drain window elapsed.
+    Stuck {
+        /// Tasks still live at the end of the drain.
+        live_tasks: usize,
+    },
+}
+
+impl fmt::Display for ChaosViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosViolation::BalanceLeak { expected, actual } => write!(
+                f,
+                "balance conservation violated: expected total {expected}, found {actual}"
+            ),
+            ChaosViolation::MissingAccount { oid } => {
+                write!(f, "account object {oid} has no committed copy")
+            }
+            ChaosViolation::History(v) => write!(f, "history not serializable: {v}"),
+            ChaosViolation::NoProgress { from_ms, to_ms } => write!(
+                f,
+                "no commits in the fault-free window {from_ms}ms..{to_ms}ms"
+            ),
+            ChaosViolation::Stuck { live_tasks } => write!(
+                f,
+                "{live_tasks} client task(s) still stuck after heal + drain"
+            ),
+        }
+    }
+}
+
+/// One progress probe taken by the nemesis monitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Virtual time of the probe, nanoseconds.
+    pub at_ns: u64,
+    /// Cumulative committed transactions at the probe.
+    pub commits: u64,
+    /// Whether no fault was active at the probe.
+    pub quiet: bool,
+}
+
+/// Check liveness over the monitor samples: within every maximal quiet run
+/// of samples, once `grace` has passed since the run began (timeouts and
+/// backoffs from the preceding fault need time to unwind), any span of at
+/// least `window` must contain a commit.
+pub fn check_liveness(
+    samples: &[Sample],
+    grace: SimDuration,
+    window: SimDuration,
+) -> Vec<ChaosViolation> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < samples.len() {
+        if !samples[i].quiet {
+            i += 1;
+            continue;
+        }
+        // Maximal quiet run [i, j).
+        let mut j = i;
+        while j < samples.len() && samples[j].quiet {
+            j += 1;
+        }
+        let run = &samples[i..j];
+        let start_ns = run[0].at_ns + grace.as_nanos();
+        if let Some(first) = run.iter().position(|s| s.at_ns >= start_ns) {
+            let checked = &run[first..];
+            if let (Some(a), Some(b)) = (checked.first(), checked.last()) {
+                if b.at_ns - a.at_ns >= window.as_nanos() && b.commits == a.commits {
+                    out.push(ChaosViolation::NoProgress {
+                        from_ms: a.at_ns / 1_000_000,
+                        to_ms: b.at_ns / 1_000_000,
+                    });
+                }
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Check bank-balance conservation over committed account state.
+/// `balances[i]` is the committed value of account `i` (or `None` if the
+/// object has no committed copy).
+pub fn check_balances(balances: &[(u64, Option<i64>)], expected_total: i64) -> Vec<ChaosViolation> {
+    let mut out = Vec::new();
+    let mut total = 0i64;
+    for &(oid, bal) in balances {
+        match bal {
+            Some(b) => total += b,
+            None => out.push(ChaosViolation::MissingAccount { oid }),
+        }
+    }
+    if out.is_empty() && total != expected_total {
+        out.push(ChaosViolation::BalanceLeak {
+            expected: expected_total,
+            actual: total,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(at_ms: u64, commits: u64) -> Sample {
+        Sample {
+            at_ns: at_ms * 1_000_000,
+            commits,
+            quiet: true,
+        }
+    }
+
+    fn noisy(at_ms: u64, commits: u64) -> Sample {
+        Sample {
+            quiet: false,
+            ..q(at_ms, commits)
+        }
+    }
+
+    const GRACE: SimDuration = SimDuration::from_millis(100);
+    const WINDOW: SimDuration = SimDuration::from_millis(500);
+
+    #[test]
+    fn progress_in_quiet_windows_passes() {
+        let samples: Vec<Sample> = (0..20).map(|i| q(i * 100, i)).collect();
+        assert!(check_liveness(&samples, GRACE, WINDOW).is_empty());
+    }
+
+    #[test]
+    fn stalled_quiet_window_is_flagged() {
+        let samples: Vec<Sample> = (0..20).map(|i| q(i * 100, 7)).collect();
+        let v = check_liveness(&samples, GRACE, WINDOW);
+        assert_eq!(
+            v,
+            vec![ChaosViolation::NoProgress {
+                from_ms: 100,
+                to_ms: 1900
+            }]
+        );
+    }
+
+    #[test]
+    fn stall_during_faults_is_not_a_violation() {
+        // Commits frozen while the fault is active, resume after.
+        let mut samples: Vec<Sample> = (0..5).map(|i| q(i * 100, i)).collect();
+        samples.extend((5..15).map(|i| noisy(i * 100, 4)));
+        samples.extend((15..25).map(|i| q(i * 100, i - 10)));
+        assert!(check_liveness(&samples, GRACE, WINDOW).is_empty());
+    }
+
+    #[test]
+    fn grace_period_excuses_the_post_fault_hiccup() {
+        // Quiet resumes at t=1000ms but commits only restart at 1200ms —
+        // inside the 100ms grace the checker must not look, and the
+        // checked span does make progress.
+        let mut samples: Vec<Sample> = (0..10).map(|i| noisy(i * 100, 3)).collect();
+        samples.push(q(1000, 3));
+        samples.push(q(1100, 3));
+        samples.extend((12..25).map(|i| q(i * 100, i)));
+        assert!(check_liveness(&samples, GRACE, WINDOW).is_empty());
+    }
+
+    #[test]
+    fn short_quiet_runs_are_not_judged() {
+        let samples = vec![noisy(0, 0), q(100, 0), q(200, 0), noisy(300, 0)];
+        assert!(check_liveness(&samples, GRACE, WINDOW).is_empty());
+    }
+
+    #[test]
+    fn balance_conservation() {
+        let ok = [(0u64, Some(900i64)), (1, Some(1100)), (2, Some(1000))];
+        assert!(check_balances(&ok, 3000).is_empty());
+        let leak = [(0u64, Some(900i64)), (1, Some(1099))];
+        assert_eq!(
+            check_balances(&leak, 2000),
+            vec![ChaosViolation::BalanceLeak {
+                expected: 2000,
+                actual: 1999
+            }]
+        );
+        let missing = [(0u64, Some(1000i64)), (1, None)];
+        assert_eq!(
+            check_balances(&missing, 2000),
+            vec![ChaosViolation::MissingAccount { oid: 1 }]
+        );
+    }
+}

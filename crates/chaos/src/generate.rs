@@ -1,0 +1,273 @@
+//! Seeded fault-plan generation and plan shrinking.
+//!
+//! [`generate`] samples a random but *bounded* plan: every injected fault
+//! is paired with its cure inside the plan horizon, so a generated plan
+//! always ends with a healthy network (the nemesis additionally heals
+//! everything at the horizon as a backstop). [`shrink`] minimizes a
+//! failing plan with the classic delta-debugging moves — smallest failing
+//! prefix, then greedy single-event removal — re-running the (fully
+//! deterministic) repro closure at each step.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use qrdtm_sim::SimDuration;
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+
+/// How many faults of each class a generated plan may contain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultBudget {
+    /// Crash/recover pairs.
+    pub crashes: usize,
+    /// Partition/heal pairs.
+    pub partitions: usize,
+    /// Per-link drop faults (each paired with a heal-link).
+    pub drops: usize,
+    /// Per-link latency spikes (each paired with a heal-link).
+    pub delays: usize,
+    /// Slow-node gray failures (each paired with a restore).
+    pub slowdowns: usize,
+}
+
+impl FaultBudget {
+    /// Spread `n` faults round-robin over every class.
+    pub fn full(n: usize) -> Self {
+        let mut b = FaultBudget::default();
+        let slots = [0usize, 1, 2, 3, 4];
+        for i in 0..n {
+            match slots[i % slots.len()] {
+                0 => b.crashes += 1,
+                1 => b.partitions += 1,
+                2 => b.drops += 1,
+                3 => b.delays += 1,
+                _ => b.slowdowns += 1,
+            }
+        }
+        b
+    }
+
+    /// Gray failures only (latency spikes and slow nodes) — what protocols
+    /// without crash tolerance (TFA, Decent-STM) can be subjected to
+    /// without violating their own assumptions.
+    pub fn gray(n: usize) -> Self {
+        FaultBudget {
+            delays: n.div_ceil(2),
+            slowdowns: n / 2,
+            ..FaultBudget::default()
+        }
+    }
+
+    /// Total faults (not counting the paired cures).
+    pub fn total(&self) -> usize {
+        self.crashes + self.partitions + self.drops + self.delays + self.slowdowns
+    }
+}
+
+/// Sample a random fault plan: each budgeted fault starts somewhere in the
+/// first ~60% of `horizon` and is cured after a random span, no later than
+/// ~90% of `horizon`. Deterministic per `(seed, nodes, horizon, budget)`.
+pub fn generate(seed: u64, nodes: u32, horizon: SimDuration, budget: &FaultBudget) -> FaultPlan {
+    assert!(
+        nodes >= 2,
+        "need at least two nodes to break things between"
+    );
+    // Decorrelate from workload RNG streams seeded with the same value.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xc4a05);
+    let h = horizon.as_nanos();
+    let mut events = Vec::new();
+    let window = |rng: &mut StdRng| {
+        // Quantized to whole microseconds so plans survive the text format.
+        let t0 = rng.random_range(h / 20..h * 6 / 10) / 1_000 * 1_000;
+        let dur = rng.random_range(h / 10..h * 3 / 10);
+        (
+            SimDuration::from_nanos(t0),
+            SimDuration::from_nanos((t0 + dur).min(h * 9 / 10) / 1_000 * 1_000),
+        )
+    };
+    for _ in 0..budget.crashes {
+        let node = rng.random_range(0..nodes);
+        let (at, cure) = window(&mut rng);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::Crash { node },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::Recover { node },
+        });
+    }
+    for _ in 0..budget.partitions {
+        // A random cut: k consecutive ids (mod n) on one side, rest on the
+        // other. Both sides are non-empty by construction.
+        let k = rng.random_range(1..nodes);
+        let off = rng.random_range(0..nodes);
+        let side: Vec<u32> = (0..k).map(|i| (off + i) % nodes).collect();
+        let rest: Vec<u32> = (0..nodes).filter(|n| !side.contains(n)).collect();
+        let (at, cure) = window(&mut rng);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::Partition {
+                groups: vec![side, rest],
+            },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::Heal,
+        });
+    }
+    let link = |rng: &mut StdRng| {
+        let from = rng.random_range(0..nodes);
+        let mut to = rng.random_range(0..nodes);
+        if to == from {
+            to = (to + 1) % nodes;
+        }
+        (from, to)
+    };
+    for _ in 0..budget.drops {
+        let (from, to) = link(&mut rng);
+        let permille = rng.random_range(200..601) as u16;
+        let (at, cure) = window(&mut rng);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::DropLink { from, to, permille },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::HealLink { from, to },
+        });
+    }
+    for _ in 0..budget.delays {
+        let (from, to) = link(&mut rng);
+        let extra_us = rng.random_range(5_000..40_000u64);
+        let (at, cure) = window(&mut rng);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::Delay { from, to, extra_us },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::HealLink { from, to },
+        });
+    }
+    for _ in 0..budget.slowdowns {
+        let node = rng.random_range(0..nodes);
+        let factor_pct = rng.random_range(200..800);
+        let (at, cure) = window(&mut rng);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::Slow { node, factor_pct },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::Restore { node },
+        });
+    }
+    FaultPlan::new(events)
+}
+
+/// Minimize a failing plan: `fails(candidate)` must deterministically
+/// re-run the scenario and report whether the violation reproduces.
+/// Precondition: `fails(plan)` is true. Returns a (usually much) smaller
+/// plan that still fails. With no shrinking possible, returns the input.
+pub fn shrink(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut best = plan.clone();
+    // Smallest failing prefix first: violations usually trigger early.
+    for k in 1..best.len() {
+        let cand = best.prefix(k);
+        if fails(&cand) {
+            best = cand;
+            break;
+        }
+    }
+    // Then greedy single-event removal, scanning from the tail so cures
+    // (which sort late) go first.
+    let mut i = best.len();
+    while i > 0 {
+        i -= 1;
+        if best.len() <= 1 {
+            break;
+        }
+        let cand = best.without(i);
+        if fails(&cand) {
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let horizon = SimDuration::from_secs(4);
+        let b = FaultBudget::full(7);
+        assert_eq!(b.total(), 7);
+        let a = generate(11, 13, horizon, &b);
+        let b2 = generate(11, 13, horizon, &b);
+        assert_eq!(a, b2, "same seed, same plan");
+        assert_ne!(a, generate(12, 13, horizon, &FaultBudget::full(7)));
+        assert_eq!(a.len(), 14, "every fault has a paired cure");
+        for ev in &a.events {
+            assert!(ev.at <= horizon, "events stay inside the horizon");
+        }
+    }
+
+    #[test]
+    fn gray_budget_generates_only_gray_faults() {
+        let p = generate(3, 10, SimDuration::from_secs(2), &FaultBudget::gray(6));
+        for ev in &p.events {
+            assert!(
+                matches!(
+                    ev.kind,
+                    FaultKind::Delay { .. }
+                        | FaultKind::Slow { .. }
+                        | FaultKind::HealLink { .. }
+                        | FaultKind::Restore { .. }
+                ),
+                "non-gray event {:?}",
+                ev.kind
+            );
+        }
+    }
+
+    #[test]
+    fn generated_plans_round_trip_through_text() {
+        for seed in 0..8 {
+            let p = generate(seed, 13, SimDuration::from_secs(3), &FaultBudget::full(6));
+            assert_eq!(FaultPlan::parse(&p.to_text()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn shrink_finds_the_single_guilty_event() {
+        // A synthetic oracle: the run "fails" iff the plan still contains
+        // the crash of node 7.
+        let p = generate(5, 13, SimDuration::from_secs(4), &FaultBudget::full(10));
+        let guilty = FaultEvent {
+            at: SimDuration::from_millis(100),
+            kind: FaultKind::Crash { node: 7 },
+        };
+        let mut with_guilty = p.clone();
+        with_guilty.events.insert(0, guilty.clone());
+        let fails = |cand: &FaultPlan| cand.events.contains(&guilty);
+        assert!(fails(&with_guilty));
+        let min = shrink(&with_guilty, fails);
+        assert_eq!(min.events, vec![guilty], "shrunk to exactly the cause");
+    }
+
+    #[test]
+    fn shrink_returns_input_when_nothing_smaller_fails() {
+        let p = FaultPlan::fig10(
+            2,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(100),
+        );
+        // Only the full plan fails.
+        let full = p.clone();
+        let min = shrink(&p, |cand| *cand == full);
+        assert_eq!(min, p);
+    }
+}

@@ -1,0 +1,581 @@
+//! The nemesis: drives a bank workload on any [`ChaosTarget`] while
+//! injecting a [`FaultPlan`] at virtual-time offsets, then runs the
+//! checkers.
+//!
+//! A run has four phases, all in virtual time:
+//!
+//! 1. **Plan window** (`spec.horizon`): closed-loop bank clients run on
+//!    every node while the nemesis applies plan events at their offsets.
+//! 2. **Heal-all**: at the horizon every remaining fault is cured
+//!    (crashed nodes recovered, partition healed, link faults cleared,
+//!    slow nodes restored) — generated plans cure their own faults, but
+//!    hand-written or shrunken plans need the backstop.
+//! 3. **Recovery tail** (`spec.recovery`): clients keep running on the
+//!    healed cluster, so the liveness checker can observe re-convergence.
+//! 4. **Drain**: clients are told to stop after their current
+//!    transaction and the simulator runs to quiescence (bounded by
+//!    `spec.drain`); only then is committed state snapshotted, so the
+//!    safety checkers never see a mid-2PC cut.
+//!
+//! Everything derives from the target's simulator seed plus the plan, so
+//! a `(config, seed, plan)` triple replays bit-identically —
+//! [`ChaosReport::fingerprint`] makes that checkable.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use qrdtm_core::{ObjVal, ObjectId};
+use qrdtm_sim::{EngineEventKind, NodeId, Sim, SimDuration};
+use qrdtm_workloads::protocol_bank::{audit, transfer};
+
+use crate::checkers::{check_balances, check_liveness, ChaosViolation, Sample};
+use crate::plan::{FaultKind, FaultPlan};
+use crate::target::ChaosTarget;
+
+/// Shape of a nemesis run (workload mix and phase lengths).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosSpec {
+    /// Number of bank accounts.
+    pub accounts: u64,
+    /// Percentage of read-only audits in the mix.
+    pub read_pct: u32,
+    /// Closed-loop clients per node.
+    pub clients_per_node: usize,
+    /// Initial balance per account (conservation invariant base).
+    pub initial_balance: i64,
+    /// Plan window: fault offsets beyond this are clamped to heal-all time.
+    pub horizon: SimDuration,
+    /// Healthy tail after heal-all, for re-convergence checking.
+    pub recovery: SimDuration,
+    /// Upper bound on the post-stop drain to quiescence.
+    pub drain: SimDuration,
+    /// Monitor sampling interval.
+    pub probe: SimDuration,
+    /// Grace after a fault clears before liveness is judged.
+    pub quiet_grace: SimDuration,
+    /// Minimum quiet span that must contain a commit.
+    pub progress_window: SimDuration,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            accounts: 16,
+            read_pct: 40,
+            clients_per_node: 1,
+            initial_balance: 1_000,
+            horizon: SimDuration::from_secs(4),
+            recovery: SimDuration::from_secs(3),
+            drain: SimDuration::from_secs(60),
+            probe: SimDuration::from_millis(200),
+            quiet_grace: SimDuration::from_millis(700),
+            progress_window: SimDuration::from_millis(1_200),
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// A short configuration for smoke tests: same mix, ~2s of faults.
+    pub fn smoke() -> Self {
+        ChaosSpec {
+            accounts: 12,
+            horizon: SimDuration::from_secs(2),
+            recovery: SimDuration::from_secs(2),
+            ..ChaosSpec::default()
+        }
+    }
+}
+
+/// Deterministic digest of a run; equal inputs must produce equal
+/// fingerprints (the nemesis determinism property).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Messages sent.
+    pub sent_total: u64,
+    /// Simulator events executed.
+    pub events: u64,
+    /// Virtual end time, nanoseconds.
+    pub end_ns: u64,
+}
+
+/// Outcome of one nemesis run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Target protocol name ("QR-CN", "HyFlow", ...).
+    pub protocol: &'static str,
+    /// Committed transactions over the whole run.
+    pub commits: u64,
+    /// Aborted attempts over the whole run.
+    pub aborts: u64,
+    /// Plan events actually applied.
+    pub applied: usize,
+    /// Plan events skipped (unsupported by the target, out of range, or
+    /// inapplicable — e.g. crashing the last quorum member).
+    pub skipped: usize,
+    /// Human-readable nemesis actions, in order.
+    pub fault_log: Vec<String>,
+    /// Messages dropped at dead nodes.
+    pub dropped: u64,
+    /// Messages dropped by the partition.
+    pub dropped_by_partition: u64,
+    /// Messages dropped by per-link loss faults.
+    pub dropped_by_link: u64,
+    /// `FaultInjected` engine events in the metrics log (one per applied
+    /// fault, plus one for heal-all).
+    pub fault_events_recorded: u64,
+    /// Whether the run quiesced within the drain bound.
+    pub drained: bool,
+    /// Invariant violations found (empty = verdict OK).
+    pub violations: Vec<ChaosViolation>,
+    /// Determinism digest.
+    pub fingerprint: Fingerprint,
+}
+
+impl ChaosReport {
+    /// Whether every checked invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct NemesisState {
+    crashed: BTreeSet<u32>,
+    partitioned: bool,
+    links: BTreeSet<(u32, u32)>,
+    slowed: BTreeSet<u32>,
+    applied: usize,
+    skipped: usize,
+    log: Vec<String>,
+}
+
+impl NemesisState {
+    fn quiet(&self) -> bool {
+        self.crashed.is_empty()
+            && !self.partitioned
+            && self.links.is_empty()
+            && self.slowed.is_empty()
+    }
+}
+
+/// Run `plan` against a freshly constructed protocol cluster under the
+/// bank workload and return the checked report. The cluster must be
+/// new — preloading and history recording happen here.
+pub fn run_plan<P: ChaosTarget + 'static>(
+    proto: Rc<P>,
+    nodes: usize,
+    spec: &ChaosSpec,
+    plan: &FaultPlan,
+) -> ChaosReport {
+    assert!(nodes >= 2, "chaos needs at least two nodes");
+    let sim = proto.sim().clone();
+    sim.record_engine_events(true);
+    for i in 0..spec.accounts {
+        proto.preload(ObjectId(i), ObjVal::Int(spec.initial_balance));
+    }
+    proto.begin_history();
+
+    let stop = Rc::new(Cell::new(false));
+    let state = Rc::new(RefCell::new(NemesisState::default()));
+
+    // Closed-loop bank clients, one set per node. A client whose node is
+    // down idles until it comes back (a crashed node runs no workload).
+    for node in 0..nodes as u32 {
+        for _ in 0..spec.clients_per_node {
+            let p = Rc::clone(&proto);
+            let stop = Rc::clone(&stop);
+            let s = sim.clone();
+            let spec = *spec;
+            sim.spawn(async move {
+                while !stop.get() {
+                    if !s.is_alive(NodeId(node)) {
+                        s.sleep(spec.probe).await;
+                        continue;
+                    }
+                    let a = s.rand_below(spec.accounts);
+                    let mut b = s.rand_below(spec.accounts);
+                    if b == a {
+                        b = (b + 1) % spec.accounts;
+                    }
+                    if s.rand_below(100) < u64::from(spec.read_pct) {
+                        audit(&*p, NodeId(node), ObjectId(a), ObjectId(b)).await;
+                    } else {
+                        transfer(&*p, NodeId(node), ObjectId(a), ObjectId(b), 5).await;
+                    }
+                }
+            });
+        }
+    }
+
+    // Progress monitor for the liveness checker.
+    let samples: Rc<RefCell<Vec<Sample>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let p = Rc::clone(&proto);
+        let stop = Rc::clone(&stop);
+        let st = Rc::clone(&state);
+        let out = Rc::clone(&samples);
+        let s = sim.clone();
+        let probe = spec.probe;
+        sim.spawn(async move {
+            while !stop.get() {
+                out.borrow_mut().push(Sample {
+                    at_ns: s.now().as_nanos(),
+                    commits: p.protocol_stats().commits,
+                    quiet: st.borrow().quiet(),
+                });
+                s.sleep(probe).await;
+            }
+        });
+    }
+
+    // The nemesis itself: apply events at their offsets, heal everything
+    // at the horizon.
+    {
+        let p = Rc::clone(&proto);
+        let st = Rc::clone(&state);
+        let s = sim.clone();
+        let plan = plan.clone();
+        let horizon = spec.horizon;
+        let n = nodes as u32;
+        sim.spawn(async move {
+            let t0 = s.now();
+            for ev in plan.events {
+                let due = t0 + ev.at.min(horizon);
+                if due > s.now() {
+                    s.sleep(due - s.now()).await;
+                }
+                apply_event(&*p, &s, &mut st.borrow_mut(), ev.kind, n);
+            }
+            let heal_at = t0 + horizon;
+            if heal_at > s.now() {
+                s.sleep(heal_at - s.now()).await;
+            }
+            heal_all(&*p, &s, &mut st.borrow_mut());
+        });
+    }
+
+    sim.run_for(spec.horizon + spec.recovery);
+    stop.set(true);
+    sim.run_for(spec.drain);
+    let drained = sim.live_tasks() == 0;
+
+    // Post-hoc checks, only on quiescent state — a cut through an
+    // in-flight 2PC is not a committed snapshot.
+    let mut violations = Vec::new();
+    if drained {
+        let balances: Vec<(u64, Option<i64>)> = (0..spec.accounts)
+            .map(|i| (i, proto.committed_int(ObjectId(i))))
+            .collect();
+        violations.extend(check_balances(
+            &balances,
+            spec.initial_balance * spec.accounts as i64,
+        ));
+    } else {
+        violations.push(ChaosViolation::Stuck {
+            live_tasks: sim.live_tasks(),
+        });
+    }
+    violations.extend(
+        proto
+            .history_violations()
+            .into_iter()
+            .map(ChaosViolation::History),
+    );
+    violations.extend(check_liveness(
+        &samples.borrow(),
+        spec.quiet_grace,
+        spec.progress_window,
+    ));
+
+    let m = sim.metrics();
+    let stats = proto.protocol_stats();
+    let st = state.borrow();
+    ChaosReport {
+        protocol: proto.protocol_name(),
+        commits: stats.commits,
+        aborts: stats.aborts,
+        applied: st.applied,
+        skipped: st.skipped,
+        fault_log: st.log.clone(),
+        dropped: m.dropped,
+        dropped_by_partition: m.dropped_by_partition,
+        dropped_by_link: m.dropped_by_link,
+        fault_events_recorded: m.engine_events(EngineEventKind::FaultInjected),
+        drained,
+        violations,
+        fingerprint: Fingerprint {
+            commits: stats.commits,
+            aborts: stats.aborts,
+            sent_total: m.sent_total,
+            events: m.events,
+            end_ns: sim.now().as_nanos(),
+        },
+    }
+}
+
+fn apply_event<P: ChaosTarget>(
+    p: &P,
+    s: &Sim<P::Msg>,
+    st: &mut NemesisState,
+    kind: FaultKind,
+    nodes: u32,
+) {
+    let support = p.fault_support();
+    let now_us = s.now().as_nanos() / 1_000;
+    if !support.allows(&kind) {
+        st.skipped += 1;
+        st.log
+            .push(format!("@{now_us}us skip (unsupported): {kind}"));
+        return;
+    }
+    let mut applied_on: Option<NodeId> = None;
+    match &kind {
+        FaultKind::Crash { node } => {
+            if *node < nodes && !st.crashed.contains(node) && p.crash(NodeId(*node)) {
+                st.crashed.insert(*node);
+                applied_on = Some(NodeId(*node));
+            }
+        }
+        FaultKind::CrashReadQuorum => {
+            if let Some(victim) = p.read_quorum_victim() {
+                if p.crash(victim) {
+                    st.crashed.insert(victim.0);
+                    applied_on = Some(victim);
+                }
+            }
+        }
+        FaultKind::Recover { node } => {
+            if st.crashed.contains(node) && p.recover_crashed(NodeId(*node)) {
+                st.crashed.remove(node);
+                applied_on = Some(NodeId(*node));
+            }
+        }
+        FaultKind::Partition { groups } => {
+            let mapped: Vec<Vec<NodeId>> = groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .filter(|&&n| n < nodes)
+                        .map(|&n| NodeId(n))
+                        .collect::<Vec<_>>()
+                })
+                .filter(|g: &Vec<NodeId>| !g.is_empty())
+                .collect();
+            if mapped.len() >= 2 || (mapped.len() == 1 && (mapped[0].len() as u32) < nodes) {
+                s.set_partition(&mapped);
+                st.partitioned = true;
+                applied_on = Some(NodeId(0));
+            }
+        }
+        FaultKind::Heal => {
+            s.heal_partition();
+            st.partitioned = false;
+            applied_on = Some(NodeId(0));
+        }
+        FaultKind::DropLink { from, to, permille } => {
+            if *from < nodes && *to < nodes && from != to && *permille > 0 {
+                s.set_link_drop(NodeId(*from), NodeId(*to), *permille);
+                st.links.insert((*from, *to));
+                applied_on = Some(NodeId(*from));
+            }
+        }
+        FaultKind::Delay { from, to, extra_us } => {
+            if *from < nodes && *to < nodes && from != to && *extra_us > 0 {
+                s.set_link_delay(
+                    NodeId(*from),
+                    NodeId(*to),
+                    SimDuration::from_micros(*extra_us),
+                );
+                st.links.insert((*from, *to));
+                applied_on = Some(NodeId(*from));
+            }
+        }
+        FaultKind::HealLink { from, to } => {
+            if *from < nodes && *to < nodes {
+                s.clear_link_fault(NodeId(*from), NodeId(*to));
+                st.links.remove(&(*from, *to));
+                applied_on = Some(NodeId(*from));
+            }
+        }
+        FaultKind::Slow { node, factor_pct } => {
+            if *node < nodes && *factor_pct > 0 {
+                s.set_service_factor(NodeId(*node), f64::from(*factor_pct) / 100.0);
+                st.slowed.insert(*node);
+                applied_on = Some(NodeId(*node));
+            }
+        }
+        FaultKind::Restore { node } => {
+            if *node < nodes {
+                s.set_service_factor(NodeId(*node), 1.0);
+                st.slowed.remove(node);
+                applied_on = Some(NodeId(*node));
+            }
+        }
+    }
+    match applied_on {
+        Some(n) => {
+            st.applied += 1;
+            st.log.push(format!("@{now_us}us {kind}"));
+            s.emit_engine_event(EngineEventKind::FaultInjected, n, kind.code());
+        }
+        None => {
+            st.skipped += 1;
+            st.log
+                .push(format!("@{now_us}us skip (inapplicable): {kind}"));
+        }
+    }
+}
+
+/// Cure everything still active: the backstop that guarantees the
+/// recovery tail and the final snapshot run on a healthy cluster.
+fn heal_all<P: ChaosTarget>(p: &P, s: &Sim<P::Msg>, st: &mut NemesisState) {
+    let crashed: Vec<u32> = st.crashed.iter().copied().collect();
+    for node in crashed {
+        p.recover_crashed(NodeId(node));
+    }
+    st.crashed.clear();
+    s.heal_partition();
+    st.partitioned = false;
+    s.clear_all_link_faults();
+    st.links.clear();
+    let slowed: Vec<u32> = st.slowed.iter().copied().collect();
+    for node in slowed {
+        s.set_service_factor(NodeId(node), 1.0);
+    }
+    st.slowed.clear();
+    let now_us = s.now().as_nanos() / 1_000;
+    st.log.push(format!("@{now_us}us heal-all"));
+    s.emit_engine_event(EngineEventKind::FaultInjected, NodeId(0), 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, FaultBudget};
+    use crate::plan::FaultEvent;
+    use qrdtm_baselines::{TfaCluster, TfaConfig};
+    use qrdtm_core::{Cluster, DtmConfig, NestingMode};
+
+    fn quick_spec() -> ChaosSpec {
+        ChaosSpec {
+            accounts: 8,
+            horizon: SimDuration::from_millis(1_500),
+            recovery: SimDuration::from_millis(1_500),
+            ..ChaosSpec::default()
+        }
+    }
+
+    fn qr(seed: u64) -> Rc<Cluster> {
+        Rc::new(Cluster::new(DtmConfig {
+            nodes: 10,
+            mode: NestingMode::Closed,
+            seed,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn empty_plan_is_a_healthy_run() {
+        let r = run_plan(qr(1), 10, &quick_spec(), &FaultPlan::empty());
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.drained);
+        assert!(r.commits > 0);
+        assert_eq!(r.applied, 0);
+        assert_eq!(r.dropped_by_partition + r.dropped_by_link, 0);
+    }
+
+    #[test]
+    fn partitions_and_drops_are_demonstrably_exercised() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(200),
+                kind: FaultKind::Partition {
+                    groups: vec![vec![0, 1, 2, 3, 4], vec![5, 6, 7, 8, 9]],
+                },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(700),
+                kind: FaultKind::Heal,
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(800),
+                kind: FaultKind::DropLink {
+                    from: 9,
+                    to: 0,
+                    permille: 500,
+                },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_300),
+                kind: FaultKind::HealLink { from: 9, to: 0 },
+            },
+        ]);
+        let r = run_plan(qr(2), 10, &quick_spec(), &plan);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.applied, 4);
+        assert!(r.dropped_by_partition > 0, "partition saw no traffic");
+        assert!(r.dropped_by_link > 0, "lossy link saw no traffic");
+        // One FaultInjected engine event per applied fault + heal-all.
+        assert_eq!(r.fault_events_recorded, 5);
+    }
+
+    #[test]
+    fn fig10_crash_schedule_runs_and_commits() {
+        let plan = FaultPlan::fig10(
+            3,
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(300),
+        );
+        let r = run_plan(qr(3), 10, &quick_spec(), &plan);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.applied, 3, "all three read-quorum crashes landed");
+        assert!(r.commits > 0);
+        assert!(r.dropped > 0, "traffic toward the dead quorum was dropped");
+    }
+
+    #[test]
+    fn unsupported_faults_are_skipped_on_baselines() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(200),
+                kind: FaultKind::Crash { node: 1 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(400),
+                kind: FaultKind::Slow {
+                    node: 2,
+                    factor_pct: 400,
+                },
+            },
+        ]);
+        let tfa = Rc::new(TfaCluster::new(TfaConfig {
+            nodes: 10,
+            seed: 4,
+            ..Default::default()
+        }));
+        let r = run_plan(tfa, 10, &quick_spec(), &plan);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.skipped, 1, "crash skipped on a non-fault-tolerant target");
+        assert_eq!(r.applied, 1, "the gray slow-node fault applied");
+    }
+
+    #[test]
+    fn same_seed_same_plan_same_fingerprint() {
+        let spec = quick_spec();
+        let plan = generate(7, 10, spec.horizon, &FaultBudget::full(4));
+        let a = run_plan(qr(7), 10, &spec, &plan);
+        let b = run_plan(qr(7), 10, &spec, &plan);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.fault_log, b.fault_log);
+        let c = run_plan(qr(8), 10, &spec, &plan);
+        assert_ne!(
+            a.fingerprint, c.fingerprint,
+            "different cluster seed perturbs the run"
+        );
+    }
+}

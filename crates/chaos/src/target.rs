@@ -1,0 +1,189 @@
+//! What the nemesis needs from a protocol beyond [`DtmProtocol`]:
+//! which fault classes it can honestly be subjected to, how to crash and
+//! recover its nodes, and how to read back committed state for the
+//! checkers.
+
+use qrdtm_baselines::{DecentCluster, TfaCluster};
+use qrdtm_core::{Cluster, DtmProtocol, ObjectId};
+use qrdtm_sim::NodeId;
+
+use crate::plan::FaultKind;
+
+/// The fault classes a protocol tolerates by design.
+///
+/// The paper is explicit that the baselines are *not* fault-tolerant (TFA
+/// has single-copy home nodes; Decent-STM as modelled has no recovery
+/// protocol), so subjecting them to crashes or partitions would only
+/// reconfirm their stated assumptions by hanging or losing the single
+/// copy. Gray failures — slow nodes, latency spikes — violate no
+/// assumption of any protocol, so every target supports them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSupport {
+    /// Crash-stop failures with quorum-view repair.
+    pub crashes: bool,
+    /// Network partitions.
+    pub partitions: bool,
+    /// Probabilistic per-link message loss.
+    pub link_drops: bool,
+}
+
+impl FaultSupport {
+    /// Everything (the QR-DTM configurations).
+    pub fn all() -> Self {
+        FaultSupport {
+            crashes: true,
+            partitions: true,
+            link_drops: true,
+        }
+    }
+
+    /// Gray failures only (the baselines).
+    pub fn gray_only() -> Self {
+        FaultSupport {
+            crashes: false,
+            partitions: false,
+            link_drops: false,
+        }
+    }
+
+    /// Whether a fault event may be applied to a target with this support.
+    /// Cures are always allowed (they only remove faults).
+    pub fn allows(&self, kind: &FaultKind) -> bool {
+        if kind.is_cure() {
+            return true;
+        }
+        match kind {
+            FaultKind::Crash { .. } | FaultKind::CrashReadQuorum => self.crashes,
+            FaultKind::Partition { .. } => self.partitions,
+            FaultKind::DropLink { .. } => self.link_drops,
+            FaultKind::Delay { .. } | FaultKind::Slow { .. } => true,
+            _ => true,
+        }
+    }
+}
+
+/// A protocol the nemesis can drive: [`DtmProtocol`] plus fault hooks and
+/// committed-state access for the post-hoc checkers.
+pub trait ChaosTarget: DtmProtocol {
+    /// Which fault classes this protocol may be subjected to.
+    fn fault_support(&self) -> FaultSupport;
+
+    /// Crash-stop `node`, repairing whatever membership/quorum view the
+    /// protocol keeps. Returns false if the crash cannot be applied (e.g.
+    /// no quorum would survive) — the event is then skipped.
+    fn crash(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Recover a crashed node. Returns false if recovery is impossible.
+    fn recover_crashed(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// The node a [`FaultKind::CrashReadQuorum`] event should kill (the
+    /// Fig. 10 victim), if the notion applies.
+    fn read_quorum_victim(&self) -> Option<NodeId> {
+        None
+    }
+
+    /// Start recording a commit history for post-hoc serializability
+    /// checking (no-op if the protocol has no recorder).
+    fn begin_history(&self) {}
+
+    /// Violations found by replaying the recorded history (empty if the
+    /// protocol has no recorder).
+    fn history_violations(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The committed value of an integer object as a client reading after
+    /// quiescence would see it.
+    fn committed_int(&self, oid: ObjectId) -> Option<i64>;
+}
+
+impl ChaosTarget for Cluster {
+    fn fault_support(&self) -> FaultSupport {
+        FaultSupport::all()
+    }
+
+    fn crash(&self, node: NodeId) -> bool {
+        Cluster::fail_node(self, node).is_ok()
+    }
+
+    fn recover_crashed(&self, node: NodeId) -> bool {
+        Cluster::recover_node(self, node).is_ok()
+    }
+
+    fn read_quorum_victim(&self) -> Option<NodeId> {
+        self.read_quorum().first().copied()
+    }
+
+    fn begin_history(&self) {
+        self.enable_history();
+    }
+
+    fn history_violations(&self) -> Vec<String> {
+        self.verify_history()
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect()
+    }
+
+    fn committed_int(&self, oid: ObjectId) -> Option<i64> {
+        self.latest(oid).map(|(_, v)| v.expect_int())
+    }
+}
+
+impl ChaosTarget for TfaCluster {
+    fn fault_support(&self) -> FaultSupport {
+        FaultSupport::gray_only()
+    }
+
+    fn committed_int(&self, oid: ObjectId) -> Option<i64> {
+        self.latest(oid).map(|v| v.expect_int())
+    }
+}
+
+impl ChaosTarget for DecentCluster {
+    fn fault_support(&self) -> FaultSupport {
+        FaultSupport::gray_only()
+    }
+
+    fn committed_int(&self, oid: ObjectId) -> Option<i64> {
+        self.latest(oid).map(|v| v.expect_int())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_masks_gate_hard_faults_but_never_cures() {
+        let gray = FaultSupport::gray_only();
+        assert!(!gray.allows(&FaultKind::Crash { node: 1 }));
+        assert!(!gray.allows(&FaultKind::CrashReadQuorum));
+        assert!(!gray.allows(&FaultKind::Partition { groups: vec![] }));
+        assert!(!gray.allows(&FaultKind::DropLink {
+            from: 0,
+            to: 1,
+            permille: 500
+        }));
+        assert!(gray.allows(&FaultKind::Delay {
+            from: 0,
+            to: 1,
+            extra_us: 1000
+        }));
+        assert!(gray.allows(&FaultKind::Slow {
+            node: 1,
+            factor_pct: 300
+        }));
+        assert!(gray.allows(&FaultKind::Heal));
+        assert!(gray.allows(&FaultKind::Recover { node: 1 }));
+        let all = FaultSupport::all();
+        assert!(all.allows(&FaultKind::Crash { node: 1 }));
+        assert!(all.allows(&FaultKind::CrashReadQuorum));
+    }
+}

@@ -98,9 +98,11 @@ pub struct DtmConfig {
     pub backoff_base: SimDuration,
     /// Backoff cap.
     pub backoff_max: SimDuration,
-    /// RPC timeout; `None` means "trust the quorum view" (fine while the
-    /// view is kept in sync with failures, which [`Cluster::fail_node`]
-    /// does).
+    /// RPC timeout. Defaults to 500 ms — an order of magnitude above the
+    /// paper testbed's ~30 ms RTT, so healthy quorums never trip it, while
+    /// injected faults (partitions, drops, unannounced crashes) surface as
+    /// timeouts instead of hanging the caller forever. `None` means "trust
+    /// the quorum view" and is reachable via [`DtmConfig::no_timeout`].
     pub rpc_timeout: Option<SimDuration>,
     /// Enable Rqv incremental read validation (the paper's §III-B). Turning
     /// it off under QR-CN is the ablation showing why local CT commits need
@@ -123,7 +125,7 @@ impl Default for DtmConfig {
             chk_cost: SimDuration::from_millis(6),
             backoff_base: SimDuration::from_millis(4),
             backoff_max: SimDuration::from_millis(120),
-            rpc_timeout: None,
+            rpc_timeout: Some(SimDuration::from_millis(500)),
             rqv: true,
             lock_policy: LockPolicy::AbortRequester,
         }
@@ -140,6 +142,15 @@ impl DtmConfig {
             ..Default::default()
         }
     }
+
+    /// Explicitly disable RPC timeouts ("trust the quorum view"): a call to
+    /// a node the view wrongly believes alive then never resolves, exactly
+    /// like a real RPC with no failure detector. Useful for experiments
+    /// that want the pure paper model with no timeout machinery.
+    pub fn no_timeout(mut self) -> Self {
+        self.rpc_timeout = None;
+        self
+    }
 }
 
 /// The quorum view shared by every node (the Cluster Manager of Fig. 4).
@@ -148,6 +159,11 @@ pub struct QuorumView {
     read_level: usize,
     pub(crate) read_q: Vec<NodeId>,
     pub(crate) write_q: Vec<NodeId>,
+    /// Bumped on every reconfiguration. Quorum intersection is only
+    /// guaranteed between quorums derived from the same view, so a commit
+    /// decision whose vote round straddled an epoch change must not be
+    /// trusted — the commit layer fences on this.
+    pub(crate) epoch: u64,
 }
 
 impl QuorumView {
@@ -160,6 +176,17 @@ impl QuorumView {
     }
 }
 
+/// A decided 2PC phase two whose fan-out is still in flight, registered by
+/// the commit layer so a view change can complete it instantly (classic
+/// 2PC recovery: an in-doubt transaction *with* a decision is finished
+/// during reconfiguration, never left blocking the new view).
+pub(crate) enum PendingPhase2 {
+    /// Commit decided: install these writes and release the locks.
+    Apply(Vec<(ObjectId, crate::object::Version, ObjVal)>),
+    /// Abort decided: release any locks granted on these objects.
+    Release(Vec<ObjectId>),
+}
+
 pub(crate) struct ClusterInner {
     pub(crate) cfg: DtmConfig,
     pub(crate) quorum: RefCell<QuorumView>,
@@ -167,6 +194,7 @@ pub(crate) struct ClusterInner {
     pub(crate) next_seq: Cell<u64>,
     pub(crate) stores: Vec<Rc<RefCell<NodeStore>>>,
     pub(crate) history: RefCell<HistoryRecorder>,
+    pub(crate) pending: RefCell<std::collections::HashMap<TxId, PendingPhase2>>,
 }
 
 impl ClusterInner {
@@ -199,6 +227,7 @@ impl Cluster {
             read_level: cfg.read_level,
             read_q: Vec::new(),
             write_q: Vec::new(),
+            epoch: 0,
         };
         view.recompute()
             .expect("healthy cluster always has quorums");
@@ -273,6 +302,7 @@ impl Cluster {
                 next_seq: Cell::new(0),
                 stores,
                 history: RefCell::new(HistoryRecorder::default()),
+                pending: RefCell::new(std::collections::HashMap::new()),
             }),
         }
     }
@@ -313,15 +343,74 @@ impl Cluster {
     }
 
     /// Fail a node and reconfigure the shared quorum view (the Cluster
-    /// Manager reacting to a failure). Errors if no quorum survives.
+    /// Manager reacting to a failure). Errors if no quorum survives, in
+    /// which case the view is left untouched (and the node alive).
+    /// Idempotent: failing a node the view already excludes is a no-op.
     pub fn fail_node(&self, node: NodeId) -> Result<(), QuorumError> {
         {
             let mut view = self.inner.quorum.borrow_mut();
+            if !view.tq.is_alive(node.index()) {
+                return Ok(());
+            }
             view.tq.fail(node.index());
-            view.recompute()?;
+            if let Err(e) = view.recompute() {
+                view.tq.recover(node.index());
+                return Err(e);
+            }
         }
         self.sim.fail_node(node);
+        self.view_change_transfer();
         Ok(())
+    }
+
+    /// The modelled Cluster Manager's reconfiguration duties, run on every
+    /// view change (instantaneous, off the transaction fast path):
+    ///
+    /// 1. bump the view epoch, fencing commit decisions whose vote round
+    ///    straddles the change;
+    /// 2. complete every decided-but-in-flight 2PC phase two on every
+    ///    alive replica (2PC recovery: in-doubt transactions that already
+    ///    have a decision are finished, not left blocking the new view);
+    /// 3. state transfer: bring every alive replica up to the newest
+    ///    committed copy of every object. Read/write quorum intersection
+    ///    is only guaranteed *within* one view, so without this a read
+    ///    quorum of the new view could miss commits installed on a write
+    ///    quorum of an old one.
+    fn view_change_transfer(&self) {
+        self.inner.quorum.borrow_mut().epoch += 1;
+        let alive: Vec<NodeId> = (0..self.inner.cfg.nodes as u32)
+            .map(NodeId)
+            .filter(|&n| self.sim.is_alive(n))
+            .collect();
+        let Some(&donor) = alive.first() else {
+            return;
+        };
+        {
+            let pending = self.inner.pending.borrow();
+            for (root, ph) in pending.iter() {
+                for &n in &alive {
+                    let mut st = self.inner.stores[n.index()].borrow_mut();
+                    match ph {
+                        PendingPhase2::Apply(writes) => st.apply(*root, writes),
+                        PendingPhase2::Release(oids) => st.release(*root, oids),
+                    }
+                }
+            }
+        }
+        let oids = self.inner.stores[donor.index()].borrow().object_ids();
+        for oid in oids {
+            let newest = alive
+                .iter()
+                .filter_map(|&n| self.peek(n, oid))
+                .max_by_key(|(v, _)| *v);
+            if let Some((version, val)) = newest {
+                for &n in &alive {
+                    self.inner.stores[n.index()]
+                        .borrow_mut()
+                        .refresh(oid, version, val.clone());
+                }
+            }
+        }
     }
 
     /// Recover a failed node.
@@ -334,6 +423,11 @@ impl Cluster {
     /// nodes before the node re-enters the quorum view. (The transfer is
     /// modelled as instantaneous; it is off the transaction fast path.)
     pub fn recover_node(&self, node: NodeId) -> Result<(), QuorumError> {
+        // Idempotent: recovering a node that is alive in both the quorum
+        // view and the network is a no-op.
+        if self.sim.is_alive(node) && self.inner.quorum.borrow().tq.is_alive(node.index()) {
+            return Ok(());
+        }
         let oids: Vec<ObjectId> = {
             // Any alive store knows the full object census (full replication).
             let donor = self
@@ -364,6 +458,7 @@ impl Cluster {
             view.recompute()?;
         }
         self.sim.recover_node(node);
+        self.view_change_transfer();
         Ok(())
     }
 

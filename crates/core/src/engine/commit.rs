@@ -8,6 +8,7 @@
 
 use std::cell::RefCell;
 
+use crate::cluster::PendingPhase2;
 use crate::history::CommitRecord;
 use crate::object::{ObjVal, ObjectId, Version};
 use crate::txid::Abort;
@@ -41,6 +42,14 @@ pub(super) async fn commit_root(
             .collect();
         (st.root, reads, writes, payload)
     };
+    // Snapshot the view the decision is made under. The vote must go to
+    // this exact quorum (locks will live on it), and the decision is only
+    // sound if the view is unchanged when the votes are in — quorum
+    // intersection holds within a view, not across reconfigurations.
+    let (epoch, wq) = {
+        let v = ep.inner.quorum.borrow();
+        (v.epoch, v.write_q.clone())
+    };
     if writes.is_empty() {
         if pol.local_read_only_commit() && ep.inner.cfg.rqv {
             // Rqv validated every read as of the last remote operation;
@@ -62,8 +71,15 @@ pub(super) async fn commit_root(
         if reads.is_empty() {
             return Ok(()); // touched nothing
         }
-        // Flat QR / QR-CHK: read-only still validates at the quorum.
-        ep.vote_round(root, reads.clone(), vec![]).await?;
+        // Flat QR / QR-CHK: read-only still validates at the quorum. No
+        // locks are granted for an empty write set, so there is nothing
+        // to release on failure and no phase two to register.
+        ep.vote_round(&wq, root, reads.clone(), vec![]).await?;
+        if ep.inner.quorum.borrow().epoch != epoch {
+            // The view changed mid-round: the quorum that validated the
+            // reads need not intersect the new view's write quorums.
+            return Err(Abort::root());
+        }
         if ep.inner.history.borrow().is_enabled() {
             let at = ep.sim.now();
             ep.inner.history.borrow_mut().push(CommitRecord {
@@ -75,8 +91,20 @@ pub(super) async fn commit_root(
         }
         return Ok(());
     }
-    match ep.vote_round(root, reads.clone(), writes.clone()).await {
+    match ep
+        .vote_round(&wq, root, reads.clone(), writes.clone())
+        .await
+    {
         Ok(()) => {
+            if ep.inner.quorum.borrow().epoch != epoch {
+                // The view changed while the votes were in flight. No
+                // replica has seen the writes yet, so converting the
+                // decision to an abort is safe — and necessary, since the
+                // vote quorum need not intersect the new view's quorums.
+                let oids: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
+                release_registered(ep, &wq, root, oids).await;
+                return Err(Abort::root());
+            }
             if ep.inner.history.borrow().is_enabled() {
                 // Serialization point: all write-quorum locks held.
                 let at = ep.sim.now();
@@ -87,15 +115,38 @@ pub(super) async fn commit_root(
                     writes: writes.iter().map(|(o, v)| (*o, *v, v.next())).collect(),
                 });
             }
-            // Commit confirm: apply writes, release locks.
-            ep.apply(root, payload).await;
+            // Commit confirm: apply writes, release locks. Registered so a
+            // view change mid-fan-out completes it instantly instead of
+            // leaving the new view behind the decision.
+            ep.inner
+                .pending
+                .borrow_mut()
+                .insert(root, PendingPhase2::Apply(payload.clone()));
+            ep.apply(&wq, root, payload).await;
+            ep.inner.pending.borrow_mut().remove(&root);
             Ok(())
         }
         Err(e) => {
             // Release any locks granted in phase one.
             let oids: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
-            ep.release(root, oids).await;
+            release_registered(ep, &wq, root, oids).await;
             Err(e)
         }
     }
+}
+
+/// Release-side phase two: registered with the cluster while in flight so
+/// a view change can finish it on every alive replica immediately.
+async fn release_registered(
+    ep: &Endpoint,
+    voted: &[qrdtm_sim::NodeId],
+    root: crate::txid::TxId,
+    oids: Vec<ObjectId>,
+) {
+    ep.inner
+        .pending
+        .borrow_mut()
+        .insert(root, PendingPhase2::Release(oids.clone()));
+    ep.release(voted, root, oids).await;
+    ep.inner.pending.borrow_mut().remove(&root);
 }

@@ -83,9 +83,14 @@ impl Endpoint {
         Ok(res.replies)
     }
 
-    /// 2PC phase one: all write-quorum members must vote yes.
+    /// 2PC phase one against `wq`, the write quorum the caller snapshotted
+    /// (together with the view epoch) when it decided to commit: all
+    /// members must vote yes. The caller keeps `wq` because that is where
+    /// any granted locks live — phase two must go to the same nodes even
+    /// if the view has moved on.
     pub(super) async fn vote_round(
         &self,
+        wq: &[NodeId],
         root: TxId,
         reads: Vec<(ObjectId, Version)>,
         writes: Vec<(ObjectId, Version)>,
@@ -96,12 +101,11 @@ impl Endpoint {
             self.node,
             u64::from(class::COMMIT_REQ),
         );
-        let wq = self.inner.quorum.borrow().write_q.clone();
         let res = self
             .sim
             .call(
                 self.node,
-                &wq,
+                wq,
                 Msg::CommitReq {
                     root,
                     reads,
@@ -125,32 +129,71 @@ impl Endpoint {
         }
     }
 
-    /// 2PC phase two, success: apply writes and release locks on the write
-    /// quorum.
-    pub(super) async fn apply(&self, root: TxId, writes: Vec<(ObjectId, Version, ObjVal)>) {
-        let wq = self.inner.quorum.borrow().write_q.clone();
-        let _ = self
-            .sim
-            .call(
-                self.node,
-                &wq,
-                Msg::Apply { root, writes },
-                self.inner.cfg.rpc_timeout,
-            )
-            .await;
+    /// 2PC phase two, success: apply writes and release locks on `voted`,
+    /// the quorum that granted phase one. See
+    /// [`Endpoint::fanout_until_acked`] for why this must not give up on
+    /// timeout.
+    pub(super) async fn apply(
+        &self,
+        voted: &[NodeId],
+        root: TxId,
+        writes: Vec<(ObjectId, Version, ObjVal)>,
+    ) {
+        self.fanout_until_acked(voted, || Msg::Apply {
+            root,
+            writes: writes.clone(),
+        })
+        .await;
     }
 
-    /// 2PC phase two, failure: release any locks granted in phase one.
-    pub(super) async fn release(&self, root: TxId, oids: Vec<ObjectId>) {
-        let wq = self.inner.quorum.borrow().write_q.clone();
-        let _ = self
-            .sim
-            .call(
-                self.node,
-                &wq,
-                Msg::AbortReq { root, oids },
-                self.inner.cfg.rpc_timeout,
-            )
-            .await;
+    /// 2PC phase two, failure: release any locks granted in phase one on
+    /// `voted`, the quorum the vote round was sent to.
+    pub(super) async fn release(&self, voted: &[NodeId], root: TxId, oids: Vec<ObjectId>) {
+        self.fanout_until_acked(voted, || Msg::AbortReq {
+            root,
+            oids: oids.clone(),
+        })
+        .await;
+    }
+
+    /// Deliver a phase-two message to the vote-time write quorum, retrying
+    /// with capped exponential backoff until every member still alive
+    /// acknowledged one attempt in full.
+    ///
+    /// Phase two is the one place a timeout must not be treated as an
+    /// abort: the decision is already taken, and abandoning the fan-out
+    /// under a partition or message loss would leak commit locks (blocking
+    /// every later writer) or lose installed-vs-released agreement between
+    /// replicas. The targets are the nodes that *granted the vote* — that
+    /// is where the locks live, even if a reconfiguration has since moved
+    /// the write quorum elsewhere. Members that died are dropped from the
+    /// retry (their lock state is wiped by the recovery state transfer,
+    /// and the view-change transfer completes registered phase twos on
+    /// everyone else); members that are merely unreachable are retried
+    /// until the network heals. The store-level `Apply`/`AbortReq`
+    /// handlers are idempotent, so re-sending to members that already
+    /// processed an earlier attempt is harmless.
+    async fn fanout_until_acked(&self, voted: &[NodeId], mk: impl Fn() -> Msg) {
+        let mut backoff = self.inner.cfg.backoff_base;
+        loop {
+            let targets: Vec<NodeId> = voted
+                .iter()
+                .copied()
+                .filter(|&n| self.sim.is_alive(n))
+                .collect();
+            if targets.is_empty() {
+                return;
+            }
+            let res = self
+                .sim
+                .call(self.node, &targets, mk(), self.inner.cfg.rpc_timeout)
+                .await;
+            if !res.timed_out {
+                return;
+            }
+            self.inner.stats.borrow_mut().timeouts += 1;
+            self.sim.sleep(backoff).await;
+            backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
+        }
     }
 }

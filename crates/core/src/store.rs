@@ -99,6 +99,23 @@ impl NodeStore {
         obj.pw.clear();
     }
 
+    /// View-change state transfer (Cluster Manager side): raise the local
+    /// copy to a newer committed version without touching lock state. A
+    /// replica holding a live commit lock is never behind (any two write
+    /// quorums intersect, so a competing newer commit would have been
+    /// denied), and the lock must survive until its owner's phase two
+    /// resolves it — so locked replicas are left alone.
+    pub fn refresh(&mut self, oid: ObjectId, version: Version, val: ObjVal) {
+        let obj = self
+            .objects
+            .entry(oid)
+            .or_insert_with(|| Replica::new(val.clone()));
+        if !obj.protected && version > obj.version {
+            obj.version = version;
+            obj.val = val;
+        }
+    }
+
     /// Rqv: validate the piggybacked data set. Returns `None` when every
     /// entry is valid, otherwise the abort target that removes every
     /// invalid object.

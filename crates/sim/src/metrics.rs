@@ -12,7 +12,7 @@
 pub const MAX_CLASSES: usize = 16;
 
 /// Number of [`EngineEventKind`] variants (size of the counter array).
-pub const ENGINE_EVENT_KINDS: usize = 4;
+pub const ENGINE_EVENT_KINDS: usize = 5;
 
 /// Structured events a protocol engine emits at its layer boundaries.
 ///
@@ -32,6 +32,10 @@ pub enum EngineEventKind {
     AbortWithTarget = 2,
     /// A checkpoint was taken; `detail` is the checkpoint index.
     CheckpointTaken = 3,
+    /// A fault was injected into (or cleared from) the simulated network by
+    /// a nemesis; `detail` encodes the fault vocabulary entry
+    /// (nemesis-defined). Makes fault timing visible in every trace.
+    FaultInjected = 4,
 }
 
 /// One recorded engine event (see [`Metrics::engine_event_log`]).
@@ -61,8 +65,15 @@ pub struct Metrics {
     pub sent_total: u64,
     /// Total payload bytes sent, per [`SimMessage::size_hint`](crate::SimMessage::size_hint).
     pub bytes_total: u64,
-    /// Messages dropped because the destination node had failed.
+    /// Messages dropped because the destination node had failed (or the
+    /// sender was dead at send time).
     pub dropped: u64,
+    /// Messages dropped at delivery because sender and receiver sat in
+    /// different partition groups (see [`Sim::set_partition`](crate::Sim::set_partition)).
+    pub dropped_by_partition: u64,
+    /// Messages dropped at delivery by a per-link loss fault (see
+    /// [`Sim::set_link_drop`](crate::Sim::set_link_drop)).
+    pub dropped_by_link: u64,
     /// Requests processed, per node (index = node id).
     pub processed_by_node: Vec<u64>,
     /// Total events executed by the simulator loop.

@@ -149,9 +149,42 @@ impl RunResult {
     }
 }
 
+/// A failure-schedule action the driver can apply *during* the
+/// measurement window (the pre-run `RunSpec::failures` kill list only
+/// shapes the cluster before clients start).
+#[derive(Clone, Copy, Debug)]
+pub enum FaultAction {
+    /// Fail the first alive member of the current read quorum (the
+    /// Fig. 10 victim-selection rule).
+    FailReadQuorumMember,
+    /// Fail a specific node.
+    Fail(NodeId),
+    /// Recover a specific node.
+    Recover(NodeId),
+}
+
+/// One scheduled mid-run failure: `action` applied `at` after the
+/// measurement window opens.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledFault {
+    /// Offset from the start of the measurement window.
+    pub at: SimDuration,
+    /// What to do.
+    pub action: FaultAction,
+}
+
 /// Execute one experiment run. Deterministic for a given `(cfg, spec)`.
 pub fn run(cfg: DtmConfig, spec: &RunSpec) -> RunResult {
-    let cluster = Cluster::new(cfg);
+    run_with_schedule(cfg, spec, &[])
+}
+
+/// Execute one experiment run with a mid-run failure schedule: each
+/// [`ScheduledFault`] is applied at its virtual-time offset into the
+/// measurement window, while clients keep running. Deterministic for a
+/// given `(cfg, spec, schedule)`. Actions that cannot be applied (no
+/// surviving quorum, node already in the target state) are skipped.
+pub fn run_with_schedule(cfg: DtmConfig, spec: &RunSpec, schedule: &[ScheduledFault]) -> RunResult {
+    let cluster = std::rc::Rc::new(Cluster::new(cfg));
     let sim = cluster.sim().clone();
     let nodes = sim.num_nodes();
 
@@ -184,6 +217,35 @@ pub fn run(cfg: DtmConfig, spec: &RunSpec) -> RunResult {
     sim.run_for(spec.warmup);
     cluster.reset_stats();
     sim.reset_metrics();
+    if !schedule.is_empty() {
+        let mut schedule = schedule.to_vec();
+        schedule.sort_by_key(|f| f.at);
+        let cluster = std::rc::Rc::clone(&cluster);
+        let s = sim.clone();
+        sim.spawn(async move {
+            let t0 = s.now();
+            for f in schedule {
+                let due = t0 + f.at;
+                if due > s.now() {
+                    s.sleep(due - s.now()).await;
+                }
+                match f.action {
+                    FaultAction::FailReadQuorumMember => {
+                        let victim = cluster.read_quorum().into_iter().find(|&n| s.is_alive(n));
+                        if let Some(v) = victim {
+                            let _ = cluster.fail_node(v);
+                        }
+                    }
+                    FaultAction::Fail(n) => {
+                        let _ = cluster.fail_node(n);
+                    }
+                    FaultAction::Recover(n) => {
+                        let _ = cluster.recover_node(n);
+                    }
+                }
+            }
+        });
+    }
     sim.run_for(spec.duration);
 
     let stats = cluster.stats();
@@ -677,6 +739,40 @@ mod tests {
         assert_eq!(a.commits, b.commits);
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn mid_run_failure_schedule_is_applied_while_clients_run() {
+        let mut cfg = quick_cfg(NestingMode::Closed);
+        cfg.nodes = 28;
+        cfg.read_level = 0;
+        let schedule = [
+            ScheduledFault {
+                at: SimDuration::from_millis(500),
+                action: FaultAction::FailReadQuorumMember,
+            },
+            ScheduledFault {
+                at: SimDuration::from_millis(1_200),
+                action: FaultAction::Fail(NodeId(20)),
+            },
+            ScheduledFault {
+                at: SimDuration::from_millis(2_000),
+                action: FaultAction::Recover(NodeId(20)),
+            },
+        ];
+        let r = run_with_schedule(cfg, &quick_spec(Benchmark::Bank), &schedule);
+        assert!(
+            r.commits > 0,
+            "commits continue through mid-run failures: {:?}",
+            r.stats
+        );
+        // Determinism holds with a schedule too.
+        let mut cfg2 = quick_cfg(NestingMode::Closed);
+        cfg2.nodes = 28;
+        cfg2.read_level = 0;
+        let r2 = run_with_schedule(cfg2, &quick_spec(Benchmark::Bank), &schedule);
+        assert_eq!(r.commits, r2.commits);
+        assert_eq!(r.messages, r2.messages);
     }
 
     #[test]

@@ -17,4 +17,7 @@ cargo fmt --all --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> chaos smoke (fault injection + invariant checks)"
+cargo run --quiet --release -p qrdtm-bench -- chaos --smoke
+
 echo "ok: all tier-1 checks passed"

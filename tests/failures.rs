@@ -6,15 +6,14 @@ use qr_dtm::prelude::*;
 use qr_dtm::workloads::{run, Benchmark, RunSpec, WorkloadParams};
 
 fn cluster(seed: u64) -> Cluster {
+    // Requests in flight toward a node at the instant it dies would hang
+    // forever without a timeout — an asynchronous system only learns of a
+    // failure this way. The default `rpc_timeout` (500 ms) covers it.
     Cluster::new(DtmConfig {
         nodes: 13,
         mode: NestingMode::Closed,
         read_level: 0,
         seed,
-        // Requests in flight toward a node at the instant it dies would
-        // otherwise hang forever — an asynchronous system only learns of a
-        // failure through timeouts.
-        rpc_timeout: Some(SimDuration::from_millis(500)),
         ..Default::default()
     })
 }
@@ -171,6 +170,44 @@ fn in_flight_requests_to_a_dying_node_time_out_and_retry() {
     assert_eq!(s.commits, 1);
     assert!(s.timeouts >= 1, "the dead quorum was noticed: {s:?}");
     assert_eq!(c.latest(ObjectId(1)).unwrap().1, ObjVal::Int(1));
+}
+
+/// Cluster-level failure bookkeeping is idempotent, and `no_timeout()`
+/// restores the pure paper model (trust the view, no timeout machinery).
+#[test]
+fn fail_and_recover_are_idempotent_at_the_cluster_level() {
+    let c = Cluster::new(
+        DtmConfig {
+            nodes: 13,
+            mode: NestingMode::Closed,
+            read_level: 0,
+            seed: 5,
+            ..Default::default()
+        }
+        .no_timeout(),
+    );
+    c.preload(ObjectId(1), ObjVal::Int(0));
+    c.fail_node(NodeId(0)).unwrap();
+    let rq = c.read_quorum();
+    c.fail_node(NodeId(0)).unwrap(); // double-fail: no-op
+    assert_eq!(c.read_quorum(), rq);
+    c.recover_node(NodeId(0)).unwrap();
+    c.recover_node(NodeId(0)).unwrap(); // recover-of-alive: no-op
+    assert_eq!(c.read_quorum(), vec![NodeId(0)]);
+    // The view matches reality, so `None` timeouts still make progress.
+    let client = c.client(NodeId(12));
+    c.sim().spawn(async move {
+        client
+            .run(|tx| async move {
+                let v = tx.read(ObjectId(1)).await?.expect_int();
+                tx.write(ObjectId(1), ObjVal::Int(v + 1)).await?;
+                Ok(())
+            })
+            .await;
+    });
+    c.sim().run();
+    assert_eq!(c.stats().commits, 1);
+    assert_eq!(c.stats().timeouts, 0);
 }
 
 /// The driver's Fig. 10 failure schedule keeps every benchmark committing
