@@ -11,8 +11,11 @@ use std::path::PathBuf;
 use std::rc::Rc;
 
 use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
-use qrdtm_chaos::{generate, run_plan, shrink, ChaosReport, ChaosSpec, FaultBudget, FaultPlan};
-use qrdtm_core::{Cluster, DtmConfig, NestingMode};
+use qrdtm_chaos::{
+    generate, run_plan, shrink, ChaosReport, ChaosSpec, FaultBudget, FaultEvent, FaultKind,
+    FaultPlan,
+};
+use qrdtm_core::{Cluster, DetectorConfig, DtmConfig, NestingMode};
 use qrdtm_sim::SimDuration;
 
 /// One of the five protocol configurations the nemesis can target.
@@ -61,13 +64,25 @@ impl Proto {
         }
     }
 
+    /// Whether this protocol can run with the failure detector in charge
+    /// (only the QR family keeps a reconfigurable quorum view).
+    fn supports_detector(self) -> bool {
+        matches!(self, Proto::Qr | Proto::QrCn | Proto::QrChk)
+    }
+
     /// Build a fresh cluster and run `plan` against it. A new cluster per
     /// run is what makes replays (and the shrinker's re-runs) exact.
     fn run(self, nodes: usize, seed: u64, spec: &ChaosSpec, plan: &FaultPlan) -> ChaosReport {
+        let det = spec.detector;
         match self {
-            Proto::Qr => run_plan(qr(NestingMode::Flat, nodes, seed), nodes, spec, plan),
-            Proto::QrCn => run_plan(qr(NestingMode::Closed, nodes, seed), nodes, spec, plan),
-            Proto::QrChk => run_plan(qr(NestingMode::Checkpoint, nodes, seed), nodes, spec, plan),
+            Proto::Qr => run_plan(qr(NestingMode::Flat, nodes, seed, det), nodes, spec, plan),
+            Proto::QrCn => run_plan(qr(NestingMode::Closed, nodes, seed, det), nodes, spec, plan),
+            Proto::QrChk => run_plan(
+                qr(NestingMode::Checkpoint, nodes, seed, det),
+                nodes,
+                spec,
+                plan,
+            ),
             Proto::Tfa => {
                 let cl = Rc::new(TfaCluster::new(TfaConfig {
                     nodes,
@@ -88,17 +103,26 @@ impl Proto {
     }
 }
 
-fn qr(mode: NestingMode, nodes: usize, seed: u64) -> Rc<Cluster> {
-    Rc::new(Cluster::new(DtmConfig {
+fn qr(mode: NestingMode, nodes: usize, seed: u64, detector: bool) -> Rc<Cluster> {
+    let mut cfg = DtmConfig {
         nodes,
         mode,
         seed,
         ..Default::default()
-    }))
+    };
+    if detector {
+        // Oracle off: the cluster self-heals via heartbeats. A tight RPC
+        // timeout keeps calls into not-yet-ejected dead nodes short
+        // relative to the suspicion window, so retries/hedging matter.
+        cfg.detector = Some(DetectorConfig::default());
+        cfg.rpc_timeout = Some(SimDuration::from_millis(100));
+    }
+    Rc::new(Cluster::new(cfg))
 }
 
 struct ChaosArgs {
     smoke: bool,
+    detector: bool,
     seed: u64,
     seeds: u64,
     protos: Vec<Proto>,
@@ -112,7 +136,8 @@ struct ChaosArgs {
 
 fn chaos_usage() -> ! {
     eprintln!(
-        "usage: repro chaos [--smoke] [--proto qr|qr-cn|qr-chk|tfa|decent|all] \
+        "usage: repro chaos [--smoke] [--detector] \
+         [--proto qr|qr-cn|qr-chk|tfa|decent|all] \
          [--seed S] [--seeds N] [--events N] [--nodes N] [--horizon-ms H] \
          [--fig10 K] [--plan FILE] [--save-plan FILE]"
     );
@@ -122,6 +147,7 @@ fn chaos_usage() -> ! {
 fn parse_args(mut args: impl Iterator<Item = String>) -> ChaosArgs {
     let mut a = ChaosArgs {
         smoke: false,
+        detector: false,
         seed: 1,
         seeds: 1,
         protos: ALL_PROTOS.to_vec(),
@@ -138,6 +164,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> ChaosArgs {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--smoke" => a.smoke = true,
+            "--detector" => a.detector = true,
             "--proto" => {
                 a.protos = Proto::parse(&val(&mut args)).unwrap_or_else(|| chaos_usage());
             }
@@ -160,11 +187,31 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> ChaosArgs {
 /// Entry point for `repro chaos ...`. Returns the process exit code:
 /// 0 when every run's invariants held, 1 on any violation.
 pub fn run(args: impl Iterator<Item = String>) -> i32 {
-    let a = parse_args(args);
+    let mut a = parse_args(args);
     if a.smoke {
-        return smoke();
+        return if a.detector {
+            detector_smoke()
+        } else {
+            smoke()
+        };
     }
-    let mut spec = ChaosSpec::default();
+    let mut spec = ChaosSpec {
+        detector: a.detector,
+        ..Default::default()
+    };
+    if a.detector {
+        // Only the QR family keeps the reconfigurable view a detector can
+        // drive; baselines are silently dropped from an "all" selection.
+        let before = a.protos.len();
+        a.protos.retain(|p| p.supports_detector());
+        if a.protos.is_empty() {
+            eprintln!("chaos: --detector requires a QR protocol (qr, qr-cn, qr-chk)");
+            return 2;
+        }
+        if a.protos.len() < before {
+            println!("(detector mode: baselines skipped — no reconfigurable view)\n");
+        }
+    }
     if let Some(ms) = a.horizon_ms {
         spec.horizon = SimDuration::from_millis(ms);
     }
@@ -244,6 +291,23 @@ fn run_one(
     save_to: Option<&std::path::Path>,
 ) -> bool {
     let r = proto.run(nodes, seed, spec, plan);
+    report_one(proto, seed, nodes, spec, plan, save_to, &r)
+}
+
+/// Print the report line (and, on a violation, shrink to a minimal
+/// reproducer). Split from [`run_one`] so callers that need the raw
+/// [`ChaosReport`] (the detector smoke, for counter aggregation) can run
+/// the plan themselves.
+#[allow(clippy::too_many_arguments)]
+fn report_one(
+    proto: Proto,
+    seed: u64,
+    nodes: usize,
+    spec: &ChaosSpec,
+    plan: &FaultPlan,
+    save_to: Option<&std::path::Path>,
+    r: &ChaosReport,
+) -> bool {
     println!(
         "[{:<7} seed={seed} nodes={nodes}] plan={:>2}ev applied={:>2} skipped={} \
          commits={:>5} aborts={:>4} dropped dead:{} part:{} link:{} drained={} => {}",
@@ -259,6 +323,22 @@ fn run_one(
         if r.drained { "yes" } else { "NO" },
         if r.ok() { "OK" } else { "VIOLATION" },
     );
+    if spec.detector {
+        let m = &r.metrics;
+        println!(
+            "    detector: hb={} suspicions={} (false {}) rejoins={} epoch={} \
+             retries={} hedged {}/{} wasted={}",
+            m.heartbeats_sent,
+            m.suspicions,
+            m.false_suspicions,
+            m.rejoins,
+            r.view_epoch,
+            m.rpc_retries,
+            m.hedged_wins,
+            m.hedged_calls,
+            m.wasted_replies,
+        );
+    }
     if r.ok() {
         return true;
     }
@@ -305,6 +385,112 @@ fn smoke() -> i32 {
         0
     } else {
         eprintln!("\nchaos smoke: invariant violations found");
+        1
+    }
+}
+
+/// The detector-mode smoke suite (`scripts/check.sh` stage 2): the oracle
+/// is off, crashes and heals touch the simulator only, and the failure
+/// detector must notice both — crafted plans exercise true suspicion,
+/// false suspicion (an isolated-but-alive node) and gray slowness, and
+/// the aggregated counters prove each mechanism actually fired.
+fn detector_smoke() -> i32 {
+    let spec = ChaosSpec {
+        detector: true,
+        ..ChaosSpec::smoke()
+    };
+    let ms = SimDuration::from_millis;
+    let crash_heal = FaultPlan::new(vec![
+        FaultEvent {
+            at: ms(300),
+            kind: FaultKind::Crash { node: 1 },
+        },
+        FaultEvent {
+            at: ms(1_100),
+            kind: FaultKind::Recover { node: 1 },
+        },
+    ]);
+    let isolate = FaultPlan::new(vec![
+        FaultEvent {
+            at: ms(300),
+            kind: FaultKind::Partition {
+                groups: vec![vec![2], vec![0, 1, 3, 4, 5, 6, 7, 8, 9]],
+            },
+        },
+        FaultEvent {
+            at: ms(1_100),
+            kind: FaultKind::Heal,
+        },
+    ]);
+    let slow = FaultPlan::new(vec![
+        FaultEvent {
+            at: ms(300),
+            kind: FaultKind::Slow {
+                node: 3,
+                factor_pct: 2_000,
+            },
+        },
+        FaultEvent {
+            at: ms(1_400),
+            kind: FaultKind::Restore { node: 3 },
+        },
+    ]);
+    let plans: [(&str, &FaultPlan); 3] = [
+        ("crash+heal", &crash_heal),
+        ("isolate-alive", &isolate),
+        ("slow-node", &slow),
+    ];
+    println!("## chaos --smoke --detector — oracle off, detector in charge\n");
+    let mut ok = true;
+    let (mut hb, mut susp, mut false_susp, mut retries, mut hedged) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for seed in 1..=2u64 {
+        for (name, plan) in plans {
+            println!("plan: {name}");
+            for proto in [Proto::QrCn, Proto::Qr] {
+                let r = proto.run(10, seed, &spec, plan);
+                ok &= report_one(proto, seed, 10, &spec, plan, None, &r);
+                hb += r.metrics.heartbeats_sent;
+                susp += r.metrics.suspicions;
+                false_susp += r.metrics.false_suspicions;
+                retries += r.metrics.rpc_retries;
+                hedged += r.metrics.hedged_wins;
+            }
+        }
+    }
+    // Random full-vocabulary plans on top, so generated crash/partition
+    // schedules also go through the detector path.
+    for seed in 1..=2u64 {
+        let plan = generate(seed, 10, spec.horizon, &FaultBudget::full(5));
+        let r = Proto::QrChk.run(10, seed, &spec, &plan);
+        ok &= report_one(Proto::QrChk, seed, 10, &spec, &plan, None, &r);
+        hb += r.metrics.heartbeats_sent;
+        susp += r.metrics.suspicions;
+        false_susp += r.metrics.false_suspicions;
+        retries += r.metrics.rpc_retries;
+        hedged += r.metrics.hedged_wins;
+    }
+    println!(
+        "\naggregate: heartbeats={hb} suspicions={susp} false_suspicions={false_susp} \
+         rpc_retries={retries} hedged_wins={hedged}"
+    );
+    for (counter, v) in [
+        ("heartbeats_sent", hb),
+        ("suspicions", susp),
+        ("false_suspicions", false_susp),
+        ("rpc_retries", retries),
+        ("hedged_wins", hedged),
+    ] {
+        if v == 0 {
+            eprintln!("detector smoke: counter {counter} never fired");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("\nchaos detector smoke: all invariants held, all mechanisms fired");
+        0
+    } else {
+        eprintln!("\nchaos detector smoke: FAILED");
         1
     }
 }

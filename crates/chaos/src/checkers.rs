@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use qrdtm_sim::SimDuration;
+use qrdtm_sim::{EngineEvent, EngineEventKind, SimDuration};
 
 /// One invariant violation found by the checkers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +50,25 @@ pub enum ChaosViolation {
         /// Tasks still live at the end of the drain.
         live_tasks: usize,
     },
+    /// Detector mode: a node crashed (and stayed crashed) but no suspicion
+    /// for it was raised within the detection-latency bound.
+    DetectionTooSlow {
+        /// The crashed node.
+        node: u32,
+        /// When it crashed (virtual time, ms).
+        crashed_at_ms: u64,
+        /// The bound it should have been suspected within (ms).
+        bound_ms: u64,
+    },
+    /// Detector mode: after heal-all and the recovery tail, a
+    /// network-alive node was still missing from the membership view (or a
+    /// dead one still in it).
+    MembershipDiverged {
+        /// The node whose view-aliveness disagrees with the network.
+        node: u32,
+        /// Whether the network considers it alive.
+        net_alive: bool,
+    },
 }
 
 impl fmt::Display for ChaosViolation {
@@ -70,6 +89,20 @@ impl fmt::Display for ChaosViolation {
             ChaosViolation::Stuck { live_tasks } => write!(
                 f,
                 "{live_tasks} client task(s) still stuck after heal + drain"
+            ),
+            ChaosViolation::DetectionTooSlow {
+                node,
+                crashed_at_ms,
+                bound_ms,
+            } => write!(
+                f,
+                "node {node} crashed at {crashed_at_ms}ms but was not suspected within {bound_ms}ms"
+            ),
+            ChaosViolation::MembershipDiverged { node, net_alive } => write!(
+                f,
+                "membership diverged after heal: node {node} is {} in the network but {} in the view",
+                if *net_alive { "alive" } else { "dead" },
+                if *net_alive { "missing" } else { "present" },
             ),
         }
     }
@@ -121,6 +154,108 @@ pub fn check_liveness(
             }
         }
         i = j;
+    }
+    out
+}
+
+/// Detector mode: every crash that *stayed* in effect for at least `bound`
+/// must have produced a [`EngineEventKind::NodeSuspected`] for its victim
+/// within `bound` of the crash. Crashes cured earlier (an explicit recover
+/// of the victim or the heal-all backstop, both of which emit
+/// `FaultInjected` cure events) are excused — the detector cannot be
+/// required to notice a fault that was gone before its window elapsed.
+///
+/// `events` is the recorded engine-event log; fault codes follow
+/// [`FaultKind::code`](crate::FaultKind::code) (crash = 1, read-quorum
+/// crash = 3, recover = 2, heal-all = 0).
+pub fn check_detection_latency(events: &[EngineEvent], bound: SimDuration) -> Vec<ChaosViolation> {
+    const CRASH: u64 = 1;
+    const RECOVER: u64 = 2;
+    const CRASH_READ_QUORUM: u64 = 3;
+    const PARTITION: u64 = 4;
+    const HEAL_PARTITION: u64 = 5;
+    const HEAL_ALL: u64 = 0;
+    // Partition intervals confound the bound: while the network is split
+    // the detector may be *unable* to eject the crash victim (ejection
+    // refuses to destroy the quorums once the partition has cost other
+    // members), so crashes whose window overlaps a partition are excused.
+    let mut partitions: Vec<(u64, u64)> = Vec::new();
+    let mut open: Option<u64> = None;
+    for ev in events {
+        if ev.kind != EngineEventKind::FaultInjected {
+            continue;
+        }
+        match ev.detail {
+            PARTITION => open = open.or(Some(ev.at_ns)),
+            HEAL_PARTITION | HEAL_ALL => {
+                if let Some(s) = open.take() {
+                    partitions.push((s, ev.at_ns));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = open {
+        partitions.push((s, u64::MAX));
+    }
+    let mut out = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.kind != EngineEventKind::FaultInjected
+            || (ev.detail != CRASH && ev.detail != CRASH_READ_QUORUM)
+        {
+            continue;
+        }
+        let deadline = ev.at_ns.saturating_add(bound.as_nanos());
+        if partitions
+            .iter()
+            .any(|&(s, e)| s <= deadline && e >= ev.at_ns)
+        {
+            continue;
+        }
+        // Already out of the view when it crashed (suspected earlier, e.g.
+        // by a preceding partition, and not rejoined since): no further
+        // suspicion can or need fire.
+        let already_out = events[..i]
+            .iter()
+            .rev()
+            .filter(|e| e.node == ev.node)
+            .find_map(|e| match e.kind {
+                EngineEventKind::NodeSuspected => Some(true),
+                EngineEventKind::NodeRejoined => Some(false),
+                _ => None,
+            })
+            .unwrap_or(false);
+        if already_out {
+            continue;
+        }
+        let mut cured = false;
+        let mut suspected = false;
+        for later in &events[i + 1..] {
+            if later.at_ns > deadline {
+                break;
+            }
+            match later.kind {
+                EngineEventKind::FaultInjected
+                    if (later.detail == RECOVER && later.node == ev.node)
+                        || later.detail == HEAL_ALL =>
+                {
+                    cured = true;
+                    break;
+                }
+                EngineEventKind::NodeSuspected if later.node == ev.node => {
+                    suspected = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !cured && !suspected {
+            out.push(ChaosViolation::DetectionTooSlow {
+                node: ev.node,
+                crashed_at_ms: ev.at_ns / 1_000_000,
+                bound_ms: bound.as_nanos() / 1_000_000,
+            });
+        }
     }
     out
 }

@@ -26,7 +26,9 @@ pub mod nemesis;
 pub mod plan;
 pub mod target;
 
-pub use checkers::{check_balances, check_liveness, ChaosViolation, Sample};
+pub use checkers::{
+    check_balances, check_detection_latency, check_liveness, ChaosViolation, Sample,
+};
 pub use generate::{generate, shrink, FaultBudget};
 pub use nemesis::{run_plan, ChaosReport, ChaosSpec, Fingerprint};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};

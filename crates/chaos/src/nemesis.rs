@@ -29,7 +29,9 @@ use qrdtm_core::{ObjVal, ObjectId};
 use qrdtm_sim::{EngineEventKind, NodeId, Sim, SimDuration};
 use qrdtm_workloads::protocol_bank::{audit, transfer};
 
-use crate::checkers::{check_balances, check_liveness, ChaosViolation, Sample};
+use crate::checkers::{
+    check_balances, check_detection_latency, check_liveness, ChaosViolation, Sample,
+};
 use crate::plan::{FaultKind, FaultPlan};
 use crate::target::ChaosTarget;
 
@@ -56,6 +58,12 @@ pub struct ChaosSpec {
     pub quiet_grace: SimDuration,
     /// Minimum quiet span that must contain a commit.
     pub progress_window: SimDuration,
+    /// Detector mode: no oracle — crashes and recoveries touch the
+    /// simulator only, the target's failure detector must notice on its
+    /// own, and extra checkers assert bounded detection latency and
+    /// post-heal membership convergence. Requires a detector-capable
+    /// target (a QR cluster built with `DtmConfig::detector` set).
+    pub detector: bool,
 }
 
 impl Default for ChaosSpec {
@@ -71,6 +79,7 @@ impl Default for ChaosSpec {
             probe: SimDuration::from_millis(200),
             quiet_grace: SimDuration::from_millis(700),
             progress_window: SimDuration::from_millis(1_200),
+            detector: false,
         }
     }
 }
@@ -134,6 +143,13 @@ pub struct ChaosReport {
     pub violations: Vec<ChaosViolation>,
     /// Determinism digest.
     pub fingerprint: Fingerprint,
+    /// Final view epoch (0 for targets without a reconfigurable view).
+    pub view_epoch: u64,
+    /// Full simulator metrics at the end of the run — detector/transport
+    /// counters (heartbeats, suspicions, retries, hedges) and, since
+    /// engine-event recording is on, the complete engine-event log with
+    /// suspicion/rejoin timestamps.
+    pub metrics: qrdtm_sim::Metrics,
 }
 
 impl ChaosReport {
@@ -179,6 +195,19 @@ pub fn run_plan<P: ChaosTarget + 'static>(
         proto.preload(ObjectId(i), ObjVal::Int(spec.initial_balance));
     }
     proto.begin_history();
+
+    // Detector mode: start the target's failure detector — the nemesis
+    // will then touch the SIMULATOR only and never call the view oracle.
+    let detector = if spec.detector {
+        let h = Rc::clone(&proto).start_detector();
+        assert!(
+            h.is_some(),
+            "detector mode requires a detector-capable target (set DtmConfig::detector)"
+        );
+        h
+    } else {
+        None
+    };
 
     let stop = Rc::new(Cell::new(false));
     let state = Rc::new(RefCell::new(NemesisState::default()));
@@ -242,6 +271,7 @@ pub fn run_plan<P: ChaosTarget + 'static>(
         let plan = plan.clone();
         let horizon = spec.horizon;
         let n = nodes as u32;
+        let det_mode = spec.detector;
         sim.spawn(async move {
             let t0 = s.now();
             for ev in plan.events {
@@ -249,24 +279,41 @@ pub fn run_plan<P: ChaosTarget + 'static>(
                 if due > s.now() {
                     s.sleep(due - s.now()).await;
                 }
-                apply_event(&*p, &s, &mut st.borrow_mut(), ev.kind, n);
+                apply_event(&*p, &s, &mut st.borrow_mut(), ev.kind, n, det_mode);
             }
             let heal_at = t0 + horizon;
             if heal_at > s.now() {
                 s.sleep(heal_at - s.now()).await;
             }
-            heal_all(&*p, &s, &mut st.borrow_mut());
+            heal_all(&*p, &s, &mut st.borrow_mut(), det_mode);
         });
     }
 
     sim.run_for(spec.horizon + spec.recovery);
+    // Detector-mode convergence is judged while the detector still runs —
+    // by the end of the recovery tail the view must agree with the network
+    // about every node. Then stop the detector so the drain can quiesce.
+    let mut violations = Vec::new();
+    if spec.detector {
+        for node in (0..nodes as u32).map(NodeId) {
+            let net_alive = sim.is_alive(node);
+            if net_alive != proto.view_member(node) {
+                violations.push(ChaosViolation::MembershipDiverged {
+                    node: node.0,
+                    net_alive,
+                });
+            }
+        }
+    }
+    if let Some(h) = &detector {
+        h.stop();
+    }
     stop.set(true);
     sim.run_for(spec.drain);
     let drained = sim.live_tasks() == 0;
 
     // Post-hoc checks, only on quiescent state — a cut through an
     // in-flight 2PC is not a committed snapshot.
-    let mut violations = Vec::new();
     if drained {
         let balances: Vec<(u64, Option<i64>)> = (0..spec.accounts)
             .map(|i| (i, proto.committed_int(ObjectId(i))))
@@ -293,6 +340,11 @@ pub fn run_plan<P: ChaosTarget + 'static>(
     ));
 
     let m = sim.metrics();
+    if spec.detector {
+        if let Some(bound) = proto.detection_bound() {
+            violations.extend(check_detection_latency(&m.engine_event_log, bound));
+        }
+    }
     let stats = proto.protocol_stats();
     let st = state.borrow();
     ChaosReport {
@@ -315,6 +367,8 @@ pub fn run_plan<P: ChaosTarget + 'static>(
             events: m.events,
             end_ns: sim.now().as_nanos(),
         },
+        view_epoch: proto.view_epoch(),
+        metrics: m,
     }
 }
 
@@ -324,6 +378,7 @@ fn apply_event<P: ChaosTarget>(
     st: &mut NemesisState,
     kind: FaultKind,
     nodes: u32,
+    detector: bool,
 ) {
     let support = p.fault_support();
     let now_us = s.now().as_nanos() / 1_000;
@@ -333,24 +388,41 @@ fn apply_event<P: ChaosTarget>(
             .push(format!("@{now_us}us skip (unsupported): {kind}"));
         return;
     }
+    // Detector mode swaps the oracle hooks (which repair the view at the
+    // instant of the fault) for sim-only ones: the target's own failure
+    // detector must notice the silence and react.
+    let crash = |n: NodeId| {
+        if detector {
+            p.crash_sim_only(n)
+        } else {
+            p.crash(n)
+        }
+    };
+    let recover = |n: NodeId| {
+        if detector {
+            p.recover_sim_only(n)
+        } else {
+            p.recover_crashed(n)
+        }
+    };
     let mut applied_on: Option<NodeId> = None;
     match &kind {
         FaultKind::Crash { node } => {
-            if *node < nodes && !st.crashed.contains(node) && p.crash(NodeId(*node)) {
+            if *node < nodes && !st.crashed.contains(node) && crash(NodeId(*node)) {
                 st.crashed.insert(*node);
                 applied_on = Some(NodeId(*node));
             }
         }
         FaultKind::CrashReadQuorum => {
             if let Some(victim) = p.read_quorum_victim() {
-                if p.crash(victim) {
+                if crash(victim) {
                     st.crashed.insert(victim.0);
                     applied_on = Some(victim);
                 }
             }
         }
         FaultKind::Recover { node } => {
-            if st.crashed.contains(node) && p.recover_crashed(NodeId(*node)) {
+            if st.crashed.contains(node) && recover(NodeId(*node)) {
                 st.crashed.remove(node);
                 applied_on = Some(NodeId(*node));
             }
@@ -433,10 +505,14 @@ fn apply_event<P: ChaosTarget>(
 
 /// Cure everything still active: the backstop that guarantees the
 /// recovery tail and the final snapshot run on a healthy cluster.
-fn heal_all<P: ChaosTarget>(p: &P, s: &Sim<P::Msg>, st: &mut NemesisState) {
+fn heal_all<P: ChaosTarget>(p: &P, s: &Sim<P::Msg>, st: &mut NemesisState, detector: bool) {
     let crashed: Vec<u32> = st.crashed.iter().copied().collect();
     for node in crashed {
-        p.recover_crashed(NodeId(node));
+        if detector {
+            p.recover_sim_only(NodeId(node));
+        } else {
+            p.recover_crashed(NodeId(node));
+        }
     }
     st.crashed.clear();
     s.heal_partition();
@@ -562,6 +638,85 @@ mod tests {
         assert!(r.ok(), "violations: {:?}", r.violations);
         assert_eq!(r.skipped, 1, "crash skipped on a non-fault-tolerant target");
         assert_eq!(r.applied, 1, "the gray slow-node fault applied");
+    }
+
+    fn qr_detector(seed: u64) -> Rc<Cluster> {
+        Rc::new(Cluster::new(DtmConfig {
+            nodes: 10,
+            mode: NestingMode::Closed,
+            seed,
+            rpc_timeout: Some(SimDuration::from_millis(100)),
+            detector: Some(qrdtm_core::DetectorConfig::default()),
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn detector_mode_self_heals_without_oracle() {
+        // Crash and recover touch the simulator only; the detector must
+        // eject the victim, the cluster keep committing, and the rejoin
+        // happen on its own — all checked by the detector-mode checkers
+        // (detection latency, membership convergence) inside run_plan.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(300),
+                kind: FaultKind::Crash { node: 1 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_000),
+                kind: FaultKind::Recover { node: 1 },
+            },
+        ]);
+        let spec = ChaosSpec {
+            detector: true,
+            ..quick_spec()
+        };
+        let r = run_plan(qr_detector(5), 10, &spec, &plan);
+        assert!(
+            r.ok(),
+            "violations: {:?}\nfaults: {:?}",
+            r.violations,
+            r.fault_log
+        );
+        assert_eq!(r.applied, 2);
+        assert!(r.commits > 0);
+        assert!(r.metrics.heartbeats_sent > 0, "heartbeat layer ran");
+        assert!(r.metrics.suspicions >= 1, "the crash was detected");
+        assert!(r.metrics.rejoins >= 1, "the recovery was detected");
+        assert!(r.view_epoch >= 2, "eject and rejoin each bumped the epoch");
+    }
+
+    #[test]
+    fn detector_mode_survives_false_suspicion() {
+        // Isolate one node: alive the whole time, but silent across the
+        // cut — the detector must (falsely) suspect it, and the run must
+        // still conserve balances and serialize.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(300),
+                kind: FaultKind::Partition {
+                    groups: vec![vec![1], vec![0, 2, 3, 4, 5, 6, 7, 8, 9]],
+                },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_000),
+                kind: FaultKind::Heal,
+            },
+        ]);
+        let spec = ChaosSpec {
+            detector: true,
+            ..quick_spec()
+        };
+        let r = run_plan(qr_detector(6), 10, &spec, &plan);
+        assert!(
+            r.ok(),
+            "violations: {:?}\nfaults: {:?}",
+            r.violations,
+            r.fault_log
+        );
+        assert!(r.metrics.false_suspicions >= 1, "isolation read as a crash");
+        assert!(r.metrics.rejoins >= 1, "heal brought the node back");
+        assert!(r.commits > 0);
     }
 
     #[test]

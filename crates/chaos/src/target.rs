@@ -3,8 +3,10 @@
 //! recover its nodes, and how to read back committed state for the
 //! checkers.
 
+use std::rc::Rc;
+
 use qrdtm_baselines::{DecentCluster, TfaCluster};
-use qrdtm_core::{Cluster, DtmProtocol, ObjectId};
+use qrdtm_core::{spawn_detector, Cluster, DetectorHandle, DtmProtocol, ObjectId};
 use qrdtm_sim::NodeId;
 
 use crate::plan::FaultKind;
@@ -101,6 +103,48 @@ pub trait ChaosTarget: DtmProtocol {
     /// The committed value of an integer object as a client reading after
     /// quiescence would see it.
     fn committed_int(&self, oid: ObjectId) -> Option<i64>;
+
+    /// Kill `node` **in the simulator only** — no view repair, no oracle
+    /// call. Detector-mode nemesis hook: the failure detector must notice
+    /// on its own. Returns false if inapplicable (target keeps no
+    /// self-healing view, node already dead, or no quorum would survive
+    /// once the detector reacts).
+    fn crash_sim_only(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Revive `node` in the simulator only; the detector is responsible
+    /// for rejoining it to the view (with state transfer).
+    fn recover_sim_only(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Start the target's failure detector, if it has one configured.
+    fn start_detector(self: Rc<Self>) -> Option<DetectorHandle> {
+        None
+    }
+
+    /// Whether the membership view currently includes `node` (trivially
+    /// true for targets without a self-healing view; the detector-mode
+    /// convergence checker compares this against network aliveness).
+    fn view_member(&self, node: NodeId) -> bool {
+        let _ = node;
+        true
+    }
+
+    /// The current view epoch, if the target keeps one (0 otherwise).
+    fn view_epoch(&self) -> u64 {
+        0
+    }
+
+    /// How long after a crash the detector may take to raise its suspicion
+    /// before the checker flags it (derived from the detector knobs;
+    /// `None` when no detector is configured).
+    fn detection_bound(&self) -> Option<qrdtm_sim::SimDuration> {
+        None
+    }
 }
 
 impl ChaosTarget for Cluster {
@@ -133,6 +177,49 @@ impl ChaosTarget for Cluster {
 
     fn committed_int(&self, oid: ObjectId) -> Option<i64> {
         self.latest(oid).map(|(_, v)| v.expect_int())
+    }
+
+    fn crash_sim_only(&self, node: NodeId) -> bool {
+        // Same applicability rule as the oracle crash: never kill the last
+        // node that keeps the quorums alive — the detector could only
+        // refuse the ejection and the cluster would stall until heal.
+        if !self.sim().is_alive(node) || !self.quorum_survives_without(node) {
+            return false;
+        }
+        self.sim().fail_node(node);
+        true
+    }
+
+    fn recover_sim_only(&self, node: NodeId) -> bool {
+        if self.sim().is_alive(node) {
+            return false;
+        }
+        self.sim().recover_node(node);
+        true
+    }
+
+    fn start_detector(self: Rc<Self>) -> Option<DetectorHandle> {
+        self.config().detector.map(|_| spawn_detector(&self))
+    }
+
+    fn view_member(&self, node: NodeId) -> bool {
+        self.view_alive(node)
+    }
+
+    fn view_epoch(&self) -> u64 {
+        Cluster::view_epoch(self)
+    }
+
+    fn detection_bound(&self) -> Option<qrdtm_sim::SimDuration> {
+        // Suspicion fires once silence exceeds the window; grant four more
+        // intervals of slack for heartbeat staggering, in-flight delivery
+        // and detector-tick quantization. A node that crashes right after
+        // rejoining is additionally covered by its state-transfer grace
+        // (the detector deliberately does not suspect a joiner whose
+        // heartbeats queue behind the transfer it was just charged).
+        self.config()
+            .detector
+            .map(|d| d.suspect_window() * 2 + d.interval * 4 + self.transfer_cost())
     }
 }
 

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 
 use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
 use qrdtm_chaos::{generate, run_plan, ChaosReport, ChaosSpec, FaultBudget};
-use qrdtm_core::{Cluster, DtmConfig, NestingMode};
-use qrdtm_sim::SimDuration;
+use qrdtm_core::{Cluster, DetectorConfig, DtmConfig, NestingMode};
+use qrdtm_sim::{EngineEventKind, SimDuration};
 
 const NODES: usize = 10;
 
@@ -102,4 +102,64 @@ proptest! {
             prop_assert_eq!(a.fault_log, b.fault_log);
         }
     }
+
+    /// The detector path is deterministic too: with the oracle disabled,
+    /// identical seeds reproduce the identical suspicion/view-change trace
+    /// (event-by-event, with timestamps), the same view epoch and the same
+    /// detector/transport counters — and every invariant still holds.
+    #[test]
+    fn detector_runs_are_deterministic_per_seed(seed in 0u64..1_000, events in 1usize..6) {
+        let a = run_detector(seed, events);
+        let b = run_detector(seed, events);
+        prop_assert!(
+            a.ok(),
+            "seed={seed} events={events}: {:?}\nfaults: {:?}",
+            a.violations, a.fault_log
+        );
+        prop_assert_eq!(&a.fingerprint, &b.fingerprint);
+        prop_assert_eq!(&a.fault_log, &b.fault_log);
+        prop_assert_eq!(a.view_epoch, b.view_epoch);
+        prop_assert_eq!(suspicion_trace(&a), suspicion_trace(&b));
+        prop_assert_eq!(
+            (a.metrics.heartbeats_sent, a.metrics.suspicions,
+             a.metrics.false_suspicions, a.metrics.rejoins,
+             a.metrics.rpc_retries, a.metrics.hedged_wins),
+            (b.metrics.heartbeats_sent, b.metrics.suspicions,
+             b.metrics.false_suspicions, b.metrics.rejoins,
+             b.metrics.rpc_retries, b.metrics.hedged_wins)
+        );
+    }
+}
+
+/// A QR-CN run with the failure detector on and the oracle off.
+fn run_detector(seed: u64, events: usize) -> ChaosReport {
+    let spec = ChaosSpec {
+        detector: true,
+        ..spec()
+    };
+    let plan = generate(seed, NODES as u32, spec.horizon, &FaultBudget::full(events));
+    let cl = Rc::new(Cluster::new(DtmConfig {
+        nodes: NODES,
+        mode: NestingMode::Closed,
+        seed,
+        rpc_timeout: Some(SimDuration::from_millis(100)),
+        detector: Some(DetectorConfig::default()),
+        ..Default::default()
+    }));
+    run_plan(cl, NODES, &spec, &plan)
+}
+
+/// The membership trace: every suspicion/rejoin with node, epoch and time.
+fn suspicion_trace(r: &ChaosReport) -> Vec<(u8, u32, u64, u64)> {
+    r.metrics
+        .engine_event_log
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EngineEventKind::NodeSuspected | EngineEventKind::NodeRejoined
+            )
+        })
+        .map(|e| (e.kind as u8, e.node, e.detail, e.at_ns))
+        .collect()
 }

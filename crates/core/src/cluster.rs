@@ -53,6 +53,23 @@ pub enum LatencySpec {
 }
 
 impl LatencySpec {
+    /// Nominal one-way latency of the spec (base for Jittered, per-unit
+    /// distance cost for Metric) — used to derive default costs such as the
+    /// rejoin state-transfer charge.
+    pub fn nominal(&self) -> SimDuration {
+        match *self {
+            LatencySpec::Const(d) => d,
+            LatencySpec::Jittered(d, _) => d,
+            LatencySpec::Metric(per_unit, floor) => {
+                if per_unit > floor {
+                    per_unit
+                } else {
+                    floor
+                }
+            }
+        }
+    }
+
     /// Instantiate the model for a cluster of `nodes`, deriving placement
     /// (for [`LatencySpec::Metric`]) from `seed`.
     pub fn build(&self, nodes: usize, seed: u64) -> Box<dyn qrdtm_sim::LatencyModel> {
@@ -110,6 +127,17 @@ pub struct DtmConfig {
     pub rqv: bool,
     /// Contention policy for reads of commit-locked objects.
     pub lock_policy: LockPolicy,
+    /// Run the heartbeat failure detector ([`crate::spawn_detector`])
+    /// instead of relying on an oracle to call
+    /// [`Cluster::fail_node`]/[`Cluster::recover_node`]. Also arms the
+    /// transport's retry/hedging path. `None` (the default) keeps the
+    /// classic oracle-driven model byte-for-byte identical.
+    pub detector: Option<crate::engine::DetectorConfig>,
+    /// Time a rejoining node spends busy receiving the state transfer
+    /// before it serves requests again. `None` derives it from the object
+    /// census: one nominal link latency per object (a naive
+    /// one-object-per-message pull from a donor).
+    pub transfer_latency: Option<SimDuration>,
 }
 
 impl Default for DtmConfig {
@@ -128,6 +156,8 @@ impl Default for DtmConfig {
             rpc_timeout: Some(SimDuration::from_millis(500)),
             rqv: true,
             lock_policy: LockPolicy::AbortRequester,
+            detector: None,
+            transfer_latency: None,
         }
     }
 }
@@ -167,6 +197,11 @@ pub struct QuorumView {
 }
 
 impl QuorumView {
+    /// Whether the view still considers `node` a member.
+    pub(crate) fn is_view_alive(&self, node: usize) -> bool {
+        self.tq.is_alive(node)
+    }
+
     fn recompute(&mut self) -> Result<(), QuorumError> {
         let r = self.tq.read_quorum_at_level(self.read_level)?;
         let w = self.tq.write_quorum()?;
@@ -363,6 +398,59 @@ impl Cluster {
         Ok(())
     }
 
+    /// Eject a *suspected* node from the quorum view without touching the
+    /// simulated network — the failure-detector flavour of [`Cluster::fail_node`].
+    ///
+    /// The node may in fact be alive (false suspicion): it keeps serving
+    /// whatever requests still reach it, but no new quorum includes it, so
+    /// its replies stop mattering to quorum intersection. Errors if no
+    /// quorum survives without the node, leaving the view untouched.
+    /// Idempotent on already-ejected nodes.
+    pub fn eject_node(&self, node: NodeId) -> Result<(), QuorumError> {
+        {
+            let mut view = self.inner.quorum.borrow_mut();
+            if !view.tq.is_alive(node.index()) {
+                return Ok(());
+            }
+            view.tq.fail(node.index());
+            if let Err(e) = view.recompute() {
+                view.tq.recover(node.index());
+                return Err(e);
+            }
+        }
+        self.view_change_transfer();
+        Ok(())
+    }
+
+    /// Whether ejecting `node` would still leave the view with quorums,
+    /// also discounting every node the network has already killed (which
+    /// the view may not have noticed yet). Probes a scratch quorum system;
+    /// the live view is untouched.
+    pub fn quorum_survives_without(&self, node: NodeId) -> bool {
+        let mut probe = TreeQuorum::new(Tree::ternary(self.inner.cfg.nodes));
+        for n in 0..self.inner.cfg.nodes {
+            if n == node.index() || !self.sim.is_alive(NodeId(n as u32)) {
+                probe.fail(n);
+            }
+        }
+        probe
+            .read_quorum_at_level(self.inner.cfg.read_level)
+            .is_ok()
+            && probe.write_quorum().is_ok()
+    }
+
+    /// Current view epoch (bumped on every reconfiguration).
+    pub fn view_epoch(&self) -> u64 {
+        self.inner.quorum.borrow().epoch
+    }
+
+    /// Whether the quorum view currently considers `node` a member (the
+    /// *view's* notion of aliveness — may lag or contradict the network's
+    /// when a failure detector is in charge).
+    pub fn view_alive(&self, node: NodeId) -> bool {
+        self.inner.quorum.borrow().is_view_alive(node.index())
+    }
+
     /// The modelled Cluster Manager's reconfiguration duties, run on every
     /// view change (instantaneous, off the transaction fast path):
     ///
@@ -413,21 +501,84 @@ impl Cluster {
         }
     }
 
-    /// Recover a failed node.
+    /// Recover a failed (or falsely ejected) node.
     ///
     /// The replica state it kept while down is stale, and quorum
     /// intersection says nothing about commits it missed — if it rejoined
     /// as (part of) a read quorum unsynchronized, readers could observe
     /// old versions. So rejoin performs a **state transfer**: every object
     /// is brought up to the max-version copy held by the currently alive
-    /// nodes before the node re-enters the quorum view. (The transfer is
-    /// modelled as instantaneous; it is off the transaction fast path.)
+    /// nodes before the node re-enters the quorum view. The transfer's
+    /// install is atomic w.r.t. the view change, but its *cost* is charged
+    /// to the rejoining node as server occupancy
+    /// ([`DtmConfig::transfer_latency`], defaulting to one nominal link
+    /// latency per transferred object), so requests routed to a fresh
+    /// joiner queue behind the transfer in fig10-style runs.
     pub fn recover_node(&self, node: NodeId) -> Result<(), QuorumError> {
         // Idempotent: recovering a node that is alive in both the quorum
         // view and the network is a no-op.
         if self.sim.is_alive(node) && self.inner.quorum.borrow().tq.is_alive(node.index()) {
             return Ok(());
         }
+        let transfer = self.state_transfer_to(node);
+        {
+            let mut view = self.inner.quorum.borrow_mut();
+            view.tq.recover(node.index());
+            view.recompute()?;
+        }
+        self.sim.recover_node(node);
+        // The joiner spends the transfer time busy before serving again;
+        // requests the new view routes to it queue behind the transfer.
+        self.sim.occupy(node, transfer);
+        self.view_change_transfer();
+        Ok(())
+    }
+
+    /// Rejoin an ejected node to the quorum view **without touching the
+    /// simulated network** — the failure-detector flavour of
+    /// [`Cluster::recover_node`], paired with [`Cluster::eject_node`].
+    ///
+    /// The detector calls this when a suspected node is heard from again;
+    /// whether the node is *actually* network-alive is the nemesis/oracle's
+    /// business, never the detector's (a detector that resurrected nodes
+    /// would heal the very faults it is supposed to detect). Same state
+    /// transfer and occupancy charge as `recover_node`; the charged
+    /// duration is returned so the caller (the detector) can grant the
+    /// joiner a grace period instead of immediately re-suspecting a node
+    /// whose heartbeats are queued behind its own state transfer. No-op
+    /// (zero charge) on view-alive nodes.
+    pub fn rejoin_node(&self, node: NodeId) -> Result<SimDuration, QuorumError> {
+        if self.inner.quorum.borrow().tq.is_alive(node.index()) {
+            return Ok(SimDuration::ZERO);
+        }
+        let transfer = self.state_transfer_to(node);
+        {
+            let mut view = self.inner.quorum.borrow_mut();
+            view.tq.recover(node.index());
+            view.recompute()?;
+        }
+        self.sim.occupy(node, transfer);
+        self.view_change_transfer();
+        Ok(transfer)
+    }
+
+    /// The state-transfer occupancy a rejoining node is charged
+    /// ([`DtmConfig::transfer_latency`], defaulting to one nominal link
+    /// latency per object in the census) — exposed so detectors and
+    /// checkers can bound how long a fresh joiner may stay silent.
+    pub fn transfer_cost(&self) -> SimDuration {
+        self.inner.cfg.transfer_latency.unwrap_or_else(|| {
+            // Full replication: any store knows the census.
+            let census = self.inner.stores[0].borrow().object_ids().len();
+            self.inner.cfg.latency.nominal() * census as u64
+        })
+    }
+
+    /// Bring `node`'s replica up to the max-version copy held by the other
+    /// alive nodes and return the occupancy cost to charge for it
+    /// ([`DtmConfig::transfer_latency`], defaulting to one nominal link
+    /// latency per transferred object).
+    fn state_transfer_to(&self, node: NodeId) -> SimDuration {
         let oids: Vec<ObjectId> = {
             // Any alive store knows the full object census (full replication).
             let donor = self
@@ -440,6 +591,7 @@ impl Cluster {
                 .expect("at least one alive node");
             donor.borrow().object_ids()
         };
+        let transfer = self.transfer_cost();
         for oid in oids {
             let newest = (0..self.inner.cfg.nodes as u32)
                 .map(NodeId)
@@ -452,14 +604,7 @@ impl Cluster {
                     .sync(oid, version, val);
             }
         }
-        {
-            let mut view = self.inner.quorum.borrow_mut();
-            view.tq.recover(node.index());
-            view.recompute()?;
-        }
-        self.sim.recover_node(node);
-        self.view_change_transfer();
-        Ok(())
+        transfer
     }
 
     /// Snapshot of the transaction statistics.

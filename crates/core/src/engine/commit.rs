@@ -51,10 +51,13 @@ pub(super) async fn commit_root(
         (v.epoch, v.write_q.clone())
     };
     if writes.is_empty() {
-        if pol.local_read_only_commit() && ep.inner.cfg.rqv {
+        if pol.local_read_only_commit() && ep.inner.cfg.rqv && !st.borrow().hedged_reads {
             // Rqv validated every read as of the last remote operation;
             // nothing to propagate — commit locally, zero messages.
-            // (Without Rqv this would be unsound, hence the guard.)
+            // (Without Rqv this would be unsound, hence the guard; likewise
+            // if any read was accepted from a hedged reply set, which need
+            // not intersect write quorums — those attempts fall through to
+            // the vote round below.)
             ep.inner.stats.borrow_mut().local_commits += 1;
             if ep.inner.history.borrow().is_enabled() {
                 // Serialization point: the last validated remote read.
@@ -74,6 +77,17 @@ pub(super) async fn commit_root(
         // Flat QR / QR-CHK: read-only still validates at the quorum. No
         // locks are granted for an empty write set, so there is nothing
         // to release on failure and no phase two to register.
+        //
+        // Serialization point: *before* the fan-out, not at reply
+        // collection. A validated read holds no lock, so by the time the
+        // replies are back a conflicting writer may have locked, committed
+        // and serialized — stamping the read-only commit later than that
+        // writer would invert the serial order. Stamping before the send
+        // is sound both ways: every writer whose value we read serialized
+        // before our read observed it, and every writer that would
+        // invalidate a read must serialize after the replica validations,
+        // which happen after the send.
+        let at = ep.sim.now();
         ep.vote_round(&wq, root, reads.clone(), vec![]).await?;
         if ep.inner.quorum.borrow().epoch != epoch {
             // The view changed mid-round: the quorum that validated the
@@ -81,7 +95,6 @@ pub(super) async fn commit_root(
             return Err(Abort::root());
         }
         if ep.inner.history.borrow().is_enabled() {
-            let at = ep.sim.now();
             ep.inner.history.borrow_mut().push(CommitRecord {
                 tx: root,
                 at,

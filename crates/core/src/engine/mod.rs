@@ -38,9 +38,12 @@
 //! decision is made.
 
 mod commit;
+mod detector;
 mod nesting;
 mod transport;
 mod validation;
+
+pub use detector::{spawn_detector, DetectorConfig, DetectorHandle};
 
 #[cfg(test)]
 mod tests;
@@ -240,7 +243,7 @@ impl Tx {
         };
         let mut waits = 0u32;
         let (version, fetched) = loop {
-            let replies = self
+            let round = self
                 .ep
                 .read_round(
                     root,
@@ -252,7 +255,12 @@ impl Tx {
                     kind,
                 )
                 .await?;
-            let r = validation::resolve_replies(replies);
+            if round.hedged {
+                // The accepted set was not the designated read quorum; the
+                // zero-message read-only commit must not trust it.
+                self.st.borrow_mut().hedged_reads = true;
+            }
+            let r = validation::resolve_replies(round.replies);
             if let Some(target) = r.abort {
                 // Transient commit locks may be waited out instead of
                 // aborting, if the contention policy says so.

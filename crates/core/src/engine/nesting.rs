@@ -75,6 +75,12 @@ pub(super) struct TxState {
     /// Compensating actions recorded by committed open-nested transactions
     /// of the current attempt; run in reverse order if the attempt aborts.
     pub(super) compensations: Vec<Compensation>,
+    /// Whether any read this attempt accepted came from a hedged quorum
+    /// call whose accepted reply set was not the designated read quorum.
+    /// Such a set need not intersect write quorums, so the zero-message
+    /// Rqv read-only commit is disabled for the attempt (the vote round
+    /// re-validates everything and remains safe).
+    pub(super) hedged_reads: bool,
 }
 
 impl TxState {
@@ -94,6 +100,7 @@ impl TxState {
             attempt: 0,
             last_remote_read_at: SimTime::ZERO,
             compensations: Vec::new(),
+            hedged_reads: false,
         }
     }
 

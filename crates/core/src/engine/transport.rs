@@ -8,12 +8,21 @@
 
 use std::rc::Rc;
 
-use qrdtm_sim::{EngineEventKind, NodeId, Sim};
+use qrdtm_sim::{Counter, EngineEventKind, NodeId, Sim};
 
 use crate::cluster::ClusterInner;
 use crate::msg::{class, Msg, ValEntry, ValidationKind};
 use crate::object::{ObjVal, ObjectId, Version};
 use crate::txid::{Abort, TxId};
+
+/// Outcome of a read round; `hedged` flags that the accepted reply set
+/// included a node outside the designated read quorum, so the set need not
+/// intersect write quorums (the commit layer then skips the zero-message
+/// read-only shortcut and re-validates at the vote round).
+pub(super) struct ReadRound {
+    pub(super) replies: Vec<(NodeId, Msg)>,
+    pub(super) hedged: bool,
+}
 
 /// A node-bound handle on the cluster: the shared plumbing every engine
 /// layer works through (simulator, cluster state, origin node).
@@ -41,6 +50,13 @@ impl Endpoint {
     /// One read round against the current read quorum. Returns the raw
     /// replies for the validation layer to merge; a timeout is a root
     /// abort (an asynchronous system only learns of failures this way).
+    ///
+    /// With [`DtmConfig::detector`](crate::DtmConfig::detector) set the
+    /// round gets robust: a timed-out attempt is re-issued (capped
+    /// exponential backoff, re-reading the quorum view each time — the
+    /// detector may have reconfigured around the dead member meanwhile),
+    /// and each attempt optionally *hedges* by also addressing `hedge`
+    /// extra view-alive nodes, accepting the first `|read_q|` replies.
     #[allow(clippy::too_many_arguments)]
     pub(super) async fn read_round(
         &self,
@@ -51,36 +67,77 @@ impl Endpoint {
         want_write: bool,
         entries: Vec<ValEntry>,
         kind: ValidationKind,
-    ) -> Result<Vec<(NodeId, Msg)>, Abort> {
-        let rq = self.inner.quorum.borrow().read_q.clone();
+    ) -> Result<ReadRound, Abort> {
+        let msg = Msg::ReadReq {
+            root,
+            cur_level,
+            cur_chk,
+            oid,
+            want_write,
+            entries,
+            kind,
+        };
         self.inner.stats.borrow_mut().read_rounds += 1;
         self.sim.emit_engine_event(
             EngineEventKind::QuorumRound,
             self.node,
             u64::from(class::READ_REQ),
         );
-        let res = self
-            .sim
-            .call(
-                self.node,
-                &rq,
-                Msg::ReadReq {
-                    root,
-                    cur_level,
-                    cur_chk,
-                    oid,
-                    want_write,
-                    entries,
-                    kind,
-                },
-                self.inner.cfg.rpc_timeout,
-            )
-            .await;
-        if res.timed_out {
+        let det = self.inner.cfg.detector;
+        let retries = det.map_or(0, |d| d.rpc_retries);
+        let mut backoff = self.inner.cfg.backoff_base;
+        for attempt in 0..=retries {
+            // Re-read per attempt: a retry's whole point is that the view
+            // may have reconfigured around the member that timed us out.
+            let rq = self.inner.quorum.borrow().read_q.clone();
+            let mut dests = rq.clone();
+            if let Some(d) = det {
+                if d.hedge > 0 {
+                    let view = self.inner.quorum.borrow();
+                    let mut added = 0usize;
+                    for n in 0..self.inner.cfg.nodes {
+                        if added >= d.hedge {
+                            break;
+                        }
+                        let id = NodeId(n as u32);
+                        if view.is_view_alive(n) && !rq.contains(&id) {
+                            dests.push(id);
+                            added += 1;
+                        }
+                    }
+                    if added > 0 {
+                        self.sim.bump(Counter::HedgedCalls);
+                    }
+                }
+            }
+            let res = self
+                .sim
+                .call_first(
+                    self.node,
+                    &dests,
+                    msg.clone(),
+                    rq.len(),
+                    self.inner.cfg.rpc_timeout,
+                )
+                .await;
+            if !res.timed_out {
+                let hedged = res.replies.iter().any(|(n, _)| !rq.contains(n));
+                if hedged {
+                    self.sim.bump(Counter::HedgedWins);
+                }
+                return Ok(ReadRound {
+                    replies: res.replies,
+                    hedged,
+                });
+            }
             self.inner.stats.borrow_mut().timeouts += 1;
-            return Err(Abort::root());
+            if attempt < retries {
+                self.sim.bump(Counter::RpcRetries);
+                self.sim.sleep(backoff).await;
+                backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
+            }
         }
-        Ok(res.replies)
+        Err(Abort::root())
     }
 
     /// 2PC phase one against `wq`, the write quorum the caller snapshotted
@@ -101,32 +158,38 @@ impl Endpoint {
             self.node,
             u64::from(class::COMMIT_REQ),
         );
-        let res = self
-            .sim
-            .call(
-                self.node,
-                wq,
-                Msg::CommitReq {
-                    root,
-                    reads,
-                    writes,
-                },
-                self.inner.cfg.rpc_timeout,
-            )
-            .await;
-        if res.timed_out {
+        let msg = Msg::CommitReq {
+            root,
+            reads,
+            writes,
+        };
+        // With a detector configured, a timed-out vote round is retried
+        // against the same quorum: the replica-side vote is idempotent for
+        // the same root (a re-vote on an object it already locked re-locks
+        // and answers yes), so a reply lost to the network costs a retry,
+        // not an abort. No hedging here — every member of `wq` must vote.
+        let retries = self.inner.cfg.detector.map_or(0, |d| d.rpc_retries);
+        let mut backoff = self.inner.cfg.backoff_base;
+        for attempt in 0..=retries {
+            let res = self
+                .sim
+                .call(self.node, wq, msg.clone(), self.inner.cfg.rpc_timeout)
+                .await;
+            if !res.timed_out {
+                let all_yes = res
+                    .replies
+                    .iter()
+                    .all(|(_, m)| matches!(m, Msg::Vote { ok: true }));
+                return if all_yes { Ok(()) } else { Err(Abort::root()) };
+            }
             self.inner.stats.borrow_mut().timeouts += 1;
-            return Err(Abort::root());
+            if attempt < retries {
+                self.sim.bump(Counter::RpcRetries);
+                self.sim.sleep(backoff).await;
+                backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
+            }
         }
-        let all_yes = res
-            .replies
-            .iter()
-            .all(|(_, m)| matches!(m, Msg::Vote { ok: true }));
-        if all_yes {
-            Ok(())
-        } else {
-            Err(Abort::root())
-        }
+        Err(Abort::root())
     }
 
     /// 2PC phase two, success: apply writes and release locks on `voted`,
@@ -192,6 +255,7 @@ impl Endpoint {
                 return;
             }
             self.inner.stats.borrow_mut().timeouts += 1;
+            self.sim.bump(Counter::RpcRetries);
             self.sim.sleep(backoff).await;
             backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
         }

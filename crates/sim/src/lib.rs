@@ -54,9 +54,12 @@ mod sim;
 mod time;
 
 pub use latency::{ConstLatency, JitteredLatency, LatencyModel, MetricSpace};
-pub use metrics::{EngineEvent, EngineEventKind, Metrics, ENGINE_EVENT_KINDS, MAX_CLASSES};
+pub use metrics::{
+    Counter, EngineEvent, EngineEventKind, Metrics, ENGINE_EVENT_KINDS, MAX_CLASSES,
+};
 pub use sim::{
-    CallFuture, CallId, CallResult, Envelope, HandlerCtx, Sim, SimConfig, SimMessage, Sleep,
+    CallFuture, CallId, CallResult, Envelope, HandlerCtx, HeartbeatConfig, Sim, SimConfig,
+    SimMessage, Sleep,
 };
 pub use time::{SimDuration, SimTime};
 

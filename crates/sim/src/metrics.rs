@@ -12,7 +12,7 @@
 pub const MAX_CLASSES: usize = 16;
 
 /// Number of [`EngineEventKind`] variants (size of the counter array).
-pub const ENGINE_EVENT_KINDS: usize = 5;
+pub const ENGINE_EVENT_KINDS: usize = 7;
 
 /// Structured events a protocol engine emits at its layer boundaries.
 ///
@@ -36,6 +36,13 @@ pub enum EngineEventKind {
     /// a nemesis; `detail` encodes the fault vocabulary entry
     /// (nemesis-defined). Makes fault timing visible in every trace.
     FaultInjected = 4,
+    /// A failure detector suspected `node` and ejected it from the
+    /// membership view; `detail` is the view epoch after the ejection.
+    NodeSuspected = 5,
+    /// A failure detector observed heartbeats from a previously suspected
+    /// node and rejoined it (with state transfer); `detail` is the view
+    /// epoch after the rejoin.
+    NodeRejoined = 6,
 }
 
 /// One recorded engine event (see [`Metrics::engine_event_log`]).
@@ -85,6 +92,47 @@ pub struct Metrics {
     /// since counters are enough for the figures.
     pub engine_event_log: Vec<EngineEvent>,
     pub(crate) record_engine_events: bool,
+    /// Heartbeats put on the wire (see [`Sim::start_heartbeats`](crate::Sim::start_heartbeats)).
+    pub heartbeats_sent: u64,
+    /// Heartbeats that reached an alive observer.
+    pub heartbeats_delivered: u64,
+    /// Suspicions raised by a failure detector ([`Counter::Suspicions`]).
+    pub suspicions: u64,
+    /// Suspicions of nodes that were in fact alive at suspicion time.
+    pub false_suspicions: u64,
+    /// Suspected nodes rejoined after heartbeats resumed.
+    pub rejoins: u64,
+    /// RPC attempts re-issued after a timeout by a retrying transport.
+    pub rpc_retries: u64,
+    /// Quorum calls issued with extra (hedge) destinations.
+    pub hedged_calls: u64,
+    /// Hedged calls whose accepted reply set included a hedge destination.
+    pub hedged_wins: u64,
+    /// Replies that arrived after their call had already resolved early
+    /// (the wasted work hedging pays for its latency wins).
+    pub wasted_replies: u64,
+    /// Calls issued without a timeout while at least one destination was
+    /// already dead — the caller will hang unless a detector resolves it.
+    pub no_timeout_dead_calls: u64,
+}
+
+/// Detector/transport counters external subsystems may bump through
+/// [`Sim::bump`](crate::Sim::bump) (the counters the simulator maintains
+/// itself — heartbeats, wasted replies — have no public variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// A failure detector raised a suspicion.
+    Suspicions,
+    /// A suspicion of a node that was actually alive.
+    FalseSuspicions,
+    /// A suspected node was rejoined.
+    Rejoins,
+    /// A transport retried an RPC after a timeout.
+    RpcRetries,
+    /// A quorum call was issued with hedge destinations.
+    HedgedCalls,
+    /// A hedge destination's reply made the accepted set.
+    HedgedWins,
 }
 
 impl Metrics {
@@ -107,6 +155,17 @@ impl Metrics {
             self.processed_by_node.resize(node + 1, 0);
         }
         self.processed_by_node[node] += 1;
+    }
+
+    pub(crate) fn bump(&mut self, c: Counter) {
+        match c {
+            Counter::Suspicions => self.suspicions += 1,
+            Counter::FalseSuspicions => self.false_suspicions += 1,
+            Counter::Rejoins => self.rejoins += 1,
+            Counter::RpcRetries => self.rpc_retries += 1,
+            Counter::HedgedCalls => self.hedged_calls += 1,
+            Counter::HedgedWins => self.hedged_wins += 1,
+        }
     }
 
     pub(crate) fn on_engine_event(&mut self, ev: EngineEvent) {

@@ -35,9 +35,49 @@ use rand::{RngExt, SeedableRng};
 
 use crate::executor::{ReadyQueue, TaskStore};
 use crate::latency::LatencyModel;
-use crate::metrics::{Metrics, MAX_CLASSES};
+use crate::metrics::{Counter, Metrics, MAX_CLASSES};
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
+
+/// Configuration of the simulator-level heartbeat layer (see
+/// [`Sim::start_heartbeats`]).
+///
+/// Heartbeats are plain simulator events, not protocol messages: they cross
+/// the same latency model, partitions and link faults as real traffic, and
+/// their *emission* is pushed behind the sender's service backlog (a node
+/// drowning in requests — or slowed by a gray failure — heartbeats late),
+/// but they never occupy the receiver's service queue, so enabling them
+/// does not perturb protocol message timing.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// Nominal interval between a node's heartbeats.
+    pub interval: SimDuration,
+    /// Per-beat jitter fraction: each gap is `interval * (1 ± jitter)`,
+    /// drawn from the simulation RNG (keeps nodes de-synchronized while
+    /// staying fully deterministic per seed).
+    pub jitter: f64,
+    /// A node is suspectable once no heartbeat from it was observed for
+    /// `interval * suspect_after` (the *suspicion window* — also used to
+    /// resolve timeout-less calls to dead nodes, see [`Sim::call`]).
+    pub suspect_after: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: SimDuration::from_millis(50),
+            jitter: 0.2,
+            suspect_after: 4,
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// The suspicion window: `interval * suspect_after`.
+    pub fn suspect_window(&self) -> SimDuration {
+        SimDuration::from_nanos(self.interval.as_nanos() * u64::from(self.suspect_after))
+    }
+}
 
 /// Messages carried by the simulated network.
 ///
@@ -106,7 +146,11 @@ struct TimerState {
 }
 
 struct CallState<M> {
+    /// Destinations the call was sent to.
     expected: usize,
+    /// Replies that resolve the future (`need <= expected`; equal for
+    /// plain calls, smaller for hedged first-quorum calls).
+    need: usize,
     replies: Vec<(NodeId, M)>,
     timed_out: bool,
     waker: Option<Waker>,
@@ -126,6 +170,14 @@ enum EventKind<M> {
     },
     Timer(Rc<RefCell<TimerState>>),
     CallTimeout(CallId),
+    /// A node is due to emit its next heartbeat (self-rescheduling while
+    /// heartbeats are enabled).
+    HeartbeatTick(NodeId),
+    /// A heartbeat from `from` reached observer `to`.
+    HeartbeatArrive {
+        from: NodeId,
+        to: NodeId,
+    },
 }
 
 struct Scheduled<M> {
@@ -181,9 +233,20 @@ struct SimInner<M: SimMessage> {
     rng: StdRng,
     link_faults: std::collections::HashMap<(u32, u32), LinkFault>,
     pending: std::collections::HashMap<CallId, Weak<RefCell<CallState<M>>>>,
+    /// Calls that resolved before every destination replied, with the
+    /// number of replies still outstanding — late arrivals are counted as
+    /// wasted instead of "caller gave up".
+    resolved_extra: std::collections::HashMap<CallId, usize>,
     next_call: u64,
     metrics: Metrics,
     halted: bool,
+    /// Heartbeat layer state; `None` (the default) means no heartbeat
+    /// events exist and the RNG is never touched for them, keeping
+    /// detector-less runs byte-identical to earlier versions.
+    heartbeat: Option<HeartbeatConfig>,
+    /// `last_hb[observer][sender]`: virtual time the observer last received
+    /// a heartbeat from the sender (seeded with the enable instant).
+    last_hb: Vec<Vec<SimTime>>,
 }
 
 impl<M: SimMessage> SimInner<M> {
@@ -283,9 +346,12 @@ impl<M: SimMessage> Sim<M> {
                     rng: StdRng::seed_from_u64(cfg.seed),
                     link_faults: std::collections::HashMap::new(),
                     pending: std::collections::HashMap::new(),
+                    resolved_extra: std::collections::HashMap::new(),
                     next_call: 0,
                     metrics: Metrics::new(0),
                     halted: false,
+                    heartbeat: None,
+                    last_hb: Vec::new(),
                 }),
                 tasks: RefCell::new(TaskStore::default()),
                 ready: ReadyQueue::default(),
@@ -444,6 +510,81 @@ impl<M: SimMessage> Sim<M> {
         self.core.inner.borrow().nodes[node.index()].alive
     }
 
+    /// Keep `node` busy for an extra `d` of service time, queued behind its
+    /// current backlog. Models out-of-band work that occupies the server —
+    /// e.g. the rejoin state transfer a recovering replica performs before
+    /// it can serve requests at full speed again.
+    pub fn occupy(&self, node: NodeId, d: SimDuration) {
+        let mut inner = self.core.inner.borrow_mut();
+        let now = inner.now;
+        let meta = &mut inner.nodes[node.index()];
+        let start = if meta.busy_until > now {
+            meta.busy_until
+        } else {
+            now
+        };
+        meta.busy_until = start + d;
+    }
+
+    /// Start the heartbeat layer: every node emits periodic heartbeats to
+    /// every other node, with seeded per-beat jitter, delivered through the
+    /// regular latency/partition/link-fault path. Observers' last-heard
+    /// times become available via [`Sim::last_heartbeat`]. Idempotent-ish:
+    /// calling again replaces the config but does not double the tick
+    /// streams.
+    pub fn start_heartbeats(&self, cfg: HeartbeatConfig) {
+        assert!(
+            cfg.interval > SimDuration::ZERO && cfg.suspect_after > 0,
+            "heartbeat interval and suspect_after must be positive"
+        );
+        let mut inner = self.core.inner.borrow_mut();
+        let n = inner.nodes.len();
+        let already = inner.heartbeat.is_some();
+        inner.heartbeat = Some(cfg);
+        let now = inner.now;
+        inner.last_hb = vec![vec![now; n]; n];
+        if already {
+            return; // tick streams are still alive; only the config changed
+        }
+        // Stagger initial phases deterministically so all nodes do not
+        // beat in lock-step.
+        for i in 0..n {
+            let frac = inner.rng.random_range(0.0..1.0);
+            let at = now + cfg.interval.mul_f64(frac);
+            inner.schedule(at, EventKind::HeartbeatTick(NodeId(i as u32)));
+        }
+    }
+
+    /// Stop the heartbeat layer: in-flight ticks and heartbeats are
+    /// discarded at dispatch and no new ones are scheduled (so `run()` can
+    /// reach quiescence again).
+    pub fn stop_heartbeats(&self) {
+        self.core.inner.borrow_mut().heartbeat = None;
+    }
+
+    /// Whether the heartbeat layer is running.
+    pub fn heartbeats_enabled(&self) -> bool {
+        self.core.inner.borrow().heartbeat.is_some()
+    }
+
+    /// The active heartbeat configuration, if any.
+    pub fn heartbeat_config(&self) -> Option<HeartbeatConfig> {
+        self.core.inner.borrow().heartbeat
+    }
+
+    /// The last virtual time `observer` received a heartbeat from `from`
+    /// (the enable instant if none arrived yet). Panics if heartbeats were
+    /// never started.
+    pub fn last_heartbeat(&self, observer: NodeId, from: NodeId) -> SimTime {
+        self.core.inner.borrow().last_hb[observer.index()][from.index()]
+    }
+
+    /// Bump a detector/transport counter in the metrics sink (failure
+    /// detectors and retrying transports live outside this crate).
+    pub fn bump(&self, c: Counter) {
+        self.core.inner.borrow_mut().metrics.bump(c);
+    }
+
     /// Stop the run loop after the current event.
     pub fn halt(&self) {
         self.core.inner.borrow_mut().halted = true;
@@ -526,7 +667,11 @@ impl<M: SimMessage> Sim<M> {
     /// The returned future resolves when all `dests.len()` replies arrived,
     /// or at `timeout` with whatever replies came by then. Without a timeout
     /// the caller must know every destination is alive, or the call never
-    /// resolves (like a real RPC with no failure detector).
+    /// resolves (like a real RPC with no failure detector) — unless the
+    /// heartbeat layer is running, in which case such calls are resolved as
+    /// timed-out after one suspicion window (the detector is the failure
+    /// oracle now), and either way a `no_timeout_dead_calls` counter
+    /// records the footgun.
     pub fn call(
         &self,
         from: NodeId,
@@ -534,11 +679,27 @@ impl<M: SimMessage> Sim<M> {
         msg: M,
         timeout: Option<SimDuration>,
     ) -> CallFuture<M> {
+        self.call_first(from, dests, msg, dests.len(), timeout)
+    }
+
+    /// Like [`Sim::call`], but the future resolves as soon as the first
+    /// `need` replies arrived (hedged-request support: send to a quorum
+    /// plus spares, take the first quorum of replies). Later replies are
+    /// counted as wasted. `need` is clamped to `1..=dests.len()`.
+    pub fn call_first(
+        &self,
+        from: NodeId,
+        dests: &[NodeId],
+        msg: M,
+        need: usize,
+        timeout: Option<SimDuration>,
+    ) -> CallFuture<M> {
         let mut inner = self.core.inner.borrow_mut();
         let id = CallId(inner.next_call);
         inner.next_call += 1;
         let state = Rc::new(RefCell::new(CallState {
             expected: dests.len(),
+            need: need.clamp(1, dests.len().max(1)),
             replies: Vec::with_capacity(dests.len()),
             timed_out: false,
             waker: None,
@@ -555,6 +716,15 @@ impl<M: SimMessage> Sim<M> {
         if let Some(t) = timeout {
             let at = inner.now + t;
             inner.schedule(at, EventKind::CallTimeout(id));
+        } else if dests.iter().any(|&d| !inner.nodes[d.index()].alive) {
+            // The documented footgun: a timeout-less call to a dead node
+            // hangs forever. Count it always; with the heartbeat layer
+            // running, bound it by the suspicion window instead.
+            inner.metrics.no_timeout_dead_calls += 1;
+            if let Some(hb) = inner.heartbeat {
+                let at = inner.now + hb.suspect_window();
+                inner.schedule(at, EventKind::CallTimeout(id));
+            }
         }
         CallFuture { state }
     }
@@ -667,8 +837,18 @@ impl<M: SimMessage> Sim<M> {
                     match weak.and_then(|w| w.upgrade()) {
                         Some(s) => Some(s),
                         None => {
-                            // Caller gave up (timeout already consumed it).
+                            // Caller resolved early (hedged win) or gave up
+                            // (timeout). Early-resolved extras are the price
+                            // of hedging — account them.
                             inner.pending.remove(&call);
+                            if let Some(left) = inner.resolved_extra.get_mut(&call) {
+                                *left -= 1;
+                                let drained = *left == 0;
+                                if drained {
+                                    inner.resolved_extra.remove(&call);
+                                }
+                                inner.metrics.wasted_replies += 1;
+                            }
                             None
                         }
                     }
@@ -676,8 +856,14 @@ impl<M: SimMessage> Sim<M> {
                 if let Some(state) = state {
                     let mut st = state.borrow_mut();
                     st.replies.push((from, msg));
-                    if st.replies.len() >= st.expected {
-                        self.core.inner.borrow_mut().pending.remove(&call);
+                    if st.replies.len() >= st.need {
+                        let mut inner = self.core.inner.borrow_mut();
+                        inner.pending.remove(&call);
+                        if st.replies.len() < st.expected {
+                            inner
+                                .resolved_extra
+                                .insert(call, st.expected - st.replies.len());
+                        }
                         if let Some(w) = st.waker.take() {
                             w.wake();
                         }
@@ -698,13 +884,69 @@ impl<M: SimMessage> Sim<M> {
                 };
                 if let Some(state) = state {
                     let mut st = state.borrow_mut();
-                    if st.replies.len() < st.expected {
+                    if st.replies.len() < st.need {
                         st.timed_out = true;
                         if let Some(w) = st.waker.take() {
                             w.wake();
                         }
                     }
                 }
+            }
+            EventKind::HeartbeatTick(node) => {
+                let mut inner = self.core.inner.borrow_mut();
+                let inner = &mut *inner;
+                let Some(hb) = inner.heartbeat else {
+                    return; // layer stopped: the tick stream dies here
+                };
+                let n = inner.nodes.len();
+                let meta = &inner.nodes[node.index()];
+                // A dead node beats nothing but keeps ticking, so its
+                // stream resumes the moment it is recovered. Emission
+                // queues behind the service backlog: an overloaded or
+                // gray-slow node heartbeats late, which is exactly the
+                // signal an accrual detector feeds on.
+                let emit_at = if meta.alive {
+                    Some(if meta.busy_until > inner.now {
+                        meta.busy_until
+                    } else {
+                        inner.now
+                    })
+                } else {
+                    None
+                };
+                if let Some(emit_at) = emit_at {
+                    for i in 0..n {
+                        let to = NodeId(i as u32);
+                        if to == node {
+                            continue;
+                        }
+                        let lat = inner.latency.sample(node, to, &mut inner.rng)
+                            + inner.link_extra(node, to);
+                        inner.metrics.heartbeats_sent += 1;
+                        inner
+                            .schedule(emit_at + lat, EventKind::HeartbeatArrive { from: node, to });
+                    }
+                }
+                let jitter = 1.0 + hb.jitter * inner.rng.random_range(-1.0..1.0);
+                let next = inner.now + hb.interval.mul_f64(jitter.max(0.05));
+                inner.schedule(next, EventKind::HeartbeatTick(node));
+            }
+            EventKind::HeartbeatArrive { from, to } => {
+                let mut inner = self.core.inner.borrow_mut();
+                if inner.heartbeat.is_none() {
+                    return;
+                }
+                // Heartbeats cross the same faulty network as requests,
+                // but never touch the receiver's service queue.
+                if inner.delivery_faulted(from, to) {
+                    return;
+                }
+                if !inner.nodes[to.index()].alive {
+                    return;
+                }
+                let now = inner.now;
+                inner.last_hb[to.index()][from.index()] = now;
+                inner.metrics.heartbeats_delivered += 1;
             }
         }
     }
@@ -836,7 +1078,7 @@ impl<M> Future for CallFuture<M> {
     type Output = CallResult<M>;
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<CallResult<M>> {
         let mut st = self.state.borrow_mut();
-        if st.replies.len() >= st.expected || st.timed_out {
+        if st.replies.len() >= st.need || st.timed_out {
             Poll::Ready(CallResult {
                 replies: std::mem::take(&mut st.replies),
                 timed_out: st.timed_out,
@@ -1323,6 +1565,165 @@ mod tests {
             done.get().unwrap() - t0,
             SimDuration::from_millis(25),
             "restored node serves at healthy speed"
+        );
+    }
+
+    #[test]
+    fn call_first_resolves_at_need_and_counts_waste() {
+        // Node 1 is healthy, node 2 is slow: a hedged call needing one
+        // reply resolves with node 1's answer; node 2's late reply is
+        // counted as wasted.
+        let mut cfg = SimConfig::new(1, Box::new(ConstLatency::new(SimDuration::from_millis(10))));
+        cfg.service_time = SimDuration::from_millis(1);
+        let s: Sim<Msg> = Sim::new(cfg);
+        let n = s.add_nodes(3);
+        echo(&s, n[1]);
+        echo(&s, n[2]);
+        s.set_service_factor(n[2], 50.0);
+        let s2 = s.clone();
+        let got = Rc::new(Cell::new(None));
+        let got2 = Rc::clone(&got);
+        s.spawn(async move {
+            let r = s2
+                .call_first(NodeId(0), &[NodeId(1), NodeId(2)], Msg::Ping(5), 1, None)
+                .await;
+            assert!(!r.timed_out);
+            got2.set(Some(r.replies.len()));
+        });
+        s.run();
+        assert_eq!(got.get(), Some(1));
+        assert_eq!(s.metrics().wasted_replies, 1, "the straggler's reply");
+    }
+
+    #[test]
+    fn no_timeout_call_to_dead_node_is_counted_and_detector_bounded() {
+        let s = sim(5);
+        let n = s.add_nodes(2);
+        echo(&s, n[1]);
+        s.fail_node(n[1]);
+        // Without heartbeats: counted, still hangs (documented footgun).
+        let s2 = s.clone();
+        s.spawn(async move {
+            s2.call(NodeId(0), &[NodeId(1)], Msg::Ping(1), None).await;
+            unreachable!("no detector: the call must hang forever");
+        });
+        s.run();
+        assert_eq!(s.metrics().no_timeout_dead_calls, 1);
+        assert_eq!(s.live_tasks(), 1, "caller is stuck");
+        // With heartbeats running, the same call resolves as timed-out
+        // after one suspicion window.
+        s.start_heartbeats(HeartbeatConfig::default());
+        let s3 = s.clone();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        s.spawn(async move {
+            let r = s3.call(NodeId(0), &[NodeId(1)], Msg::Ping(2), None).await;
+            assert!(r.timed_out);
+            done2.set(true);
+            s3.halt();
+        });
+        s.run();
+        assert!(done.get(), "detector-bounded call resolved");
+        assert_eq!(s.metrics().no_timeout_dead_calls, 2);
+    }
+
+    #[test]
+    fn heartbeats_flow_and_respect_partitions() {
+        let s = sim(5);
+        let n = s.add_nodes(3);
+        s.start_heartbeats(HeartbeatConfig {
+            interval: SimDuration::from_millis(20),
+            jitter: 0.1,
+            suspect_after: 3,
+        });
+        s.run_for(SimDuration::from_millis(200));
+        let m = s.metrics();
+        assert!(m.heartbeats_sent > 0);
+        assert!(m.heartbeats_delivered > 0);
+        let t1 = s.last_heartbeat(n[0], n[1]);
+        assert!(t1 > SimTime::ZERO, "observer 0 heard node 1");
+        // Partition node 2 away: nodes 0/1 stop hearing it, it keeps
+        // hearing nothing from them either, but 0 and 1 stay fresh.
+        s.set_partition(&[vec![n[0], n[1]], vec![n[2]]]);
+        let cut_at = s.now();
+        s.run_for(SimDuration::from_millis(200));
+        assert!(
+            s.last_heartbeat(n[0], n[2]) <= cut_at,
+            "no heartbeat crosses the cut"
+        );
+        assert!(
+            s.last_heartbeat(n[0], n[1]) > cut_at,
+            "same side stays fresh"
+        );
+        s.stop_heartbeats();
+        s.run(); // must quiesce: no perpetual tick stream
+        assert!(!s.heartbeats_enabled());
+    }
+
+    #[test]
+    fn dead_node_heartbeats_resume_on_recovery() {
+        let s = sim(5);
+        let n = s.add_nodes(2);
+        s.start_heartbeats(HeartbeatConfig {
+            interval: SimDuration::from_millis(20),
+            jitter: 0.0,
+            suspect_after: 3,
+        });
+        s.fail_node(n[1]);
+        s.run_for(SimDuration::from_millis(100));
+        let stale = s.last_heartbeat(n[0], n[1]);
+        s.recover_node(n[1]);
+        s.run_for(SimDuration::from_millis(100));
+        assert!(
+            s.last_heartbeat(n[0], n[1]) > stale,
+            "recovered node beats again without re-arming"
+        );
+        s.stop_heartbeats();
+        s.run();
+    }
+
+    #[test]
+    fn heartbeats_off_keep_trace_identical() {
+        // The heartbeat layer must be strictly opt-in: a sim that never
+        // starts it behaves exactly like one built before the layer
+        // existed (same RNG draws, same event count).
+        fn trace() -> (u64, u64) {
+            let s = sim(7);
+            let n = s.add_nodes(3);
+            echo(&s, n[1]);
+            echo(&s, n[2]);
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.call(NodeId(0), &[NodeId(1), NodeId(2)], Msg::Ping(1), None)
+                    .await;
+            });
+            s.run();
+            (s.metrics().events, s.metrics().sent_total)
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn occupy_delays_subsequent_service() {
+        let mut cfg = SimConfig::new(1, Box::new(ConstLatency::new(SimDuration::from_millis(10))));
+        cfg.service_time = SimDuration::from_millis(1);
+        let s: Sim<Msg> = Sim::new(cfg);
+        let n = s.add_nodes(2);
+        echo(&s, n[1]);
+        s.occupy(n[1], SimDuration::from_millis(40));
+        let s2 = s.clone();
+        let done = Rc::new(Cell::new(None));
+        let done2 = Rc::clone(&done);
+        s.spawn(async move {
+            s2.call(NodeId(0), &[NodeId(1)], Msg::Ping(1), None).await;
+            done2.set(Some(s2.now()));
+        });
+        s.run();
+        // 10ms there, queued until the 40ms occupancy drains, 1ms service,
+        // 10ms back.
+        assert_eq!(
+            done.get().unwrap(),
+            SimTime::ZERO + SimDuration::from_millis(51)
         );
     }
 

@@ -14,6 +14,12 @@
 //! percentage (Fig. 5), number of nested calls per root transaction
 //! (Fig. 6), and number of objects (Fig. 7); plus a failure count for the
 //! Fig. 10 experiment.
+//!
+//! When [`DtmConfig::detector`] is set, the driver no longer acts as a
+//! failure oracle: Fig. 10 failures and any [`ScheduledFault`] only kill or
+//! heal nodes in the simulator, and the heartbeat-driven failure detector
+//! performs the corresponding view changes (with their real detection
+//! latency and message cost) on its own.
 
 use qrdtm_core::{Cluster, DtmConfig, DtmStats};
 use qrdtm_sim::{NodeId, SimDuration};
@@ -192,6 +198,14 @@ pub fn run_with_schedule(cfg: DtmConfig, spec: &RunSpec, schedule: &[ScheduledFa
     setup_bench(&cluster, spec);
     sim.run(); // drain the population phase
 
+    // With a detector configured, the driver stops being a failure oracle:
+    // faults (pre-run and scheduled) only kill or heal nodes in the
+    // simulator, and the heartbeat-driven detector repairs the view on its
+    // own. Spawned only after the setup drain — heartbeats never go idle,
+    // so `sim.run()` above would otherwise not terminate.
+    let detector_cfg = cluster.config().detector;
+    let _detector = detector_cfg.map(|_| qrdtm_core::spawn_detector(&cluster));
+
     // Fig. 10-style failures: shrink the alive set, growing the read quorum.
     for _ in 0..spec.failures {
         let rq = cluster.read_quorum();
@@ -199,9 +213,32 @@ pub fn run_with_schedule(cfg: DtmConfig, spec: &RunSpec, schedule: &[ScheduledFa
             .into_iter()
             .find(|&n| sim.is_alive(n))
             .expect("read quorum has an alive member");
-        cluster
-            .fail_node(victim)
-            .expect("quorum survives the configured failures");
+        match detector_cfg {
+            None => cluster
+                .fail_node(victim)
+                .expect("quorum survives the configured failures"),
+            Some(d) => {
+                // Kill in the simulator only, then run (still client-free)
+                // until the detector has ejected the victim, so clients
+                // start against the same shrunken view the oracle would
+                // have produced.
+                assert!(
+                    cluster.quorum_survives_without(victim),
+                    "quorum survives the configured failures"
+                );
+                sim.fail_node(victim);
+                let mut waited = SimDuration::ZERO;
+                let cap = d.suspect_window() * 2 + d.interval * 8;
+                while cluster.view_alive(victim) && waited < cap {
+                    sim.run_for(d.interval);
+                    waited += d.interval;
+                }
+                assert!(
+                    !cluster.view_alive(victim),
+                    "detector ejects a pre-run victim within its bound"
+                );
+            }
+        }
     }
 
     // --- Phase 2+3: drive clients ---------------------------------------
@@ -229,18 +266,33 @@ pub fn run_with_schedule(cfg: DtmConfig, spec: &RunSpec, schedule: &[ScheduledFa
                 if due > s.now() {
                     s.sleep(due - s.now()).await;
                 }
+                // Detector mode: faults touch only the simulator; the
+                // detector is responsible for the matching view changes.
+                let fail = |n: NodeId| {
+                    if detector_cfg.is_some() {
+                        if s.is_alive(n) && cluster.quorum_survives_without(n) {
+                            s.fail_node(n);
+                        }
+                    } else {
+                        let _ = cluster.fail_node(n);
+                    }
+                };
                 match f.action {
                     FaultAction::FailReadQuorumMember => {
                         let victim = cluster.read_quorum().into_iter().find(|&n| s.is_alive(n));
                         if let Some(v) = victim {
-                            let _ = cluster.fail_node(v);
+                            fail(v);
                         }
                     }
-                    FaultAction::Fail(n) => {
-                        let _ = cluster.fail_node(n);
-                    }
+                    FaultAction::Fail(n) => fail(n),
                     FaultAction::Recover(n) => {
-                        let _ = cluster.recover_node(n);
+                        if detector_cfg.is_some() {
+                            if !s.is_alive(n) {
+                                s.recover_node(n);
+                            }
+                        } else {
+                            let _ = cluster.recover_node(n);
+                        }
                     }
                 }
             }
@@ -771,6 +823,30 @@ mod tests {
         cfg2.nodes = 28;
         cfg2.read_level = 0;
         let r2 = run_with_schedule(cfg2, &quick_spec(Benchmark::Bank), &schedule);
+        assert_eq!(r.commits, r2.commits);
+        assert_eq!(r.messages, r2.messages);
+    }
+
+    #[test]
+    fn detector_replaces_the_failure_oracle_in_fig10_runs() {
+        let mut spec = quick_spec(Benchmark::Bank);
+        spec.failures = 1;
+        let mk = || {
+            let mut cfg = quick_cfg(NestingMode::Closed);
+            cfg.nodes = 28;
+            cfg.read_level = 0;
+            cfg.detector = Some(qrdtm_core::DetectorConfig::default());
+            cfg.rpc_timeout = Some(SimDuration::from_millis(100));
+            cfg
+        };
+        let r = run(mk(), &spec);
+        assert!(
+            r.commits > 0,
+            "cluster commits after a detector-ejected failure: {:?}",
+            r.stats
+        );
+        // Detector runs stay deterministic per seed.
+        let r2 = run(mk(), &spec);
         assert_eq!(r.commits, r2.commits);
         assert_eq!(r.messages, r2.messages);
     }

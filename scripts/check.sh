@@ -20,4 +20,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> chaos smoke (fault injection + invariant checks)"
 cargo run --quiet --release -p qrdtm-bench -- chaos --smoke
 
+echo "==> chaos detector smoke (self-healing membership, no oracle)"
+cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --detector
+
 echo "ok: all tier-1 checks passed"
