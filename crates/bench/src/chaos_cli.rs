@@ -15,7 +15,7 @@ use qrdtm_chaos::{
     generate, run_plan, shrink, ChaosReport, ChaosSpec, FaultBudget, FaultEvent, FaultKind,
     FaultPlan,
 };
-use qrdtm_core::{Cluster, DetectorConfig, DtmConfig, NestingMode};
+use qrdtm_core::{Cluster, DetectorConfig, DtmConfig, DurabilityConfig, NestingMode};
 use qrdtm_sim::SimDuration;
 
 /// One of the five protocol configurations the nemesis can target.
@@ -55,10 +55,12 @@ impl Proto {
     }
 
     /// The fault budget this protocol can honestly be subjected to: the QR
-    /// configurations take the full vocabulary, the baselines (which the
-    /// paper states are not fault-tolerant) only gray failures.
-    fn budget(self, events: usize) -> FaultBudget {
+    /// configurations take the full vocabulary (plus amnesiac restarts
+    /// when durability is armed), the baselines (which the paper states
+    /// are not fault-tolerant) only gray failures.
+    fn budget(self, events: usize, durable: bool) -> FaultBudget {
         match self {
+            Proto::Qr | Proto::QrCn | Proto::QrChk if durable => FaultBudget::durable(events),
             Proto::Qr | Proto::QrCn | Proto::QrChk => FaultBudget::full(events),
             Proto::Tfa | Proto::Decent => FaultBudget::gray(events),
         }
@@ -72,13 +74,30 @@ impl Proto {
 
     /// Build a fresh cluster and run `plan` against it. A new cluster per
     /// run is what makes replays (and the shrinker's re-runs) exact.
-    fn run(self, nodes: usize, seed: u64, spec: &ChaosSpec, plan: &FaultPlan) -> ChaosReport {
+    fn run(
+        self,
+        nodes: usize,
+        seed: u64,
+        spec: &ChaosSpec,
+        plan: &FaultPlan,
+        durable: bool,
+    ) -> ChaosReport {
         let det = spec.detector;
         match self {
-            Proto::Qr => run_plan(qr(NestingMode::Flat, nodes, seed, det), nodes, spec, plan),
-            Proto::QrCn => run_plan(qr(NestingMode::Closed, nodes, seed, det), nodes, spec, plan),
+            Proto::Qr => run_plan(
+                qr(NestingMode::Flat, nodes, seed, det, durable),
+                nodes,
+                spec,
+                plan,
+            ),
+            Proto::QrCn => run_plan(
+                qr(NestingMode::Closed, nodes, seed, det, durable),
+                nodes,
+                spec,
+                plan,
+            ),
             Proto::QrChk => run_plan(
-                qr(NestingMode::Checkpoint, nodes, seed, det),
+                qr(NestingMode::Checkpoint, nodes, seed, det, durable),
                 nodes,
                 spec,
                 plan,
@@ -103,7 +122,7 @@ impl Proto {
     }
 }
 
-fn qr(mode: NestingMode, nodes: usize, seed: u64, detector: bool) -> Rc<Cluster> {
+fn qr(mode: NestingMode, nodes: usize, seed: u64, detector: bool, durable: bool) -> Rc<Cluster> {
     let mut cfg = DtmConfig {
         nodes,
         mode,
@@ -117,12 +136,19 @@ fn qr(mode: NestingMode, nodes: usize, seed: u64, detector: bool) -> Rc<Cluster>
         cfg.detector = Some(DetectorConfig::default());
         cfg.rpc_timeout = Some(SimDuration::from_millis(100));
     }
+    if durable {
+        // Replicas log to the simulated disk; crash-amnesia and
+        // corrupt-tail faults become applicable.
+        cfg.durability = Some(DurabilityConfig::default());
+        cfg.rpc_timeout.get_or_insert(SimDuration::from_millis(100));
+    }
     Rc::new(Cluster::new(cfg))
 }
 
 struct ChaosArgs {
     smoke: bool,
     detector: bool,
+    amnesia: bool,
     seed: u64,
     seeds: u64,
     protos: Vec<Proto>,
@@ -136,7 +162,7 @@ struct ChaosArgs {
 
 fn chaos_usage() -> ! {
     eprintln!(
-        "usage: repro chaos [--smoke] [--detector] \
+        "usage: repro chaos [--smoke] [--detector] [--amnesia] \
          [--proto qr|qr-cn|qr-chk|tfa|decent|all] \
          [--seed S] [--seeds N] [--events N] [--nodes N] [--horizon-ms H] \
          [--fig10 K] [--plan FILE] [--save-plan FILE]"
@@ -148,6 +174,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> ChaosArgs {
     let mut a = ChaosArgs {
         smoke: false,
         detector: false,
+        amnesia: false,
         seed: 1,
         seeds: 1,
         protos: ALL_PROTOS.to_vec(),
@@ -165,6 +192,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> ChaosArgs {
         match flag.as_str() {
             "--smoke" => a.smoke = true,
             "--detector" => a.detector = true,
+            "--amnesia" => a.amnesia = true,
             "--proto" => {
                 a.protos = Proto::parse(&val(&mut args)).unwrap_or_else(|| chaos_usage());
             }
@@ -189,7 +217,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> ChaosArgs {
 pub fn run(args: impl Iterator<Item = String>) -> i32 {
     let mut a = parse_args(args);
     if a.smoke {
-        return if a.detector {
+        return if a.amnesia {
+            amnesia_smoke()
+        } else if a.detector {
             detector_smoke()
         } else {
             smoke()
@@ -241,12 +271,25 @@ pub fn run(args: impl Iterator<Item = String>) -> i32 {
         for &proto in &a.protos {
             let plan = match &fixed_plan {
                 Some(p) => p.clone(),
-                None => generate(seed, a.nodes as u32, spec.horizon, &proto.budget(a.events)),
+                None => generate(
+                    seed,
+                    a.nodes as u32,
+                    spec.horizon,
+                    &proto.budget(a.events, a.amnesia),
+                ),
             };
             if let Some(path) = &a.save_plan {
                 save_plan(path, &plan, proto, seed, a.nodes);
             }
-            if !run_one(proto, seed, a.nodes, &spec, &plan, a.save_plan.as_deref()) {
+            if !run_one(
+                proto,
+                seed,
+                a.nodes,
+                &spec,
+                &plan,
+                a.save_plan.as_deref(),
+                a.amnesia,
+            ) {
                 failures += 1;
             }
         }
@@ -282,6 +325,7 @@ fn save_plan(path: &std::path::Path, plan: &FaultPlan, proto: Proto, seed: u64, 
 
 /// Run one (protocol, seed, plan) scenario, print its report line and, on
 /// a violation, the shrunken reproducer. Returns whether invariants held.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     proto: Proto,
     seed: u64,
@@ -289,9 +333,10 @@ fn run_one(
     spec: &ChaosSpec,
     plan: &FaultPlan,
     save_to: Option<&std::path::Path>,
+    durable: bool,
 ) -> bool {
-    let r = proto.run(nodes, seed, spec, plan);
-    report_one(proto, seed, nodes, spec, plan, save_to, &r)
+    let r = proto.run(nodes, seed, spec, plan, durable);
+    report_one(proto, seed, nodes, spec, plan, save_to, durable, &r)
 }
 
 /// Print the report line (and, on a violation, shrink to a minimal
@@ -306,6 +351,7 @@ fn report_one(
     spec: &ChaosSpec,
     plan: &FaultPlan,
     save_to: Option<&std::path::Path>,
+    durable: bool,
     r: &ChaosReport,
 ) -> bool {
     println!(
@@ -339,6 +385,19 @@ fn report_one(
             m.wasted_replies,
         );
     }
+    {
+        // Recovery counters are zero unless an amnesiac restart actually
+        // replayed a log and/or ran quorum repair — print only then.
+        let m = &r.metrics;
+        if m.log_replays + m.torn_tails + m.repair_rounds + m.repaired_objects + m.repair_bytes > 0
+        {
+            println!(
+                "    recovery: log_replays={} torn_tails={} repair_rounds={} \
+                 repaired_objects={} repair_bytes={}",
+                m.log_replays, m.torn_tails, m.repair_rounds, m.repaired_objects, m.repair_bytes,
+            );
+        }
+    }
     if r.ok() {
         return true;
     }
@@ -349,7 +408,9 @@ fn report_one(
         "    shrinking the {}-event plan to a minimal reproducer...",
         plan.len()
     );
-    let min = shrink(plan, |cand| !proto.run(nodes, seed, spec, cand).ok());
+    let min = shrink(plan, |cand| {
+        !proto.run(nodes, seed, spec, cand, durable).ok()
+    });
     println!("    minimized plan ({} event(s)):", min.len());
     for line in min.to_text().lines() {
         println!("      {line}");
@@ -374,12 +435,12 @@ fn smoke() -> i32 {
     let mut ok = true;
     for seed in 1..=2u64 {
         for proto in ALL_PROTOS {
-            let plan = generate(seed, 10, spec.horizon, &proto.budget(5));
-            ok &= run_one(proto, seed, 10, &spec, &plan, None);
+            let plan = generate(seed, 10, spec.horizon, &proto.budget(5, false));
+            ok &= run_one(proto, seed, 10, &spec, &plan, None, false);
         }
     }
     let fig10 = fig10_plan(3, spec.horizon);
-    ok &= run_one(Proto::QrCn, 3, 10, &spec, &fig10, None);
+    ok &= run_one(Proto::QrCn, 3, 10, &spec, &fig10, None, false);
     if ok {
         println!("\nchaos smoke: all invariants held");
         0
@@ -448,8 +509,8 @@ fn detector_smoke() -> i32 {
         for (name, plan) in plans {
             println!("plan: {name}");
             for proto in [Proto::QrCn, Proto::Qr] {
-                let r = proto.run(10, seed, &spec, plan);
-                ok &= report_one(proto, seed, 10, &spec, plan, None, &r);
+                let r = proto.run(10, seed, &spec, plan, false);
+                ok &= report_one(proto, seed, 10, &spec, plan, None, false, &r);
                 hb += r.metrics.heartbeats_sent;
                 susp += r.metrics.suspicions;
                 false_susp += r.metrics.false_suspicions;
@@ -462,8 +523,8 @@ fn detector_smoke() -> i32 {
     // schedules also go through the detector path.
     for seed in 1..=2u64 {
         let plan = generate(seed, 10, spec.horizon, &FaultBudget::full(5));
-        let r = Proto::QrChk.run(10, seed, &spec, &plan);
-        ok &= report_one(Proto::QrChk, seed, 10, &spec, &plan, None, &r);
+        let r = Proto::QrChk.run(10, seed, &spec, &plan, false);
+        ok &= report_one(Proto::QrChk, seed, 10, &spec, &plan, None, false, &r);
         hb += r.metrics.heartbeats_sent;
         susp += r.metrics.suspicions;
         false_susp += r.metrics.false_suspicions;
@@ -491,6 +552,108 @@ fn detector_smoke() -> i32 {
         0
     } else {
         eprintln!("\nchaos detector smoke: FAILED");
+        1
+    }
+}
+
+/// The durability smoke suite (`scripts/check.sh` stage 3): durable QR
+/// replicas under amnesiac restarts and torn WAL tails. Crafted plans pin
+/// the interesting sequences (a tail corruption followed immediately by an
+/// amnesiac crash, and back-to-back restarts), generated durable-budget
+/// plans add breadth, and every run goes through the full checker set —
+/// including the durability checker, which proves no acknowledged write
+/// was lost. The aggregated recovery counters then prove the log replay,
+/// torn-tail detection and quorum repair each actually fired.
+fn amnesia_smoke() -> i32 {
+    let spec = ChaosSpec::smoke();
+    let ms = SimDuration::from_millis;
+    let torn_restart = FaultPlan::new(vec![
+        FaultEvent {
+            at: ms(400),
+            kind: FaultKind::CorruptTail { node: 2 },
+        },
+        FaultEvent {
+            at: ms(400),
+            kind: FaultKind::CrashAmnesia { node: 2 },
+        },
+        FaultEvent {
+            at: ms(1_100),
+            kind: FaultKind::Recover { node: 2 },
+        },
+    ]);
+    let double_amnesia = FaultPlan::new(vec![
+        FaultEvent {
+            at: ms(300),
+            kind: FaultKind::CrashAmnesia { node: 1 },
+        },
+        FaultEvent {
+            at: ms(800),
+            kind: FaultKind::Recover { node: 1 },
+        },
+        FaultEvent {
+            at: ms(1_000),
+            kind: FaultKind::CorruptTail { node: 4 },
+        },
+        FaultEvent {
+            at: ms(1_000),
+            kind: FaultKind::CrashAmnesia { node: 4 },
+        },
+        FaultEvent {
+            at: ms(1_400),
+            kind: FaultKind::Recover { node: 4 },
+        },
+    ]);
+    let plans: [(&str, &FaultPlan); 2] = [
+        ("torn-restart", &torn_restart),
+        ("double-amnesia", &double_amnesia),
+    ];
+    println!("## chaos --smoke --amnesia — durable replicas, amnesiac restarts\n");
+    let mut ok = true;
+    let (mut replays, mut torn, mut rounds, mut repaired) = (0u64, 0u64, 0u64, 0u64);
+    let mut tally = |r: &ChaosReport| {
+        replays += r.metrics.log_replays;
+        torn += r.metrics.torn_tails;
+        rounds += r.metrics.repair_rounds;
+        repaired += r.metrics.repaired_objects;
+    };
+    for seed in 1..=3u64 {
+        for (name, plan) in plans {
+            println!("plan: {name}");
+            for proto in [Proto::QrCn, Proto::Qr] {
+                let r = proto.run(10, seed, &spec, plan, true);
+                ok &= report_one(proto, seed, 10, &spec, plan, None, true, &r);
+                tally(&r);
+            }
+        }
+    }
+    // Random durable-budget plans on top, so generated amnesia schedules
+    // (mixed with partitions, drops and slowdowns) also get coverage.
+    for seed in 1..=3u64 {
+        let plan = generate(seed, 10, spec.horizon, &FaultBudget::durable(5));
+        let r = Proto::QrChk.run(10, seed, &spec, &plan, true);
+        ok &= report_one(Proto::QrChk, seed, 10, &spec, &plan, None, true, &r);
+        tally(&r);
+    }
+    println!(
+        "\naggregate: log_replays={replays} torn_tails={torn} repair_rounds={rounds} \
+         repaired_objects={repaired}"
+    );
+    for (counter, v) in [
+        ("log_replays", replays),
+        ("torn_tails", torn),
+        ("repair_rounds", rounds),
+        ("repaired_objects", repaired),
+    ] {
+        if v == 0 {
+            eprintln!("amnesia smoke: counter {counter} never fired");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("\nchaos amnesia smoke: all invariants held, recovery machinery fired");
+        0
+    } else {
+        eprintln!("\nchaos amnesia smoke: FAILED");
         1
     }
 }

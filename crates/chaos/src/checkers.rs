@@ -69,6 +69,17 @@ pub enum ChaosViolation {
         /// Whether the network considers it alive.
         net_alive: bool,
     },
+    /// A write acknowledged to a client by a successful commit is gone
+    /// from committed state at quiescence — amnesiac restarts lost data
+    /// the durability layer had promised.
+    DurabilityLost {
+        /// The object whose acknowledged write vanished.
+        oid: u64,
+        /// The highest version a commit acknowledged for it.
+        acked_version: u64,
+        /// The version committed state holds now (`None` = object gone).
+        committed_version: Option<u64>,
+    },
 }
 
 impl fmt::Display for ChaosViolation {
@@ -104,6 +115,20 @@ impl fmt::Display for ChaosViolation {
                 if *net_alive { "alive" } else { "dead" },
                 if *net_alive { "missing" } else { "present" },
             ),
+            ChaosViolation::DurabilityLost {
+                oid,
+                acked_version,
+                committed_version,
+            } => match committed_version {
+                Some(v) => write!(
+                    f,
+                    "durability lost: object {oid} was acknowledged at version {acked_version} but committed state regressed to {v}"
+                ),
+                None => write!(
+                    f,
+                    "durability lost: object {oid} was acknowledged at version {acked_version} but has no committed copy"
+                ),
+            },
         }
     }
 }
@@ -281,6 +306,37 @@ pub fn check_balances(balances: &[(u64, Option<i64>)], expected_total: i64) -> V
     out
 }
 
+/// Check durability over acknowledged writes: for every `(oid, version)`
+/// a successful commit acknowledged to a client, committed state at
+/// quiescence must hold that object at that version *or newer*. `acked`
+/// is the flattened install stream from the history recorder;
+/// `committed` maps an object id to the version a quorum reader sees now.
+pub fn check_durability(
+    acked: &[(u64, u64)],
+    committed: impl Fn(u64) -> Option<u64>,
+) -> Vec<ChaosViolation> {
+    use std::collections::BTreeMap;
+    // Only the max acknowledged version per object binds: later commits
+    // legitimately supersede earlier ones.
+    let mut max_acked: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(oid, v) in acked {
+        let e = max_acked.entry(oid).or_insert(v);
+        *e = (*e).max(v);
+    }
+    let mut out = Vec::new();
+    for (oid, acked_version) in max_acked {
+        let now = committed(oid);
+        if now.is_none_or(|v| v < acked_version) {
+            out.push(ChaosViolation::DurabilityLost {
+                oid,
+                acked_version,
+                committed_version: now,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +403,38 @@ mod tests {
     fn short_quiet_runs_are_not_judged() {
         let samples = vec![noisy(0, 0), q(100, 0), q(200, 0), noisy(300, 0)];
         assert!(check_liveness(&samples, GRACE, WINDOW).is_empty());
+    }
+
+    #[test]
+    fn durability_checker_flags_regressions_only() {
+        let acked = [(1u64, 3u64), (1, 5), (2, 2), (3, 1)];
+        // Object 1 advanced past its ack, 2 holds exactly, 3 regressed to
+        // nothing.
+        let committed = |oid: u64| match oid {
+            1 => Some(7),
+            2 => Some(2),
+            _ => None,
+        };
+        assert_eq!(
+            check_durability(&acked, committed),
+            vec![ChaosViolation::DurabilityLost {
+                oid: 3,
+                acked_version: 1,
+                committed_version: None
+            }]
+        );
+        // A stale committed copy is also a loss.
+        let stale = |_: u64| Some(1);
+        let v = check_durability(&[(9, 4)], stale);
+        assert_eq!(
+            v,
+            vec![ChaosViolation::DurabilityLost {
+                oid: 9,
+                acked_version: 4,
+                committed_version: Some(1)
+            }]
+        );
+        assert!(check_durability(&[], |_| None).is_empty());
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct FaultBudget {
     pub delays: usize,
     /// Slow-node gray failures (each paired with a restore).
     pub slowdowns: usize,
+    /// Crash-restart-with-amnesia units (each a possible corrupt-tail,
+    /// then the amnesiac crash, then a recover) — only meaningful against
+    /// targets with durable storage armed.
+    pub amnesia: usize,
 }
 
 impl FaultBudget {
@@ -47,6 +51,24 @@ impl FaultBudget {
         b
     }
 
+    /// Spread `n` faults round-robin with amnesiac restarts first — the
+    /// budget for durable QR clusters, which every other class still
+    /// applies to.
+    pub fn durable(n: usize) -> Self {
+        let mut b = FaultBudget::default();
+        for i in 0..n {
+            match i % 6 {
+                0 => b.amnesia += 1,
+                1 => b.crashes += 1,
+                2 => b.partitions += 1,
+                3 => b.drops += 1,
+                4 => b.delays += 1,
+                _ => b.slowdowns += 1,
+            }
+        }
+        b
+    }
+
     /// Gray failures only (latency spikes and slow nodes) — what protocols
     /// without crash tolerance (TFA, Decent-STM) can be subjected to
     /// without violating their own assumptions.
@@ -60,7 +82,7 @@ impl FaultBudget {
 
     /// Total faults (not counting the paired cures).
     pub fn total(&self) -> usize {
-        self.crashes + self.partitions + self.drops + self.delays + self.slowdowns
+        self.crashes + self.partitions + self.drops + self.delays + self.slowdowns + self.amnesia
     }
 }
 
@@ -163,6 +185,28 @@ pub fn generate(seed: u64, nodes: u32, horizon: SimDuration, budget: &FaultBudge
             kind: FaultKind::Restore { node },
         });
     }
+    for _ in 0..budget.amnesia {
+        let node = rng.random_range(0..nodes);
+        let (at, cure) = window(&mut rng);
+        // Half the units also damage the durable tail before the crash,
+        // so recovery exercises both the clean-replay and the torn-tail
+        // repair paths. Pushed before the crash at the same offset — the
+        // plan's stable sort keeps insertion order for equal times.
+        if rng.random_bool(0.5) {
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::CorruptTail { node },
+            });
+        }
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::CrashAmnesia { node },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::Recover { node },
+        });
+    }
     FaultPlan::new(events)
 }
 
@@ -239,6 +283,46 @@ mod tests {
             let p = generate(seed, 13, SimDuration::from_secs(3), &FaultBudget::full(6));
             assert_eq!(FaultPlan::parse(&p.to_text()).unwrap(), p);
         }
+    }
+
+    #[test]
+    fn durable_budget_generates_amnesia_units() {
+        let b = FaultBudget::durable(12);
+        assert_eq!(b.amnesia, 2);
+        assert_eq!(b.total(), 12);
+        let mut amnesias = 0;
+        let mut recovers_for_amnesia = 0;
+        for seed in 0..6 {
+            let p = generate(seed, 10, SimDuration::from_secs(3), &b);
+            let mut crashed: Vec<u32> = Vec::new();
+            for ev in &p.events {
+                match ev.kind {
+                    FaultKind::CrashAmnesia { node } => {
+                        amnesias += 1;
+                        crashed.push(node);
+                    }
+                    FaultKind::Recover { node } if crashed.contains(&node) => {
+                        recovers_for_amnesia += 1;
+                    }
+                    FaultKind::CorruptTail { node } => {
+                        // Corruption always precedes its crash (same offset,
+                        // stable sort keeps insertion order).
+                        assert!(
+                            p.events.iter().any(
+                                |e| e.at >= ev.at && e.kind == FaultKind::CrashAmnesia { node }
+                            ),
+                            "corrupt-tail without a following amnesiac crash"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(amnesias, 12, "two amnesia units per seed, six seeds");
+        assert!(
+            recovers_for_amnesia >= amnesias,
+            "every amnesiac crash is paired with a recover"
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub mod plan;
 pub mod target;
 
 pub use checkers::{
-    check_balances, check_detection_latency, check_liveness, ChaosViolation, Sample,
+    check_balances, check_detection_latency, check_durability, check_liveness, ChaosViolation,
+    Sample,
 };
 pub use generate::{generate, shrink, FaultBudget};
 pub use nemesis::{run_plan, ChaosReport, ChaosSpec, Fingerprint};

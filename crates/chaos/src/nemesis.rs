@@ -30,7 +30,8 @@ use qrdtm_sim::{EngineEventKind, NodeId, Sim, SimDuration};
 use qrdtm_workloads::protocol_bank::{audit, transfer};
 
 use crate::checkers::{
-    check_balances, check_detection_latency, check_liveness, ChaosViolation, Sample,
+    check_balances, check_detection_latency, check_durability, check_liveness, ChaosViolation,
+    Sample,
 };
 use crate::plan::{FaultKind, FaultPlan};
 use crate::target::ChaosTarget;
@@ -322,6 +323,12 @@ pub fn run_plan<P: ChaosTarget + 'static>(
             &balances,
             spec.initial_balance * spec.accounts as i64,
         ));
+        // Durability: no write acknowledged to a client may be missing
+        // from committed state, no matter how many amnesiac restarts or
+        // torn tails the plan inflicted.
+        violations.extend(check_durability(&proto.acked_write_versions(), |oid| {
+            proto.committed_version(ObjectId(oid))
+        }));
     } else {
         violations.push(ChaosViolation::Stuck {
             live_tasks: sim.live_tasks(),
@@ -485,6 +492,27 @@ fn apply_event<P: ChaosTarget>(
             if *node < nodes {
                 s.set_service_factor(NodeId(*node), 1.0);
                 st.slowed.remove(node);
+                applied_on = Some(NodeId(*node));
+            }
+        }
+        FaultKind::CrashAmnesia { node } => {
+            // Joins st.crashed like a plain crash, so Recover (and the
+            // heal-all backstop) cures it through the same recovery hooks;
+            // the amnesiac readmission path runs the honest replay+repair.
+            if *node < nodes && !st.crashed.contains(node) {
+                let ok = if detector {
+                    p.crash_amnesia_sim_only(NodeId(*node))
+                } else {
+                    p.crash_amnesia(NodeId(*node))
+                };
+                if ok {
+                    st.crashed.insert(*node);
+                    applied_on = Some(NodeId(*node));
+                }
+            }
+        }
+        FaultKind::CorruptTail { node } => {
+            if *node < nodes && !st.crashed.contains(node) && p.corrupt_tail(NodeId(*node)) {
                 applied_on = Some(NodeId(*node));
             }
         }
@@ -717,6 +745,59 @@ mod tests {
         assert!(r.metrics.false_suspicions >= 1, "isolation read as a crash");
         assert!(r.metrics.rejoins >= 1, "heal brought the node back");
         assert!(r.commits > 0);
+    }
+
+    fn qr_durable(seed: u64) -> Rc<Cluster> {
+        Rc::new(Cluster::new(DtmConfig {
+            nodes: 10,
+            mode: NestingMode::Closed,
+            seed,
+            rpc_timeout: Some(SimDuration::from_millis(100)),
+            durability: Some(qrdtm_core::DurabilityConfig::default()),
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn amnesia_crash_recovers_durably() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(400),
+                kind: FaultKind::CorruptTail { node: 2 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(400),
+                kind: FaultKind::CrashAmnesia { node: 2 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_100),
+                kind: FaultKind::Recover { node: 2 },
+            },
+        ]);
+        let r = run_plan(qr_durable(9), 10, &quick_spec(), &plan);
+        assert!(
+            r.ok(),
+            "violations: {:?}\nfaults: {:?}",
+            r.violations,
+            r.fault_log
+        );
+        assert_eq!(r.applied, 3);
+        assert!(r.metrics.log_replays >= 1, "restart replayed the WAL");
+        assert!(r.metrics.torn_tails >= 1, "the corrupted tail was detected");
+        assert!(r.metrics.repair_rounds >= 1, "quorum repair ran");
+        assert!(r.commits > 0);
+    }
+
+    #[test]
+    fn amnesia_is_skipped_without_durable_storage() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: SimDuration::from_millis(300),
+            kind: FaultKind::CrashAmnesia { node: 1 },
+        }]);
+        let r = run_plan(qr(10), 10, &quick_spec(), &plan);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.skipped, 1, "memory-only replicas cannot restart");
+        assert_eq!(r.applied, 0);
     }
 
     #[test]

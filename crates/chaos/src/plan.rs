@@ -77,6 +77,22 @@ pub enum FaultKind {
         /// Node index to restore.
         node: u32,
     },
+    /// Crash a node **with amnesia**: its volatile replica state is lost
+    /// and it keeps only its durable snapshot+log (possibly with a torn
+    /// tail), so the later `recover` must replay and quorum-repair instead
+    /// of receiving an oracle state transfer. Only applicable to targets
+    /// with durable storage armed.
+    CrashAmnesia {
+        /// Victim node index.
+        node: u32,
+    },
+    /// Corrupt the tail of a node's durable log in place — the damage
+    /// stays latent until the node's next amnesiac restart detects and
+    /// truncates it.
+    CorruptTail {
+        /// Victim node index.
+        node: u32,
+    },
 }
 
 impl FaultKind {
@@ -95,6 +111,8 @@ impl FaultKind {
             FaultKind::HealLink { .. } => 8,
             FaultKind::Slow { .. } => 9,
             FaultKind::Restore { .. } => 10,
+            FaultKind::CrashAmnesia { .. } => 11,
+            FaultKind::CorruptTail { .. } => 12,
         }
     }
 
@@ -142,6 +160,8 @@ impl fmt::Display for FaultKind {
             FaultKind::HealLink { from, to } => write!(f, "heal-link {from}->{to}"),
             FaultKind::Slow { node, factor_pct } => write!(f, "slow {node} {factor_pct}"),
             FaultKind::Restore { node } => write!(f, "restore {node}"),
+            FaultKind::CrashAmnesia { node } => write!(f, "crash-amnesia {node}"),
+            FaultKind::CorruptTail { node } => write!(f, "corrupt-tail {node}"),
         }
     }
 }
@@ -319,6 +339,12 @@ fn parse_event(line: &str) -> Result<FaultEvent, String> {
         "restore" => FaultKind::Restore {
             node: parse_u32(arg()?)?,
         },
+        "crash-amnesia" => FaultKind::CrashAmnesia {
+            node: parse_u32(arg()?)?,
+        },
+        "corrupt-tail" => FaultKind::CorruptTail {
+            node: parse_u32(arg()?)?,
+        },
         other => return Err(format!("unknown fault verb {other:?}")),
     };
     if let Some(extra) = toks.next() {
@@ -385,6 +411,18 @@ mod tests {
             FaultEvent {
                 at: SimDuration::from_millis(500),
                 kind: FaultKind::CrashReadQuorum,
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(440),
+                kind: FaultKind::CorruptTail { node: 6 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(450),
+                kind: FaultKind::CrashAmnesia { node: 6 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(950),
+                kind: FaultKind::Recover { node: 6 },
             },
         ])
     }
@@ -453,5 +491,26 @@ mod tests {
         assert!(FaultKind::Restore { node: 1 }.is_cure());
         assert!(!FaultKind::Crash { node: 1 }.is_cure());
         assert!(!FaultKind::CrashReadQuorum.is_cure());
+        assert!(!FaultKind::CrashAmnesia { node: 1 }.is_cure());
+        assert!(!FaultKind::CorruptTail { node: 1 }.is_cure());
+    }
+
+    #[test]
+    fn amnesia_verbs_round_trip() {
+        let p = FaultPlan::parse("@100us corrupt-tail 4\n@200us crash-amnesia 4\n").unwrap();
+        assert_eq!(
+            p.events,
+            vec![
+                FaultEvent {
+                    at: SimDuration::from_micros(100),
+                    kind: FaultKind::CorruptTail { node: 4 },
+                },
+                FaultEvent {
+                    at: SimDuration::from_micros(200),
+                    kind: FaultKind::CrashAmnesia { node: 4 },
+                },
+            ]
+        );
+        assert_eq!(FaultPlan::parse(&p.to_text()).unwrap(), p);
     }
 }

@@ -27,15 +27,22 @@ pub struct FaultSupport {
     pub partitions: bool,
     /// Probabilistic per-link message loss.
     pub link_drops: bool,
+    /// Crash-restart-with-amnesia and durable-log corruption — requires
+    /// the target to actually keep durable storage (QR with
+    /// `DtmConfig::durability` armed).
+    pub amnesia: bool,
 }
 
 impl FaultSupport {
-    /// Everything (the QR-DTM configurations).
+    /// Everything (the QR-DTM configurations; amnesia additionally needs
+    /// durable storage armed — see [`ChaosTarget::fault_support`] for
+    /// `Cluster`).
     pub fn all() -> Self {
         FaultSupport {
             crashes: true,
             partitions: true,
             link_drops: true,
+            amnesia: true,
         }
     }
 
@@ -45,6 +52,7 @@ impl FaultSupport {
             crashes: false,
             partitions: false,
             link_drops: false,
+            amnesia: false,
         }
     }
 
@@ -58,6 +66,7 @@ impl FaultSupport {
             FaultKind::Crash { .. } | FaultKind::CrashReadQuorum => self.crashes,
             FaultKind::Partition { .. } => self.partitions,
             FaultKind::DropLink { .. } => self.link_drops,
+            FaultKind::CrashAmnesia { .. } | FaultKind::CorruptTail { .. } => self.amnesia,
             FaultKind::Delay { .. } | FaultKind::Slow { .. } => true,
             _ => true,
         }
@@ -145,11 +154,52 @@ pub trait ChaosTarget: DtmProtocol {
     fn detection_bound(&self) -> Option<qrdtm_sim::SimDuration> {
         None
     }
+
+    /// Crash `node` with amnesia (volatile state lost, durable log keeps a
+    /// seeded prefix), repairing the membership view. Returns false if
+    /// inapplicable.
+    fn crash_amnesia(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Detector-mode flavour of [`ChaosTarget::crash_amnesia`]: network
+    /// kill + state loss only, the view learns nothing.
+    fn crash_amnesia_sim_only(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Corrupt the tail of `node`'s durable log in place. Returns false if
+    /// the target keeps no durable log (or it is empty).
+    fn corrupt_tail(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// The committed version of an object as a quorum reader would see it
+    /// (for the durability checker; `None` if unknown or inapplicable).
+    fn committed_version(&self, oid: ObjectId) -> Option<u64> {
+        let _ = oid;
+        None
+    }
+
+    /// Every `(object id, installed version)` pair acknowledged to a
+    /// client by a successful commit, from the recorded history (empty
+    /// without a recorder). The durability checker asserts none of these
+    /// regressed after the run.
+    fn acked_write_versions(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
 }
 
 impl ChaosTarget for Cluster {
     fn fault_support(&self) -> FaultSupport {
-        FaultSupport::all()
+        FaultSupport {
+            // Amnesia needs a disk to restart from.
+            amnesia: self.config().durability.is_some(),
+            ..FaultSupport::all()
+        }
     }
 
     fn crash(&self, node: NodeId) -> bool {
@@ -221,6 +271,33 @@ impl ChaosTarget for Cluster {
             .detector
             .map(|d| d.suspect_window() * 2 + d.interval * 4 + self.transfer_cost())
     }
+
+    fn crash_amnesia(&self, node: NodeId) -> bool {
+        self.config().durability.is_some() && Cluster::crash_node_amnesia(self, node).is_ok()
+    }
+
+    fn crash_amnesia_sim_only(&self, node: NodeId) -> bool {
+        self.config().durability.is_some() && Cluster::crash_amnesia_sim_only(self, node)
+    }
+
+    fn corrupt_tail(&self, node: NodeId) -> bool {
+        self.corrupt_wal_tail(node, 1)
+    }
+
+    fn committed_version(&self, oid: ObjectId) -> Option<u64> {
+        self.latest(oid).map(|(v, _)| v.0)
+    }
+
+    fn acked_write_versions(&self) -> Vec<(u64, u64)> {
+        self.history()
+            .iter()
+            .flat_map(|rec| {
+                rec.writes
+                    .iter()
+                    .map(|(oid, _, installed)| (oid.0, installed.0))
+            })
+            .collect()
+    }
 }
 
 impl ChaosTarget for TfaCluster {
@@ -269,8 +346,19 @@ mod tests {
         }));
         assert!(gray.allows(&FaultKind::Heal));
         assert!(gray.allows(&FaultKind::Recover { node: 1 }));
+        assert!(!gray.allows(&FaultKind::CrashAmnesia { node: 1 }));
+        assert!(!gray.allows(&FaultKind::CorruptTail { node: 1 }));
         let all = FaultSupport::all();
         assert!(all.allows(&FaultKind::Crash { node: 1 }));
         assert!(all.allows(&FaultKind::CrashReadQuorum));
+        assert!(all.allows(&FaultKind::CrashAmnesia { node: 1 }));
+        assert!(all.allows(&FaultKind::CorruptTail { node: 1 }));
+        // A durability-less QR cluster supports crashes but not amnesia.
+        let pause_only = FaultSupport {
+            amnesia: false,
+            ..FaultSupport::all()
+        };
+        assert!(pause_only.allows(&FaultKind::Crash { node: 1 }));
+        assert!(!pause_only.allows(&FaultKind::CrashAmnesia { node: 1 }));
     }
 }

@@ -11,8 +11,8 @@ use std::rc::Rc;
 use proptest::prelude::*;
 
 use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
-use qrdtm_chaos::{generate, run_plan, ChaosReport, ChaosSpec, FaultBudget};
-use qrdtm_core::{Cluster, DetectorConfig, DtmConfig, NestingMode};
+use qrdtm_chaos::{generate, run_plan, ChaosReport, ChaosSpec, FaultBudget, FaultPlan};
+use qrdtm_core::{Cluster, DetectorConfig, DtmConfig, DurabilityConfig, NestingMode};
 use qrdtm_sim::{EngineEventKind, SimDuration};
 
 const NODES: usize = 10;
@@ -103,6 +103,49 @@ proptest! {
         }
     }
 
+    /// Plan text is a lossless format: any generator-produced plan —
+    /// including durable budgets with the crash-amnesia and corrupt-tail
+    /// verbs — parses back to exactly itself.
+    #[test]
+    fn plan_text_round_trips_losslessly(seed in 0u64..100_000, events in 0usize..14) {
+        for budget in [
+            FaultBudget::full(events),
+            FaultBudget::gray(events),
+            FaultBudget::durable(events),
+        ] {
+            let plan = generate(seed, NODES as u32, spec().horizon, &budget);
+            let text = plan.to_text();
+            let parsed = FaultPlan::parse(&text).unwrap();
+            prop_assert_eq!(&parsed, &plan, "seed={} text:\n{}", seed, text);
+        }
+    }
+
+    /// Durable QR clusters survive random plans that include amnesiac
+    /// restarts and torn tails: every checked invariant (including the
+    /// durability checker) holds, and the runs are deterministic per seed.
+    #[test]
+    fn amnesia_plans_preserve_invariants_and_determinism(
+        seed in 0u64..1_000,
+        events in 2usize..8,
+    ) {
+        let a = run_durable(seed, events);
+        prop_assert!(
+            a.ok(),
+            "seed={seed} events={events}: {:?}\nfaults: {:?}",
+            a.violations, a.fault_log
+        );
+        prop_assert!(a.drained, "seed={seed}: did not quiesce");
+        let b = run_durable(seed, events);
+        prop_assert_eq!(&a.fingerprint, &b.fingerprint);
+        prop_assert_eq!(&a.fault_log, &b.fault_log);
+        prop_assert_eq!(
+            (a.metrics.log_replays, a.metrics.torn_tails, a.metrics.repair_rounds,
+             a.metrics.repaired_objects, a.metrics.repair_bytes),
+            (b.metrics.log_replays, b.metrics.torn_tails, b.metrics.repair_rounds,
+             b.metrics.repaired_objects, b.metrics.repair_bytes)
+        );
+    }
+
     /// The detector path is deterministic too: with the oracle disabled,
     /// identical seeds reproduce the identical suspicion/view-change trace
     /// (event-by-event, with timestamps), the same view epoch and the same
@@ -129,6 +172,26 @@ proptest! {
              b.metrics.rpc_retries, b.metrics.hedged_wins)
         );
     }
+}
+
+/// A durable QR-CN run under a budget that includes amnesiac restarts.
+fn run_durable(seed: u64, events: usize) -> ChaosReport {
+    let spec = spec();
+    let plan = generate(
+        seed,
+        NODES as u32,
+        spec.horizon,
+        &FaultBudget::durable(events),
+    );
+    let cl = Rc::new(Cluster::new(DtmConfig {
+        nodes: NODES,
+        mode: NestingMode::Closed,
+        seed,
+        rpc_timeout: Some(SimDuration::from_millis(100)),
+        durability: Some(DurabilityConfig::default()),
+        ..Default::default()
+    }));
+    run_plan(cl, NODES, &spec, &plan)
 }
 
 /// A QR-CN run with the failure detector on and the oracle off.

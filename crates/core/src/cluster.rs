@@ -10,8 +10,11 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use qrdtm_quorum::{QuorumError, Tree, TreeQuorum};
-use qrdtm_sim::{ConstLatency, JitteredLatency, NodeId, Sim, SimConfig, SimDuration};
+use qrdtm_sim::{
+    ConstLatency, Counter, EngineEventKind, JitteredLatency, NodeId, Sim, SimConfig, SimDuration,
+};
 
+use crate::engine::wal::ReplicaWal;
 use crate::history::{CommitRecord, HistoryRecorder, Violation};
 use crate::msg::Msg;
 use crate::object::{ObjVal, ObjectId};
@@ -138,6 +141,15 @@ pub struct DtmConfig {
     /// census: one nominal link latency per object (a naive
     /// one-object-per-message pull from a donor).
     pub transfer_latency: Option<SimDuration>,
+    /// Give every replica a simulated disk with a write-ahead log and
+    /// periodic snapshots (see [`crate::engine::wal`]). Arms the
+    /// crash-restart-with-amnesia semantics
+    /// ([`Cluster::crash_node_amnesia`]): a crashed node loses its volatile
+    /// object table and recovers honestly — snapshot+log replay, torn-tail
+    /// detection, then quorum repair of the lost suffix. `None` (the
+    /// default) keeps replicas memory-only and crashes pause-only,
+    /// byte-for-byte identical to the classic model.
+    pub durability: Option<crate::engine::DurabilityConfig>,
 }
 
 impl Default for DtmConfig {
@@ -158,6 +170,7 @@ impl Default for DtmConfig {
             lock_policy: LockPolicy::AbortRequester,
             detector: None,
             transfer_latency: None,
+            durability: None,
         }
     }
 }
@@ -230,6 +243,12 @@ pub(crate) struct ClusterInner {
     pub(crate) stores: Vec<Rc<RefCell<NodeStore>>>,
     pub(crate) history: RefCell<HistoryRecorder>,
     pub(crate) pending: RefCell<std::collections::HashMap<TxId, PendingPhase2>>,
+    /// Per-node write-ahead logs; armed by [`DtmConfig::durability`].
+    pub(crate) wals: Option<Vec<Rc<RefCell<ReplicaWal>>>>,
+    /// Nodes that crashed with amnesia and have not yet run recovery;
+    /// readmission must replay+repair for them instead of the oracle-grade
+    /// state transfer.
+    pub(crate) amnesiac: RefCell<Vec<bool>>,
 }
 
 impl ClusterInner {
@@ -269,8 +288,14 @@ impl Cluster {
         let stores: Vec<Rc<RefCell<NodeStore>>> = (0..cfg.nodes)
             .map(|_| Rc::new(RefCell::new(NodeStore::new())))
             .collect();
-        for (&node, store) in nodes.iter().zip(&stores) {
+        let wals: Option<Vec<Rc<RefCell<ReplicaWal>>>> = cfg.durability.map(|d| {
+            (0..cfg.nodes)
+                .map(|_| Rc::new(RefCell::new(ReplicaWal::new(d))))
+                .collect()
+        });
+        for (i, (&node, store)) in nodes.iter().zip(&stores).enumerate() {
             let store = Rc::clone(store);
+            let wal = wals.as_ref().map(|w| Rc::clone(&w[i]));
             sim.set_handler(node, move |ctx, env| {
                 let mut st = store.borrow_mut();
                 match &env.msg {
@@ -316,6 +341,13 @@ impl Cluster {
                     }
                     Msg::Apply { root, writes } => {
                         st.apply(*root, writes);
+                        if let Some(w) = &wal {
+                            // WAL the phase-2 application before acking; the
+                            // disk work occupies the server beyond the
+                            // request's own service time.
+                            let cost = w.borrow_mut().record_apply(*root, writes, || st.entries());
+                            ctx.occupy(cost);
+                        }
                         ctx.respond(&env, Msg::Ack);
                     }
                     Msg::AbortReq { root, oids } => {
@@ -328,6 +360,7 @@ impl Cluster {
                 }
             });
         }
+        let amnesiac = RefCell::new(vec![false; cfg.nodes]);
         Cluster {
             sim,
             inner: Rc::new(ClusterInner {
@@ -338,6 +371,8 @@ impl Cluster {
                 stores,
                 history: RefCell::new(HistoryRecorder::default()),
                 pending: RefCell::new(std::collections::HashMap::new()),
+                wals,
+                amnesiac,
             }),
         }
     }
@@ -352,10 +387,17 @@ impl Cluster {
         &self.inner.cfg
     }
 
-    /// Install an object on every replica (bootstrap; version 1).
+    /// Install an object on every replica (bootstrap; version 1). With
+    /// durability armed the object is also persisted, so an amnesiac
+    /// restart can rebuild the census from its own disk.
     pub fn preload(&self, oid: ObjectId, val: ObjVal) {
         for s in &self.inner.stores {
             s.borrow_mut().preload(oid, val.clone());
+        }
+        if let Some(wals) = &self.inner.wals {
+            for w in wals {
+                w.borrow_mut().record_preload(oid, val.clone());
+            }
         }
     }
 
@@ -396,6 +438,70 @@ impl Cluster {
         self.sim.fail_node(node);
         self.view_change_transfer();
         Ok(())
+    }
+
+    /// Crash a node **with amnesia**: besides the view repair and network
+    /// kill of [`Cluster::fail_node`], the node's volatile object table is
+    /// wiped and its disk loses a seeded portion of the unsynced log buffer
+    /// (possibly tearing the last persisted record). The node is marked
+    /// amnesiac; its readmission replays snapshot+log and quorum-repairs
+    /// the lost suffix instead of receiving the oracle-grade transfer.
+    ///
+    /// Requires [`DtmConfig::durability`] — without a disk there is nothing
+    /// to restart from. Errors (like `fail_node`) if no quorum survives.
+    pub fn crash_node_amnesia(&self, node: NodeId) -> Result<(), QuorumError> {
+        assert!(
+            self.inner.cfg.durability.is_some(),
+            "crash_node_amnesia requires DtmConfig::durability"
+        );
+        self.fail_node(node)?;
+        // fail_node no-ops when the view already excludes the node; the
+        // crash must still take the network down and lose the state.
+        self.sim.fail_node(node);
+        self.forget_node(node);
+        Ok(())
+    }
+
+    /// Kill `node` in the simulator only and wipe its volatile state — the
+    /// failure-detector flavour of [`Cluster::crash_node_amnesia`] (the
+    /// quorum view is the detector's business). Refuses (returning `false`)
+    /// if the node is already dead or the remaining census could not form
+    /// quorums. Requires [`DtmConfig::durability`].
+    pub fn crash_amnesia_sim_only(&self, node: NodeId) -> bool {
+        assert!(
+            self.inner.cfg.durability.is_some(),
+            "crash_amnesia_sim_only requires DtmConfig::durability"
+        );
+        if !self.sim.is_alive(node) || !self.quorum_survives_without(node) {
+            return false;
+        }
+        self.sim.fail_node(node);
+        self.forget_node(node);
+        true
+    }
+
+    /// Lose `node`'s volatile state: empty object table, seeded partial
+    /// loss of the unsynced disk buffer, amnesiac flag set.
+    fn forget_node(&self, node: NodeId) {
+        *self.inner.stores[node.index()].borrow_mut() = NodeStore::new();
+        if let Some(wals) = &self.inner.wals {
+            self.sim
+                .with_rng(|rng| wals[node.index()].borrow_mut().crash(rng));
+        }
+        self.inner.amnesiac.borrow_mut()[node.index()] = true;
+    }
+
+    /// Corrupt the last `records` readable records of `node`'s durable log
+    /// (the `corrupt-tail` chaos verb): the damage sits undetected until
+    /// the node's next amnesiac restart, whose replay finds the torn tail,
+    /// truncates it, and repairs the difference from a read quorum. Returns
+    /// whether anything was corrupted (`false` without durability or with
+    /// an empty log).
+    pub fn corrupt_wal_tail(&self, node: NodeId, records: usize) -> bool {
+        match &self.inner.wals {
+            Some(w) => w[node.index()].borrow_mut().corrupt_tail(records),
+            None => false,
+        }
     }
 
     /// Eject a *suspected* node from the quorum view without touching the
@@ -520,18 +626,7 @@ impl Cluster {
         if self.sim.is_alive(node) && self.inner.quorum.borrow().tq.is_alive(node.index()) {
             return Ok(());
         }
-        let transfer = self.state_transfer_to(node);
-        {
-            let mut view = self.inner.quorum.borrow_mut();
-            view.tq.recover(node.index());
-            view.recompute()?;
-        }
-        self.sim.recover_node(node);
-        // The joiner spends the transfer time busy before serving again;
-        // requests the new view routes to it queue behind the transfer.
-        self.sim.occupy(node, transfer);
-        self.view_change_transfer();
-        Ok(())
+        self.readmit_node(node, true).map(|_| ())
     }
 
     /// Rejoin an ejected node to the quorum view **without touching the
@@ -551,15 +646,120 @@ impl Cluster {
         if self.inner.quorum.borrow().tq.is_alive(node.index()) {
             return Ok(SimDuration::ZERO);
         }
-        let transfer = self.state_transfer_to(node);
+        self.readmit_node(node, false)
+    }
+
+    /// The one readmission path behind [`Cluster::recover_node`] (oracle:
+    /// also revives the network) and [`Cluster::rejoin_node`] (detector:
+    /// view-only): bring the node's replica up to date — honest
+    /// replay+repair if it crashed with amnesia, oracle-grade state
+    /// transfer otherwise — then recover it in the quorum view, charge the
+    /// transfer as occupancy, and run the view-change duties. Returns the
+    /// charged duration.
+    fn readmit_node(&self, node: NodeId, revive_network: bool) -> Result<SimDuration, QuorumError> {
+        let amnesiac = self.inner.amnesiac.borrow()[node.index()];
+        let transfer = if amnesiac {
+            self.amnesia_recovery(node)
+        } else {
+            self.state_transfer_to(node)
+        };
         {
             let mut view = self.inner.quorum.borrow_mut();
             view.tq.recover(node.index());
             view.recompute()?;
         }
+        if revive_network {
+            self.sim.recover_node(node);
+        }
+        // The joiner spends the transfer time busy before serving again;
+        // requests the new view routes to it queue behind the transfer.
         self.sim.occupy(node, transfer);
         self.view_change_transfer();
         Ok(transfer)
+    }
+
+    /// Honest recovery of an amnesiac replica, the tentpole of the
+    /// durable-storage model:
+    ///
+    /// 1. **Replay**: read the durable snapshot+log back and reinstall it.
+    ///    A torn tail (crash mid-append, or a `corrupt-tail` fault) is
+    ///    detected and truncated — everything after the tear is treated as
+    ///    lost.
+    /// 2. **Quorum repair**: reconcile per-object versions against the
+    ///    current read quorum (the paper's read rule — the max-version
+    ///    quorum copy is the committed one) and pull every object the disk
+    ///    image is missing or behind on. Charged one version-census round
+    ///    trip plus one nominal link latency per repaired object, on top
+    ///    of the disk replay cost.
+    /// 3. **Re-baseline**: snapshot the repaired table so the disk is
+    ///    caught up too.
+    ///
+    /// Returns the total occupancy to charge the restarting node.
+    fn amnesia_recovery(&self, node: NodeId) -> SimDuration {
+        let wals = self
+            .inner
+            .wals
+            .as_ref()
+            .expect("amnesiac node implies durability");
+        let img = wals[node.index()].borrow_mut().replay();
+        let mut store = NodeStore::new();
+        for (oid, version, val) in img.installs {
+            store.sync(oid, version, val);
+        }
+        let mut cost = img.cost;
+        self.sim.bump(Counter::LogReplays);
+        self.sim
+            .emit_engine_event(EngineEventKind::WalReplayed, node, img.records_replayed);
+        if img.torn_tail_detected {
+            self.sim.bump(Counter::TornTails);
+        }
+        // Full replication: any alive peer knows the object census (the
+        // disk image alone cannot — that is the point of the repair).
+        let census: Vec<ObjectId> = {
+            let donor = self
+                .inner
+                .stores
+                .iter()
+                .enumerate()
+                .find(|(i, _)| *i != node.index() && self.sim.is_alive(NodeId(*i as u32)))
+                .map(|(_, s)| s)
+                .expect("at least one alive peer");
+            donor.borrow().object_ids()
+        };
+        let rq: Vec<NodeId> = self
+            .read_quorum()
+            .into_iter()
+            .filter(|&n| n != node && self.sim.is_alive(n))
+            .collect();
+        let mut repaired = 0u64;
+        let mut bytes = 0u64;
+        for oid in census {
+            let newest = rq
+                .iter()
+                .filter_map(|&n| self.peek(n, oid))
+                .max_by_key(|(v, _)| *v);
+            if let Some((version, val)) = newest {
+                let behind = store.get(oid).is_none_or(|r| r.version < version);
+                if behind {
+                    repaired += 1;
+                    bytes += val.approx_size() as u64;
+                    store.sync(oid, version, val);
+                }
+            }
+        }
+        let nominal = self.inner.cfg.latency.nominal();
+        cost += nominal * 2 + nominal * repaired;
+        self.sim.add(Counter::RepairRounds, 1);
+        self.sim.add(Counter::RepairedObjects, repaired);
+        self.sim.add(Counter::RepairBytes, bytes);
+        self.sim
+            .emit_engine_event(EngineEventKind::QuorumRepaired, node, repaired);
+        cost += wals[node.index()]
+            .borrow_mut()
+            .snapshot_now(store.entries());
+        *self.inner.stores[node.index()].borrow_mut() = store;
+        self.inner.amnesiac.borrow_mut()[node.index()] = false;
+        cost
     }
 
     /// The state-transfer occupancy a rejoining node is charged

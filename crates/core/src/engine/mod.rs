@@ -42,8 +42,10 @@ mod detector;
 mod nesting;
 mod transport;
 mod validation;
+pub(crate) mod wal;
 
 pub use detector::{spawn_detector, DetectorConfig, DetectorHandle};
+pub use wal::DurabilityConfig;
 
 #[cfg(test)]
 mod tests;

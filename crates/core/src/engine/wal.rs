@@ -1,0 +1,285 @@
+//! Per-replica write-ahead log and snapshots over the simulated disk.
+//!
+//! When [`DtmConfig::durability`](crate::cluster::DtmConfig) is armed, every
+//! replica records each commit phase-2 application to a [`qrdtm_sim::Disk`]
+//! before acknowledging it, fsyncs every [`DurabilityConfig::fsync_every`]
+//! appends, and supersedes the log with a full snapshot every
+//! [`DurabilityConfig::snapshot_every`] appends. A *crash-restart-with-
+//! amnesia* (as opposed to the classic crash-pause) wipes the replica's
+//! volatile object table; the restart replays snapshot+log from this layer,
+//! detects a torn tail if the crash (or a `corrupt-tail` fault) damaged the
+//! last durable records, and hands the rest to the quorum-repair protocol
+//! in `cluster.rs` to catch up the lost suffix.
+
+use rand::rngs::StdRng;
+
+use qrdtm_sim::{Disk, DiskConfig, SimDuration};
+
+use crate::object::{ObjVal, ObjectId, Version};
+use crate::txid::TxId;
+
+/// Durable-storage knobs (see `DtmConfig::durability`; `None` = replicas
+/// are memory-only and a crash is a pause, today's classic behaviour).
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityConfig {
+    /// Cost of appending one log record.
+    pub append_latency: SimDuration,
+    /// Cost of an fsync.
+    pub fsync_latency: SimDuration,
+    /// Cost of writing (or reading back) a full snapshot.
+    pub snapshot_latency: SimDuration,
+    /// Fsync the log every N appended records (group commit).
+    pub fsync_every: usize,
+    /// Take a snapshot (and truncate the log) every N appended records.
+    pub snapshot_every: usize,
+    /// Probability, in percent, that a crash tears the last log record it
+    /// managed to persist.
+    pub torn_tail_pct: u32,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        let d = DiskConfig::default();
+        DurabilityConfig {
+            append_latency: d.append_latency,
+            fsync_latency: d.fsync_latency,
+            snapshot_latency: d.snapshot_latency,
+            fsync_every: 4,
+            snapshot_every: 64,
+            torn_tail_pct: d.torn_tail_pct,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    fn disk_config(&self) -> DiskConfig {
+        DiskConfig {
+            append_latency: self.append_latency,
+            fsync_latency: self.fsync_latency,
+            snapshot_latency: self.snapshot_latency,
+            torn_tail_pct: self.torn_tail_pct,
+        }
+    }
+}
+
+/// One WAL record: a phase-2 application of a committed transaction's
+/// write set (the installed versions, not the observed ones).
+#[derive(Clone, Debug)]
+pub struct WalRecord {
+    /// Root transaction whose commit this records. Replay reinstalls by
+    /// version (idempotent `sync`), not by transaction identity, so the id
+    /// exists for trace dumps and debugging only.
+    #[allow(dead_code)]
+    pub root: TxId,
+    /// Installed `(oid, new version, value)` triples.
+    pub writes: Vec<(ObjectId, Version, ObjVal)>,
+}
+
+/// A snapshot is the full committed object table at snapshot time.
+pub type SnapshotImage = Vec<(ObjectId, Version, ObjVal)>;
+
+/// What a restarting replica gets back from its durable storage.
+pub struct ReplayImage {
+    /// Snapshot entries then log records, already flattened into the
+    /// `(oid, version, value)` install stream to apply via `sync`.
+    pub installs: Vec<(ObjectId, Version, ObjVal)>,
+    /// Log records replayed (excluding the snapshot).
+    pub records_replayed: u64,
+    /// Whether a torn tail was detected (and truncated).
+    pub torn_tail_detected: bool,
+    /// Occupancy cost of reading the disk back (snapshot read plus one
+    /// append-cost per record scanned).
+    pub cost: SimDuration,
+}
+
+/// The write-ahead log one replica keeps on its simulated disk.
+pub struct ReplicaWal {
+    cfg: DurabilityConfig,
+    disk: Disk<WalRecord, SnapshotImage>,
+    appends_since_fsync: usize,
+    appends_since_snapshot: usize,
+}
+
+impl ReplicaWal {
+    /// An empty WAL.
+    pub fn new(cfg: DurabilityConfig) -> Self {
+        ReplicaWal {
+            cfg,
+            disk: Disk::new(cfg.disk_config()),
+            appends_since_fsync: 0,
+            appends_since_snapshot: 0,
+        }
+    }
+
+    /// Bootstrap: persist a preloaded object as if it were part of the
+    /// initial durable image. Free of charge — preloading happens before
+    /// the simulation starts, like `NodeStore::preload`.
+    pub fn record_preload(&mut self, oid: ObjectId, val: ObjVal) {
+        self.disk.append(WalRecord {
+            root: TxId {
+                node: u32::MAX,
+                seq: 0,
+            },
+            writes: vec![(oid, Version::INITIAL, val)],
+        });
+        self.disk.fsync();
+    }
+
+    /// Record a phase-2 application, driving the fsync/snapshot policy.
+    /// `table` is the post-apply committed table (captured only when the
+    /// policy decides to snapshot). Returns the disk occupancy to charge
+    /// to the node.
+    pub fn record_apply(
+        &mut self,
+        root: TxId,
+        writes: &[(ObjectId, Version, ObjVal)],
+        table: impl FnOnce() -> SnapshotImage,
+    ) -> SimDuration {
+        let mut cost = self.disk.append(WalRecord {
+            root,
+            writes: writes.to_vec(),
+        });
+        self.appends_since_fsync += 1;
+        self.appends_since_snapshot += 1;
+        if self.appends_since_snapshot >= self.cfg.snapshot_every {
+            cost += self.disk.snapshot(table());
+            self.appends_since_snapshot = 0;
+            self.appends_since_fsync = 0;
+        } else if self.appends_since_fsync >= self.cfg.fsync_every {
+            cost += self.disk.fsync();
+            self.appends_since_fsync = 0;
+        }
+        cost
+    }
+
+    /// The node crashed: lose a seeded portion of the unsynced buffer,
+    /// possibly tearing the last persisted record.
+    pub fn crash(&mut self, rng: &mut StdRng) {
+        self.disk.crash(rng);
+        self.appends_since_fsync = 0;
+    }
+
+    /// Corrupt the last `records` readable durable records (the
+    /// `corrupt-tail` chaos verb). Returns whether anything was corrupted.
+    pub fn corrupt_tail(&mut self, records: usize) -> bool {
+        self.disk.corrupt_tail(records)
+    }
+
+    /// Read the durable image back after an amnesiac restart.
+    pub fn replay(&mut self) -> ReplayImage {
+        let img = self.disk.recover();
+        let records = img.log.len() as u64;
+        let mut cost = self.cfg.append_latency * records;
+        let mut installs: Vec<(ObjectId, Version, ObjVal)> = Vec::new();
+        if let Some(snap) = img.snapshot {
+            cost += self.cfg.snapshot_latency;
+            installs.extend(snap);
+        }
+        for rec in img.log {
+            installs.extend(rec.writes);
+        }
+        ReplayImage {
+            installs,
+            records_replayed: records,
+            torn_tail_detected: img.torn_tail_detected,
+            cost,
+        }
+    }
+
+    /// Persist a post-recovery snapshot so the disk catches up with the
+    /// quorum-repaired in-memory table. Returns the occupancy cost.
+    pub fn snapshot_now(&mut self, table: SnapshotImage) -> SimDuration {
+        self.appends_since_snapshot = 0;
+        self.appends_since_fsync = 0;
+        self.disk.snapshot(table)
+    }
+
+    /// Durable log records that would survive a restart right now.
+    #[cfg(test)]
+    fn durable_len(&self) -> usize {
+        self.disk.readable_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> DurabilityConfig {
+        DurabilityConfig {
+            fsync_every: 2,
+            snapshot_every: 4,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    fn write(oid: u64, v: u64) -> (ObjectId, Version, ObjVal) {
+        (ObjectId(oid), Version(v), ObjVal::Int(v as i64))
+    }
+
+    fn apply(w: &mut ReplicaWal, seq: u64, oid: u64, v: u64) -> SimDuration {
+        w.record_apply(TxId { node: 0, seq }, &[write(oid, v)], || {
+            vec![write(oid, v)]
+        })
+    }
+
+    #[test]
+    fn fsync_and_snapshot_policy_fire_on_schedule() {
+        let mut w = ReplicaWal::new(cfg());
+        apply(&mut w, 1, 1, 2);
+        assert_eq!(w.durable_len(), 0, "first append still buffered");
+        apply(&mut w, 2, 1, 3);
+        assert_eq!(w.durable_len(), 2, "fsync_every=2 flushed");
+        apply(&mut w, 3, 1, 4);
+        apply(&mut w, 4, 1, 5);
+        assert_eq!(w.durable_len(), 0, "snapshot_every=4 truncated the log");
+        let img = w.replay();
+        assert_eq!(img.records_replayed, 0);
+        assert_eq!(img.installs, vec![write(1, 5)], "snapshot carries state");
+    }
+
+    #[test]
+    fn crash_loses_unsynced_tail_deterministically() {
+        let run = |seed: u64| {
+            let mut w = ReplicaWal::new(DurabilityConfig {
+                fsync_every: 100,
+                snapshot_every: 1000,
+                ..DurabilityConfig::default()
+            });
+            for i in 0..8 {
+                apply(&mut w, i, 1, i + 2);
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            w.crash(&mut rng);
+            let img = w.replay();
+            (img.records_replayed, img.torn_tail_detected)
+        };
+        assert_eq!(run(3), run(3));
+        let (replayed, _) = run(3);
+        assert!(replayed <= 8);
+    }
+
+    #[test]
+    fn preloads_survive_replay() {
+        let mut w = ReplicaWal::new(cfg());
+        w.record_preload(ObjectId(7), ObjVal::Int(100));
+        let img = w.replay();
+        assert_eq!(
+            img.installs,
+            vec![(ObjectId(7), Version::INITIAL, ObjVal::Int(100))]
+        );
+        assert!(!img.torn_tail_detected);
+    }
+
+    #[test]
+    fn corrupt_tail_is_detected_on_replay() {
+        let mut w = ReplicaWal::new(cfg());
+        apply(&mut w, 1, 1, 2);
+        apply(&mut w, 2, 1, 3); // fsynced now
+        assert!(w.corrupt_tail(1));
+        let img = w.replay();
+        assert!(img.torn_tail_detected);
+        assert_eq!(img.records_replayed, 1, "tail truncated at the tear");
+    }
+}

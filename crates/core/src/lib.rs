@@ -63,7 +63,7 @@ mod store;
 mod txid;
 
 pub use cluster::{Cluster, DtmConfig, LatencySpec, LockPolicy, QuorumView};
-pub use engine::{spawn_detector, Client, DetectorConfig, DetectorHandle, Tx};
+pub use engine::{spawn_detector, Client, DetectorConfig, DetectorHandle, DurabilityConfig, Tx};
 pub use history::{CommitRecord, HistoryRecorder, Violation};
 pub use msg::{Msg, ValEntry, ValidationKind};
 pub use object::{ObjVal, ObjectId, Replica, SkipNode, TableRow, TreeNode, Version};

@@ -82,6 +82,19 @@ impl NodeStore {
         self.objects.keys().copied().collect()
     }
 
+    /// Export every committed `(oid, version, value)` triple, sorted by
+    /// object id so snapshot images are deterministic regardless of hash
+    /// iteration order (used by the durable-storage layer).
+    pub fn entries(&self) -> Vec<(ObjectId, Version, ObjVal)> {
+        let mut out: Vec<_> = self
+            .objects
+            .iter()
+            .map(|(oid, r)| (*oid, r.version, r.val.clone()))
+            .collect();
+        out.sort_by_key(|(oid, _, _)| *oid);
+        out
+    }
+
     /// Recovery state transfer: install `(version, val)` if newer than the
     /// local copy, clearing any leftover lock from before the crash.
     pub fn sync(&mut self, oid: ObjectId, version: Version, val: ObjVal) {

@@ -47,12 +47,14 @@
 
 #![warn(missing_docs)]
 
+mod disk;
 mod executor;
 mod latency;
 mod metrics;
 mod sim;
 mod time;
 
+pub use disk::{Disk, DiskConfig, DiskImage};
 pub use latency::{ConstLatency, JitteredLatency, LatencyModel, MetricSpace};
 pub use metrics::{
     Counter, EngineEvent, EngineEventKind, Metrics, ENGINE_EVENT_KINDS, MAX_CLASSES,

@@ -12,7 +12,7 @@
 pub const MAX_CLASSES: usize = 16;
 
 /// Number of [`EngineEventKind`] variants (size of the counter array).
-pub const ENGINE_EVENT_KINDS: usize = 7;
+pub const ENGINE_EVENT_KINDS: usize = 9;
 
 /// Structured events a protocol engine emits at its layer boundaries.
 ///
@@ -43,6 +43,13 @@ pub enum EngineEventKind {
     /// node and rejoined it (with state transfer); `detail` is the view
     /// epoch after the rejoin.
     NodeRejoined = 6,
+    /// An amnesiac replica replayed its durable snapshot+log on restart;
+    /// `detail` is the number of log records replayed.
+    WalReplayed = 7,
+    /// A restarting replica reconciled per-object versions against a read
+    /// quorum and caught up its lost suffix; `detail` is the number of
+    /// objects repaired.
+    QuorumRepaired = 8,
 }
 
 /// One recorded engine event (see [`Metrics::engine_event_log`]).
@@ -114,6 +121,17 @@ pub struct Metrics {
     /// Calls issued without a timeout while at least one destination was
     /// already dead — the caller will hang unless a detector resolves it.
     pub no_timeout_dead_calls: u64,
+    /// Amnesiac restarts that replayed a durable snapshot+log
+    /// ([`Counter::LogReplays`]).
+    pub log_replays: u64,
+    /// Torn (corrupt) log tails detected and truncated during replay.
+    pub torn_tails: u64,
+    /// Quorum-repair reconciliation rounds run by recovering replicas.
+    pub repair_rounds: u64,
+    /// Objects caught up from quorum peers during repair.
+    pub repaired_objects: u64,
+    /// Payload bytes transferred by quorum repair.
+    pub repair_bytes: u64,
 }
 
 /// Detector/transport counters external subsystems may bump through
@@ -133,6 +151,16 @@ pub enum Counter {
     HedgedCalls,
     /// A hedge destination's reply made the accepted set.
     HedgedWins,
+    /// An amnesiac restart replayed its durable snapshot+log.
+    LogReplays,
+    /// A replay detected (and truncated) a torn log tail.
+    TornTails,
+    /// A recovering replica ran a quorum-repair reconciliation round.
+    RepairRounds,
+    /// Objects caught up from quorum peers during repair (add by count).
+    RepairedObjects,
+    /// Payload bytes transferred by quorum repair (add by amount).
+    RepairBytes,
 }
 
 impl Metrics {
@@ -158,13 +186,22 @@ impl Metrics {
     }
 
     pub(crate) fn bump(&mut self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    pub(crate) fn add(&mut self, c: Counter, n: u64) {
         match c {
-            Counter::Suspicions => self.suspicions += 1,
-            Counter::FalseSuspicions => self.false_suspicions += 1,
-            Counter::Rejoins => self.rejoins += 1,
-            Counter::RpcRetries => self.rpc_retries += 1,
-            Counter::HedgedCalls => self.hedged_calls += 1,
-            Counter::HedgedWins => self.hedged_wins += 1,
+            Counter::Suspicions => self.suspicions += n,
+            Counter::FalseSuspicions => self.false_suspicions += n,
+            Counter::Rejoins => self.rejoins += n,
+            Counter::RpcRetries => self.rpc_retries += n,
+            Counter::HedgedCalls => self.hedged_calls += n,
+            Counter::HedgedWins => self.hedged_wins += n,
+            Counter::LogReplays => self.log_replays += n,
+            Counter::TornTails => self.torn_tails += n,
+            Counter::RepairRounds => self.repair_rounds += n,
+            Counter::RepairedObjects => self.repaired_objects += n,
+            Counter::RepairBytes => self.repair_bytes += n,
         }
     }
 
@@ -294,6 +331,23 @@ mod tests {
         assert_eq!(m.engine_events(EngineEventKind::CheckpointTaken), 1);
         assert_eq!(m.engine_events(EngineEventKind::ReadValidated), 0);
         assert!(m.engine_event_log.is_empty(), "off by default");
+    }
+
+    #[test]
+    fn recovery_counters_add_by_amount() {
+        let mut m = Metrics::new(1);
+        m.bump(Counter::LogReplays);
+        m.bump(Counter::TornTails);
+        m.add(Counter::RepairRounds, 1);
+        m.add(Counter::RepairedObjects, 12);
+        m.add(Counter::RepairBytes, 4096);
+        assert_eq!(m.log_replays, 1);
+        assert_eq!(m.torn_tails, 1);
+        assert_eq!(m.repair_rounds, 1);
+        assert_eq!(m.repaired_objects, 12);
+        assert_eq!(m.repair_bytes, 4096);
+        m.reset();
+        assert_eq!(m.repaired_objects, 0);
     }
 
     #[test]

@@ -585,6 +585,12 @@ impl<M: SimMessage> Sim<M> {
         self.core.inner.borrow_mut().metrics.bump(c);
     }
 
+    /// Add `n` to a counter in the metrics sink (for counters that grow by
+    /// amounts, e.g. repaired objects or transferred bytes).
+    pub fn add(&self, c: Counter, n: u64) {
+        self.core.inner.borrow_mut().metrics.add(c, n);
+    }
+
     /// Stop the run loop after the current event.
     pub fn halt(&self) {
         self.core.inner.borrow_mut().halted = true;
@@ -1031,6 +1037,21 @@ impl<'a, M: SimMessage> HandlerCtx<'a, M> {
     /// Draw from the simulation RNG.
     pub fn with_rng<T>(&mut self, f: impl FnOnce(&mut StdRng) -> T) -> T {
         f(&mut self.core.inner.borrow_mut().rng)
+    }
+
+    /// Keep this handler's node busy for `d` beyond its current service
+    /// backlog — out-of-band work the request triggered on the server, e.g.
+    /// a durable-log append+fsync done while applying a commit.
+    pub fn occupy(&mut self, d: SimDuration) {
+        let mut inner = self.core.inner.borrow_mut();
+        let now = inner.now;
+        let meta = &mut inner.nodes[self.node.index()];
+        let start = if meta.busy_until > now {
+            meta.busy_until
+        } else {
+            now
+        };
+        meta.busy_until = start + d;
     }
 }
 

@@ -165,6 +165,11 @@ pub enum FaultAction {
     FailReadQuorumMember,
     /// Fail a specific node.
     Fail(NodeId),
+    /// Crash a specific node with loss of its in-memory state: on
+    /// recovery it must replay its durable log and run quorum repair
+    /// before readmission. Requires [`DtmConfig::durability`]; skipped
+    /// otherwise.
+    CrashAmnesia(NodeId),
     /// Recover a specific node.
     Recover(NodeId),
 }
@@ -285,6 +290,15 @@ pub fn run_with_schedule(cfg: DtmConfig, spec: &RunSpec, schedule: &[ScheduledFa
                         }
                     }
                     FaultAction::Fail(n) => fail(n),
+                    FaultAction::CrashAmnesia(n) => {
+                        if cluster.config().durability.is_some() {
+                            if detector_cfg.is_some() {
+                                cluster.crash_amnesia_sim_only(n);
+                            } else {
+                                let _ = cluster.crash_node_amnesia(n);
+                            }
+                        }
+                    }
                     FaultAction::Recover(n) => {
                         if detector_cfg.is_some() {
                             if !s.is_alive(n) {
@@ -825,6 +839,42 @@ mod tests {
         let r2 = run_with_schedule(cfg2, &quick_spec(Benchmark::Bank), &schedule);
         assert_eq!(r.commits, r2.commits);
         assert_eq!(r.messages, r2.messages);
+    }
+
+    #[test]
+    fn amnesiac_crash_mid_run_recovers_and_stays_deterministic() {
+        let mk = || {
+            let mut cfg = quick_cfg(NestingMode::Closed);
+            cfg.nodes = 28;
+            cfg.read_level = 0;
+            cfg.durability = Some(qrdtm_core::DurabilityConfig::default());
+            cfg
+        };
+        let schedule = [
+            ScheduledFault {
+                at: SimDuration::from_millis(500),
+                action: FaultAction::CrashAmnesia(NodeId(20)),
+            },
+            ScheduledFault {
+                at: SimDuration::from_millis(1_800),
+                action: FaultAction::Recover(NodeId(20)),
+            },
+        ];
+        let r = run_with_schedule(mk(), &quick_spec(Benchmark::Bank), &schedule);
+        assert!(
+            r.commits > 0,
+            "commits continue through an amnesiac restart: {:?}",
+            r.stats
+        );
+        let r2 = run_with_schedule(mk(), &quick_spec(Benchmark::Bank), &schedule);
+        assert_eq!(r.commits, r2.commits);
+        assert_eq!(r.messages, r2.messages);
+        // Without durable storage the action is skipped, not a crash.
+        let mut plain = quick_cfg(NestingMode::Closed);
+        plain.nodes = 28;
+        plain.read_level = 0;
+        let r3 = run_with_schedule(plain, &quick_spec(Benchmark::Bank), &schedule);
+        assert!(r3.commits > 0);
     }
 
     #[test]

@@ -23,4 +23,7 @@ cargo run --quiet --release -p qrdtm-bench -- chaos --smoke
 echo "==> chaos detector smoke (self-healing membership, no oracle)"
 cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --detector
 
+echo "==> chaos amnesia smoke (durable replicas, WAL replay + quorum repair)"
+cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --amnesia
+
 echo "ok: all tier-1 checks passed"
