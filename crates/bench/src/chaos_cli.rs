@@ -355,19 +355,9 @@ fn report_one(
     r: &ChaosReport,
 ) -> bool {
     println!(
-        "[{:<7} seed={seed} nodes={nodes}] plan={:>2}ev applied={:>2} skipped={} \
-         commits={:>5} aborts={:>4} dropped dead:{} part:{} link:{} drained={} => {}",
+        "[{:<7} seed={seed} nodes={nodes}] {}",
         proto.label(),
-        plan.len(),
-        r.applied,
-        r.skipped,
-        r.commits,
-        r.aborts,
-        r.dropped,
-        r.dropped_by_partition,
-        r.dropped_by_link,
-        if r.drained { "yes" } else { "NO" },
-        if r.ok() { "OK" } else { "VIOLATION" },
+        r.summary_line(),
     );
     if spec.detector {
         let m = &r.metrics;

@@ -17,6 +17,7 @@ use qrdtm_bench::{emit_figure, table};
 fn usage() -> ! {
     eprintln!("usage: repro <fig5|fig6|fig7|table8|fig9|fig10|ablation|all> [--quick] [--out DIR]");
     eprintln!("       repro chaos [--smoke] [...]   (see `repro chaos --help`)");
+    eprintln!("       repro mc [--smoke] [...]      (see `repro mc --help`)");
     std::process::exit(2);
 }
 
@@ -26,6 +27,9 @@ fn main() {
     if cmd == "chaos" {
         // The chaos subcommand owns its flag vocabulary.
         std::process::exit(qrdtm_bench::chaos_cli::run(args));
+    }
+    if cmd == "mc" {
+        std::process::exit(qrdtm_bench::mc_cli::run(args));
     }
     let mut quick = false;
     let mut out_dir: Option<PathBuf> = None;

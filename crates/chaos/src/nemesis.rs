@@ -122,6 +122,8 @@ pub struct ChaosReport {
     pub commits: u64,
     /// Aborted attempts over the whole run.
     pub aborts: u64,
+    /// Events in the plan the run was given.
+    pub plan_events: usize,
     /// Plan events actually applied.
     pub applied: usize,
     /// Plan events skipped (unsupported by the target, out of range, or
@@ -157,6 +159,29 @@ impl ChaosReport {
     /// Whether every checked invariant held.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// The one-line summary `repro chaos` prints per run (minus the
+    /// CLI-level `[proto seed nodes]` prefix): plan/application counts,
+    /// workload counters, drop tallies, drain status and the verdict.
+    /// Shared by the CLI and the plan round-trip snapshot test, so
+    /// "replaying a saved plan reproduces the identical line" is a stable,
+    /// testable contract.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "plan={:>2}ev applied={:>2} skipped={} commits={:>5} aborts={:>4} \
+             dropped dead:{} part:{} link:{} drained={} => {}",
+            self.plan_events,
+            self.applied,
+            self.skipped,
+            self.commits,
+            self.aborts,
+            self.dropped,
+            self.dropped_by_partition,
+            self.dropped_by_link,
+            if self.drained { "yes" } else { "NO" },
+            if self.ok() { "OK" } else { "VIOLATION" },
+        )
     }
 }
 
@@ -358,6 +383,7 @@ pub fn run_plan<P: ChaosTarget + 'static>(
         protocol: proto.protocol_name(),
         commits: stats.commits,
         aborts: stats.aborts,
+        plan_events: plan.len(),
         applied: st.applied,
         skipped: st.skipped,
         fault_log: st.log.clone(),

@@ -120,6 +120,56 @@ proptest! {
         }
     }
 
+    /// Exhaustive-exploration prerequisite: two identical runs emit the
+    /// identical full engine-event stream — every kind, node, detail and
+    /// timestamp, hashed in order, not just a counter digest. This is what
+    /// rules out map-iteration-order nondeterminism anywhere on the wire
+    /// path (the model checker's replay guarantee depends on it).
+    #[test]
+    fn identical_runs_emit_identical_engine_event_streams(seed in 0u64..1_000) {
+        for proto in [1usize, 2] {
+            let a = run_config(proto, seed, 5);
+            let b = run_config(proto, seed, 5);
+            prop_assert_eq!(
+                a.metrics.engine_event_log.len(),
+                b.metrics.engine_event_log.len(),
+                "proto {} event counts diverged", proto
+            );
+            prop_assert_eq!(
+                event_stream_hash(&a),
+                event_stream_hash(&b),
+                "proto {} event streams diverged", proto
+            );
+        }
+    }
+
+    /// A `--save-plan` file (header comment + plan text) reparsed and
+    /// rerun on a fresh cluster reproduces the identical report summary
+    /// line, fingerprint and violations — the snapshot contract behind
+    /// `repro chaos --plan FILE`.
+    #[test]
+    fn saved_plan_replay_reproduces_identical_report_line(
+        seed in 0u64..1_000,
+        events in 1usize..8,
+    ) {
+        let spec = spec();
+        let plan = generate(seed, NODES as u32, spec.horizon, &FaultBudget::full(events));
+        // Byte-identical to what `repro chaos --save-plan` writes.
+        let saved = format!(
+            "# generated for --proto qr-cn --seed {seed} --nodes {NODES}\n{}",
+            plan.to_text()
+        );
+        let parsed = FaultPlan::parse(&saved).unwrap();
+        prop_assert_eq!(&parsed, &plan);
+        let a = run_plan(qr(NestingMode::Closed, seed), NODES, &spec, &plan);
+        let b = run_plan(qr(NestingMode::Closed, seed), NODES, &spec, &parsed);
+        prop_assert_eq!(a.summary_line(), b.summary_line());
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+        let av: Vec<String> = a.violations.iter().map(ToString::to_string).collect();
+        let bv: Vec<String> = b.violations.iter().map(ToString::to_string).collect();
+        prop_assert_eq!(av, bv);
+    }
+
     /// Durable QR clusters survive random plans that include amnesiac
     /// restarts and torn tails: every checked invariant (including the
     /// durability checker) holds, and the runs are deterministic per seed.
@@ -210,6 +260,23 @@ fn run_detector(seed: u64, events: usize) -> ChaosReport {
         ..Default::default()
     }));
     run_plan(cl, NODES, &spec, &plan)
+}
+
+/// FNV-1a over the complete engine-event stream, order-sensitive.
+fn event_stream_hash(r: &ChaosReport) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in &r.metrics.engine_event_log {
+        mix(e.kind as u64);
+        mix(u64::from(e.node));
+        mix(e.detail);
+        mix(e.at_ns);
+    }
+    h
 }
 
 /// The membership trace: every suspicion/rejoin with node, epoch and time.

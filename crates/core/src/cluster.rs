@@ -150,6 +150,26 @@ pub struct DtmConfig {
     /// default) keeps replicas memory-only and crashes pause-only,
     /// byte-for-byte identical to the classic model.
     pub durability: Option<crate::engine::DurabilityConfig>,
+    /// Deliberately disable one safety mechanism (checker validation only —
+    /// see [`InjectedBug`]). `None` (the default) is the correct protocol.
+    pub injected_bug: Option<InjectedBug>,
+}
+
+/// A deliberately broken protocol variant, used to validate that the
+/// checkers (history verification, model-checking invariants) actually
+/// catch the class of bug each mechanism exists to prevent. Never enabled
+/// by default; only test harnesses set this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Treat a failed vote round as success: commit and apply even when a
+    /// write-quorum replica voted no because the object moved under the
+    /// transaction. Two concurrent writers can then both install the same
+    /// successor version (lost update).
+    SkipVoteCheck,
+    /// Skip the epoch fence after the vote round: a commit whose votes
+    /// straddled a view change is trusted even though its quorum may not
+    /// intersect the new view's quorums.
+    SkipEpochFence,
 }
 
 impl Default for DtmConfig {
@@ -171,6 +191,7 @@ impl Default for DtmConfig {
             detector: None,
             transfer_latency: None,
             durability: None,
+            injected_bug: None,
         }
     }
 }
@@ -242,7 +263,10 @@ pub(crate) struct ClusterInner {
     pub(crate) next_seq: Cell<u64>,
     pub(crate) stores: Vec<Rc<RefCell<NodeStore>>>,
     pub(crate) history: RefCell<HistoryRecorder>,
-    pub(crate) pending: RefCell<std::collections::HashMap<TxId, PendingPhase2>>,
+    /// Phase-2 decisions whose fan-out is still in flight. A `BTreeMap`
+    /// (not `HashMap`): view-change transfer iterates this map and its
+    /// effects reach every store, so iteration order must be deterministic.
+    pub(crate) pending: RefCell<std::collections::BTreeMap<TxId, PendingPhase2>>,
     /// Per-node write-ahead logs; armed by [`DtmConfig::durability`].
     pub(crate) wals: Option<Vec<Rc<RefCell<ReplicaWal>>>>,
     /// Nodes that crashed with amnesia and have not yet run recovery;
@@ -370,7 +394,7 @@ impl Cluster {
                 next_seq: Cell::new(0),
                 stores,
                 history: RefCell::new(HistoryRecorder::default()),
-                pending: RefCell::new(std::collections::HashMap::new()),
+                pending: RefCell::new(std::collections::BTreeMap::new()),
                 wals,
                 amnesiac,
             }),

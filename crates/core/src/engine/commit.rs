@@ -8,7 +8,7 @@
 
 use std::cell::RefCell;
 
-use crate::cluster::PendingPhase2;
+use crate::cluster::{InjectedBug, PendingPhase2};
 use crate::history::CommitRecord;
 use crate::object::{ObjVal, ObjectId, Version};
 use crate::txid::Abort;
@@ -88,8 +88,13 @@ pub(super) async fn commit_root(
         // invalidate a read must serialize after the replica validations,
         // which happen after the send.
         let at = ep.sim.now();
-        ep.vote_round(&wq, root, reads.clone(), vec![]).await?;
-        if ep.inner.quorum.borrow().epoch != epoch {
+        let vote = ep.vote_round(&wq, root, reads.clone(), vec![]).await;
+        if ep.inner.cfg.injected_bug != Some(InjectedBug::SkipVoteCheck) {
+            vote?;
+        }
+        if ep.inner.quorum.borrow().epoch != epoch
+            && ep.inner.cfg.injected_bug != Some(InjectedBug::SkipEpochFence)
+        {
             // The view changed mid-round: the quorum that validated the
             // reads need not intersect the new view's write quorums.
             return Err(Abort::root());
@@ -104,12 +109,20 @@ pub(super) async fn commit_root(
         }
         return Ok(());
     }
-    match ep
+    let vote = ep
         .vote_round(&wq, root, reads.clone(), writes.clone())
-        .await
-    {
+        .await;
+    let vote = if ep.inner.cfg.injected_bug == Some(InjectedBug::SkipVoteCheck) {
+        // Injected bug: trust the round even when a replica voted no.
+        Ok(())
+    } else {
+        vote
+    };
+    match vote {
         Ok(()) => {
-            if ep.inner.quorum.borrow().epoch != epoch {
+            if ep.inner.quorum.borrow().epoch != epoch
+                && ep.inner.cfg.injected_bug != Some(InjectedBug::SkipEpochFence)
+            {
                 // The view changed while the votes were in flight. No
                 // replica has seen the writes yet, so converting the
                 // decision to an abort is safe — and necessary, since the

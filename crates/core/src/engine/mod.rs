@@ -67,12 +67,17 @@ use transport::Endpoint;
 
 /// Encode an abort target into an [`EngineEventKind::AbortWithTarget`]
 /// event's `detail` field: levels map to their value, checkpoint targets
-/// set bit 32.
-fn abort_detail(target: AbortTarget) -> u64 {
-    match target {
+/// set bit 32. Bits 40+ carry `bound` — the deepest valid target at the
+/// emit site (innermost active nesting level for level targets, current
+/// checkpoint index for checkpoint targets) — so trace checkers can assert
+/// every abort addressed an ancestor actually on the stack (see
+/// `history::check_abort_targets`).
+fn abort_detail(target: AbortTarget, bound: u32) -> u64 {
+    let base = match target {
         AbortTarget::Level(l) => u64::from(l),
         AbortTarget::Chk(c) => (1u64 << 32) | u64::from(c),
-    }
+    };
+    (u64::from(bound) << 40) | base
 }
 
 /// A client bound to a node; runs root transactions originating there.
@@ -359,10 +364,11 @@ impl Tx {
                 Err(Abort {
                     target: AbortTarget::Level(l),
                 }) if l == child_level => {
+                    let innermost = (self.st.borrow().frames.len() - 1) as u32;
                     self.ep.sim.emit_engine_event(
                         EngineEventKind::AbortWithTarget,
                         self.ep.node,
-                        abort_detail(AbortTarget::Level(l)),
+                        abort_detail(AbortTarget::Level(l), innermost),
                     );
                     // Partial abort: discard only the child's work and retry
                     // promptly — the whole point of closed nesting is that
@@ -487,7 +493,7 @@ impl Tx {
         self.ep.sim.emit_engine_event(
             EngineEventKind::CheckpointTaken,
             self.ep.node,
-            u64::from(st.cur_chk()),
+            (u64::from(st.cur_chk()) << 32) | st.oplog.len() as u64,
         );
     }
 
@@ -515,10 +521,17 @@ impl Tx {
     /// then either roll back to the targeted checkpoint (QR-CHK partial
     /// abort) or compensate, fully reset and take escalating backoff.
     pub(crate) async fn restart_after(&self, abort: Abort) {
+        let bound = {
+            let st = self.st.borrow();
+            match abort.target {
+                AbortTarget::Level(_) => (st.frames.len() - 1) as u32,
+                AbortTarget::Chk(_) => st.cur_chk(),
+            }
+        };
         self.ep.sim.emit_engine_event(
             EngineEventKind::AbortWithTarget,
             self.ep.node,
-            abort_detail(abort.target),
+            abort_detail(abort.target, bound),
         );
         match self.policy().rollback_checkpoint(&abort) {
             Some(c) => {
@@ -544,7 +557,16 @@ impl Tx {
     /// Restore checkpoint `c` and arm deterministic replay of the logged
     /// prefix.
     fn rollback_to(&self, c: u32) {
-        self.st.borrow_mut().rollback_to(c);
+        let (restored, oplog_len) = {
+            let mut st = self.st.borrow_mut();
+            let restored = st.rollback_to(c);
+            (restored, st.oplog.len())
+        };
+        self.ep.sim.emit_engine_event(
+            EngineEventKind::CheckpointRestored,
+            self.ep.node,
+            (u64::from(restored) << 32) | oplog_len as u64,
+        );
     }
 
     /// Full reset for a root retry; the new attempt gets a fresh TxId so

@@ -146,8 +146,9 @@ impl TxState {
     }
 
     /// Restore checkpoint `c` and arm deterministic replay of the logged
-    /// prefix (QR-CHK `abortChk`).
-    pub(super) fn rollback_to(&mut self, c: u32) {
+    /// prefix (QR-CHK `abortChk`). Returns the index actually restored
+    /// (`c` clamped to the live checkpoint stack).
+    pub(super) fn rollback_to(&mut self, c: u32) -> u32 {
         let c = (c as usize).min(self.checkpoints.len() - 1);
         let rec = self.checkpoints[c].clone();
         self.frames = vec![rec.frame];
@@ -157,6 +158,7 @@ impl TxState {
         self.checkpoints.truncate(c + 1);
         self.last_chk_size = rec.dataset_size;
         self.attempt += 1;
+        c as u32
     }
 
     /// Full reset for a root retry; the new attempt gets a fresh [`TxId`] so

@@ -62,9 +62,12 @@ mod stats;
 mod store;
 mod txid;
 
-pub use cluster::{Cluster, DtmConfig, LatencySpec, LockPolicy, QuorumView};
+pub use cluster::{Cluster, DtmConfig, InjectedBug, LatencySpec, LockPolicy, QuorumView};
 pub use engine::{spawn_detector, Client, DetectorConfig, DetectorHandle, DurabilityConfig, Tx};
-pub use history::{CommitRecord, HistoryRecorder, Violation};
+pub use history::{
+    check_abort_targets, check_checkpoint_restores, CommitRecord, HistoryRecorder,
+    StructuralViolation, Violation,
+};
 pub use msg::{Msg, ValEntry, ValidationKind};
 pub use object::{ObjVal, ObjectId, Replica, SkipNode, TableRow, TreeNode, Version};
 pub use protocol::{DtmProtocol, ProtocolStats, QrTxHandle};

@@ -3,7 +3,9 @@
 //! zero-message guarantees — across random configurations.
 
 use proptest::prelude::*;
-use qrdtm_core::{Cluster, DtmConfig, LatencySpec, NestingMode, ObjVal, ObjectId, Version};
+use qrdtm_core::{
+    Cluster, DetectorConfig, DtmConfig, LatencySpec, NestingMode, ObjVal, ObjectId, Version,
+};
 use qrdtm_sim::{NodeId, SimDuration};
 
 fn mode_strategy() -> impl Strategy<Value = NestingMode> {
@@ -56,6 +58,92 @@ fn contended_run(
     }
     c.sim().run();
     c
+}
+
+/// A read-only QR-CN workload with the transport's hedging knob set to
+/// `hedge` extra destinations per read round: six clients, two
+/// transactions each, two reads per transaction, under jittered latency
+/// so hedge replies genuinely race the quorum's.
+fn hedged_read_only_run(seed: u64, hedge: usize) -> Cluster {
+    let c = Cluster::new(DtmConfig {
+        nodes: 7,
+        mode: NestingMode::Closed,
+        seed,
+        latency: LatencySpec::Jittered(SimDuration::from_millis(10), 0.4),
+        detector: Some(DetectorConfig {
+            hedge,
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    for i in 0..4u64 {
+        c.preload(ObjectId(i), ObjVal::Int(7));
+    }
+    c.enable_history();
+    for node in 0..6u32 {
+        let client = c.client(NodeId(node));
+        c.sim().spawn(async move {
+            for _ in 0..2 {
+                client
+                    .run(move |tx| async move {
+                        let a = tx.read(ObjectId(u64::from(node) % 4)).await?.expect_int();
+                        let b = tx
+                            .read(ObjectId((u64::from(node) + 1) % 4))
+                            .await?
+                            .expect_int();
+                        Ok(a + b)
+                    })
+                    .await;
+            }
+        });
+    }
+    c.sim().run();
+    c
+}
+
+/// Hedged reads disqualify Rqv's zero-message local commit. A read round
+/// won by a hedge reply came from outside the configured read quorum, so
+/// the local-commit proof (every read saw the quorum) no longer covers the
+/// transaction and it must fall back to a full commit round. With hedging
+/// off every read-only transaction commits locally; with it on, exactly
+/// the hedge-free transactions still do, the rest pay a commit round, the
+/// losers' late replies are accounted as wasted, and the history stays
+/// serializable throughout.
+#[test]
+fn hedged_reads_disqualify_local_commits_but_stay_serializable() {
+    // Seed 16 is pinned so both branches of the fallback are exercised:
+    // some transactions see only quorum replies (and stay local), most
+    // get at least one hedge win (and take a commit round).
+    let baseline = hedged_read_only_run(16, 0);
+    let sb = baseline.stats();
+    assert_eq!(sb.commits, 12, "6 clients x 2 read-only txns");
+    assert_eq!(sb.local_commits, sb.commits, "all commits are local");
+    assert_eq!(sb.commit_rounds, 0);
+    let mb = baseline.sim().metrics();
+    assert_eq!((mb.hedged_calls, mb.hedged_wins), (0, 0));
+    assert!(baseline.verify_history().is_empty());
+
+    let hedged = hedged_read_only_run(16, 2);
+    let sh = hedged.stats();
+    let mh = hedged.sim().metrics();
+    assert_eq!(sh.commits, 12, "hedging changes cost, not outcomes");
+    assert!(mh.hedged_calls > 0, "every read round hedged");
+    assert!(mh.hedged_wins > 0, "at least one hedge reply won the race");
+    assert!(
+        mh.wasted_replies > 0,
+        "losing destinations' replies are wasted, and counted"
+    );
+    assert!(sh.local_commits > 0, "hedge-free txns keep the fast path");
+    assert!(
+        sh.local_commits < sh.commits,
+        "hedge-won txns lost the fast path"
+    );
+    assert_eq!(
+        sh.commit_rounds,
+        sh.commits - sh.local_commits,
+        "each disqualified txn pays exactly one commit round"
+    );
+    assert!(hedged.verify_history().is_empty());
 }
 
 proptest! {
@@ -189,5 +277,49 @@ proptest! {
         let s = c.stats();
         prop_assert_eq!(s.local_commits, 0);
         prop_assert_eq!(s.commit_rounds, 1);
+    }
+
+    /// Hedging is a latency tool, not a correctness lever: contended
+    /// read-write QR-CN runs with hedged reads still commit every offered
+    /// transaction and produce a serializable history.
+    #[test]
+    fn hedged_contended_runs_stay_serializable(
+        seed in 0u64..200,
+        hedge in 1usize..4,
+    ) {
+        let c = Cluster::new(DtmConfig {
+            nodes: 7,
+            mode: NestingMode::Closed,
+            seed,
+            latency: LatencySpec::Jittered(SimDuration::from_millis(10), 0.3),
+            detector: Some(DetectorConfig {
+                hedge,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        for i in 0..3u64 {
+            c.preload(ObjectId(i), ObjVal::Int(0));
+        }
+        c.enable_history();
+        for node in 0..4u32 {
+            let client = c.client(NodeId(node));
+            let sim = c.sim().clone();
+            c.sim().spawn(async move {
+                for _ in 0..2 {
+                    let a = sim.rand_below(3);
+                    client
+                        .run(move |tx| async move {
+                            let v = tx.read(ObjectId(a)).await?.expect_int();
+                            tx.write(ObjectId(a), ObjVal::Int(v + 1)).await
+                        })
+                        .await;
+                }
+            });
+        }
+        c.sim().run();
+        prop_assert_eq!(c.stats().commits, 8);
+        let violations = c.verify_history();
+        prop_assert!(violations.is_empty(), "{violations:?}");
     }
 }

@@ -1,0 +1,269 @@
+//! One schedule = one deterministic simulation run under a pick policy.
+//!
+//! The runner builds a small contended cluster (the exploration [`Scope`]),
+//! installs a recording [`qrdtm_sim::Scheduler`] that delegates tie-breaks
+//! to a [`ChoicePolicy`](crate::ChoicePolicy), drives the workload to
+//! completion, and then runs the full invariant battery: history
+//! serializability, balance conservation, durability no-regress, and the
+//! structural nesting/checkpoint assertions from
+//! [`qrdtm_core::check_abort_targets`] /
+//! [`qrdtm_core::check_checkpoint_restores`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use qrdtm_chaos::{check_balances, check_durability, ChaosTarget};
+use qrdtm_core::{
+    check_abort_targets, check_checkpoint_restores, Cluster, DtmConfig, InjectedBug, LatencySpec,
+    NestingMode, ObjVal, ObjectId,
+};
+use qrdtm_sim::{EventInfo, NodeId, Scheduler, SimDuration, SimTime};
+
+use crate::strategies::ChoicePolicy;
+
+/// Balance preloaded into every account object at the start of a run.
+pub const INITIAL_BALANCE: i64 = 1000;
+
+/// Virtual-time horizon for one schedule run. The workload finishes in a
+/// few hundred simulated milliseconds when healthy; a task still live at
+/// the horizon is reported as a stuck-run violation.
+const HORIZON: SimDuration = SimDuration::from_secs(300);
+
+/// The bounded exploration scope: protocol mode, cluster size, and workload
+/// shape shared by every schedule the checker runs. A recorded schedule is
+/// only replayable under the exact scope it was recorded in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scope {
+    /// Protocol variant under test.
+    pub mode: NestingMode,
+    /// Replica count.
+    pub nodes: usize,
+    /// Account objects (ids `0..objects`, each preloaded with
+    /// [`INITIAL_BALANCE`]).
+    pub objects: u64,
+    /// Concurrent transfer transactions (client `i` runs on node
+    /// `i % nodes`, debiting object `i % objects`).
+    pub txns: usize,
+    /// Cluster RNG seed (retry backoff jitter); part of the scope because
+    /// choices only reproduce a run under the same seed.
+    pub seed: u64,
+    /// Deliberately broken protocol variant, used to validate that the
+    /// checkers can actually catch protocol bugs.
+    pub injected_bug: Option<InjectedBug>,
+}
+
+impl Scope {
+    /// The issue's smoke scope: 3 nodes, 2 objects, 2 transactions.
+    pub fn smoke(mode: NestingMode) -> Self {
+        Scope {
+            mode,
+            nodes: 3,
+            objects: 2,
+            txns: 2,
+            seed: 1,
+            injected_bug: None,
+        }
+    }
+}
+
+/// Everything one schedule run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The choice taken at each scheduler decision point (a decision point
+    /// is a same-instant tie group of two or more events).
+    pub choices: Vec<usize>,
+    /// The tie group offered at each decision point (parallel to
+    /// `choices`); used by the DFS explorer for commutativity pruning.
+    pub groups: Vec<Vec<EventInfo>>,
+    /// Root transactions committed.
+    pub commits: u64,
+    /// Root aborts plus partial (closed-nested / checkpoint) aborts.
+    pub aborts: u64,
+    /// Invariant violations, human-readable. Empty means the run passed.
+    pub violations: Vec<String>,
+    /// Order-sensitive digest of the run's observable outcome (counters,
+    /// balances, acknowledged versions) — equal fingerprints for equal
+    /// choices is the replay-determinism contract.
+    pub fingerprint: u64,
+}
+
+/// Minimal FNV-1a, used for outcome fingerprints and schedule dedup keys
+/// (stable across runs, unlike `DefaultHasher`).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-run recording shared between the scheduler and the runner.
+#[derive(Default)]
+struct Recording {
+    choices: Vec<usize>,
+    groups: Vec<Vec<EventInfo>>,
+}
+
+/// Adapts a [`ChoicePolicy`] to the sim's [`Scheduler`] hook, recording
+/// every decision point (the offered group and the clamped pick) so the
+/// run is replayable and the explorer can backtrack.
+struct RecordingScheduler {
+    policy: Box<dyn ChoicePolicy>,
+    rec: Rc<RefCell<Recording>>,
+}
+
+impl Scheduler for RecordingScheduler {
+    fn pick(&mut self, now: SimTime, ready: &[EventInfo]) -> usize {
+        let pick = self.policy.choose(now, ready).min(ready.len() - 1);
+        let mut rec = self.rec.borrow_mut();
+        rec.choices.push(pick);
+        rec.groups.push(ready.to_vec());
+        pick
+    }
+}
+
+/// Spawn one transfer client. Under QR-CN the debit and credit run in
+/// separate closed-nested scopes so conflicts produce real partial aborts;
+/// the other modes run the accesses flat (QR-CHK still checkpoints them,
+/// `chk_threshold` is 1 in this scope).
+fn spawn_transfer(cluster: &Rc<Cluster>, node: NodeId, from: ObjectId, to: ObjectId, amount: i64) {
+    let nested = cluster.config().mode == NestingMode::Closed;
+    let client = cluster.client(node);
+    cluster.sim().spawn(async move {
+        client
+            .run(|tx| async move {
+                if nested {
+                    tx.closed(|tx| async move {
+                        let v = tx.read(from).await?.expect_int();
+                        tx.write(from, ObjVal::Int(v - amount)).await
+                    })
+                    .await?;
+                    tx.closed(|tx| async move {
+                        let v = tx.read(to).await?.expect_int();
+                        tx.write(to, ObjVal::Int(v + amount)).await
+                    })
+                    .await?;
+                } else {
+                    let a = tx.read(from).await?.expect_int();
+                    let b = tx.read(to).await?.expect_int();
+                    tx.write(from, ObjVal::Int(a - amount)).await?;
+                    tx.write(to, ObjVal::Int(b + amount)).await?;
+                }
+                Ok(())
+            })
+            .await;
+    });
+}
+
+/// Run one schedule of the scope's workload under `policy` and check every
+/// invariant. Deterministic: the same scope and the same effective choices
+/// always produce the same [`RunOutcome`].
+pub fn run_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutcome {
+    let cfg = DtmConfig {
+        nodes: scope.nodes,
+        mode: scope.mode,
+        seed: scope.seed,
+        // Constant latency maximizes same-instant ties — every fan-out's
+        // arrivals land together, so the scheduler actually gets choices.
+        latency: LatencySpec::Const(SimDuration::from_millis(1)),
+        backoff_base: SimDuration::from_millis(1),
+        backoff_max: SimDuration::from_millis(8),
+        // Checkpoint on every data-set growth step so QR-CHK runs exercise
+        // the checkpoint/restore assertions even at this tiny scale.
+        chk_threshold: 1,
+        injected_bug: scope.injected_bug,
+        ..DtmConfig::default()
+    };
+    let cluster = Rc::new(Cluster::new(cfg));
+    for o in 0..scope.objects {
+        cluster.preload(ObjectId(o), ObjVal::Int(INITIAL_BALANCE));
+    }
+    cluster.begin_history();
+    let sim = cluster.sim().clone();
+    sim.record_engine_events(true);
+
+    let rec = Rc::new(RefCell::new(Recording::default()));
+    sim.set_scheduler(Box::new(RecordingScheduler {
+        policy,
+        rec: Rc::clone(&rec),
+    }));
+
+    for i in 0..scope.txns {
+        let from = ObjectId(i as u64 % scope.objects);
+        let to = ObjectId((i as u64 + 1) % scope.objects);
+        let node = NodeId((i % scope.nodes) as u32);
+        spawn_transfer(&cluster, node, from, to, 1 + i as i64);
+    }
+    sim.run_until(SimTime::ZERO + HORIZON);
+    sim.clear_scheduler();
+
+    let stuck = sim.live_tasks();
+    let stats = cluster.stats();
+    let metrics = sim.metrics();
+
+    let mut violations: Vec<String> = Vec::new();
+    if stuck > 0 {
+        violations.push(format!("stuck: {stuck} task(s) still live at the horizon"));
+    }
+    violations.extend(cluster.history_violations());
+    let balances: Vec<(u64, Option<i64>)> = (0..scope.objects)
+        .map(|o| (o, cluster.committed_int(ObjectId(o))))
+        .collect();
+    let expected_total = INITIAL_BALANCE * scope.objects as i64;
+    violations.extend(
+        check_balances(&balances, expected_total)
+            .iter()
+            .map(ToString::to_string),
+    );
+    let acked = cluster.acked_write_versions();
+    violations.extend(
+        check_durability(&acked, |oid| cluster.committed_version(ObjectId(oid)))
+            .iter()
+            .map(ToString::to_string),
+    );
+    violations.extend(
+        check_abort_targets(&metrics.engine_event_log)
+            .iter()
+            .map(ToString::to_string),
+    );
+    violations.extend(
+        check_checkpoint_restores(&metrics.engine_event_log)
+            .iter()
+            .map(ToString::to_string),
+    );
+
+    let mut fp = Fnv::new();
+    fp.write(stats.commits);
+    fp.write(stats.root_aborts);
+    fp.write(stats.ct_aborts + stats.chk_rollbacks);
+    fp.write(metrics.sent_total);
+    fp.write(metrics.events);
+    for (o, b) in &balances {
+        fp.write(*o);
+        fp.write(b.map_or(u64::MAX, |b| b as u64));
+    }
+    for (o, v) in &acked {
+        fp.write(*o);
+        fp.write(*v);
+    }
+
+    let rec = rec.borrow();
+    RunOutcome {
+        choices: rec.choices.clone(),
+        groups: rec.groups.clone(),
+        commits: stats.commits,
+        aborts: stats.root_aborts + stats.ct_aborts + stats.chk_rollbacks,
+        violations,
+        fingerprint: fp.finish(),
+    }
+}

@@ -1,0 +1,209 @@
+//! Replayable schedule traces — lossless text, same philosophy as the
+//! chaos crate's `FaultPlan`: what the explorer writes on a violation,
+//! `repro mc --replay` parses back byte-for-byte equivalently.
+//!
+//! Format (one `key value…` pair per line; `#` and blank lines ignored):
+//!
+//! ```text
+//! # qrdtm-mc trace v1
+//! proto QR-CN
+//! seed 1
+//! nodes 3
+//! objects 2
+//! txns 2
+//! choices 0 2 1
+//! ```
+//!
+//! An optional `bug skip-vote-check` / `bug skip-epoch-fence` line records
+//! an injected protocol bug (checker validation runs).
+
+use std::fmt;
+
+use qrdtm_core::{InjectedBug, NestingMode};
+
+use crate::runner::Scope;
+
+/// A replayable schedule: the exploration [`Scope`] plus the scheduler
+/// choice taken at each decision point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Scope the choices were recorded under.
+    pub scope: Scope,
+    /// Scheduler choices (trailing zeros may be trimmed; replay pads with
+    /// default picks).
+    pub choices: Vec<usize>,
+}
+
+fn mode_label(m: NestingMode) -> &'static str {
+    match m {
+        NestingMode::Flat => "QR",
+        NestingMode::Closed => "QR-CN",
+        NestingMode::Checkpoint => "QR-CHK",
+    }
+}
+
+fn parse_mode(s: &str) -> Option<NestingMode> {
+    match s {
+        "QR" => Some(NestingMode::Flat),
+        "QR-CN" => Some(NestingMode::Closed),
+        "QR-CHK" => Some(NestingMode::Checkpoint),
+        _ => None,
+    }
+}
+
+fn bug_label(b: InjectedBug) -> &'static str {
+    match b {
+        InjectedBug::SkipVoteCheck => "skip-vote-check",
+        InjectedBug::SkipEpochFence => "skip-epoch-fence",
+    }
+}
+
+fn parse_bug(s: &str) -> Option<InjectedBug> {
+    match s {
+        "skip-vote-check" => Some(InjectedBug::SkipVoteCheck),
+        "skip-epoch-fence" => Some(InjectedBug::SkipEpochFence),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# qrdtm-mc trace v1")?;
+        writeln!(f, "proto {}", mode_label(self.scope.mode))?;
+        writeln!(f, "seed {}", self.scope.seed)?;
+        writeln!(f, "nodes {}", self.scope.nodes)?;
+        writeln!(f, "objects {}", self.scope.objects)?;
+        writeln!(f, "txns {}", self.scope.txns)?;
+        if let Some(b) = self.scope.injected_bug {
+            writeln!(f, "bug {}", bug_label(b))?;
+        }
+        write!(f, "choices")?;
+        for c in &self.choices {
+            write!(f, " {c}")?;
+        }
+        writeln!(f)
+    }
+}
+
+impl Trace {
+    /// Parse the text form. `#` and blank lines are ignored; unknown keys
+    /// and missing required fields are errors (a trace must be lossless,
+    /// silently dropping a field would change the replayed schedule).
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut mode = None;
+        let mut seed = None;
+        let mut nodes = None;
+        let mut objects = None;
+        let mut txns = None;
+        let mut bug = None;
+        let mut choices: Option<Vec<usize>> = None;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let at = |msg: String| format!("line {}: {msg}", n + 1);
+            let mut it = line.split_whitespace();
+            let key = it.next().expect("non-empty line");
+            let mut arg = || {
+                it.next()
+                    .ok_or_else(|| at(format!("`{key}` needs a value")))
+            };
+            match key {
+                "proto" => {
+                    let v = arg()?;
+                    mode = Some(parse_mode(v).ok_or_else(|| at(format!("unknown proto `{v}`")))?);
+                }
+                "seed" => seed = Some(parse_num(arg()?).map_err(&at)?),
+                "nodes" => nodes = Some(parse_num(arg()?).map_err(&at)? as usize),
+                "objects" => objects = Some(parse_num(arg()?).map_err(&at)?),
+                "txns" => txns = Some(parse_num(arg()?).map_err(&at)? as usize),
+                "bug" => {
+                    let v = arg()?;
+                    bug = Some(parse_bug(v).ok_or_else(|| at(format!("unknown bug `{v}`")))?);
+                }
+                "choices" => {
+                    choices = Some(
+                        it.map(|t| {
+                            t.parse::<usize>()
+                                .map_err(|_| at(format!("bad choice `{t}`")))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    );
+                    continue;
+                }
+                other => return Err(at(format!("unknown key `{other}`"))),
+            }
+        }
+        let require = |name: &str| format!("missing required `{name}` line");
+        Ok(Trace {
+            scope: Scope {
+                mode: mode.ok_or_else(|| require("proto"))?,
+                nodes: nodes.ok_or_else(|| require("nodes"))?,
+                objects: objects.ok_or_else(|| require("objects"))?,
+                txns: txns.ok_or_else(|| require("txns"))?,
+                seed: seed.ok_or_else(|| require("seed"))?,
+                injected_bug: bug,
+            },
+            choices: choices.ok_or_else(|| require("choices"))?,
+        })
+    }
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad number `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            scope: Scope {
+                mode: NestingMode::Closed,
+                nodes: 3,
+                objects: 2,
+                txns: 2,
+                seed: 7,
+                injected_bug: Some(InjectedBug::SkipVoteCheck),
+            },
+            choices: vec![0, 2, 1, 0, 3],
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        let t = sample();
+        let text = t.to_string();
+        assert_eq!(Trace::parse(&text).unwrap(), t);
+        // And without the optional bug line / with empty choices.
+        let mut t2 = sample();
+        t2.scope.injected_bug = None;
+        t2.choices = vec![];
+        assert_eq!(Trace::parse(&t2.to_string()).unwrap(), t2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# hello\nproto QR\nseed 1\n\nnodes 3\nobjects 2\ntxns 2\nchoices 1 2\n";
+        let t = Trace::parse(text).unwrap();
+        assert_eq!(t.scope.mode, NestingMode::Flat);
+        assert_eq!(t.choices, vec![1, 2]);
+    }
+
+    #[test]
+    fn unknown_keys_and_missing_fields_are_errors() {
+        assert!(Trace::parse("proto QR\nbogus 1\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(Trace::parse("proto QR-XX\n")
+            .unwrap_err()
+            .contains("unknown proto"));
+        let missing = Trace::parse("proto QR\nseed 1\nnodes 3\nobjects 2\ntxns 2\n");
+        assert!(missing.unwrap_err().contains("choices"));
+        assert!(Trace::parse("proto QR\nseed x\n")
+            .unwrap_err()
+            .contains("bad number"));
+    }
+}

@@ -60,8 +60,8 @@ pub use metrics::{
     Counter, EngineEvent, EngineEventKind, Metrics, ENGINE_EVENT_KINDS, MAX_CLASSES,
 };
 pub use sim::{
-    CallFuture, CallId, CallResult, Envelope, HandlerCtx, HeartbeatConfig, Sim, SimConfig,
-    SimMessage, Sleep,
+    CallFuture, CallId, CallResult, Envelope, EventInfo, EventTag, HandlerCtx, HeartbeatConfig,
+    Scheduler, Sim, SimConfig, SimMessage, Sleep,
 };
 pub use time::{SimDuration, SimTime};
 

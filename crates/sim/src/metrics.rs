@@ -12,7 +12,7 @@
 pub const MAX_CLASSES: usize = 16;
 
 /// Number of [`EngineEventKind`] variants (size of the counter array).
-pub const ENGINE_EVENT_KINDS: usize = 9;
+pub const ENGINE_EVENT_KINDS: usize = 10;
 
 /// Structured events a protocol engine emits at its layer boundaries.
 ///
@@ -30,7 +30,8 @@ pub enum EngineEventKind {
     /// An abort surfaced to the transaction body; `detail` encodes the
     /// abort target (protocol-defined).
     AbortWithTarget = 2,
-    /// A checkpoint was taken; `detail` is the checkpoint index.
+    /// A checkpoint was taken; `detail` packs `(checkpoint index << 32) |
+    /// oplog length at capture`.
     CheckpointTaken = 3,
     /// A fault was injected into (or cleared from) the simulated network by
     /// a nemesis; `detail` encodes the fault vocabulary entry
@@ -50,6 +51,11 @@ pub enum EngineEventKind {
     /// quorum and caught up its lost suffix; `detail` is the number of
     /// objects repaired.
     QuorumRepaired = 8,
+    /// A checkpoint was restored (partial rollback); `detail` packs
+    /// `(checkpoint index << 32) | oplog length after restore`, mirroring
+    /// the [`EngineEventKind::CheckpointTaken`] encoding so checkers can
+    /// match restores against captures.
+    CheckpointRestored = 9,
 }
 
 /// One recorded engine event (see [`Metrics::engine_event_log`]).

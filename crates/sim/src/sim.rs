@@ -180,10 +180,136 @@ enum EventKind<M> {
     },
 }
 
+/// Coarse classification of a scheduled event, exposed to a [`Scheduler`]
+/// so exploration strategies can reason about what they are ordering
+/// without seeing protocol payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventTag {
+    /// A request message reaching its destination's service queue.
+    Arrive,
+    /// Service completed; the destination handler is about to run.
+    Dispatch,
+    /// A reply reaching the calling node.
+    ReplyArrive,
+    /// A local timer (sleep) firing.
+    Timer,
+    /// An RPC deadline expiring.
+    CallTimeout,
+    /// A node emitting its next heartbeat.
+    HeartbeatTick,
+    /// A heartbeat reaching an observer.
+    HeartbeatArrive,
+}
+
+/// Metadata describing one runnable event offered to a [`Scheduler`] at a
+/// choice point. All fields are payload-free so traces built from them are
+/// stable across protocol changes that keep the same event structure.
+#[derive(Debug, Clone, Copy)]
+pub struct EventInfo {
+    /// Virtual due time of the event (identical across one choice group).
+    pub time: SimTime,
+    /// Global scheduling sequence number (creation order; unique).
+    pub seq: u64,
+    /// What kind of event this is.
+    pub tag: EventTag,
+    /// Originating node, when the event has one.
+    pub from: Option<NodeId>,
+    /// Target node, when the event has one.
+    pub to: Option<NodeId>,
+    /// Message class for `Arrive`/`Dispatch` events.
+    pub class: Option<u8>,
+    /// RPC call id for reply/timeout events.
+    pub call: Option<u64>,
+}
+
+impl EventInfo {
+    /// Whether two events commute: swapping their execution order cannot
+    /// change any node-visible state. Conservative: only node-targeted
+    /// events on *different* nodes with no shared RPC call commute; any
+    /// event without a target node (timers, heartbeat ticks) is treated
+    /// as dependent with everything.
+    pub fn commutes_with(&self, other: &EventInfo) -> bool {
+        match (self.to, other.to) {
+            (Some(a), Some(b)) => {
+                a != b
+                    && (self.call.is_none() || self.call != other.call)
+                    && self.from != Some(b)
+                    && other.from != Some(a)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Pluggable tie-break hook: when several events are due at the same
+/// virtual instant, the installed scheduler picks which one runs next.
+///
+/// The simulator calls [`Scheduler::pick`] with the runnable group in
+/// creation (`seq`) order and dispatches the chosen event; the rest stay
+/// queued and are offered again (possibly joined by newly scheduled
+/// same-instant events). Without a scheduler the simulator always picks
+/// index 0, which is byte-identical to the historical behaviour.
+///
+/// A scheduler must not call back into the [`Sim`] that invoked it — the
+/// simulator's internal state is borrowed for the duration of the call.
+pub trait Scheduler {
+    /// Choose the index (into `ready`) of the next event to dispatch.
+    /// `ready` always has at least 2 entries, all due at `now`. Returned
+    /// indices are clamped into range by the simulator.
+    fn pick(&mut self, now: SimTime, ready: &[EventInfo]) -> usize;
+}
+
 struct Scheduled<M> {
     time: SimTime,
     seq: u64,
     kind: EventKind<M>,
+}
+
+impl<M: SimMessage> Scheduled<M> {
+    fn info(&self) -> EventInfo {
+        let (tag, from, to, class, call) = match &self.kind {
+            EventKind::Arrive(env) => (
+                EventTag::Arrive,
+                Some(env.from),
+                Some(env.to),
+                Some(env.msg.class()),
+                env.call.map(|c| c.0),
+            ),
+            EventKind::Dispatch(env) => (
+                EventTag::Dispatch,
+                Some(env.from),
+                Some(env.to),
+                Some(env.msg.class()),
+                env.call.map(|c| c.0),
+            ),
+            EventKind::ReplyArrive { call, from, to, .. } => (
+                EventTag::ReplyArrive,
+                Some(*from),
+                Some(*to),
+                None,
+                Some(call.0),
+            ),
+            EventKind::Timer(_) => (EventTag::Timer, None, None, None, None),
+            EventKind::CallTimeout(c) => (EventTag::CallTimeout, None, None, None, Some(c.0)),
+            EventKind::HeartbeatTick(n) => (EventTag::HeartbeatTick, Some(*n), None, None, None),
+            EventKind::HeartbeatArrive { from, to } => (
+                EventTag::HeartbeatArrive,
+                Some(*from),
+                Some(*to),
+                None,
+                None,
+            ),
+        };
+        EventInfo {
+            time: self.time,
+            seq: self.seq,
+            tag,
+            from,
+            to,
+            class,
+            call,
+        }
+    }
 }
 
 impl<M> PartialEq for Scheduled<M> {
@@ -314,6 +440,10 @@ struct SimCore<M: SimMessage> {
     tasks: RefCell<TaskStore>,
     ready: ReadyQueue,
     handlers: RefCell<Vec<Option<Handler<M>>>>,
+    /// Installed schedule-exploration hook (see [`Scheduler`]). Kept
+    /// outside `inner` so the pick callback never observes a borrowed
+    /// simulator core.
+    scheduler: RefCell<Option<Box<dyn Scheduler>>>,
 }
 
 /// Handle to a simulation. Cheaply cloneable; all clones refer to the same
@@ -356,6 +486,7 @@ impl<M: SimMessage> Sim<M> {
                 tasks: RefCell::new(TaskStore::default()),
                 ready: ReadyQueue::default(),
                 handlers: RefCell::new(Vec::new()),
+                scheduler: RefCell::new(None),
             }),
         }
     }
@@ -735,6 +866,19 @@ impl<M: SimMessage> Sim<M> {
         CallFuture { state }
     }
 
+    /// Install a schedule-exploration hook consulted whenever several
+    /// events are due at the same virtual instant. Replaces any previous
+    /// scheduler. See [`Scheduler`] for the contract.
+    pub fn set_scheduler(&self, s: Box<dyn Scheduler>) {
+        *self.core.scheduler.borrow_mut() = Some(s);
+    }
+
+    /// Remove the installed [`Scheduler`], restoring the default
+    /// creation-order tie-break.
+    pub fn clear_scheduler(&self) {
+        *self.core.scheduler.borrow_mut() = None;
+    }
+
     /// Run until the event queue empties, `halt()` is called, or virtual
     /// time would exceed `until`. The clock finishes at `min(until, last
     /// event time)`.
@@ -759,12 +903,44 @@ impl<M: SimMessage> Sim<M> {
                 let Reverse(s) = inner.queue.pop().expect("peeked");
                 debug_assert!(s.time >= inner.now, "event queue went backwards");
                 inner.now = s.time;
+                let s = self.apply_scheduler(&mut inner, s);
                 inner.metrics.events += 1;
                 s
             };
             self.dispatch(ev);
             self.drain_ready();
         }
+    }
+
+    /// Offer the popped minimum event plus every other event due at the
+    /// same instant to the installed [`Scheduler`], if any, and return the
+    /// chosen one (the rest go back on the queue with their original
+    /// sequence numbers, preserving relative order). Without a scheduler
+    /// this returns `head` untouched, keeping the historical single-pop
+    /// path byte-identical.
+    fn apply_scheduler(&self, inner: &mut SimInner<M>, head: Scheduled<M>) -> Scheduled<M> {
+        let mut sched = self.core.scheduler.borrow_mut();
+        let Some(sched) = sched.as_mut() else {
+            return head;
+        };
+        let now = head.time;
+        // Heap pops come out in (time, seq) order, so the group is already
+        // sorted by creation order — a deterministic candidate ordering.
+        let mut group = vec![head];
+        while matches!(inner.queue.peek(), Some(Reverse(s)) if s.time == now) {
+            let Reverse(s) = inner.queue.pop().expect("peeked");
+            group.push(s);
+        }
+        if group.len() == 1 {
+            return group.pop().expect("nonempty");
+        }
+        let infos: Vec<EventInfo> = group.iter().map(Scheduled::info).collect();
+        let pick = sched.pick(now, &infos).min(group.len() - 1);
+        let chosen = group.swap_remove(pick);
+        for s in group {
+            inner.queue.push(Reverse(s));
+        }
+        chosen
     }
 
     /// Run until the event queue is empty (or `halt()`).
@@ -1762,5 +1938,138 @@ mod tests {
         s.send(n[0], n[1], Msg::Ping(2));
         s.run();
         assert_eq!(hits.get(), 2);
+    }
+
+    /// Scheduler that always picks a fixed index (clamped by the sim) and
+    /// records the arrival order of every choice group it saw.
+    struct FixedPick {
+        idx: usize,
+        seen: Rc<RefCell<Vec<Vec<u64>>>>,
+    }
+
+    impl Scheduler for FixedPick {
+        fn pick(&mut self, _now: SimTime, ready: &[EventInfo]) -> usize {
+            self.seen
+                .borrow_mut()
+                .push(ready.iter().map(|e| e.seq).collect());
+            self.idx
+        }
+    }
+
+    /// Scheduler that consistently prefers events targeting the
+    /// highest-numbered node, reversing the default node order at every
+    /// level of the exchange.
+    struct PreferHighNode {
+        seen: Rc<RefCell<Vec<Vec<u64>>>>,
+    }
+
+    impl Scheduler for PreferHighNode {
+        fn pick(&mut self, _now: SimTime, ready: &[EventInfo]) -> usize {
+            self.seen
+                .borrow_mut()
+                .push(ready.iter().map(|e| e.seq).collect());
+            ready
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, e)| (e.to.map_or(0, |n| n.0), std::cmp::Reverse(*i)))
+                .map_or(0, |(i, _)| i)
+        }
+    }
+
+    /// Per-node `(node, payload)` delivery order shared with handlers.
+    type DeliveryLog = Rc<RefCell<Vec<(u32, u64)>>>;
+
+    /// Two sends to distinct nodes at the same instant with constant
+    /// latency: both `Arrive` events are due together, so an installed
+    /// scheduler must be offered the tie.
+    fn tie_sim() -> (Sim<Msg>, DeliveryLog) {
+        let s = sim(5);
+        let n = s.add_nodes(3);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for &id in &n[1..] {
+            let o = Rc::clone(&order);
+            s.set_handler(id, move |ctx, env| {
+                if let Msg::Ping(x) = env.msg {
+                    o.borrow_mut().push((ctx.node().0, x));
+                }
+            });
+        }
+        s.send(n[0], n[1], Msg::Ping(1));
+        s.send(n[0], n[2], Msg::Ping(2));
+        (s, order)
+    }
+
+    #[test]
+    fn scheduler_sees_same_instant_ties_and_reorders_them() {
+        // Default: creation order (node 1 first).
+        let (s, order) = tie_sim();
+        s.run();
+        assert_eq!(*order.borrow(), vec![(1, 1), (2, 2)]);
+
+        // Consistently preferring the higher node flips the handler order.
+        let (s, order) = tie_sim();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        s.set_scheduler(Box::new(PreferHighNode {
+            seen: Rc::clone(&seen),
+        }));
+        s.run();
+        assert_eq!(*order.borrow(), vec![(2, 2), (1, 1)]);
+        assert!(
+            seen.borrow().iter().any(|g| g.len() >= 2),
+            "scheduler was never offered a tie"
+        );
+
+        // Picking index 0 everywhere reproduces the default order, and
+        // clearing the scheduler mid-stream is allowed.
+        let (s, order) = tie_sim();
+        s.set_scheduler(Box::new(FixedPick {
+            idx: 0,
+            seen: Rc::new(RefCell::new(Vec::new())),
+        }));
+        s.run();
+        s.clear_scheduler();
+        assert_eq!(*order.borrow(), vec![(1, 1), (2, 2)]);
+
+        // Out-of-range picks are clamped, not a panic; both handlers
+        // still run exactly once.
+        let (s, order) = tie_sim();
+        s.set_scheduler(Box::new(FixedPick {
+            idx: usize::MAX,
+            seen: Rc::new(RefCell::new(Vec::new())),
+        }));
+        s.run();
+        assert_eq!(order.borrow().len(), 2);
+    }
+
+    #[test]
+    fn event_info_commutativity_is_conservative() {
+        let info = |to: Option<u32>, from: Option<u32>, call: Option<u64>| EventInfo {
+            time: SimTime::ZERO,
+            seq: 0,
+            tag: EventTag::Arrive,
+            from: from.map(NodeId),
+            to: to.map(NodeId),
+            class: None,
+            call,
+        };
+        // Different target nodes, no shared call: commute.
+        assert!(info(Some(1), Some(0), None).commutes_with(&info(Some(2), Some(0), None)));
+        // Same target node: dependent.
+        assert!(!info(Some(1), Some(0), None).commutes_with(&info(Some(1), Some(2), None)));
+        // Same RPC call: dependent even across nodes.
+        assert!(!info(Some(1), Some(0), Some(7)).commutes_with(&info(Some(2), Some(0), Some(7))));
+        // One event targets the other's source: dependent.
+        assert!(!info(Some(1), Some(2), None).commutes_with(&info(Some(2), Some(0), None)));
+        // Timer (no target): dependent with everything.
+        let timer = EventInfo {
+            time: SimTime::ZERO,
+            seq: 0,
+            tag: EventTag::Timer,
+            from: None,
+            to: None,
+            class: None,
+            call: None,
+        };
+        assert!(!timer.commutes_with(&info(Some(1), Some(0), None)));
     }
 }

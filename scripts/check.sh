@@ -26,4 +26,7 @@ cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --detector
 echo "==> chaos amnesia smoke (durable replicas, WAL replay + quorum repair)"
 cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --amnesia
 
+echo "==> mc smoke (bounded schedule exploration + checker validation)"
+cargo run --quiet --release -p qrdtm-bench -- mc --smoke
+
 echo "ok: all tier-1 checks passed"
