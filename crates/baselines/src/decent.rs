@@ -25,7 +25,9 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use qrdtm_core::{Abort, DtmProtocol, LatencySpec, ObjVal, ObjectId, ProtocolStats, Version};
+use qrdtm_core::{
+    Abort, DtmProtocol, LatencySpec, ObjVal, ObjectId, ProtocolStats, SimHosted, Version,
+};
 use qrdtm_sim::{NodeId, Sim, SimConfig, SimDuration, SimMessage};
 
 /// Bounded per-object version history kept by each replica.
@@ -449,15 +451,10 @@ pub struct DecentTxHandle {
 /// Decent-STM as a [`DtmProtocol`]: snapshot reads, per-object consensus
 /// commit across all replicas.
 impl DtmProtocol for DecentCluster {
-    type Msg = DecentMsg;
     type TxHandle = DecentTxHandle;
 
     fn protocol_name(&self) -> &'static str {
         "Decent-STM"
-    }
-
-    fn sim(&self) -> &Sim<DecentMsg> {
-        &self.sim
     }
 
     fn preload(&self, oid: ObjectId, val: ObjVal) {
@@ -522,6 +519,14 @@ impl DtmProtocol for DecentCluster {
 
     fn reset_protocol_stats(&self) {
         self.reset_stats();
+    }
+}
+
+impl SimHosted for DecentCluster {
+    type Msg = DecentMsg;
+
+    fn sim(&self) -> &Sim<DecentMsg> {
+        DecentCluster::sim(self)
     }
 }
 

@@ -17,7 +17,9 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use qrdtm_core::{Abort, DtmProtocol, LatencySpec, ObjVal, ObjectId, ProtocolStats, Version};
+use qrdtm_core::{
+    Abort, DtmProtocol, LatencySpec, ObjVal, ObjectId, ProtocolStats, SimHosted, Version,
+};
 use qrdtm_sim::{NodeId, Sim, SimConfig, SimDuration, SimMessage};
 
 /// TFA wire protocol.
@@ -450,15 +452,10 @@ pub struct TfaTxHandle {
 /// TFA as a [`DtmProtocol`]: flat transactions over unicast home-node
 /// copies. Reported under the suite name "HyFlow", as in Fig. 9.
 impl DtmProtocol for TfaCluster {
-    type Msg = TfaMsg;
     type TxHandle = TfaTxHandle;
 
     fn protocol_name(&self) -> &'static str {
         "HyFlow"
-    }
-
-    fn sim(&self) -> &Sim<TfaMsg> {
-        &self.sim
     }
 
     fn preload(&self, oid: ObjectId, val: ObjVal) {
@@ -515,6 +512,14 @@ impl DtmProtocol for TfaCluster {
 
     fn reset_protocol_stats(&self) {
         self.reset_stats();
+    }
+}
+
+impl SimHosted for TfaCluster {
+    type Msg = TfaMsg;
+
+    fn sim(&self) -> &Sim<TfaMsg> {
+        TfaCluster::sim(self)
     }
 }
 

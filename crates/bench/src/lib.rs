@@ -11,6 +11,7 @@
 pub mod chaos_cli;
 pub mod harness;
 pub mod mc_cli;
+pub mod perf_cli;
 pub mod table;
 
 /// Shrunken configurations for the Criterion benches: same protocols and

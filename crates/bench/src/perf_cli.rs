@@ -1,0 +1,428 @@
+//! `repro perf` — the wall-clock performance baseline.
+//!
+//! Every other `repro` subcommand reports *virtual*-time results from the
+//! deterministic simulator; this one also runs the real multi-threaded
+//! TL2 backend (`qrdtm-par`) and measures wall-clock throughput, sampled
+//! latency percentiles and peak RSS, then writes the whole baseline as a
+//! `BENCH_*.json` artifact:
+//!
+//! ```text
+//! repro perf [--quick] [--out FILE]     (default FILE: BENCH_baseline.json)
+//! ```
+//!
+//! Three legs, one bank workload:
+//!
+//! * **sim** — the QR-CN cluster on the simulator: virtual txn/s (the
+//!   paper's metric), plus how fast the simulator itself executes (wall
+//!   events/s) and the virtual commit-latency percentiles from the
+//!   sampled reservoir.
+//! * **par ×1 / par ×N** — the TL2 backend at 1 thread and at
+//!   `PAR_THREADS` threads: wall txn/s, abort rate, wall latency
+//!   percentiles, and a full serializability audit of the recorded
+//!   history (the run fails if any violation is found).
+//!
+//! The emitted JSON is validated by the built-in parser before the
+//! process exits (exit 1 on malformed output), so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use qrdtm_core::{Cluster, DtmConfig, LatencySpec, NestingMode};
+use qrdtm_par::{run_par_bank, ParBankResult, ParBankSpec};
+use qrdtm_sim::SimDuration;
+use qrdtm_workloads::{run_bank, BankSpec};
+
+/// Threads for the scaled par leg.
+const PAR_THREADS: usize = 8;
+
+fn usage() -> i32 {
+    eprintln!("usage: repro perf [--quick] [--out FILE]");
+    2
+}
+
+/// Entry point for `repro perf`. Returns the process exit code.
+pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_baseline.json");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(f) => out = PathBuf::from(f),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let sim = sim_leg(quick);
+    let par1 = par_leg(quick, 1);
+    let parn = par_leg(quick, PAR_THREADS);
+    if par1.violations + parn.violations > 0 {
+        eprintln!(
+            "FAIL: serializability violations in par history (x1: {}, x{PAR_THREADS}: {})",
+            par1.violations, parn.violations
+        );
+        return 1;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let speedup = parn.throughput / par1.throughput.max(1e-9);
+    let json = render_json(quick, cores, &sim, &[&par1, &parn], speedup);
+    if let Err(e) = validate_json(&json) {
+        eprintln!("FAIL: generated benchmark JSON is malformed: {e}");
+        return 1;
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("FAIL: cannot write {}: {e}", out.display());
+        return 1;
+    }
+
+    print_summary(cores, &sim, &[&par1, &parn], speedup, &out);
+    0
+}
+
+/// Measured outcome of the simulator leg.
+struct SimLeg {
+    protocol: &'static str,
+    virtual_tps: f64,
+    commits: u64,
+    aborts: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    p50_ns: Option<u64>,
+    p99_ns: Option<u64>,
+    p999_ns: Option<u64>,
+}
+
+fn sim_leg(quick: bool) -> SimLeg {
+    let cfg = DtmConfig {
+        nodes: 10,
+        mode: NestingMode::Closed,
+        seed: 42,
+        latency: LatencySpec::Jittered(SimDuration::from_millis(15), 0.1),
+        ..Default::default()
+    };
+    let spec = BankSpec {
+        accounts: 32,
+        read_pct: 50,
+        warmup: SimDuration::from_millis(500),
+        duration: if quick {
+            SimDuration::from_secs(2)
+        } else {
+            SimDuration::from_secs(20)
+        },
+        clients_per_node: 1,
+    };
+    let nodes = cfg.nodes;
+    let proto = Rc::new(Cluster::new(cfg));
+    let t0 = std::time::Instant::now();
+    let r = run_bank(Rc::clone(&proto), nodes, &spec);
+    let wall = t0.elapsed().as_secs_f64();
+    let m = proto.sim().metrics();
+    SimLeg {
+        protocol: "QR-CN",
+        virtual_tps: r.throughput,
+        commits: r.commits,
+        aborts: r.aborts,
+        wall_secs: wall,
+        events_per_sec: m.events as f64 / wall.max(1e-9),
+        p50_ns: m.latency.percentile(50.0),
+        p99_ns: m.latency.percentile(99.0),
+        p999_ns: m.latency.percentile(99.9),
+    }
+}
+
+fn par_leg(quick: bool, threads: usize) -> ParBankResult {
+    let spec = ParBankSpec {
+        accounts: 32,
+        read_pct: 50,
+        ops_per_thread: if quick { 2_000 } else { 25_000 },
+    };
+    run_par_bank(42, threads, &spec)
+}
+
+/// Peak resident set size of this process in kB, from `/proc/self/status`
+/// (`VmHWM`); 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+fn latency_obj(p50: Option<u64>, p99: Option<u64>, p999: Option<u64>) -> String {
+    format!(
+        "{{\"p50\": {}, \"p99\": {}, \"p999\": {}}}",
+        opt_u64(p50),
+        opt_u64(p99),
+        opt_u64(p999)
+    )
+}
+
+fn render_json(
+    quick: bool,
+    cores: usize,
+    sim: &SimLeg,
+    par: &[&ParBankResult],
+    speedup: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"bank\",\n");
+    s.push_str("  \"generated_by\": \"repro perf\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"host\": {{\"cores\": {cores}, \"peak_rss_kb\": {}}},\n",
+        peak_rss_kb()
+    ));
+    s.push_str(&format!(
+        "  \"sim\": {{\"protocol\": \"{}\", \"virtual_txns_per_sec\": {:.2}, \"commits\": {}, \"aborts\": {}, \"wall_secs\": {:.3}, \"events_per_sec_wall\": {:.0}, \"latency_virtual_ns\": {}}},\n",
+        sim.protocol,
+        sim.virtual_tps,
+        sim.commits,
+        sim.aborts,
+        sim.wall_secs,
+        sim.events_per_sec,
+        latency_obj(sim.p50_ns, sim.p99_ns, sim.p999_ns)
+    ));
+    s.push_str("  \"par\": [\n");
+    for (i, r) in par.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"protocol\": \"PAR-TL2\", \"threads\": {}, \"txns_per_sec\": {:.0}, \"commits\": {}, \"aborts\": {}, \"wall_secs\": {:.3}, \"violations\": {}, \"latency_wall_ns\": {}}}{}\n",
+            r.threads,
+            r.throughput,
+            r.commits,
+            r.aborts,
+            r.wall_secs,
+            r.violations,
+            latency_obj(r.p50_ns, r.p99_ns, r.p999_ns),
+            if i + 1 < par.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"par_speedup_{PAR_THREADS}_vs_1\": {speedup:.2}\n"
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn print_summary(cores: usize, sim: &SimLeg, par: &[&ParBankResult], speedup: f64, out: &Path) {
+    println!("## perf — bank workload, wall-clock baseline ({cores} host cores)\n");
+    println!(
+        "sim    {:>8}: {:9.1} txn/s (virtual), {} commits, {:.0} sim events/s wall",
+        sim.protocol, sim.virtual_tps, sim.commits, sim.events_per_sec
+    );
+    for r in par {
+        println!(
+            "par    TL2 x{:<3}: {:9.0} txn/s (wall),   {} commits, {} aborts, p50 {} µs, p99 {} µs",
+            r.threads,
+            r.throughput,
+            r.commits,
+            r.aborts,
+            r.p50_ns.map_or(0, |n| n / 1_000),
+            r.p99_ns.map_or(0, |n| n / 1_000),
+        );
+    }
+    println!("\npar speedup x{PAR_THREADS} vs x1: {speedup:.2} (host has {cores} cores)");
+    println!("serializability audit: clean on both par runs");
+    println!("wrote {}", out.display());
+}
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON validator (no external deps): parses the full value
+// grammar and rejects trailing garbage. Used as the emit gate and by tests.
+
+/// Validate that `s` is one well-formed JSON value. Returns a short error
+/// description on malformed input.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing garbage at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, "true"),
+        Some(b'f') => literal(b, i, "false"),
+        Some(b'n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *i)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}", i = *i));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {i}", i = *i)),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {i}", i = *i)),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}", i = *i));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => *i += 2,
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}", i = *i))
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let mut digits = 0;
+    while *i < b.len()
+        && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        digits += 1;
+        *i += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*i]).map_err(|_| "non-utf8 number".to_string())?;
+    if digits == 0 || text.parse::<f64>().map_or(true, |v| !v.is_finite()) {
+        return Err(format!("bad number {text:?} at byte {start}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_wellformed_and_rejects_malformed() {
+        assert!(validate_json("{\"a\": [1, 2.5, -3e2], \"b\": null}").is_ok());
+        assert!(validate_json("{\"a\": 1,}").is_err());
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("{} garbage").is_err());
+        assert!(validate_json("{\"a\": NaN}").is_err());
+        assert!(validate_json("{\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rendered_baseline_validates() {
+        let sim = SimLeg {
+            protocol: "QR-CN",
+            virtual_tps: 12.5,
+            commits: 250,
+            aborts: 3,
+            wall_secs: 0.8,
+            events_per_sec: 100_000.0,
+            p50_ns: Some(40_000_000),
+            p99_ns: Some(90_000_000),
+            p999_ns: None,
+        };
+        let par = ParBankResult {
+            threads: 8,
+            ops: 16_000,
+            commits: 16_000,
+            aborts: 12,
+            wall_secs: 0.5,
+            throughput: 32_000.0,
+            p50_ns: Some(20_000),
+            p99_ns: Some(600_000),
+            p999_ns: Some(900_000),
+            violations: 0,
+            total_balance: 32_000,
+        };
+        let json = render_json(true, 1, &sim, &[&par, &par], 1.0);
+        validate_json(&json).expect("baseline JSON must validate");
+        for key in [
+            "\"host\"",
+            "\"sim\"",
+            "\"par\"",
+            "\"txns_per_sec\"",
+            "\"peak_rss_kb\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

@@ -6,7 +6,7 @@
 use std::rc::Rc;
 
 use qrdtm_baselines::{DecentCluster, TfaCluster};
-use qrdtm_core::{spawn_detector, Cluster, DetectorHandle, DtmProtocol, ObjectId};
+use qrdtm_core::{spawn_detector, Cluster, DetectorHandle, ObjectId, SimHosted};
 use qrdtm_sim::NodeId;
 
 use crate::plan::FaultKind;
@@ -73,9 +73,10 @@ impl FaultSupport {
     }
 }
 
-/// A protocol the nemesis can drive: [`DtmProtocol`] plus fault hooks and
+/// A protocol the nemesis can drive: a simulator-hosted [`DtmProtocol`]
+/// plus fault hooks and
 /// committed-state access for the post-hoc checkers.
-pub trait ChaosTarget: DtmProtocol {
+pub trait ChaosTarget: SimHosted {
     /// Which fault classes this protocol may be subjected to.
     fn fault_support(&self) -> FaultSupport;
 

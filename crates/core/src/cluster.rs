@@ -20,6 +20,7 @@ use crate::msg::Msg;
 use crate::object::{ObjVal, ObjectId};
 use crate::stats::DtmStats;
 use crate::store::{NodeStore, ReadOutcome};
+use crate::substrate::SimSubstrate;
 use crate::txid::{NestingMode, TxId};
 
 /// What a transaction does when the object it requests is commit-locked.
@@ -287,6 +288,7 @@ impl ClusterInner {
 /// every object, plus the shared quorum view and statistics.
 pub struct Cluster {
     sim: Sim<Msg>,
+    sub: SimSubstrate<Msg>,
     pub(crate) inner: Rc<ClusterInner>,
 }
 
@@ -385,8 +387,10 @@ impl Cluster {
             });
         }
         let amnesiac = RefCell::new(vec![false; cfg.nodes]);
+        let sub = SimSubstrate::new(sim.clone());
         Cluster {
             sim,
+            sub,
             inner: Rc::new(ClusterInner {
                 cfg,
                 quorum: RefCell::new(view),
@@ -404,6 +408,13 @@ impl Cluster {
     /// The underlying simulator (to spawn drivers, run, read metrics).
     pub fn sim(&self) -> &Sim<Msg> {
         &self.sim
+    }
+
+    /// The substrate hosting this cluster's engine (the sim world's
+    /// [`SimSubstrate`]; the engine itself is generic over
+    /// [`crate::substrate::Substrate`]).
+    pub fn substrate(&self) -> &SimSubstrate<Msg> {
+        &self.sub
     }
 
     /// Cluster configuration.
@@ -860,7 +871,7 @@ impl Cluster {
 
     /// Open a client bound to `node`; transactions it runs originate there.
     pub fn client(&self, node: NodeId) -> crate::engine::Client {
-        crate::engine::Client::new(self.sim.clone(), Rc::clone(&self.inner), node)
+        crate::engine::Client::new(self.sub.clone(), Rc::clone(&self.inner), node)
     }
 
     /// Start recording the committed history for [`Cluster::verify_history`].

@@ -10,7 +10,9 @@ use std::cell::RefCell;
 
 use crate::cluster::{InjectedBug, PendingPhase2};
 use crate::history::CommitRecord;
+use crate::msg::Msg;
 use crate::object::{ObjVal, ObjectId, Version};
+use crate::substrate::Substrate;
 use crate::txid::Abort;
 
 use super::nesting::{NestingPolicy, TxState};
@@ -18,8 +20,8 @@ use super::transport::Endpoint;
 
 /// Two-phase commit of the root transaction, or the local read-only commit
 /// Rqv enables under QR-CN.
-pub(super) async fn commit_root(
-    ep: &Endpoint,
+pub(super) async fn commit_root<S: Substrate<Msg>>(
+    ep: &Endpoint<S>,
     st: &RefCell<TxState>,
     pol: &dyn NestingPolicy,
 ) -> Result<(), Abort> {
@@ -87,7 +89,7 @@ pub(super) async fn commit_root(
         // before our read observed it, and every writer that would
         // invalidate a read must serialize after the replica validations,
         // which happen after the send.
-        let at = ep.sim.now();
+        let at = ep.sub.now();
         let vote = ep.vote_round(&wq, root, reads.clone(), vec![]).await;
         if ep.inner.cfg.injected_bug != Some(InjectedBug::SkipVoteCheck) {
             vote?;
@@ -133,7 +135,7 @@ pub(super) async fn commit_root(
             }
             if ep.inner.history.borrow().is_enabled() {
                 // Serialization point: all write-quorum locks held.
-                let at = ep.sim.now();
+                let at = ep.sub.now();
                 ep.inner.history.borrow_mut().push(CommitRecord {
                     tx: root,
                     at,
@@ -163,8 +165,8 @@ pub(super) async fn commit_root(
 
 /// Release-side phase two: registered with the cluster while in flight so
 /// a view change can finish it on every alive replica immediately.
-async fn release_registered(
-    ep: &Endpoint,
+async fn release_registered<S: Substrate<Msg>>(
+    ep: &Endpoint<S>,
     voted: &[qrdtm_sim::NodeId],
     root: crate::txid::TxId,
     oids: Vec<ObjectId>,

@@ -47,6 +47,7 @@ use qrdtm_sim::{Counter, EngineEventKind, HeartbeatConfig, NodeId, Sim, SimDurat
 
 use crate::cluster::Cluster;
 use crate::msg::Msg;
+use crate::substrate::{SimSubstrate, Substrate};
 
 /// Knobs of the failure detector and the transport robustness that rides
 /// along with it (see [`DtmConfig::detector`](crate::DtmConfig::detector)).
@@ -130,15 +131,15 @@ pub fn spawn_detector(cluster: &Rc<Cluster>) -> DetectorHandle {
         sim: sim.clone(),
     };
     let cluster = Rc::clone(cluster);
-    let task_sim = sim.clone();
+    let sub = cluster.substrate().clone();
     sim.spawn(async move {
         let mut st = DetectorState::new(cluster.config().nodes);
         loop {
-            task_sim.sleep(cfg.interval).await;
+            sub.sleep(cfg.interval).await;
             if stop.get() {
                 return;
             }
-            tick(&cluster, &task_sim, &cfg, &mut st);
+            tick(&cluster, &sub, &cfg, &mut st);
         }
     });
     handle
@@ -168,13 +169,15 @@ impl DetectorState {
     }
 }
 
-/// One detector evaluation over the current observation matrix.
-fn tick(cluster: &Cluster, sim: &Sim<Msg>, cfg: &DetectorConfig, st: &mut DetectorState) {
+/// One detector evaluation over the current observation matrix. Clock,
+/// liveness and metrics go through the [`Substrate`] surface; only the
+/// heartbeat observation matrix is a sim-world extra.
+fn tick(cluster: &Cluster, sub: &SimSubstrate<Msg>, cfg: &DetectorConfig, st: &mut DetectorState) {
     let nodes = cluster.config().nodes;
-    let now = sim.now();
+    let now = sub.now();
     let window = cfg.suspect_window();
     let fresh = |observer: NodeId, sender: NodeId| {
-        now.saturating_since(sim.last_heartbeat(observer, sender)) <= window
+        now.saturating_since(sub.sim().last_heartbeat(observer, sender)) <= window
     };
     let trusted: Vec<NodeId> = (0..nodes as u32)
         .map(NodeId)
@@ -199,11 +202,11 @@ fn tick(cluster: &Cluster, sim: &Sim<Msg>, cfg: &DetectorConfig, st: &mut Detect
             continue;
         }
         st.suspected_at[n.index()] = now;
-        sim.bump(Counter::Suspicions);
-        if sim.is_alive(n) {
-            sim.bump(Counter::FalseSuspicions);
+        sub.bump(Counter::Suspicions);
+        if sub.is_alive(n) {
+            sub.bump(Counter::FalseSuspicions);
         }
-        sim.emit_engine_event(EngineEventKind::NodeSuspected, n, cluster.view_epoch());
+        sub.emit_engine_event(EngineEventKind::NodeSuspected, n, cluster.view_epoch());
     }
 
     // Rejoin: a view-dead node is back once some view-alive observer has
@@ -218,7 +221,7 @@ fn tick(cluster: &Cluster, sim: &Sim<Msg>, cfg: &DetectorConfig, st: &mut Detect
         let heard = (0..nodes as u32)
             .map(NodeId)
             .filter(|&o| o != v && cluster.view_alive(o))
-            .map(|o| sim.last_heartbeat(o, v))
+            .map(|o| sub.sim().last_heartbeat(o, v))
             .max()
             .unwrap_or(SimTime::ZERO);
         // Strictly newer than the window also implies newer than the
@@ -227,8 +230,8 @@ fn tick(cluster: &Cluster, sim: &Sim<Msg>, cfg: &DetectorConfig, st: &mut Detect
         if heard > st.suspected_at[v.index()] && now.saturating_since(heard) <= window {
             if let Ok(transfer) = cluster.rejoin_node(v) {
                 st.grace_until[v.index()] = now + transfer + window;
-                sim.bump(Counter::Rejoins);
-                sim.emit_engine_event(EngineEventKind::NodeRejoined, v, cluster.view_epoch());
+                sub.bump(Counter::Rejoins);
+                sub.emit_engine_event(EngineEventKind::NodeRejoined, v, cluster.view_epoch());
             }
         }
     }

@@ -55,15 +55,19 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 
-use qrdtm_sim::{EngineEventKind, NodeId, Sim, SimDuration};
+use qrdtm_sim::{EngineEventKind, NodeId, SimDuration};
 
 use crate::cluster::{ClusterInner, LockPolicy};
 use crate::msg::{Msg, ValidationKind};
 use crate::object::{ObjVal, ObjectId};
+use crate::substrate::{SimSubstrate, Substrate};
 use crate::txid::{Abort, AbortTarget, TxId};
 
 use nesting::{Cached, Frame, NestingPolicy, TxState};
 use transport::Endpoint;
+
+/// A compensating action: a transaction body undoing an open CT's effects.
+type Compensation<S> = Rc<dyn Fn(Tx<S>) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>>>;
 
 /// Encode an abort target into an [`EngineEventKind::AbortWithTarget`]
 /// event's `detail` field: levels map to their value, checkpoint targets
@@ -81,14 +85,17 @@ fn abort_detail(target: AbortTarget, bound: u32) -> u64 {
 }
 
 /// A client bound to a node; runs root transactions originating there.
-pub struct Client {
-    ep: Endpoint,
+///
+/// Generic over the [`Substrate`] hosting the engine; defaults to the
+/// deterministic simulator, so existing sim-world code never names `S`.
+pub struct Client<S: Substrate<Msg> = SimSubstrate<Msg>> {
+    ep: Endpoint<S>,
 }
 
-impl Client {
-    pub(crate) fn new(sim: Sim<Msg>, inner: Rc<ClusterInner>, node: NodeId) -> Self {
+impl<S: Substrate<Msg>> Client<S> {
+    pub(crate) fn new(sub: S, inner: S::Shared<ClusterInner>, node: NodeId) -> Self {
         Client {
-            ep: Endpoint::new(sim, inner, node),
+            ep: Endpoint::new(sub, inner, node),
         }
     }
 
@@ -106,10 +113,10 @@ impl Client {
     /// non-determinism outside `Tx` would diverge from the logged prefix.
     pub async fn run<T, F, Fut>(&self, body: F) -> T
     where
-        F: Fn(Tx) -> Fut,
+        F: Fn(Tx<S>) -> Fut,
         Fut: Future<Output = Result<T, Abort>>,
     {
-        let started = self.ep.sim.now();
+        let started = self.ep.sub.now();
         let tx = self.begin_tx();
         loop {
             match body(tx.clone()).await {
@@ -128,11 +135,12 @@ impl Client {
     /// A fresh root transaction handle at nesting level 0 — the attempt-
     /// level API [`crate::protocol::DtmProtocol`] builds on (where the
     /// caller, not [`Client::run`], drives the retry loop).
-    pub(crate) fn begin_tx(&self) -> Tx {
+    pub(crate) fn begin_tx(&self) -> Tx<S> {
         Tx {
-            st: Rc::new(RefCell::new(TxState::new(
+            st: S::share(RefCell::new(TxState::new(
                 self.ep.inner.fresh_txid(self.ep.node),
             ))),
+            comps: S::share(RefCell::new(Vec::new())),
             ep: self.ep.clone(),
             level: 0,
         }
@@ -143,23 +151,28 @@ impl Client {
 ///
 /// Cloning is cheap (reference-counted); each [`Tx::closed`] scope receives
 /// a handle one nesting level deeper.
-pub struct Tx {
-    st: Rc<RefCell<TxState>>,
-    ep: Endpoint,
+pub struct Tx<S: Substrate<Msg> = SimSubstrate<Msg>> {
+    st: S::Shared<RefCell<TxState>>,
+    /// Compensations recorded by committed open CTs of the current attempt
+    /// (run newest-first if the attempt aborts). Kept on the handle, not in
+    /// [`TxState`], so the state layer stays substrate-free.
+    comps: S::Shared<RefCell<Vec<Compensation<S>>>>,
+    ep: Endpoint<S>,
     level: u32,
 }
 
-impl Clone for Tx {
+impl<S: Substrate<Msg>> Clone for Tx<S> {
     fn clone(&self) -> Self {
         Tx {
-            st: Rc::clone(&self.st),
+            st: self.st.clone(),
+            comps: self.comps.clone(),
             ep: self.ep.clone(),
             level: self.level,
         }
     }
 }
 
-impl Tx {
+impl<S: Substrate<Msg>> Tx<S> {
     /// The nesting level of this handle (0 = root).
     pub fn level(&self) -> u32 {
         self.level
@@ -278,7 +291,7 @@ impl Tx {
                         if waits < max_waits {
                             waits += 1;
                             self.ep.inner.stats.borrow_mut().lock_waits += 1;
-                            self.ep.sim.sleep(pause).await;
+                            self.ep.sub.sleep(pause).await;
                             continue;
                         }
                     }
@@ -289,12 +302,12 @@ impl Tx {
         };
         if kind != ValidationKind::None {
             self.ep
-                .sim
+                .sub
                 .emit_engine_event(EngineEventKind::ReadValidated, self.ep.node, oid.0);
         }
         {
             let mut st = self.st.borrow_mut();
-            st.last_remote_read_at = self.ep.sim.now();
+            st.last_remote_read_at = self.ep.sub.now();
             let cached = Cached {
                 version,
                 val: write_val.clone().unwrap_or_else(|| fetched.clone()),
@@ -323,7 +336,7 @@ impl Tx {
     /// no communication (paper Alg. 3).
     pub async fn closed<T, F, Fut>(&self, body: F) -> Result<T, Abort>
     where
-        F: Fn(Tx) -> Fut,
+        F: Fn(Tx<S>) -> Fut,
         Fut: Future<Output = Result<T, Abort>>,
     {
         if !self.policy().real_nested_scopes() {
@@ -339,7 +352,7 @@ impl Tx {
                     "closed() called from the innermost active scope"
                 );
                 st.frames.push(Frame::default());
-                st.compensations.len()
+                self.comps.borrow().len()
             };
             let mut child = self.clone();
             child.level = child_level;
@@ -365,7 +378,7 @@ impl Tx {
                     target: AbortTarget::Level(l),
                 }) if l == child_level => {
                     let innermost = (self.st.borrow().frames.len() - 1) as u32;
-                    self.ep.sim.emit_engine_event(
+                    self.ep.sub.emit_engine_event(
                         EngineEventKind::AbortWithTarget,
                         self.ep.node,
                         abort_detail(AbortTarget::Level(l), innermost),
@@ -411,15 +424,15 @@ impl Tx {
     /// compensation recorded).
     pub async fn open<T, F, Fut, C>(&self, body: F, compensate: C) -> Result<T, Abort>
     where
-        F: Fn(Tx) -> Fut,
+        F: Fn(Tx<S>) -> Fut,
         Fut: Future<Output = Result<T, Abort>>,
-        C: Fn(Tx) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>> + 'static,
+        C: Fn(Tx<S>) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>> + 'static,
     {
         if !self.policy().real_nested_scopes() {
             return body(self.clone()).await;
         }
         let v = self.run_subtransaction(&body).await;
-        self.st.borrow_mut().compensations.push(Rc::new(compensate));
+        self.comps.borrow_mut().push(Rc::new(compensate));
         self.ep.inner.stats.borrow_mut().open_commits += 1;
         Ok(v)
     }
@@ -429,7 +442,7 @@ impl Tx {
     /// untouched.
     async fn run_subtransaction<T, F, Fut>(&self, body: &F) -> T
     where
-        F: Fn(Tx) -> Fut,
+        F: Fn(Tx<S>) -> Fut,
         Fut: Future<Output = Result<T, Abort>>,
     {
         let client = Client {
@@ -456,11 +469,11 @@ impl Tx {
         Box::pin(async move {
             loop {
                 let comp = {
-                    let mut st = tx.st.borrow_mut();
-                    if st.compensations.len() <= mark {
+                    let mut comps = tx.comps.borrow_mut();
+                    if comps.len() <= mark {
                         return;
                     }
-                    st.compensations.pop()
+                    comps.pop()
                 };
                 let Some(comp) = comp else { return };
                 tx.ep.inner.stats.borrow_mut().compensations += 1;
@@ -483,14 +496,13 @@ impl Tx {
         if !due {
             return;
         }
-        // The measured ~6% creation overhead, as local compute time.
-        if cost > SimDuration::ZERO {
-            self.ep.sim.sleep(cost).await;
-        }
+        // The measured ~6% creation overhead, as local compute time; a
+        // zero-cost config charges nothing and schedules no event.
+        self.ep.sub.charge(cost).await;
         let mut st = self.st.borrow_mut();
         pol.take_checkpoint(&mut st);
         self.ep.inner.stats.borrow_mut().checkpoints += 1;
-        self.ep.sim.emit_engine_event(
+        self.ep.sub.emit_engine_event(
             EngineEventKind::CheckpointTaken,
             self.ep.node,
             (u64::from(st.cur_chk()) << 32) | st.oplog.len() as u64,
@@ -503,14 +515,15 @@ impl Tx {
     pub(crate) async fn commit_attempt(&self) -> Result<(), Abort> {
         let pol = self.policy();
         commit::commit_root(&self.ep, &self.st, pol).await?;
-        self.st.borrow_mut().compensations.clear();
+        self.comps.borrow_mut().clear();
         Ok(())
     }
 
     /// Account a successful commit: one commit plus its latency measured
     /// from `started` (the begin instant, spanning every retry).
     pub(crate) fn record_commit(&self, started: qrdtm_sim::SimTime) {
-        let lat = self.ep.sim.now().saturating_since(started).as_nanos();
+        let lat = self.ep.sub.now().saturating_since(started).as_nanos();
+        self.ep.sub.observe_latency(lat);
         let mut stats = self.ep.inner.stats.borrow_mut();
         stats.commits += 1;
         stats.latency_sum_ns += lat;
@@ -528,7 +541,7 @@ impl Tx {
                 AbortTarget::Chk(_) => st.cur_chk(),
             }
         };
-        self.ep.sim.emit_engine_event(
+        self.ep.sub.emit_engine_event(
             EngineEventKind::AbortWithTarget,
             self.ep.node,
             abort_detail(abort.target, bound),
@@ -562,7 +575,7 @@ impl Tx {
             let restored = st.rollback_to(c);
             (restored, st.oplog.len())
         };
-        self.ep.sim.emit_engine_event(
+        self.ep.sub.emit_engine_event(
             EngineEventKind::CheckpointRestored,
             self.ep.node,
             (u64::from(restored) << 32) | oplog_len as u64,
@@ -594,14 +607,13 @@ impl Tx {
         } else {
             base
         };
-        if d == SimDuration::ZERO {
-            return;
+        // Jitter only a real delay: a zero-backoff config must not consume
+        // an RNG draw (that would perturb the seeded event stream), and
+        // charge() makes zero cost event-free — one rule for both former
+        // `> ZERO` special cases (here and in checkpoint charging).
+        if d > SimDuration::ZERO {
+            d = d.mul_f64(self.ep.sub.jitter(0.5, 1.5));
         }
-        let jitter = self.ep.sim.with_rng(|r| {
-            use rand::RngExt;
-            r.random_range(0.5..1.5)
-        });
-        d = d.mul_f64(jitter);
-        self.ep.sim.sleep(d).await;
+        self.ep.sub.charge(d).await;
     }
 }

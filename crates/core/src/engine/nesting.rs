@@ -10,17 +10,12 @@
 //! policy instead of matching on [`NestingMode`] mid-access.
 
 use std::collections::BTreeMap;
-use std::future::Future;
-use std::pin::Pin;
-use std::rc::Rc;
 
 use qrdtm_sim::SimTime;
 
 use crate::msg::{ValEntry, ValidationKind};
 use crate::object::{ObjVal, ObjectId, Version};
 use crate::txid::{Abort, AbortTarget, NestingMode, TxId};
-
-use super::Tx;
 
 /// A cached object copy inside a transaction's data set.
 #[derive(Clone, Debug)]
@@ -55,9 +50,6 @@ pub(super) struct ChkRec {
     pub(super) dataset_size: usize,
 }
 
-/// A compensating action: a transaction body undoing an open CT's effects.
-pub(super) type Compensation = Rc<dyn Fn(Tx) -> Pin<Box<dyn Future<Output = Result<(), Abort>>>>>;
-
 /// The mutable state of one root transaction attempt (all nesting levels).
 pub(super) struct TxState {
     pub(super) root: TxId,
@@ -72,9 +64,6 @@ pub(super) struct TxState {
     /// Completion instant of the latest remote (validated) read — the
     /// serialization point of a read-only QR-CN commit.
     pub(super) last_remote_read_at: SimTime,
-    /// Compensating actions recorded by committed open-nested transactions
-    /// of the current attempt; run in reverse order if the attempt aborts.
-    pub(super) compensations: Vec<Compensation>,
     /// Whether any read this attempt accepted came from a hedged quorum
     /// call whose accepted reply set was not the designated read quorum.
     /// Such a set need not intersect write quorums, so the zero-message
@@ -99,7 +88,6 @@ impl TxState {
             last_chk_size: 0,
             attempt: 0,
             last_remote_read_at: SimTime::ZERO,
-            compensations: Vec::new(),
             hedged_reads: false,
         }
     }

@@ -4,15 +4,15 @@
 //! read-quorum fetch round, the 2PC vote round, and the commit-confirm /
 //! lock-release fan-outs — together with the round/timeout accounting and
 //! the [`EngineEventKind::QuorumRound`] boundary events. Layers above deal
-//! in replies and outcomes, never in `sim.call` plumbing.
+//! in replies and outcomes, never in call plumbing; the plumbing itself
+//! goes through the [`Substrate`], never directly to a simulator.
 
-use std::rc::Rc;
-
-use qrdtm_sim::{Counter, EngineEventKind, NodeId, Sim};
+use qrdtm_sim::{Counter, EngineEventKind, NodeId};
 
 use crate::cluster::ClusterInner;
 use crate::msg::{class, Msg, ValEntry, ValidationKind};
 use crate::object::{ObjVal, ObjectId, Version};
+use crate::substrate::{SimSubstrate, Substrate};
 use crate::txid::{Abort, TxId};
 
 /// Outcome of a read round; `hedged` flags that the accepted reply set
@@ -25,26 +25,26 @@ pub(super) struct ReadRound {
 }
 
 /// A node-bound handle on the cluster: the shared plumbing every engine
-/// layer works through (simulator, cluster state, origin node).
-pub(crate) struct Endpoint {
-    pub(super) sim: Sim<Msg>,
-    pub(super) inner: Rc<ClusterInner>,
+/// layer works through (substrate, cluster state, origin node).
+pub(crate) struct Endpoint<S: Substrate<Msg> = SimSubstrate<Msg>> {
+    pub(super) sub: S,
+    pub(super) inner: S::Shared<ClusterInner>,
     pub(super) node: NodeId,
 }
 
-impl Clone for Endpoint {
+impl<S: Substrate<Msg>> Clone for Endpoint<S> {
     fn clone(&self) -> Self {
         Endpoint {
-            sim: self.sim.clone(),
-            inner: Rc::clone(&self.inner),
+            sub: self.sub.clone(),
+            inner: self.inner.clone(),
             node: self.node,
         }
     }
 }
 
-impl Endpoint {
-    pub(super) fn new(sim: Sim<Msg>, inner: Rc<ClusterInner>, node: NodeId) -> Self {
-        Endpoint { sim, inner, node }
+impl<S: Substrate<Msg>> Endpoint<S> {
+    pub(super) fn new(sub: S, inner: S::Shared<ClusterInner>, node: NodeId) -> Self {
+        Endpoint { sub, inner, node }
     }
 
     /// One read round against the current read quorum. Returns the raw
@@ -78,7 +78,7 @@ impl Endpoint {
             kind,
         };
         self.inner.stats.borrow_mut().read_rounds += 1;
-        self.sim.emit_engine_event(
+        self.sub.emit_engine_event(
             EngineEventKind::QuorumRound,
             self.node,
             u64::from(class::READ_REQ),
@@ -106,12 +106,12 @@ impl Endpoint {
                         }
                     }
                     if added > 0 {
-                        self.sim.bump(Counter::HedgedCalls);
+                        self.sub.bump(Counter::HedgedCalls);
                     }
                 }
             }
             let res = self
-                .sim
+                .sub
                 .call_first(
                     self.node,
                     &dests,
@@ -123,7 +123,7 @@ impl Endpoint {
             if !res.timed_out {
                 let hedged = res.replies.iter().any(|(n, _)| !rq.contains(n));
                 if hedged {
-                    self.sim.bump(Counter::HedgedWins);
+                    self.sub.bump(Counter::HedgedWins);
                 }
                 return Ok(ReadRound {
                     replies: res.replies,
@@ -132,8 +132,8 @@ impl Endpoint {
             }
             self.inner.stats.borrow_mut().timeouts += 1;
             if attempt < retries {
-                self.sim.bump(Counter::RpcRetries);
-                self.sim.sleep(backoff).await;
+                self.sub.bump(Counter::RpcRetries);
+                self.sub.sleep(backoff).await;
                 backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
             }
         }
@@ -153,7 +153,7 @@ impl Endpoint {
         writes: Vec<(ObjectId, Version)>,
     ) -> Result<(), Abort> {
         self.inner.stats.borrow_mut().commit_rounds += 1;
-        self.sim.emit_engine_event(
+        self.sub.emit_engine_event(
             EngineEventKind::QuorumRound,
             self.node,
             u64::from(class::COMMIT_REQ),
@@ -172,7 +172,7 @@ impl Endpoint {
         let mut backoff = self.inner.cfg.backoff_base;
         for attempt in 0..=retries {
             let res = self
-                .sim
+                .sub
                 .call(self.node, wq, msg.clone(), self.inner.cfg.rpc_timeout)
                 .await;
             if !res.timed_out {
@@ -184,8 +184,8 @@ impl Endpoint {
             }
             self.inner.stats.borrow_mut().timeouts += 1;
             if attempt < retries {
-                self.sim.bump(Counter::RpcRetries);
-                self.sim.sleep(backoff).await;
+                self.sub.bump(Counter::RpcRetries);
+                self.sub.sleep(backoff).await;
                 backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
             }
         }
@@ -242,21 +242,21 @@ impl Endpoint {
             let targets: Vec<NodeId> = voted
                 .iter()
                 .copied()
-                .filter(|&n| self.sim.is_alive(n))
+                .filter(|&n| self.sub.is_alive(n))
                 .collect();
             if targets.is_empty() {
                 return;
             }
             let res = self
-                .sim
+                .sub
                 .call(self.node, &targets, mk(), self.inner.cfg.rpc_timeout)
                 .await;
             if !res.timed_out {
                 return;
             }
             self.inner.stats.borrow_mut().timeouts += 1;
-            self.sim.bump(Counter::RpcRetries);
-            self.sim.sleep(backoff).await;
+            self.sub.bump(Counter::RpcRetries);
+            self.sub.sleep(backoff).await;
             backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
         }
     }

@@ -60,6 +60,7 @@ mod object;
 pub mod protocol;
 mod stats;
 mod store;
+pub mod substrate;
 mod txid;
 
 pub use cluster::{Cluster, DtmConfig, InjectedBug, LatencySpec, LockPolicy, QuorumView};
@@ -70,7 +71,8 @@ pub use history::{
 };
 pub use msg::{Msg, ValEntry, ValidationKind};
 pub use object::{ObjVal, ObjectId, Replica, SkipNode, TableRow, TreeNode, Version};
-pub use protocol::{DtmProtocol, ProtocolStats, QrTxHandle};
+pub use protocol::{DtmProtocol, ProtocolStats, QrTxHandle, SimHosted};
 pub use stats::DtmStats;
 pub use store::{NodeStore, ReadOutcome};
+pub use substrate::{SimSubstrate, Substrate};
 pub use txid::{Abort, AbortTarget, NestingMode, TxId};

@@ -37,20 +37,21 @@ pub struct ProtocolStats {
 /// A distributed transactional memory, seen as begin/read/write/commit
 /// plus run bookkeeping.
 ///
-/// All protocols in this workspace are single-threaded simulator citizens,
-/// so handles are plain values and futures need not be `Send`.
+/// The trait is *host-agnostic*: it says nothing about how time passes or
+/// where transactions execute, so both the single-threaded simulator
+/// protocols and the multi-threaded `qrdtm-par` backend implement it, and
+/// one workload (`qrdtm-workloads::protocol_bank`) drives either world.
+/// Simulator-hosted protocols additionally implement [`SimHosted`], which
+/// is what drivers that spawn tasks and pump virtual time require.
+/// Handles are plain values and futures need not be `Send` — a handle
+/// lives on the thread (or task) that began it.
 #[allow(async_fn_in_trait)]
 pub trait DtmProtocol {
-    /// Wire message type of the protocol's simulator.
-    type Msg: SimMessage;
     /// In-flight transaction state, valid across restarts until commit.
     type TxHandle;
 
     /// Display name ("QR-CN", "HyFlow", ...).
     fn protocol_name(&self) -> &'static str;
-
-    /// The simulator this protocol runs on (drives time, RNG, metrics).
-    fn sim(&self) -> &Sim<Self::Msg>;
 
     /// Install an object before the run (bootstrap, no transaction).
     fn preload(&self, oid: ObjectId, val: ObjVal);
@@ -81,6 +82,21 @@ pub trait DtmProtocol {
     fn reset_protocol_stats(&self);
 }
 
+/// A [`DtmProtocol`] hosted on the deterministic simulator.
+///
+/// Closed-loop drivers, the conformance suite and the chaos/mc harnesses
+/// need more than begin/read/write/commit: they spawn tasks, pump virtual
+/// time and read message metrics. That is simulator-world capability, so
+/// it lives here rather than on [`DtmProtocol`] — the threaded backend
+/// implements only the base trait and is driven by real threads instead.
+pub trait SimHosted: DtmProtocol {
+    /// Wire message type of the protocol's simulator.
+    type Msg: SimMessage;
+
+    /// The simulator this protocol runs on (drives time, RNG, metrics).
+    fn sim(&self) -> &Sim<Self::Msg>;
+}
+
 /// QR transaction handle: the engine transaction plus its begin instant
 /// (commit latency spans every retry, as in [`Client::run`]).
 pub struct QrTxHandle {
@@ -96,7 +112,6 @@ pub struct QrTxHandle {
 ///
 /// [`Client::run`]: crate::Client::run
 impl DtmProtocol for Cluster {
-    type Msg = Msg;
     type TxHandle = QrTxHandle;
 
     fn protocol_name(&self) -> &'static str {
@@ -105,10 +120,6 @@ impl DtmProtocol for Cluster {
             NestingMode::Closed => "QR-CN",
             NestingMode::Checkpoint => "QR-CHK",
         }
-    }
-
-    fn sim(&self) -> &Sim<Msg> {
-        Cluster::sim(self)
     }
 
     fn preload(&self, oid: ObjectId, val: ObjVal) {
@@ -150,6 +161,14 @@ impl DtmProtocol for Cluster {
 
     fn reset_protocol_stats(&self) {
         self.reset_stats();
+    }
+}
+
+impl SimHosted for Cluster {
+    type Msg = Msg;
+
+    fn sim(&self) -> &Sim<Msg> {
+        Cluster::sim(self)
     }
 }
 

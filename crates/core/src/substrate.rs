@@ -1,0 +1,243 @@
+//! [`Substrate`] — the capability surface the engine uses from its host
+//! world.
+//!
+//! The protocol engine (`engine/*`) is pure protocol logic: quorum rounds,
+//! nesting, checkpoints, two-phase commit. Everything it needs from the
+//! world it runs in is narrow and explicit — send/receive with latency
+//! charging, a clock, seeded randomness for jitter, metrics emission and
+//! node liveness — and this trait names exactly that surface. The engine
+//! is generic over it, which breaks the historical `Rc<ClusterInner>`
+//! single-thread assumption:
+//!
+//! * [`SimSubstrate`] hosts the engine on the deterministic discrete-event
+//!   simulator (`qrdtm-sim`), with [`Rc`] shared-state handles and virtual
+//!   time. Every figure, chaos run and model-checking schedule uses this
+//!   substrate; it is the *oracle*.
+//! * A threaded world supplies `Arc` handles and wall-clock time via the
+//!   same trait (the `qrdtm-par` crate hosts its TL2 fast path this way,
+//!   validated against the sim oracle by differential tests).
+//!
+//! The split keeps one copy of the protocol logic while letting the host
+//! decide how time passes, how messages move and how state is shared.
+
+use std::ops::Deref;
+use std::rc::Rc;
+
+use qrdtm_sim::{
+    CallResult, Counter, EngineEventKind, NodeId, Sim, SimDuration, SimMessage, SimTime,
+};
+
+/// What the engine needs from its host world, and nothing more.
+///
+/// All methods are cheap handles onto shared host state; a substrate is
+/// cloned freely (one clone per endpoint/transaction handle).
+#[allow(async_fn_in_trait)]
+pub trait Substrate<M: SimMessage>: Clone + 'static {
+    /// Shared-ownership handle: [`Rc`] in the single-threaded simulator
+    /// world, `Arc` in a threaded world.
+    type Shared<T: 'static>: Clone + Deref<Target = T>;
+
+    /// Wrap `value` in this world's shared-ownership handle.
+    fn share<T: 'static>(value: T) -> Self::Shared<T>;
+
+    /// Current time on this substrate's clock.
+    fn now(&self) -> SimTime;
+
+    /// Suspend for `d` of this substrate's time.
+    async fn sleep(&self, d: SimDuration);
+
+    /// Charge `cost` of local compute or backoff time.
+    ///
+    /// The one place zero-cost charging is decided: a zero cost is free —
+    /// no event is scheduled, no RNG is drawn, the future completes
+    /// immediately — so zero-latency configs replay the exact event order
+    /// of a run that never charged at all.
+    async fn charge(&self, cost: SimDuration) {
+        if cost > SimDuration::ZERO {
+            self.sleep(cost).await;
+        }
+    }
+
+    /// One uniform draw in `[lo, hi)` from the substrate's seeded RNG
+    /// (backoff jitter).
+    fn jitter(&self, lo: f64, hi: f64) -> f64;
+
+    /// Whether `node` is currently alive from the host's point of view.
+    fn is_alive(&self, node: NodeId) -> bool;
+
+    /// Bump a metrics counter.
+    fn bump(&self, c: Counter);
+
+    /// Add `n` to a metrics counter.
+    fn add(&self, c: Counter, n: u64);
+
+    /// Record one end-to-end commit latency (ns) in the sampled reservoir.
+    fn observe_latency(&self, ns: u64);
+
+    /// Emit a structured engine event at a layer boundary.
+    fn emit_engine_event(&self, kind: EngineEventKind, node: NodeId, detail: u64);
+
+    /// Send `msg` to every destination and await all replies (or timeout).
+    async fn call(
+        &self,
+        from: NodeId,
+        dests: &[NodeId],
+        msg: M,
+        timeout: Option<SimDuration>,
+    ) -> CallResult<M>;
+
+    /// Like [`Substrate::call`], but resolve at the first `need` replies
+    /// (hedged-request support).
+    async fn call_first(
+        &self,
+        from: NodeId,
+        dests: &[NodeId],
+        msg: M,
+        need: usize,
+        timeout: Option<SimDuration>,
+    ) -> CallResult<M>;
+}
+
+/// The deterministic-simulator substrate: virtual time, seeded RNG,
+/// in-process message delivery with modelled latency, [`Rc`] sharing.
+pub struct SimSubstrate<M: SimMessage> {
+    sim: Sim<M>,
+}
+
+impl<M: SimMessage> SimSubstrate<M> {
+    /// Host the engine on `sim`.
+    pub fn new(sim: Sim<M>) -> Self {
+        SimSubstrate { sim }
+    }
+
+    /// The underlying simulator (for host-only facilities the engine
+    /// itself must not depend on: spawning, run loops, fault injection).
+    pub fn sim(&self) -> &Sim<M> {
+        &self.sim
+    }
+}
+
+impl<M: SimMessage> Clone for SimSubstrate<M> {
+    fn clone(&self) -> Self {
+        SimSubstrate {
+            sim: self.sim.clone(),
+        }
+    }
+}
+
+impl<M: SimMessage> Substrate<M> for SimSubstrate<M> {
+    type Shared<T: 'static> = Rc<T>;
+
+    fn share<T: 'static>(value: T) -> Rc<T> {
+        Rc::new(value)
+    }
+
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    async fn sleep(&self, d: SimDuration) {
+        self.sim.sleep(d).await;
+    }
+
+    fn jitter(&self, lo: f64, hi: f64) -> f64 {
+        self.sim.with_rng(|r| {
+            use rand::RngExt;
+            r.random_range(lo..hi)
+        })
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.sim.is_alive(node)
+    }
+
+    fn bump(&self, c: Counter) {
+        self.sim.bump(c);
+    }
+
+    fn add(&self, c: Counter, n: u64) {
+        self.sim.add(c, n);
+    }
+
+    fn observe_latency(&self, ns: u64) {
+        self.sim.observe_latency(ns);
+    }
+
+    fn emit_engine_event(&self, kind: EngineEventKind, node: NodeId, detail: u64) {
+        self.sim.emit_engine_event(kind, node, detail);
+    }
+
+    async fn call(
+        &self,
+        from: NodeId,
+        dests: &[NodeId],
+        msg: M,
+        timeout: Option<SimDuration>,
+    ) -> CallResult<M> {
+        self.sim.call(from, dests, msg, timeout).await
+    }
+
+    async fn call_first(
+        &self,
+        from: NodeId,
+        dests: &[NodeId],
+        msg: M,
+        need: usize,
+        timeout: Option<SimDuration>,
+    ) -> CallResult<M> {
+        self.sim.call_first(from, dests, msg, need, timeout).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrdtm_sim::SimConfig;
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl SimMessage for Ping {}
+
+    fn sub() -> SimSubstrate<Ping> {
+        let sim = Sim::new(SimConfig::new(
+            7,
+            Box::new(qrdtm_sim::ConstLatency::new(SimDuration::from_millis(1))),
+        ));
+        sim.add_nodes(2);
+        SimSubstrate::new(sim)
+    }
+
+    #[test]
+    fn charge_zero_schedules_no_event() {
+        let s = sub();
+        let before = s.sim().metrics().events;
+        let s2 = s.clone();
+        s.sim().spawn(async move {
+            s2.charge(SimDuration::ZERO).await;
+        });
+        s.sim().run();
+        // Only the spawn-task event itself ran; charging zero added none.
+        let after = s.sim().metrics().events;
+        assert!(after - before <= 1, "zero charge must not schedule timers");
+        assert_eq!(s.now(), SimTime::ZERO, "virtual time did not advance");
+    }
+
+    #[test]
+    fn charge_nonzero_advances_time() {
+        let s = sub();
+        let s2 = s.clone();
+        s.sim().spawn(async move {
+            s2.charge(SimDuration::from_millis(5)).await;
+        });
+        s.sim().run();
+        assert_eq!(s.now(), SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_in_range() {
+        let a = sub().jitter(0.5, 1.5);
+        let b = sub().jitter(0.5, 1.5);
+        assert!((0.5..1.5).contains(&a));
+        assert_eq!(a, b, "same seed, same draw");
+    }
+}

@@ -1,0 +1,541 @@
+//! The TL2 store: striped version locks, a global version clock, and the
+//! [`DtmProtocol`] implementation over them.
+//!
+//! Versioning is two-level. The *stripe words* (1024 `AtomicU64`s, bit 63
+//! the lock bit, low bits the global write-version of the last writer to
+//! touch the stripe) carry the TL2 validation protocol; the *object table*
+//! (64 mutex-sharded hash maps) carries exact per-object version chains in
+//! the same [`Version`] space the simulator protocols use, so a threaded
+//! history drops straight into [`qrdtm_core::history::verify`]. The stripe
+//! check is conservative for the exact chain: if an object changed between
+//! a transaction's read and its commit, the writer that changed it
+//! committed with a write-version above the reader's read-version and left
+//! that write-version in the object's stripe — so a stripe that still
+//! validates implies an object that did not move.
+//!
+//! Commit order (writers): lock write stripes in sorted order (bounded
+//! spin, abort on conflict) → exact-validate the write set against the
+//! table → draw `wv` from the global clock (the serialization point) →
+//! validate the read set against stripe words (`≤ rv`, unlocked or held by
+//! us) → install `observed.next()` into the table → release stripes to
+//! `wv`. Read-only transactions commit with no validation at all: every
+//! read was individually validated against `rv` at read time, which under
+//! TL2 already yields a consistent cut at `rv`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use qrdtm_core::history::CommitRecord;
+use qrdtm_core::protocol::{DtmProtocol, ProtocolStats};
+use qrdtm_core::{Abort, ObjVal, ObjectId, TxId, Version};
+use qrdtm_sim::{LatencyReservoir, NodeId, SimDuration, SimTime};
+
+/// Number of version-lock stripes (power of two).
+const STRIPES: usize = 1024;
+/// Number of object-table shards (power of two).
+const SHARDS: usize = 64;
+/// Stripe-word lock bit; the low 63 bits hold the last writer's `wv`.
+const LOCKED: u64 = 1 << 63;
+/// Fibonacci multiplier for stripe/shard hashing.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Bounded spin before a read treats a held stripe lock as a conflict.
+const READ_SPIN_LIMIT: u32 = 1_000;
+/// Bounded spin before a commit treats a held stripe lock as a conflict.
+const LOCK_SPIN_LIMIT: u32 = 100;
+
+fn stripe_of(oid: ObjectId) -> usize {
+    (oid.0.wrapping_mul(GOLDEN) >> 54) as usize & (STRIPES - 1)
+}
+
+fn shard_of(oid: ObjectId) -> usize {
+    (oid.0.wrapping_mul(GOLDEN) >> 58) as usize & (SHARDS - 1)
+}
+
+/// State shared by every thread of one TL2 instance.
+struct ParShared {
+    /// Global version clock; a writer's `wv` is `fetch_add(1) + 1`.
+    clock: AtomicU64,
+    /// Striped version-lock words.
+    stripes: Vec<AtomicU64>,
+    /// The object table: exact per-object `(Version, ObjVal)` chains.
+    shards: Vec<Mutex<HashMap<ObjectId, (Version, ObjVal)>>>,
+    /// Transaction-id allocator (unique across threads).
+    tx_seq: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl ParShared {
+    fn new() -> Self {
+        ParShared {
+            clock: AtomicU64::new(0),
+            stripes: (0..STRIPES).map(|_| AtomicU64::new(0)).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            tx_seq: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    fn table_version(&self, oid: ObjectId) -> Version {
+        self.shards[shard_of(oid)]
+            .lock()
+            .unwrap()
+            .get(&oid)
+            .map_or(Version::INITIAL, |(v, _)| *v)
+    }
+}
+
+/// One commit event, sent from a worker thread to the collector over the
+/// backend's channel.
+struct ParEvent {
+    record: CommitRecord,
+    latency_ns: u64,
+}
+
+/// An in-flight TL2 transaction: the [`DtmProtocol::TxHandle`] of
+/// [`ParStm`]. Lives on the thread that began it; survives restarts.
+pub struct ParTx {
+    id: TxId,
+    /// Read-version: global clock at begin (refreshed by restart).
+    rv: u64,
+    /// Read set: exact table versions observed, for the history record.
+    reads: Vec<(ObjectId, Version)>,
+    /// Read cache: version + value per object already read (one stripe
+    /// validation per object per attempt; repeat reads are local).
+    cache: HashMap<ObjectId, (Version, ObjVal)>,
+    /// Write set: observed table version + pending value, ordered.
+    writes: BTreeMap<ObjectId, (Version, ObjVal)>,
+    /// Wall-clock begin instant; commit latency spans every retry.
+    started: Instant,
+    attempt: u32,
+    /// Per-handle xorshift state for backoff jitter.
+    rng: u64,
+}
+
+/// A handle on a shared TL2 instance: cheap to clone, one per worker
+/// thread. Implements [`DtmProtocol`], so the generic workload bodies
+/// (`qrdtm-workloads::protocol_bank::{transfer, audit}`) run on real
+/// threads unchanged.
+pub struct ParStm {
+    shared: Arc<ParShared>,
+    events: Sender<ParEvent>,
+}
+
+impl Clone for ParStm {
+    fn clone(&self) -> Self {
+        ParStm {
+            shared: Arc::clone(&self.shared),
+            events: self.events.clone(),
+        }
+    }
+}
+
+impl ParStm {
+    /// Current value and exact version of `oid`, if ever written.
+    pub fn latest(&self, oid: ObjectId) -> Option<(Version, ObjVal)> {
+        self.shared.shards[shard_of(oid)]
+            .lock()
+            .unwrap()
+            .get(&oid)
+            .cloned()
+    }
+
+    /// TL2 read: stripe word, table entry, stripe word again. Returns the
+    /// exact table `(version, value)` or a conflict abort.
+    fn tl2_read(&self, rv: u64, oid: ObjectId) -> Result<(Version, ObjVal), Abort> {
+        let s = stripe_of(oid);
+        let mut spins = 0u32;
+        loop {
+            let w1 = self.shared.stripes[s].load(SeqCst);
+            if w1 & LOCKED != 0 {
+                spins += 1;
+                if spins > READ_SPIN_LIMIT {
+                    return Err(Abort::root());
+                }
+                thread::yield_now();
+                continue;
+            }
+            let entry = self.shared.shards[shard_of(oid)]
+                .lock()
+                .unwrap()
+                .get(&oid)
+                .cloned();
+            let w2 = self.shared.stripes[s].load(SeqCst);
+            if w2 != w1 {
+                spins += 1;
+                if spins > READ_SPIN_LIMIT {
+                    return Err(Abort::root());
+                }
+                continue;
+            }
+            if w1 > rv {
+                // A colliding stripe moved past our snapshot: conflict
+                // (possibly false sharing — TL2 aborts conservatively).
+                return Err(Abort::root());
+            }
+            return Ok(entry.unwrap_or((Version::INITIAL, ObjVal::Unit)));
+        }
+    }
+
+    fn unlock(&self, held: &[usize]) {
+        for &s in held {
+            self.shared.stripes[s].fetch_and(!LOCKED, SeqCst);
+        }
+    }
+
+    fn send_record(&self, tx: &mut ParTx, at: SimTime, writes: Vec<(ObjectId, Version, Version)>) {
+        let record = CommitRecord {
+            tx: tx.id,
+            at,
+            reads: std::mem::take(&mut tx.reads),
+            writes,
+        };
+        self.shared.commits.fetch_add(1, SeqCst);
+        // The collector hanging up (backend already finished) only loses
+        // bookkeeping, never correctness — ignore the send error.
+        let _ = self.events.send(ParEvent {
+            record,
+            latency_ns: tx.started.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
+impl DtmProtocol for ParStm {
+    type TxHandle = ParTx;
+
+    fn protocol_name(&self) -> &'static str {
+        "PAR-TL2"
+    }
+
+    fn preload(&self, oid: ObjectId, val: ObjVal) {
+        self.shared.shards[shard_of(oid)]
+            .lock()
+            .unwrap()
+            .insert(oid, (Version::INITIAL, val));
+    }
+
+    fn begin(&self, node: NodeId) -> ParTx {
+        let seq = self.shared.tx_seq.fetch_add(1, SeqCst);
+        ParTx {
+            id: TxId { node: node.0, seq },
+            rv: self.shared.clock.load(SeqCst),
+            reads: Vec::new(),
+            cache: HashMap::new(),
+            writes: BTreeMap::new(),
+            started: Instant::now(),
+            attempt: 0,
+            rng: seq.wrapping_mul(GOLDEN) | 1,
+        }
+    }
+
+    async fn read(&self, tx: &mut ParTx, oid: ObjectId) -> Result<ObjVal, Abort> {
+        if let Some((_, val)) = tx.writes.get(&oid) {
+            return Ok(val.clone());
+        }
+        if let Some((_, val)) = tx.cache.get(&oid) {
+            return Ok(val.clone());
+        }
+        let (ver, val) = self.tl2_read(tx.rv, oid)?;
+        tx.reads.push((oid, ver));
+        tx.cache.insert(oid, (ver, val.clone()));
+        Ok(val)
+    }
+
+    async fn write(&self, tx: &mut ParTx, oid: ObjectId, val: ObjVal) -> Result<(), Abort> {
+        if let Some(slot) = tx.writes.get_mut(&oid) {
+            slot.1 = val;
+            return Ok(());
+        }
+        // The write needs the version it supersedes. A prior read already
+        // pinned it; a blind write fetches (and thereby validates) it now.
+        let obs = match tx.cache.get(&oid) {
+            Some((ver, _)) => *ver,
+            None => self.tl2_read(tx.rv, oid)?.0,
+        };
+        tx.writes.insert(oid, (obs, val));
+        Ok(())
+    }
+
+    async fn commit(&self, tx: &mut ParTx) -> Result<(), Abort> {
+        if tx.writes.is_empty() {
+            // Read-only: each read was validated against rv when it ran,
+            // so the snapshot is already a consistent cut; commit is free.
+            // (The rv timestamp only orders the record among the writers;
+            // the audit places read-only snapshots by cut intersection.)
+            let at = SimTime::ZERO + SimDuration::from_nanos(tx.rv);
+            self.send_record(tx, at, Vec::new());
+            return Ok(());
+        }
+
+        // Phase 1: lock the write stripes in sorted order (dedup: two
+        // objects may share a stripe). CAS preserves the version bits.
+        let mut stripes: Vec<usize> = tx.writes.keys().map(|o| stripe_of(*o)).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let mut held: Vec<usize> = Vec::with_capacity(stripes.len());
+        for &s in &stripes {
+            let mut locked = false;
+            for spin in 0..LOCK_SPIN_LIMIT {
+                let w = self.shared.stripes[s].load(SeqCst);
+                if w & LOCKED == 0
+                    && self.shared.stripes[s]
+                        .compare_exchange(w, w | LOCKED, SeqCst, SeqCst)
+                        .is_ok()
+                {
+                    locked = true;
+                    break;
+                }
+                if spin % 8 == 7 {
+                    thread::yield_now();
+                }
+            }
+            if !locked {
+                self.unlock(&held);
+                return Err(Abort::root());
+            }
+            held.push(s);
+        }
+
+        // Phase 2: exact write-set validation — the table version each
+        // write observed must still be current (keeps version chains
+        // exact for the history audit, not just stripe-approximate).
+        for (oid, (obs, _)) in &tx.writes {
+            if self.shared.table_version(*oid) != *obs {
+                self.unlock(&held);
+                return Err(Abort::root());
+            }
+        }
+
+        // Phase 3: serialization point.
+        let wv = self.shared.clock.fetch_add(1, SeqCst) + 1;
+
+        // Phase 4: read-set validation after drawing wv (TL2 order). A
+        // stripe we hold ourselves keeps its pre-lock version bits.
+        for (oid, _) in &tx.reads {
+            if tx.writes.contains_key(oid) {
+                continue; // exactly validated under lock in phase 2
+            }
+            let s = stripe_of(*oid);
+            let w = self.shared.stripes[s].load(SeqCst);
+            let held_by_us = held.binary_search(&s).is_ok();
+            if (w & LOCKED != 0 && !held_by_us) || (w & !LOCKED) > tx.rv {
+                self.unlock(&held);
+                return Err(Abort::root());
+            }
+        }
+
+        // Phase 5: install the writes (exact chain: observed.next()).
+        let mut wrec = Vec::with_capacity(tx.writes.len());
+        for (oid, (obs, val)) in std::mem::take(&mut tx.writes) {
+            self.shared.shards[shard_of(oid)]
+                .lock()
+                .unwrap()
+                .insert(oid, (obs.next(), val));
+            wrec.push((oid, obs, obs.next()));
+        }
+
+        // Phase 6: release the stripes to wv — the happens-before edge
+        // that publishes the installs to later readers.
+        for &s in &held {
+            self.shared.stripes[s].store(wv, SeqCst);
+        }
+
+        let at = SimTime::ZERO + SimDuration::from_nanos(wv);
+        self.send_record(tx, at, wrec);
+        Ok(())
+    }
+
+    async fn restart(&self, tx: &mut ParTx, _abort: Abort) {
+        self.shared.aborts.fetch_add(1, SeqCst);
+        tx.attempt += 1;
+        tx.reads.clear();
+        tx.cache.clear();
+        tx.writes.clear();
+        // Randomized bounded backoff: early retries just yield, persistent
+        // contention sleeps up to ~2^min(attempt,6) µs.
+        if tx.attempt > 3 {
+            tx.rng ^= tx.rng << 13;
+            tx.rng ^= tx.rng >> 7;
+            tx.rng ^= tx.rng << 17;
+            let cap = 1u64 << tx.attempt.min(6);
+            thread::sleep(std::time::Duration::from_micros(tx.rng % cap));
+        } else {
+            thread::yield_now();
+        }
+        tx.rv = self.shared.clock.load(SeqCst);
+    }
+
+    fn protocol_stats(&self) -> ProtocolStats {
+        ProtocolStats {
+            commits: self.shared.commits.load(SeqCst),
+            aborts: self.shared.aborts.load(SeqCst),
+        }
+    }
+
+    fn reset_protocol_stats(&self) {
+        self.shared.commits.store(0, SeqCst);
+        self.shared.aborts.store(0, SeqCst);
+    }
+}
+
+/// One TL2 instance plus its collector thread: workers send commit events
+/// over an [`mpsc`] channel; the collector accumulates the serializable
+/// history and the sampled latency reservoir.
+pub struct ParBackend {
+    stm: ParStm,
+    collector: JoinHandle<(Vec<CommitRecord>, LatencyReservoir)>,
+}
+
+impl ParBackend {
+    /// Fresh empty instance with a running collector.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let (events, rx) = mpsc::channel::<ParEvent>();
+        let collector = thread::spawn(move || {
+            let mut records = Vec::new();
+            let mut latency = LatencyReservoir::default();
+            for ev in rx {
+                latency.record(ev.latency_ns);
+                records.push(ev.record);
+            }
+            (records, latency)
+        });
+        ParBackend {
+            stm: ParStm {
+                shared: Arc::new(ParShared::new()),
+                events,
+            },
+            collector,
+        }
+    }
+
+    /// A worker handle (clone per thread).
+    pub fn stm(&self) -> ParStm {
+        self.stm.clone()
+    }
+
+    /// Current value and exact version of `oid`, if ever written.
+    pub fn latest(&self, oid: ObjectId) -> Option<(Version, ObjVal)> {
+        self.stm.latest(oid)
+    }
+
+    /// Commit/abort counters so far.
+    pub fn stats(&self) -> ProtocolStats {
+        self.stm.protocol_stats()
+    }
+
+    /// Stop collecting and return the recorded history plus the latency
+    /// reservoir. Every worker [`ParStm`] clone must be dropped first
+    /// (join your threads), or this blocks on the open channel.
+    pub fn finish(self) -> (Vec<CommitRecord>, LatencyReservoir) {
+        let ParBackend { stm, collector } = self;
+        drop(stm);
+        collector.join().expect("collector thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::block_on;
+    use qrdtm_core::history;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn handles_are_send() {
+        assert_send::<ParStm>();
+        assert_send::<ParTx>();
+    }
+
+    #[test]
+    fn read_your_writes_and_exact_chain() {
+        let b = ParBackend::new();
+        let p = b.stm();
+        p.preload(ObjectId(1), ObjVal::Int(100));
+        block_on(async {
+            let mut h = p.begin(NodeId(0));
+            assert_eq!(p.read(&mut h, ObjectId(1)).await.unwrap(), ObjVal::Int(100));
+            p.write(&mut h, ObjectId(1), ObjVal::Int(70)).await.unwrap();
+            assert_eq!(p.read(&mut h, ObjectId(1)).await.unwrap(), ObjVal::Int(70));
+            p.commit(&mut h).await.unwrap();
+        });
+        assert_eq!(b.latest(ObjectId(1)), Some((Version(2), ObjVal::Int(70))));
+        drop(p);
+        let (records, _) = b.finish();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].writes,
+            vec![(ObjectId(1), Version(1), Version(2))]
+        );
+        assert!(history::verify(&records).is_empty());
+    }
+
+    #[test]
+    fn concurrent_writer_aborts_stale_commit() {
+        let b = ParBackend::new();
+        let p = b.stm();
+        p.preload(ObjectId(1), ObjVal::Int(0));
+        block_on(async {
+            let mut slow = p.begin(NodeId(0));
+            let v = slow.rv; // snapshot before the interloper
+            assert_eq!(
+                p.read(&mut slow, ObjectId(1)).await.unwrap(),
+                ObjVal::Int(0)
+            );
+            // Interloper commits a write to the same object.
+            let mut fast = p.begin(NodeId(1));
+            p.write(&mut fast, ObjectId(1), ObjVal::Int(9))
+                .await
+                .unwrap();
+            p.commit(&mut fast).await.unwrap();
+            // The slow writer's commit must fail validation.
+            p.write(&mut slow, ObjectId(1), ObjVal::Int(1))
+                .await
+                .unwrap();
+            assert!(p.commit(&mut slow).await.is_err());
+            // Restart refreshes rv and succeeds.
+            p.restart(&mut slow, Abort::root()).await;
+            assert!(slow.rv > v);
+            assert_eq!(
+                p.read(&mut slow, ObjectId(1)).await.unwrap(),
+                ObjVal::Int(9)
+            );
+            p.write(&mut slow, ObjectId(1), ObjVal::Int(10))
+                .await
+                .unwrap();
+            p.commit(&mut slow).await.unwrap();
+        });
+        assert_eq!(b.latest(ObjectId(1)), Some((Version(3), ObjVal::Int(10))));
+        assert_eq!(
+            b.stats(),
+            ProtocolStats {
+                commits: 2,
+                aborts: 1
+            }
+        );
+        drop(p);
+        let (records, _) = b.finish();
+        assert!(history::verify(&records).is_empty());
+    }
+
+    #[test]
+    fn abort_isolation_discards_buffered_writes() {
+        let b = ParBackend::new();
+        let p = b.stm();
+        p.preload(ObjectId(5), ObjVal::Int(1));
+        block_on(async {
+            let mut h = p.begin(NodeId(0));
+            p.write(&mut h, ObjectId(5), ObjVal::Int(999))
+                .await
+                .unwrap();
+            p.restart(&mut h, Abort::root()).await; // abort before commit
+        });
+        assert_eq!(b.latest(ObjectId(5)), Some((Version(1), ObjVal::Int(1))));
+    }
+}

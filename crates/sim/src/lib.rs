@@ -57,7 +57,8 @@ mod time;
 pub use disk::{Disk, DiskConfig, DiskImage};
 pub use latency::{ConstLatency, JitteredLatency, LatencyModel, MetricSpace};
 pub use metrics::{
-    Counter, EngineEvent, EngineEventKind, Metrics, ENGINE_EVENT_KINDS, MAX_CLASSES,
+    Counter, EngineEvent, EngineEventKind, LatencyReservoir, Metrics, ENGINE_EVENT_KINDS,
+    MAX_CLASSES, RESERVOIR_CAP,
 };
 pub use sim::{
     CallFuture, CallId, CallResult, Envelope, EventInfo, EventTag, HandlerCtx, HeartbeatConfig,

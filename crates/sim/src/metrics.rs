@@ -138,6 +138,94 @@ pub struct Metrics {
     pub repaired_objects: u64,
     /// Payload bytes transferred by quorum repair.
     pub repair_bytes: u64,
+    /// Sampled end-to-end commit latencies (engines report through
+    /// [`Sim::observe_latency`](crate::Sim::observe_latency)).
+    pub latency: LatencyReservoir,
+}
+
+/// Default sample capacity of a [`LatencyReservoir`].
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// Fixed-size reservoir sample of latency observations (nanoseconds),
+/// for p50/p99/p999 reporting without unbounded memory.
+///
+/// Uses Vitter's Algorithm R with an *internal* xorshift generator, never
+/// the simulator RNG: sampling decisions must not perturb the seeded
+/// event stream, or identical configs would stop replaying identically.
+#[derive(Clone, Debug)]
+pub struct LatencyReservoir {
+    samples: Vec<u64>,
+    cap: usize,
+    seen: u64,
+    rng: u64,
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        LatencyReservoir::new(RESERVOIR_CAP)
+    }
+}
+
+impl LatencyReservoir {
+    /// An empty reservoir holding at most `cap` samples.
+    pub fn new(cap: usize) -> Self {
+        LatencyReservoir {
+            samples: Vec::new(),
+            cap: cap.max(1),
+            seen: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic, self-contained.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Record one observation (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(ns);
+            return;
+        }
+        let j = self.next_rand() % self.seen;
+        if (j as usize) < self.cap {
+            self.samples[j as usize] = ns;
+        }
+    }
+
+    /// Observations recorded (including ones that fell out of the sample).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// The `p`-th percentile (0.0..=100.0) of the sampled observations in
+    /// nanoseconds, by nearest-rank on the sample; `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Drop every sample and observation count (capacity kept).
+    pub fn reset(&mut self) {
+        *self = LatencyReservoir::new(self.cap);
+    }
 }
 
 /// Detector/transport counters external subsystems may bump through
@@ -354,6 +442,45 @@ mod tests {
         assert_eq!(m.repair_bytes, 4096);
         m.reset();
         assert_eq!(m.repaired_objects, 0);
+    }
+
+    #[test]
+    fn reservoir_percentiles_exact_below_capacity() {
+        let mut r = LatencyReservoir::new(1000);
+        for ns in 1..=100u64 {
+            r.record(ns * 10);
+        }
+        assert_eq!(r.count(), 100);
+        assert_eq!(r.percentile(50.0), Some(500));
+        assert_eq!(r.percentile(99.0), Some(990));
+        assert_eq!(r.percentile(99.9), Some(1000));
+        assert_eq!(r.percentile(0.0), Some(10));
+    }
+
+    #[test]
+    fn reservoir_caps_memory_and_stays_deterministic() {
+        let run = || {
+            let mut r = LatencyReservoir::new(64);
+            for ns in 0..10_000u64 {
+                r.record(ns);
+            }
+            (r.count(), r.samples.clone())
+        };
+        let (n, s) = run();
+        assert_eq!(n, 10_000);
+        assert_eq!(s.len(), 64);
+        assert_eq!(run().1, s, "internal RNG replays identically");
+    }
+
+    #[test]
+    fn reservoir_empty_and_reset() {
+        let mut r = LatencyReservoir::new(8);
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(50.0), None);
+        r.record(7);
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(99.0), None);
     }
 
     #[test]

@@ -722,6 +722,12 @@ impl<M: SimMessage> Sim<M> {
         self.core.inner.borrow_mut().metrics.add(c, n);
     }
 
+    /// Record one end-to-end latency observation (nanoseconds of virtual
+    /// time) in the sampled reservoir ([`Metrics::latency`]).
+    pub fn observe_latency(&self, ns: u64) {
+        self.core.inner.borrow_mut().metrics.latency.record(ns);
+    }
+
     /// Stop the run loop after the current event.
     pub fn halt(&self) {
         self.core.inner.borrow_mut().halted = true;

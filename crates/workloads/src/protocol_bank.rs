@@ -12,7 +12,7 @@
 use std::rc::Rc;
 
 use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
-use qrdtm_core::{Cluster, DtmConfig, DtmProtocol, ObjVal, ObjectId};
+use qrdtm_core::{Cluster, DtmConfig, DtmProtocol, ObjVal, ObjectId, SimHosted};
 use qrdtm_sim::{NodeId, SimDuration};
 
 /// Fig. 9 bank workload shape.
@@ -97,9 +97,13 @@ pub async fn audit<P: DtmProtocol>(p: &P, node: NodeId, a: ObjectId, b: ObjectId
     }
 }
 
-/// Run the closed-loop bank mix on any [`DtmProtocol`] cluster with
-/// `nodes` nodes: warm up, reset counters, measure for `spec.duration`.
-pub fn run_bank<P: DtmProtocol + 'static>(
+/// Run the closed-loop bank mix on any simulator-hosted [`DtmProtocol`]
+/// cluster with `nodes` nodes: warm up, reset counters, measure for
+/// `spec.duration`. (The closed loop spawns simulator tasks and pumps
+/// virtual time, hence the [`SimHosted`] bound; the threaded backend has
+/// its own closed-loop driver in `qrdtm-par`, reusing [`transfer`] and
+/// [`audit`] which only need [`DtmProtocol`].)
+pub fn run_bank<P: SimHosted + 'static>(
     proto: Rc<P>,
     nodes: usize,
     spec: &BankSpec,

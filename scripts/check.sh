@@ -29,4 +29,17 @@ cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --amnesia
 echo "==> mc smoke (bounded schedule exploration + checker validation)"
 cargo run --quiet --release -p qrdtm-bench -- mc --smoke
 
+echo "==> perf smoke (wall-clock baseline, TL2 backend, BENCH json)"
+# The CLI validates its own JSON and exits nonzero on serializability
+# violations or malformed output; the greps double-check the artifact has
+# the keys downstream tooling reads.
+perf_json="${PERF_OUT:-target/BENCH_smoke.json}"
+cargo run --quiet --release -p qrdtm-bench -- perf --quick --out "$perf_json"
+for key in '"host"' '"sim"' '"par"' '"txns_per_sec"' '"peak_rss_kb"'; do
+    grep -q "$key" "$perf_json" || {
+        echo "error: $perf_json is missing $key" >&2
+        exit 1
+    }
+done
+
 echo "ok: all tier-1 checks passed"

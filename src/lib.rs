@@ -24,6 +24,7 @@
 
 pub use qrdtm_baselines as baselines;
 pub use qrdtm_core as core;
+pub use qrdtm_par as par;
 pub use qrdtm_quorum as quorum;
 pub use qrdtm_sim as sim;
 pub use qrdtm_workloads as workloads;
@@ -32,7 +33,7 @@ pub use qrdtm_workloads as workloads;
 pub mod prelude {
     pub use qrdtm_core::{
         Abort, AbortTarget, Client, Cluster, DtmConfig, DtmProtocol, LatencySpec, NestingMode,
-        ObjVal, ObjectId, ProtocolStats, Tx,
+        ObjVal, ObjectId, ProtocolStats, SimHosted, Tx,
     };
     pub use qrdtm_sim::{NodeId, SimDuration, SimTime};
 }
