@@ -1,7 +1,8 @@
 //! `repro chaos` — randomized fault injection with invariant checking.
 //!
-//! Drives the [`qrdtm_chaos`] nemesis against any of the five protocol
-//! configurations (QR, QR-CN, QR-CHK, TFA/HyFlow, Decent-STM) under the
+//! Drives the [`qrdtm_chaos`] nemesis against any of the six protocol
+//! configurations (QR, QR-CN, QR-CHK, TFA/HyFlow, Decent-STM, Q-Store)
+//! under the
 //! bank workload: generates seeded [`FaultPlan`]s (budget masked to what
 //! each protocol can honestly tolerate), runs them, checks balance
 //! conservation, serializability, liveness and re-convergence, and — on a
@@ -16,9 +17,10 @@ use qrdtm_chaos::{
     FaultPlan,
 };
 use qrdtm_core::{Cluster, DetectorConfig, DtmConfig, DurabilityConfig, NestingMode};
+use qrdtm_qstore::{QStoreCluster, QStoreConfig};
 use qrdtm_sim::SimDuration;
 
-/// One of the five protocol configurations the nemesis can target.
+/// One of the six protocol configurations the nemesis can target.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Proto {
     Qr,
@@ -26,14 +28,16 @@ enum Proto {
     QrChk,
     Tfa,
     Decent,
+    QStore,
 }
 
-const ALL_PROTOS: [Proto; 5] = [
+const ALL_PROTOS: [Proto; 6] = [
     Proto::Qr,
     Proto::QrCn,
     Proto::QrChk,
     Proto::Tfa,
     Proto::Decent,
+    Proto::QStore,
 ];
 
 impl Proto {
@@ -44,6 +48,7 @@ impl Proto {
             Proto::QrChk => "qr-chk",
             Proto::Tfa => "tfa",
             Proto::Decent => "decent",
+            Proto::QStore => "qstore",
         }
     }
 
@@ -62,6 +67,11 @@ impl Proto {
         match self {
             Proto::Qr | Proto::QrCn | Proto::QrChk if durable => FaultBudget::durable(events),
             Proto::Qr | Proto::QrCn | Proto::QrChk => FaultBudget::full(events),
+            // Q-Store tolerates crashes/partitions/drops but keeps no
+            // durable log — amnesia events in a full budget are skipped by
+            // its support mask, so hand it the full vocabulary minus
+            // durability.
+            Proto::QStore => FaultBudget::full(events),
             Proto::Tfa | Proto::Decent => FaultBudget::gray(events),
         }
     }
@@ -118,6 +128,14 @@ impl Proto {
                 }));
                 run_plan(cl, nodes, spec, plan)
             }
+            Proto::QStore => {
+                let cl = Rc::new(QStoreCluster::new(QStoreConfig {
+                    nodes,
+                    seed,
+                    ..Default::default()
+                }));
+                run_plan(cl, nodes, spec, plan)
+            }
         }
     }
 }
@@ -163,7 +181,7 @@ struct ChaosArgs {
 fn chaos_usage() -> ! {
     eprintln!(
         "usage: repro chaos [--smoke] [--detector] [--amnesia] \
-         [--proto qr|qr-cn|qr-chk|tfa|decent|all] \
+         [--proto qr|qr-cn|qr-chk|tfa|decent|qstore|all] \
          [--seed S] [--seeds N] [--events N] [--nodes N] [--horizon-ms H] \
          [--fig10 K] [--plan FILE] [--save-plan FILE]"
     );
@@ -418,10 +436,13 @@ fn report_one(
 }
 
 /// The fixed smoke suite `scripts/check.sh` runs: two seeds across all
-/// five protocols with the short spec, plus one Fig. 10 crash schedule.
+/// six protocols with the short spec, plus one Fig. 10 crash schedule and
+/// a crafted planner-failover plan for the batching family (crash node 0,
+/// the initial planner — the successor must replan, and the batch
+/// atomicity checker must stay clean).
 fn smoke() -> i32 {
     let spec = ChaosSpec::smoke();
-    println!("## chaos --smoke — 2 seeds x 5 protocols + fig10 schedule\n");
+    println!("## chaos --smoke — 2 seeds x 6 protocols + fig10 + planner-failover\n");
     let mut ok = true;
     for seed in 1..=2u64 {
         for proto in ALL_PROTOS {
@@ -431,6 +452,17 @@ fn smoke() -> i32 {
     }
     let fig10 = fig10_plan(3, spec.horizon);
     ok &= run_one(Proto::QrCn, 3, 10, &spec, &fig10, None, false);
+    let planner_failover = FaultPlan::new(vec![
+        FaultEvent {
+            at: SimDuration::from_millis(400),
+            kind: FaultKind::Crash { node: 0 },
+        },
+        FaultEvent {
+            at: SimDuration::from_millis(1_200),
+            kind: FaultKind::Recover { node: 0 },
+        },
+    ]);
+    ok &= run_one(Proto::QStore, 3, 10, &spec, &planner_failover, None, false);
     if ok {
         println!("\nchaos smoke: all invariants held");
         0

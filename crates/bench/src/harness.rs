@@ -11,10 +11,11 @@ use std::sync::Mutex;
 
 use qrdtm_baselines::{DecentConfig, TfaConfig};
 use qrdtm_core::{DtmConfig, LatencySpec, NestingMode};
+use qrdtm_qstore::QStoreConfig;
 use qrdtm_sim::SimDuration;
 use qrdtm_workloads::{
-    run, run_decent_bank, run_qr_bank, run_tfa_bank, BankSpec, Benchmark, RunResult, RunSpec,
-    WorkloadParams,
+    run, run_decent_bank, run_qr_bank, run_qstore_bank, run_tfa_bank, BankSpec, Benchmark,
+    RunResult, RunSpec, WorkloadParams,
 };
 
 /// Base RNG seed for every experiment (results are deterministic given it).
@@ -397,8 +398,10 @@ pub fn table8(quick: bool) -> Vec<Table8Row> {
         .collect()
 }
 
-/// Fig. 9: QR-DTM vs HyFlow (TFA) vs Decent-STM on Bank, sweeping cluster
-/// size at 50 % and 90 % read mixes.
+/// Fig. 9: QR-DTM vs HyFlow (TFA) vs Decent-STM vs Q-Store on Bank,
+/// sweeping cluster size at 50 % and 90 % read mixes. Q-Store is the
+/// batching outlier: planner-ordered epochs trade commit latency for
+/// abort-free throughput under contention.
 pub fn fig9(quick: bool) -> Figure {
     let nodes: Vec<usize> = if quick {
         vec![8, 20, 40]
@@ -410,7 +413,7 @@ pub fn fig9(quick: bool) -> Figure {
     let mut jobs = Vec::new();
     for &mix in &mixes {
         for &n in &nodes {
-            for proto in 0..3usize {
+            for proto in 0..4usize {
                 jobs.push((mix, n, proto));
             }
         }
@@ -449,9 +452,26 @@ pub fn fig9(quick: bool) -> Figure {
             );
             r.throughput
         }
-        _ => {
+        2 => {
             let r = run_decent_bank(
                 DecentConfig {
+                    nodes: n,
+                    seed: SEED,
+                    ..Default::default()
+                },
+                &BankSpec {
+                    accounts,
+                    read_pct: mix,
+                    warmup,
+                    duration,
+                    clients_per_node: 1,
+                },
+            );
+            r.throughput
+        }
+        _ => {
+            let r = run_qstore_bank(
+                QStoreConfig {
                     nodes: n,
                     seed: SEED,
                     ..Default::default()
@@ -473,7 +493,7 @@ pub fn fig9(quick: bool) -> Figure {
             let rows = nodes
                 .iter()
                 .map(|&n| {
-                    let series = (0..3usize)
+                    let series = (0..4usize)
                         .map(|proto| {
                             let idx = jobs
                                 .iter()
@@ -494,7 +514,12 @@ pub fn fig9(quick: bool) -> Figure {
     Figure {
         name: "fig9".into(),
         x_label: "nodes".into(),
-        series: vec!["QR-DTM".into(), "HyFlow".into(), "Decent-STM".into()],
+        series: vec![
+            "QR-DTM".into(),
+            "HyFlow".into(),
+            "Decent-STM".into(),
+            "Q-Store".into(),
+        ],
         groups,
     }
 }

@@ -1,46 +1,54 @@
 //! `repro mc` — bounded schedule exploration (model checking).
 //!
 //! Drives the [`qrdtm_mc`] explorer over the QR / QR-CN / QR-CHK protocols
-//! at a small contended scope: exhaustive DFS with commutativity pruning
-//! first, PCT-style random priority schedules for breadth after. Every
-//! schedule runs the full invariant battery (serializability, balance
-//! conservation, durability no-regress, nesting/checkpoint structure); a
-//! violation is shrunk to a minimal schedule and serialized as a lossless
-//! text trace that `--replay` re-runs deterministically.
+//! and the Q-Store speculative-batching protocol at a small contended
+//! scope: exhaustive DFS with commutativity pruning first, PCT-style
+//! random priority schedules for breadth after. Every schedule runs the
+//! full invariant battery (serializability, balance conservation,
+//! durability no-regress, nesting/checkpoint structure — batch atomicity
+//! on the Q-Store arm); a violation is shrunk to a minimal schedule and
+//! serialized as a lossless text trace that `--replay` re-runs
+//! deterministically.
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 use qrdtm_core::{InjectedBug, NestingMode};
-use qrdtm_mc::{dfs_explore, minimize, pct_explore, replay, ExploreReport, Scope, Trace};
+use qrdtm_mc::{
+    dfs_explore, minimize, pct_explore, replay, ExploreReport, McBug, McProto, Scope, Trace,
+};
+use qrdtm_qstore::QStoreBug;
 
 use crate::harness;
 
-const MC_MODES: [NestingMode; 3] = [
-    NestingMode::Flat,
-    NestingMode::Closed,
-    NestingMode::Checkpoint,
+const MC_PROTOS: [McProto; 4] = [
+    McProto::Qr(NestingMode::Flat),
+    McProto::Qr(NestingMode::Closed),
+    McProto::Qr(NestingMode::Checkpoint),
+    McProto::QStore,
 ];
 
-fn label(mode: NestingMode) -> &'static str {
-    match mode {
-        NestingMode::Flat => "qr",
-        NestingMode::Closed => "qr-cn",
-        NestingMode::Checkpoint => "qr-chk",
+fn label(proto: McProto) -> &'static str {
+    match proto {
+        McProto::Qr(NestingMode::Flat) => "qr",
+        McProto::Qr(NestingMode::Closed) => "qr-cn",
+        McProto::Qr(NestingMode::Checkpoint) => "qr-chk",
+        McProto::QStore => "qstore",
     }
 }
 
-fn parse_protos(s: &str) -> Option<Vec<NestingMode>> {
+fn parse_protos(s: &str) -> Option<Vec<McProto>> {
     if s == "all" {
-        return Some(MC_MODES.to_vec());
+        return Some(MC_PROTOS.to_vec());
     }
-    MC_MODES.iter().find(|m| label(**m) == s).map(|m| vec![*m])
+    MC_PROTOS.iter().find(|p| label(**p) == s).map(|p| vec![*p])
 }
 
-fn parse_bug(s: &str) -> Option<InjectedBug> {
+fn parse_bug(s: &str) -> Option<McBug> {
     match s {
-        "skip-vote-check" => Some(InjectedBug::SkipVoteCheck),
-        "skip-epoch-fence" => Some(InjectedBug::SkipEpochFence),
+        "skip-vote-check" => Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
+        "skip-epoch-fence" => Some(McBug::Qr(InjectedBug::SkipEpochFence)),
+        "skip-tag-check" => Some(McBug::QStore(QStoreBug::SkipTagCheck)),
         _ => None,
     }
 }
@@ -48,14 +56,14 @@ fn parse_bug(s: &str) -> Option<InjectedBug> {
 struct McArgs {
     smoke: bool,
     replay: Option<PathBuf>,
-    protos: Vec<NestingMode>,
+    protos: Vec<McProto>,
     seed: u64,
     nodes: usize,
     objects: u64,
     txns: usize,
     dfs: u64,
     pct: u64,
-    bug: Option<InjectedBug>,
+    bug: Option<McBug>,
     save_trace: Option<PathBuf>,
 }
 
@@ -63,10 +71,10 @@ fn mc_usage() -> ! {
     eprintln!(
         "usage: repro mc --smoke\n\
          \x20      repro mc --replay FILE\n\
-         \x20      repro mc [--proto qr|qr-cn|qr-chk|all] [--seed S] [--nodes N] \
+         \x20      repro mc [--proto qr|qr-cn|qr-chk|qstore|all] [--seed S] [--nodes N] \
          [--objects K] [--txns T]\n\
          \x20               [--dfs N] [--pct N] \
-         [--inject-bug skip-vote-check|skip-epoch-fence] [--save-trace FILE]"
+         [--inject-bug skip-vote-check|skip-epoch-fence|skip-tag-check] [--save-trace FILE]"
     );
     std::process::exit(2);
 }
@@ -75,7 +83,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> McArgs {
     let mut a = McArgs {
         smoke: false,
         replay: None,
-        protos: MC_MODES.to_vec(),
+        protos: MC_PROTOS.to_vec(),
         seed: 1,
         nodes: 3,
         objects: 2,
@@ -164,9 +172,9 @@ fn report_counterexample(
 fn explore(a: &McArgs) -> i32 {
     println!("## mc — bounded schedule exploration + invariant checking\n");
     let mut worst = 0;
-    for &mode in &a.protos {
+    for &proto in &a.protos {
         let scope = Scope {
-            mode,
+            proto,
             nodes: a.nodes,
             objects: a.objects,
             txns: a.txns,
@@ -186,7 +194,7 @@ fn explore(a: &McArgs) -> i32 {
         }
         println!(
             "[{:<6}] dfs={:>5} (exhausted={}) pct={:>5} distinct={:>5} max_depth={:>3} => {}",
-            label(mode),
+            label(proto),
             dfs.runs,
             if dfs.exhausted { "yes" } else { "no" },
             pct.runs,
@@ -234,7 +242,7 @@ fn replay_file(path: &Path) -> i32 {
         "replayed {} choice(s) [{} nodes={} objects={} txns={} seed={}]: \
          commits={} aborts={} fingerprint={:016x}",
         trace.choices.len(),
-        label(trace.scope.mode),
+        label(trace.scope.proto),
         trace.scope.nodes,
         trace.scope.objects,
         trace.scope.txns,
@@ -255,15 +263,16 @@ fn replay_file(path: &Path) -> i32 {
 }
 
 /// The fixed smoke suite `scripts/check.sh` runs: ≥10k distinct schedules
-/// across the three protocols at the 3-node/2-object/2-txn scope with zero
-/// violations, plus a checker-validation stage where a deliberately broken
-/// protocol variant must be caught with a minimized, replayable trace.
+/// across the four protocols at the 3-node/2-object/2-txn scope with zero
+/// violations, plus a checker-validation stage where deliberately broken
+/// protocol variants (one QR, one Q-Store) must be caught with minimized,
+/// replayable traces.
 fn smoke() -> i32 {
     let t0 = std::time::Instant::now();
     println!("## mc --smoke — schedule exploration at 3 nodes / 2 objects / 2 txns\n");
     const TARGET_PER_MODE: u64 = 3_500;
-    let results = harness::parallel_map(MC_MODES.to_vec(), |mode| {
-        let scope = Scope::smoke(mode);
+    let results = harness::parallel_map(MC_PROTOS.to_vec(), |proto| {
+        let scope = Scope::smoke(proto);
         let mut seen = HashSet::new();
         let dfs = dfs_explore(&scope, 2_500, &mut seen);
         let mut runs = dfs.runs;
@@ -295,7 +304,7 @@ fn smoke() -> i32 {
         total_runs += runs;
         println!(
             "[{:<6}] runs={:>5} distinct={:>5} max_depth={:>3} exhausted={} => {}",
-            label(scope.mode),
+            label(scope.proto),
             runs,
             distinct,
             depth,
@@ -308,47 +317,65 @@ fn smoke() -> i32 {
         }
     }
 
-    // Checker validation: a protocol that trusts a failed vote round must
-    // be caught, and the minimized counterexample must still reproduce
-    // after a trace text round-trip — otherwise the zero violations above
-    // prove nothing.
-    println!("\nchecker validation: injected bug skip-vote-check on qr");
-    let bug_scope = Scope {
-        injected_bug: Some(InjectedBug::SkipVoteCheck),
-        ..Scope::smoke(NestingMode::Flat)
-    };
-    let mut seen = HashSet::new();
-    let mut cex = dfs_explore(&bug_scope, 600, &mut seen).counterexample;
-    if cex.is_none() {
-        cex = pct_explore(&bug_scope, 600, 77, &mut seen).counterexample;
-    }
-    match cex {
-        None => {
-            eprintln!("    injected bug was NOT caught in 1200 schedules");
-            ok = false;
+    // Checker validation: a protocol that trusts a failed vote round (QR)
+    // or seals epochs without read-tag validation (Q-Store) must be
+    // caught, and the minimized counterexample must still reproduce after
+    // a trace text round-trip — otherwise the zero violations above prove
+    // nothing.
+    let validations = [
+        (
+            "skip-vote-check",
+            Scope {
+                injected_bug: Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
+                ..Scope::smoke(McProto::Qr(NestingMode::Flat))
+            },
+        ),
+        (
+            "skip-tag-check",
+            Scope {
+                injected_bug: Some(McBug::QStore(QStoreBug::SkipTagCheck)),
+                ..Scope::smoke(McProto::QStore)
+            },
+        ),
+    ];
+    for (bug_name, bug_scope) in validations {
+        println!(
+            "\nchecker validation: injected bug {bug_name} on {}",
+            label(bug_scope.proto)
+        );
+        let mut seen = HashSet::new();
+        let mut cex = dfs_explore(&bug_scope, 600, &mut seen).counterexample;
+        if cex.is_none() {
+            cex = pct_explore(&bug_scope, 600, 77, &mut seen).counterexample;
         }
-        Some(cex) => {
-            let min = minimize(&bug_scope, &cex.choices);
-            let trace = Trace {
-                scope: bug_scope,
-                choices: min,
-            };
-            let replayed = Trace::parse(&trace.to_string())
-                .map(|t| replay(&t.scope, &t.choices))
-                .ok();
-            match replayed {
-                Some(out) if !out.violations.is_empty() => {
-                    println!(
-                        "    caught, minimized to {} choice(s), replays from text:",
-                        trace.choices.len()
-                    );
-                    for v in &out.violations {
-                        println!("      ! {v}");
+        match cex {
+            None => {
+                eprintln!("    injected bug was NOT caught in 1200 schedules");
+                ok = false;
+            }
+            Some(cex) => {
+                let min = minimize(&bug_scope, &cex.choices);
+                let trace = Trace {
+                    scope: bug_scope,
+                    choices: min,
+                };
+                let replayed = Trace::parse(&trace.to_string())
+                    .map(|t| replay(&t.scope, &t.choices))
+                    .ok();
+                match replayed {
+                    Some(out) if !out.violations.is_empty() => {
+                        println!(
+                            "    caught, minimized to {} choice(s), replays from text:",
+                            trace.choices.len()
+                        );
+                        for v in &out.violations {
+                            println!("      ! {v}");
+                        }
                     }
-                }
-                _ => {
-                    eprintln!("    minimized trace did NOT replay the violation");
-                    ok = false;
+                    _ => {
+                        eprintln!("    minimized trace did NOT replay the violation");
+                        ok = false;
+                    }
                 }
             }
         }
@@ -361,8 +388,8 @@ fn smoke() -> i32 {
     }
     if ok {
         println!(
-            "\nmc smoke: {total_distinct} distinct schedules ({total_runs} runs) across 3 \
-             protocols, zero violations, injected bug caught ({secs:.1}s)"
+            "\nmc smoke: {total_distinct} distinct schedules ({total_runs} runs) across 4 \
+             protocols, zero violations, injected bugs caught ({secs:.1}s)"
         );
         0
     } else {

@@ -10,12 +10,18 @@
 //! repro perf [--quick] [--out FILE]     (default FILE: BENCH_baseline.json)
 //! ```
 //!
-//! Three legs, one bank workload:
+//! Four legs, one bank workload:
 //!
 //! * **sim** — the QR-CN cluster on the simulator: virtual txn/s (the
 //!   paper's metric), plus how fast the simulator itself executes (wall
 //!   events/s) and the virtual commit-latency percentiles from the
 //!   sampled reservoir.
+//! * **write-heavy grid** — QR vs Q-Store head to head on a write-heavy,
+//!   high-contention bank (few hot accounts, 10% reads): the workload
+//!   speculative batching is built for. Reports per-protocol virtual
+//!   txn/s plus Q-Store's batch size, realized batch occupancy, group
+//!   commit fsync totals and epoch (seal→quorum-ack) latency
+//!   percentiles.
 //! * **par ×1 / par ×N** — the TL2 backend at 1 thread and at
 //!   `PAR_THREADS` threads: wall txn/s, abort rate, wall latency
 //!   percentiles, and a full serializability audit of the recorded
@@ -23,12 +29,14 @@
 //!
 //! The emitted JSON is validated by the built-in parser before the
 //! process exits (exit 1 on malformed output), so CI can gate on it.
+//! `--out` creates missing parent directories instead of failing.
 
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 use qrdtm_core::{Cluster, DtmConfig, LatencySpec, NestingMode};
 use qrdtm_par::{run_par_bank, ParBankResult, ParBankSpec};
+use qrdtm_qstore::{QStoreCluster, QStoreConfig};
 use qrdtm_sim::SimDuration;
 use qrdtm_workloads::{run_bank, BankSpec};
 
@@ -56,6 +64,7 @@ pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
     }
 
     let sim = sim_leg(quick);
+    let grid = write_heavy_grid(quick);
     let par1 = par_leg(quick, 1);
     let parn = par_leg(quick, PAR_THREADS);
     if par1.violations + parn.violations > 0 {
@@ -68,17 +77,23 @@ pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
 
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let speedup = parn.throughput / par1.throughput.max(1e-9);
-    let json = render_json(quick, cores, &sim, &[&par1, &parn], speedup);
+    let json = render_json(quick, cores, &sim, &grid, &[&par1, &parn], speedup);
     if let Err(e) = validate_json(&json) {
         eprintln!("FAIL: generated benchmark JSON is malformed: {e}");
         return 1;
+    }
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("FAIL: cannot create {}: {e}", dir.display());
+            return 1;
+        }
     }
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("FAIL: cannot write {}: {e}", out.display());
         return 1;
     }
 
-    print_summary(cores, &sim, &[&par1, &parn], speedup, &out);
+    print_summary(cores, &sim, &grid, &[&par1, &parn], speedup, &out);
     0
 }
 
@@ -133,6 +148,120 @@ fn sim_leg(quick: bool) -> SimLeg {
     }
 }
 
+/// Workload shape of the write-heavy high-contention grid.
+const GRID_ACCOUNTS: u64 = 8;
+const GRID_READ_PCT: u32 = 10;
+const GRID_CLIENTS_PER_NODE: usize = 2;
+
+/// One protocol's measurement on the write-heavy grid.
+struct GridLeg {
+    protocol: &'static str,
+    virtual_tps: f64,
+    commits: u64,
+    aborts: u64,
+    wall_secs: f64,
+}
+
+/// Q-Store's batching telemetry from the grid run.
+struct BatchTelemetry {
+    batch_size: usize,
+    batches: u64,
+    batch_txns: u64,
+    wal_fsyncs: u64,
+    epoch_p50_ns: Option<u64>,
+    epoch_p99_ns: Option<u64>,
+}
+
+/// Both write-heavy grid legs: QR (flat) and Q-Store on the same bank
+/// shape, network, and seed.
+struct WriteHeavyGrid {
+    qr: GridLeg,
+    qstore: GridLeg,
+    batching: BatchTelemetry,
+}
+
+fn grid_spec(quick: bool) -> BankSpec {
+    BankSpec {
+        accounts: GRID_ACCOUNTS,
+        read_pct: GRID_READ_PCT,
+        warmup: SimDuration::from_millis(500),
+        duration: if quick {
+            SimDuration::from_secs(2)
+        } else {
+            SimDuration::from_secs(10)
+        },
+        clients_per_node: GRID_CLIENTS_PER_NODE,
+    }
+}
+
+fn percentile_ns(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q / 100.0).round() as usize;
+    sorted.get(idx).copied()
+}
+
+/// Run the write-heavy high-contention grid: the sixth protocol's home
+/// turf. Same 10-node jittered network and seed for both protocols.
+fn write_heavy_grid(quick: bool) -> WriteHeavyGrid {
+    let spec = grid_spec(quick);
+
+    let qr_cfg = DtmConfig {
+        nodes: 10,
+        mode: NestingMode::Flat,
+        seed: 42,
+        latency: LatencySpec::Jittered(SimDuration::from_millis(15), 0.1),
+        ..Default::default()
+    };
+    let nodes = qr_cfg.nodes;
+    let qr_cluster = Rc::new(Cluster::new(qr_cfg));
+    let t0 = std::time::Instant::now();
+    let qr_run = run_bank(Rc::clone(&qr_cluster), nodes, &spec);
+    let qr = GridLeg {
+        protocol: "QR",
+        virtual_tps: qr_run.throughput,
+        commits: qr_run.commits,
+        aborts: qr_run.aborts,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    };
+
+    let qs_cfg = QStoreConfig {
+        nodes: 10,
+        seed: 42,
+        ..QStoreConfig::default()
+    };
+    let batch_size = qs_cfg.batch_size;
+    let qs_cluster = Rc::new(QStoreCluster::new(qs_cfg));
+    let t0 = std::time::Instant::now();
+    let qs_run = run_bank(Rc::clone(&qs_cluster), nodes, &spec);
+    let qstore = GridLeg {
+        protocol: "Q-Store",
+        virtual_tps: qs_run.throughput,
+        commits: qs_run.commits,
+        aborts: qs_run.aborts,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    };
+
+    let stats = qs_cluster.stats();
+    let (_, wal_fsyncs) = qs_cluster.wal_totals();
+    let mut epochs = qs_cluster.epoch_latencies();
+    epochs.sort_unstable();
+    let batching = BatchTelemetry {
+        batch_size,
+        batches: stats.batches,
+        batch_txns: stats.batch_txns,
+        wal_fsyncs,
+        epoch_p50_ns: percentile_ns(&epochs, 50.0),
+        epoch_p99_ns: percentile_ns(&epochs, 99.0),
+    };
+    WriteHeavyGrid {
+        qr,
+        qstore,
+        batching,
+    }
+}
+
 fn par_leg(quick: bool, threads: usize) -> ParBankResult {
     let spec = ParBankSpec {
         accounts: 32,
@@ -168,10 +297,18 @@ fn latency_obj(p50: Option<u64>, p99: Option<u64>, p999: Option<u64>) -> String 
     )
 }
 
+fn grid_leg_json(leg: &GridLeg, extra: &str) -> String {
+    format!(
+        "{{\"protocol\": \"{}\", \"virtual_txns_per_sec\": {:.2}, \"commits\": {}, \"aborts\": {}, \"wall_secs\": {:.3}{extra}}}",
+        leg.protocol, leg.virtual_tps, leg.commits, leg.aborts, leg.wall_secs
+    )
+}
+
 fn render_json(
     quick: bool,
     cores: usize,
     sim: &SimLeg,
+    grid: &WriteHeavyGrid,
     par: &[&ParBankResult],
     speedup: f64,
 ) -> String {
@@ -193,6 +330,21 @@ fn render_json(
         sim.wall_secs,
         sim.events_per_sec,
         latency_obj(sim.p50_ns, sim.p99_ns, sim.p999_ns)
+    ));
+    let b = &grid.batching;
+    let qstore_extra = format!(
+        ", \"batch_size\": {}, \"batches\": {}, \"batch_txns\": {}, \"wal_fsyncs\": {}, \"epoch_latency_virtual_ns\": {{\"p50\": {}, \"p99\": {}}}",
+        b.batch_size,
+        b.batches,
+        b.batch_txns,
+        b.wal_fsyncs,
+        opt_u64(b.epoch_p50_ns),
+        opt_u64(b.epoch_p99_ns)
+    );
+    s.push_str(&format!(
+        "  \"write_heavy_grid\": {{\"accounts\": {GRID_ACCOUNTS}, \"read_pct\": {GRID_READ_PCT}, \"clients_per_node\": {GRID_CLIENTS_PER_NODE}, \"qr\": {}, \"qstore\": {}}},\n",
+        grid_leg_json(&grid.qr, ""),
+        grid_leg_json(&grid.qstore, &qstore_extra)
     ));
     s.push_str("  \"par\": [\n");
     for (i, r) in par.iter().enumerate() {
@@ -216,11 +368,44 @@ fn render_json(
     s
 }
 
-fn print_summary(cores: usize, sim: &SimLeg, par: &[&ParBankResult], speedup: f64, out: &Path) {
+fn print_summary(
+    cores: usize,
+    sim: &SimLeg,
+    grid: &WriteHeavyGrid,
+    par: &[&ParBankResult],
+    speedup: f64,
+    out: &Path,
+) {
     println!("## perf — bank workload, wall-clock baseline ({cores} host cores)\n");
     println!(
         "sim    {:>8}: {:9.1} txn/s (virtual), {} commits, {:.0} sim events/s wall",
         sim.protocol, sim.virtual_tps, sim.commits, sim.events_per_sec
+    );
+    println!(
+        "\ngrid   write-heavy/hot ({GRID_ACCOUNTS} accounts, {GRID_READ_PCT}% reads, \
+         {GRID_CLIENTS_PER_NODE} clients/node):"
+    );
+    for leg in [&grid.qr, &grid.qstore] {
+        println!(
+            "       {:>8}: {:9.1} txn/s (virtual), {} commits, {} aborts",
+            leg.protocol, leg.virtual_tps, leg.commits, leg.aborts
+        );
+    }
+    let b = &grid.batching;
+    println!(
+        "       Q-Store batching: size {}, {} batches / {} batched txns ({:.1} avg), \
+         {} fsyncs, epoch p50 {} ms p99 {} ms",
+        b.batch_size,
+        b.batches,
+        b.batch_txns,
+        b.batch_txns as f64 / (b.batches.max(1)) as f64,
+        b.wal_fsyncs,
+        b.epoch_p50_ns.map_or(0, |n| n / 1_000_000),
+        b.epoch_p99_ns.map_or(0, |n| n / 1_000_000),
+    );
+    println!(
+        "       Q-Store vs QR: {:.2}x on the write-heavy grid\n",
+        grid.qstore.virtual_tps / grid.qr.virtual_tps.max(1e-9)
     );
     for r in par {
         println!(
@@ -413,7 +598,31 @@ mod tests {
             violations: 0,
             total_balance: 32_000,
         };
-        let json = render_json(true, 1, &sim, &[&par, &par], 1.0);
+        let grid = WriteHeavyGrid {
+            qr: GridLeg {
+                protocol: "QR",
+                virtual_tps: 60.0,
+                commits: 600,
+                aborts: 400,
+                wall_secs: 0.4,
+            },
+            qstore: GridLeg {
+                protocol: "Q-Store",
+                virtual_tps: 90.0,
+                commits: 900,
+                aborts: 80,
+                wall_secs: 0.5,
+            },
+            batching: BatchTelemetry {
+                batch_size: 16,
+                batches: 70,
+                batch_txns: 980,
+                wal_fsyncs: 700,
+                epoch_p50_ns: Some(33_000_000),
+                epoch_p99_ns: None,
+            },
+        };
+        let json = render_json(true, 1, &sim, &grid, &[&par, &par], 1.0);
         validate_json(&json).expect("baseline JSON must validate");
         for key in [
             "\"host\"",
@@ -421,8 +630,20 @@ mod tests {
             "\"par\"",
             "\"txns_per_sec\"",
             "\"peak_rss_kb\"",
+            "\"write_heavy_grid\"",
+            "\"batch_size\"",
+            "\"epoch_latency_virtual_ns\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn epoch_percentiles_handle_empty_and_sorted_inputs() {
+        assert_eq!(percentile_ns(&[], 50.0), None);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 50.0), Some(51));
+        assert_eq!(percentile_ns(&v, 99.0), Some(99));
+        assert_eq!(percentile_ns(&[7], 99.9), Some(7));
     }
 }

@@ -37,6 +37,13 @@ pub enum ChaosViolation {
         /// The underlying violation, rendered.
         String,
     ),
+    /// Batch-oriented protocols only: a committed transaction observed a
+    /// write from an epoch that was never acknowledged as a whole — batch
+    /// atomicity broken.
+    BatchAtomicity(
+        /// The underlying violation, rendered.
+        String,
+    ),
     /// A quiet window saw no commits.
     NoProgress {
         /// Window start (virtual time, ms).
@@ -93,6 +100,7 @@ impl fmt::Display for ChaosViolation {
                 write!(f, "account object {oid} has no committed copy")
             }
             ChaosViolation::History(v) => write!(f, "history not serializable: {v}"),
+            ChaosViolation::BatchAtomicity(v) => write!(f, "batch atomicity broken: {v}"),
             ChaosViolation::NoProgress { from_ms, to_ms } => write!(
                 f,
                 "no commits in the fault-free window {from_ms}ms..{to_ms}ms"

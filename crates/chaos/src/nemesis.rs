@@ -365,6 +365,12 @@ pub fn run_plan<P: ChaosTarget + 'static>(
             .into_iter()
             .map(ChaosViolation::History),
     );
+    violations.extend(
+        proto
+            .batch_atomicity_violations()
+            .into_iter()
+            .map(ChaosViolation::BatchAtomicity),
+    );
     violations.extend(check_liveness(
         &samples.borrow(),
         spec.quiet_grace,
@@ -824,6 +830,54 @@ mod tests {
         assert!(r.ok(), "violations: {:?}", r.violations);
         assert_eq!(r.skipped, 1, "memory-only replicas cannot restart");
         assert_eq!(r.applied, 0);
+    }
+
+    #[test]
+    fn qstore_survives_crashes_and_partitions() {
+        use qrdtm_qstore::{QStoreCluster, QStoreConfig};
+        // Crash a replica, then the planner (node 0) — the successor must
+        // replan from acknowledged state; then cut the cluster in half and
+        // heal. Every checker, including batch atomicity, must stay clean.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(200),
+                kind: FaultKind::Crash { node: 6 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(400),
+                kind: FaultKind::Crash { node: 0 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(800),
+                kind: FaultKind::Recover { node: 6 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(900),
+                kind: FaultKind::Partition {
+                    groups: vec![vec![1, 2, 3, 4, 5], vec![0, 6, 7, 8, 9]],
+                },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_300),
+                kind: FaultKind::Heal,
+            },
+        ]);
+        let c = Rc::new(QStoreCluster::new(QStoreConfig {
+            nodes: 10,
+            seed: 11,
+            ..Default::default()
+        }));
+        let r = run_plan(c, 10, &quick_spec(), &plan);
+        assert!(
+            r.ok(),
+            "violations: {:?}\nfaults: {:?}",
+            r.violations,
+            r.fault_log
+        );
+        assert_eq!(r.applied, 5);
+        assert!(r.commits > 0);
+        assert!(r.view_epoch >= 3, "each crash/recovery bumped the epoch");
+        assert!(r.dropped_by_partition > 0, "partition saw no traffic");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::rc::Rc;
 
 use qrdtm_baselines::{DecentCluster, TfaCluster};
 use qrdtm_core::{spawn_detector, Cluster, DetectorHandle, ObjectId, SimHosted};
+use qrdtm_qstore::QStoreCluster;
 use qrdtm_sim::NodeId;
 
 use crate::plan::FaultKind;
@@ -192,6 +193,13 @@ pub trait ChaosTarget: SimHosted {
     fn acked_write_versions(&self) -> Vec<(u64, u64)> {
         Vec::new()
     }
+
+    /// Batch-oriented protocols only: violations of epoch (batch)
+    /// atomicity — a committed transaction observing a write from an
+    /// unacknowledged batch. Empty for per-transaction protocols.
+    fn batch_atomicity_violations(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl ChaosTarget for Cluster {
@@ -318,6 +326,57 @@ impl ChaosTarget for DecentCluster {
 
     fn committed_int(&self, oid: ObjectId) -> Option<i64> {
         self.latest(oid).map(|v| v.expect_int())
+    }
+}
+
+impl ChaosTarget for QStoreCluster {
+    fn fault_support(&self) -> FaultSupport {
+        // Crash-stop with planner failover, partitions and lossy links are
+        // tolerated by design; there is no durable log to restart a replica
+        // from, so amnesia faults do not apply.
+        FaultSupport {
+            amnesia: false,
+            ..FaultSupport::all()
+        }
+    }
+
+    fn crash(&self, node: NodeId) -> bool {
+        QStoreCluster::crash_node(self, node)
+    }
+
+    fn recover_crashed(&self, node: NodeId) -> bool {
+        QStoreCluster::recover_crashed_node(self, node)
+    }
+
+    fn begin_history(&self) {
+        QStoreCluster::begin_history(self);
+    }
+
+    fn history_violations(&self) -> Vec<String> {
+        self.verify_history()
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect()
+    }
+
+    fn committed_int(&self, oid: ObjectId) -> Option<i64> {
+        self.latest(oid).map(|(_, v)| v.expect_int())
+    }
+
+    fn view_member(&self, node: NodeId) -> bool {
+        self.view_alive(node)
+    }
+
+    fn view_epoch(&self) -> u64 {
+        QStoreCluster::view_epoch(self)
+    }
+
+    fn committed_version(&self, oid: ObjectId) -> Option<u64> {
+        self.latest(oid).map(|(v, _)| v.0)
+    }
+
+    fn batch_atomicity_violations(&self) -> Vec<String> {
+        QStoreCluster::batch_atomicity_violations(self)
     }
 }
 

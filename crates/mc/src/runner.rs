@@ -14,10 +14,11 @@ use std::rc::Rc;
 
 use qrdtm_chaos::{check_balances, check_durability, ChaosTarget};
 use qrdtm_core::{
-    check_abort_targets, check_checkpoint_restores, Cluster, DtmConfig, InjectedBug, LatencySpec,
-    NestingMode, ObjVal, ObjectId,
+    check_abort_targets, check_checkpoint_restores, Abort, Cluster, DtmConfig, DtmProtocol,
+    InjectedBug, LatencySpec, NestingMode, ObjVal, ObjectId,
 };
-use qrdtm_sim::{EventInfo, NodeId, Scheduler, SimDuration, SimTime};
+use qrdtm_qstore::{QStoreBug, QStoreCluster, QStoreConfig};
+use qrdtm_sim::{EventInfo, NodeId, Scheduler, Sim, SimDuration, SimMessage, SimTime};
 
 use crate::strategies::ChoicePolicy;
 
@@ -29,13 +30,34 @@ pub const INITIAL_BALANCE: i64 = 1000;
 /// the horizon is reported as a stuck-run violation.
 const HORIZON: SimDuration = SimDuration::from_secs(300);
 
-/// The bounded exploration scope: protocol mode, cluster size, and workload
+/// Protocol family a scope explores: a QR nesting variant or the Q-Store
+/// speculative-batching protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McProto {
+    /// The quorum-replication family (QR / QR-CN / QR-CHK by nesting mode).
+    Qr(NestingMode),
+    /// Q-Store: planner-ordered epochs, speculative executors, batch-atomic
+    /// group commit.
+    QStore,
+}
+
+/// A deliberately broken protocol variant, used to validate that the
+/// checkers can actually catch protocol bugs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McBug {
+    /// A QR-family bug (`skip-vote-check` / `skip-epoch-fence`).
+    Qr(InjectedBug),
+    /// A Q-Store bug (`skip-tag-check`).
+    QStore(QStoreBug),
+}
+
+/// The bounded exploration scope: protocol, cluster size, and workload
 /// shape shared by every schedule the checker runs. A recorded schedule is
 /// only replayable under the exact scope it was recorded in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Scope {
     /// Protocol variant under test.
-    pub mode: NestingMode,
+    pub proto: McProto,
     /// Replica count.
     pub nodes: usize,
     /// Account objects (ids `0..objects`, each preloaded with
@@ -49,14 +71,14 @@ pub struct Scope {
     pub seed: u64,
     /// Deliberately broken protocol variant, used to validate that the
     /// checkers can actually catch protocol bugs.
-    pub injected_bug: Option<InjectedBug>,
+    pub injected_bug: Option<McBug>,
 }
 
 impl Scope {
     /// The issue's smoke scope: 3 nodes, 2 objects, 2 transactions.
-    pub fn smoke(mode: NestingMode) -> Self {
+    pub fn smoke(proto: McProto) -> Self {
         Scope {
-            mode,
+            proto,
             nodes: 3,
             objects: 2,
             txns: 2,
@@ -132,6 +154,20 @@ impl Scheduler for RecordingScheduler {
     }
 }
 
+/// Install a recording scheduler on `sim`; the returned recording fills in
+/// as the run executes.
+fn attach_recorder<M: SimMessage>(
+    sim: &Sim<M>,
+    policy: Box<dyn ChoicePolicy>,
+) -> Rc<RefCell<Recording>> {
+    let rec = Rc::new(RefCell::new(Recording::default()));
+    sim.set_scheduler(Box::new(RecordingScheduler {
+        policy,
+        rec: Rc::clone(&rec),
+    }));
+    rec
+}
+
 /// Spawn one transfer client. Under QR-CN the debit and credit run in
 /// separate closed-nested scopes so conflicts produce real partial aborts;
 /// the other modes run the accesses flat (QR-CHK still checkpoints them,
@@ -169,9 +205,18 @@ fn spawn_transfer(cluster: &Rc<Cluster>, node: NodeId, from: ObjectId, to: Objec
 /// invariant. Deterministic: the same scope and the same effective choices
 /// always produce the same [`RunOutcome`].
 pub fn run_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutcome {
+    match scope.proto {
+        McProto::Qr(mode) => run_qr_schedule(scope, mode, policy),
+        McProto::QStore => run_qstore_schedule(scope, policy),
+    }
+}
+
+/// QR-family schedule: the full battery including durability no-regress
+/// and the structural nesting/checkpoint assertions.
+fn run_qr_schedule(scope: &Scope, mode: NestingMode, policy: Box<dyn ChoicePolicy>) -> RunOutcome {
     let cfg = DtmConfig {
         nodes: scope.nodes,
-        mode: scope.mode,
+        mode,
         seed: scope.seed,
         // Constant latency maximizes same-instant ties — every fan-out's
         // arrivals land together, so the scheduler actually gets choices.
@@ -181,7 +226,10 @@ pub fn run_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutcome 
         // Checkpoint on every data-set growth step so QR-CHK runs exercise
         // the checkpoint/restore assertions even at this tiny scale.
         chk_threshold: 1,
-        injected_bug: scope.injected_bug,
+        injected_bug: match scope.injected_bug {
+            Some(McBug::Qr(b)) => Some(b),
+            _ => None,
+        },
         ..DtmConfig::default()
     };
     let cluster = Rc::new(Cluster::new(cfg));
@@ -192,11 +240,7 @@ pub fn run_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutcome 
     let sim = cluster.sim().clone();
     sim.record_engine_events(true);
 
-    let rec = Rc::new(RefCell::new(Recording::default()));
-    sim.set_scheduler(Box::new(RecordingScheduler {
-        policy,
-        rec: Rc::clone(&rec),
-    }));
+    let rec = attach_recorder(&sim, policy);
 
     for i in 0..scope.txns {
         let from = ObjectId(i as u64 % scope.objects);
@@ -263,6 +307,132 @@ pub fn run_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutcome 
         groups: rec.groups.clone(),
         commits: stats.commits,
         aborts: stats.root_aborts + stats.ct_aborts + stats.chk_rollbacks,
+        violations,
+        fingerprint: fp.finish(),
+    }
+}
+
+/// Spawn one Q-Store transfer client: flat read-modify-write of both
+/// accounts through the [`DtmProtocol`] surface, retrying on requeue.
+fn spawn_qstore_transfer(
+    cluster: &Rc<QStoreCluster>,
+    node: NodeId,
+    from: ObjectId,
+    to: ObjectId,
+    amount: i64,
+) {
+    let c = Rc::clone(cluster);
+    cluster.sim().spawn(async move {
+        let mut tx = c.begin(node);
+        loop {
+            let attempt: Result<(), Abort> = async {
+                let a = c.read(&mut tx, from).await?.expect_int();
+                let b = c.read(&mut tx, to).await?.expect_int();
+                c.write(&mut tx, from, ObjVal::Int(a - amount)).await?;
+                c.write(&mut tx, to, ObjVal::Int(b + amount)).await?;
+                c.commit(&mut tx).await
+            }
+            .await;
+            match attempt {
+                Ok(()) => return,
+                Err(abort) => c.restart(&mut tx, abort).await,
+            }
+        }
+    });
+}
+
+/// Q-Store schedule: same workload, with the batch-oriented battery —
+/// serializability, balance conservation, and batch atomicity (no commit
+/// may observe state from an unacknowledged or later epoch). The QR
+/// engine-event assertions do not apply; tight timeouts and constant
+/// latency keep every fan-out a real tie group for the scheduler.
+fn run_qstore_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutcome {
+    let cfg = QStoreConfig {
+        nodes: scope.nodes,
+        seed: scope.seed,
+        // Constant latency maximizes same-instant ties, exactly as in the
+        // QR scope.
+        latency: LatencySpec::Const(SimDuration::from_millis(1)),
+        service_time: SimDuration::from_micros(50),
+        // A small batch plus a short epoch timeout puts batch boundaries
+        // inside the contended window, so seals race with reads.
+        batch_size: 4,
+        epoch_timeout: SimDuration::from_millis(2),
+        poll_initial: SimDuration::from_millis(2),
+        poll_interval: SimDuration::from_millis(1),
+        rpc_timeout: SimDuration::from_millis(30),
+        backoff: SimDuration::from_millis(1),
+        wal_cost: SimDuration::from_micros(100),
+        transfer_cost: SimDuration::from_millis(1),
+        injected_bug: match scope.injected_bug {
+            Some(McBug::QStore(b)) => Some(b),
+            _ => None,
+        },
+    };
+    let cluster = Rc::new(QStoreCluster::new(cfg));
+    for o in 0..scope.objects {
+        cluster.preload(ObjectId(o), ObjVal::Int(INITIAL_BALANCE));
+    }
+    cluster.begin_history();
+    let sim = cluster.sim().clone();
+
+    let rec = attach_recorder(&sim, policy);
+
+    for i in 0..scope.txns {
+        let from = ObjectId(i as u64 % scope.objects);
+        let to = ObjectId((i as u64 + 1) % scope.objects);
+        let node = NodeId((i % scope.nodes) as u32);
+        spawn_qstore_transfer(&cluster, node, from, to, 1 + i as i64);
+    }
+    sim.run_until(SimTime::ZERO + HORIZON);
+    sim.clear_scheduler();
+
+    let stuck = sim.live_tasks();
+    let stats = cluster.stats();
+    let metrics = sim.metrics();
+
+    let mut violations: Vec<String> = Vec::new();
+    if stuck > 0 {
+        violations.push(format!("stuck: {stuck} task(s) still live at the horizon"));
+    }
+    violations.extend(cluster.verify_history().iter().map(ToString::to_string));
+    let balances: Vec<(u64, Option<i64>)> = (0..scope.objects)
+        .map(|o| (o, ChaosTarget::committed_int(&*cluster, ObjectId(o))))
+        .collect();
+    let expected_total = INITIAL_BALANCE * scope.objects as i64;
+    violations.extend(
+        check_balances(&balances, expected_total)
+            .iter()
+            .map(ToString::to_string),
+    );
+    violations.extend(
+        cluster
+            .batch_atomicity_violations()
+            .into_iter()
+            .map(|v| format!("batch atomicity broken: {v}")),
+    );
+
+    let (wal_records, wal_fsyncs) = cluster.wal_totals();
+    let mut fp = Fnv::new();
+    fp.write(stats.commits);
+    fp.write(stats.aborts);
+    fp.write(stats.batches);
+    fp.write(stats.batch_txns);
+    fp.write(wal_records);
+    fp.write(wal_fsyncs);
+    fp.write(metrics.sent_total);
+    fp.write(metrics.events);
+    for (o, b) in &balances {
+        fp.write(*o);
+        fp.write(b.map_or(u64::MAX, |b| b as u64));
+    }
+
+    let rec = rec.borrow();
+    RunOutcome {
+        choices: rec.choices.clone(),
+        groups: rec.groups.clone(),
+        commits: stats.commits,
+        aborts: stats.aborts,
         violations,
         fingerprint: fp.finish(),
     }

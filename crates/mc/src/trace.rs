@@ -14,14 +14,16 @@
 //! choices 0 2 1
 //! ```
 //!
-//! An optional `bug skip-vote-check` / `bug skip-epoch-fence` line records
-//! an injected protocol bug (checker validation runs).
+//! An optional `bug skip-vote-check` / `bug skip-epoch-fence` /
+//! `bug skip-tag-check` line records an injected protocol bug (checker
+//! validation runs). `proto QSTORE` selects the Q-Store arm.
 
 use std::fmt;
 
 use qrdtm_core::{InjectedBug, NestingMode};
+use qrdtm_qstore::QStoreBug;
 
-use crate::runner::Scope;
+use crate::runner::{McBug, McProto, Scope};
 
 /// A replayable schedule: the exploration [`Scope`] plus the scheduler
 /// choice taken at each decision point.
@@ -34,34 +36,38 @@ pub struct Trace {
     pub choices: Vec<usize>,
 }
 
-fn mode_label(m: NestingMode) -> &'static str {
-    match m {
-        NestingMode::Flat => "QR",
-        NestingMode::Closed => "QR-CN",
-        NestingMode::Checkpoint => "QR-CHK",
+fn proto_label(p: McProto) -> &'static str {
+    match p {
+        McProto::Qr(NestingMode::Flat) => "QR",
+        McProto::Qr(NestingMode::Closed) => "QR-CN",
+        McProto::Qr(NestingMode::Checkpoint) => "QR-CHK",
+        McProto::QStore => "QSTORE",
     }
 }
 
-fn parse_mode(s: &str) -> Option<NestingMode> {
+fn parse_proto(s: &str) -> Option<McProto> {
     match s {
-        "QR" => Some(NestingMode::Flat),
-        "QR-CN" => Some(NestingMode::Closed),
-        "QR-CHK" => Some(NestingMode::Checkpoint),
+        "QR" => Some(McProto::Qr(NestingMode::Flat)),
+        "QR-CN" => Some(McProto::Qr(NestingMode::Closed)),
+        "QR-CHK" => Some(McProto::Qr(NestingMode::Checkpoint)),
+        "QSTORE" => Some(McProto::QStore),
         _ => None,
     }
 }
 
-fn bug_label(b: InjectedBug) -> &'static str {
+fn bug_label(b: McBug) -> &'static str {
     match b {
-        InjectedBug::SkipVoteCheck => "skip-vote-check",
-        InjectedBug::SkipEpochFence => "skip-epoch-fence",
+        McBug::Qr(InjectedBug::SkipVoteCheck) => "skip-vote-check",
+        McBug::Qr(InjectedBug::SkipEpochFence) => "skip-epoch-fence",
+        McBug::QStore(QStoreBug::SkipTagCheck) => "skip-tag-check",
     }
 }
 
-fn parse_bug(s: &str) -> Option<InjectedBug> {
+fn parse_bug(s: &str) -> Option<McBug> {
     match s {
-        "skip-vote-check" => Some(InjectedBug::SkipVoteCheck),
-        "skip-epoch-fence" => Some(InjectedBug::SkipEpochFence),
+        "skip-vote-check" => Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
+        "skip-epoch-fence" => Some(McBug::Qr(InjectedBug::SkipEpochFence)),
+        "skip-tag-check" => Some(McBug::QStore(QStoreBug::SkipTagCheck)),
         _ => None,
     }
 }
@@ -69,7 +75,7 @@ fn parse_bug(s: &str) -> Option<InjectedBug> {
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "# qrdtm-mc trace v1")?;
-        writeln!(f, "proto {}", mode_label(self.scope.mode))?;
+        writeln!(f, "proto {}", proto_label(self.scope.proto))?;
         writeln!(f, "seed {}", self.scope.seed)?;
         writeln!(f, "nodes {}", self.scope.nodes)?;
         writeln!(f, "objects {}", self.scope.objects)?;
@@ -90,7 +96,7 @@ impl Trace {
     /// and missing required fields are errors (a trace must be lossless,
     /// silently dropping a field would change the replayed schedule).
     pub fn parse(text: &str) -> Result<Trace, String> {
-        let mut mode = None;
+        let mut proto = None;
         let mut seed = None;
         let mut nodes = None;
         let mut objects = None;
@@ -112,7 +118,7 @@ impl Trace {
             match key {
                 "proto" => {
                     let v = arg()?;
-                    mode = Some(parse_mode(v).ok_or_else(|| at(format!("unknown proto `{v}`")))?);
+                    proto = Some(parse_proto(v).ok_or_else(|| at(format!("unknown proto `{v}`")))?);
                 }
                 "seed" => seed = Some(parse_num(arg()?).map_err(&at)?),
                 "nodes" => nodes = Some(parse_num(arg()?).map_err(&at)? as usize),
@@ -138,7 +144,7 @@ impl Trace {
         let require = |name: &str| format!("missing required `{name}` line");
         Ok(Trace {
             scope: Scope {
-                mode: mode.ok_or_else(|| require("proto"))?,
+                proto: proto.ok_or_else(|| require("proto"))?,
                 nodes: nodes.ok_or_else(|| require("nodes"))?,
                 objects: objects.ok_or_else(|| require("objects"))?,
                 txns: txns.ok_or_else(|| require("txns"))?,
@@ -161,12 +167,12 @@ mod tests {
     fn sample() -> Trace {
         Trace {
             scope: Scope {
-                mode: NestingMode::Closed,
+                proto: McProto::Qr(NestingMode::Closed),
                 nodes: 3,
                 objects: 2,
                 txns: 2,
                 seed: 7,
-                injected_bug: Some(InjectedBug::SkipVoteCheck),
+                injected_bug: Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
             },
             choices: vec![0, 2, 1, 0, 3],
         }
@@ -182,13 +188,21 @@ mod tests {
         t2.scope.injected_bug = None;
         t2.choices = vec![];
         assert_eq!(Trace::parse(&t2.to_string()).unwrap(), t2);
+        // The Q-Store arm round-trips its own proto and bug labels.
+        let mut t3 = sample();
+        t3.scope.proto = McProto::QStore;
+        t3.scope.injected_bug = Some(McBug::QStore(QStoreBug::SkipTagCheck));
+        let text = t3.to_string();
+        assert!(text.contains("proto QSTORE"));
+        assert!(text.contains("bug skip-tag-check"));
+        assert_eq!(Trace::parse(&text).unwrap(), t3);
     }
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
         let text = "\n# hello\nproto QR\nseed 1\n\nnodes 3\nobjects 2\ntxns 2\nchoices 1 2\n";
         let t = Trace::parse(text).unwrap();
-        assert_eq!(t.scope.mode, NestingMode::Flat);
+        assert_eq!(t.scope.proto, McProto::Qr(NestingMode::Flat));
         assert_eq!(t.choices, vec![1, 2]);
     }
 

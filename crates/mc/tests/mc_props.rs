@@ -7,15 +7,18 @@ use std::collections::HashSet;
 
 use qrdtm_core::{InjectedBug, NestingMode};
 use qrdtm_mc::{
-    dfs_explore, minimize, pct_explore, replay, run_schedule, ForcedPolicy, PctPolicy, Scope, Trace,
+    dfs_explore, minimize, pct_explore, replay, run_schedule, ForcedPolicy, McBug, McProto,
+    PctPolicy, Scope, Trace,
 };
+use qrdtm_qstore::QStoreBug;
 
 #[test]
 fn dfs_explores_distinct_schedules_without_violations() {
     for mode in [
-        NestingMode::Flat,
-        NestingMode::Closed,
-        NestingMode::Checkpoint,
+        McProto::Qr(NestingMode::Flat),
+        McProto::Qr(NestingMode::Closed),
+        McProto::Qr(NestingMode::Checkpoint),
+        McProto::QStore,
     ] {
         let scope = Scope::smoke(mode);
         let mut seen = HashSet::new();
@@ -38,7 +41,7 @@ fn dfs_explores_distinct_schedules_without_violations() {
 
 #[test]
 fn pct_sampling_is_clean_and_dedups_against_dfs() {
-    let scope = Scope::smoke(NestingMode::Closed);
+    let scope = Scope::smoke(McProto::Qr(NestingMode::Closed));
     let mut seen = HashSet::new();
     let dfs = dfs_explore(&scope, 15, &mut seen);
     assert!(dfs.counterexample.is_none());
@@ -52,7 +55,7 @@ fn pct_sampling_is_clean_and_dedups_against_dfs() {
 
 #[test]
 fn replay_of_equal_choices_is_deterministic() {
-    let scope = Scope::smoke(NestingMode::Checkpoint);
+    let scope = Scope::smoke(McProto::Qr(NestingMode::Checkpoint));
     let first = run_schedule(&scope, Box::new(ForcedPolicy::new(vec![1, 0, 2])));
     let second = replay(&scope, &first.choices);
     assert_eq!(first.choices, second.choices);
@@ -73,8 +76,8 @@ fn injected_bug_is_caught_minimized_and_replayable() {
     // it, and hand back a trace that still reproduces it after a text
     // round-trip — the full `repro mc` pipeline in miniature.
     let scope = Scope {
-        injected_bug: Some(InjectedBug::SkipVoteCheck),
-        ..Scope::smoke(NestingMode::Flat)
+        injected_bug: Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
+        ..Scope::smoke(McProto::Qr(NestingMode::Flat))
     };
     let mut seen = HashSet::new();
     let mut cex = dfs_explore(&scope, 300, &mut seen).counterexample;
@@ -100,4 +103,48 @@ fn injected_bug_is_caught_minimized_and_replayable() {
     let replayed = replay(&parsed.scope, &parsed.choices);
     assert_eq!(replayed.violations, rerun.violations);
     assert_eq!(replayed.fingerprint, rerun.fingerprint);
+}
+
+#[test]
+fn qstore_replay_is_deterministic() {
+    let scope = Scope::smoke(McProto::QStore);
+    let first = run_schedule(&scope, Box::new(ForcedPolicy::new(vec![2, 1, 0, 3])));
+    assert!(first.violations.is_empty(), "{:?}", first.violations);
+    let second = replay(&scope, &first.choices);
+    assert_eq!(first.choices, second.choices);
+    assert_eq!(first.fingerprint, second.fingerprint);
+}
+
+#[test]
+fn qstore_injected_tag_skip_is_caught_minimized_and_replayable() {
+    // A planner that seals epochs without validating read tags commits
+    // stale speculative reads — the auditor must see the lost update in
+    // some explored schedule, and the shrunk trace must still reproduce
+    // it after a text round-trip.
+    let scope = Scope {
+        injected_bug: Some(McBug::QStore(QStoreBug::SkipTagCheck)),
+        ..Scope::smoke(McProto::QStore)
+    };
+    let mut seen = HashSet::new();
+    let mut cex = dfs_explore(&scope, 300, &mut seen).counterexample;
+    if cex.is_none() {
+        cex = pct_explore(&scope, 300, 1, &mut seen).counterexample;
+    }
+    let cex = cex.expect("SkipTagCheck survived 600 schedules — checkers are blind to it");
+
+    let min = minimize(&scope, &cex.choices);
+    let rerun = replay(&scope, &min);
+    assert!(
+        !rerun.violations.is_empty(),
+        "minimized schedule no longer violates"
+    );
+
+    let trace = Trace {
+        scope,
+        choices: min,
+    };
+    let parsed = Trace::parse(&trace.to_string()).expect("trace round-trips");
+    assert_eq!(parsed, trace);
+    let replayed = replay(&parsed.scope, &parsed.choices);
+    assert_eq!(replayed.violations, rerun.violations);
 }

@@ -1,0 +1,943 @@
+//! Planner/executor machinery: shared cluster state, message handlers,
+//! epoch sealing, batch replication, and planner takeover.
+//!
+//! Everything here is sim-world shared state (`Rc<RefCell<_>>`); the
+//! client-side transaction logic in `lib.rs` talks to it only through
+//! messages (and the oracle fault hooks mutate the view directly, like
+//! the QR cluster's membership oracle).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+use qrdtm_core::{CommitRecord, ObjVal, ObjectId, SimSubstrate, Substrate, TxId, Version};
+use qrdtm_sim::{NodeId, Sim, SimDuration, SimTime};
+
+use crate::msg::{Decision, QMsg, TxStatus};
+use crate::QStoreBug;
+
+/// Quorum size over the *configured* node count (the planner counts
+/// itself when tallying batch acks).
+pub(crate) fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// One committed object slot on a replica.
+#[derive(Clone, Debug)]
+pub(crate) struct Slot {
+    pub version: Version,
+    pub tag: u64,
+    pub batch: u64,
+    pub val: ObjVal,
+}
+
+/// One speculative (queued, not yet batch-committed) write.
+#[derive(Clone, Debug)]
+pub(crate) struct SpecEntry {
+    pub tag: u64,
+    pub batch: u64,
+    pub val: ObjVal,
+}
+
+/// Per-node replica state: the committed store (batch prefix), the
+/// speculative per-object queues this node executes, the decision log,
+/// and WAL accounting.
+#[derive(Default)]
+pub(crate) struct ReplicaState {
+    pub store: HashMap<ObjectId, Slot>,
+    pub spec: HashMap<ObjectId, Vec<SpecEntry>>,
+    pub decided: HashMap<TxId, Decision>,
+    pub applied: u64,
+    pub wal_records: u64,
+    pub wal_fsyncs: u64,
+}
+
+impl ReplicaState {
+    /// Newest visible write for `oid`: speculative chain top if present,
+    /// else the committed slot. Returns `(tag, value)`.
+    pub fn speculative_top(&self, oid: ObjectId) -> Option<(u64, ObjVal)> {
+        let spec = self
+            .spec
+            .get(&oid)
+            .and_then(|c| c.iter().max_by_key(|e| e.tag));
+        match (spec, self.store.get(&oid)) {
+            (Some(e), _) => Some((e.tag, e.val.clone())),
+            (None, Some(s)) => Some((s.tag, s.val.clone())),
+            (None, None) => None,
+        }
+    }
+
+    /// Drop speculative entries made obsolete by applying `batch`.
+    pub fn prune_spec(&mut self, batch: u64) {
+        self.spec.retain(|_, chain| {
+            chain.retain(|e| e.batch > batch);
+            !chain.is_empty()
+        });
+    }
+
+    /// Install one sealed batch unconditionally (sequencing checked by
+    /// the caller).
+    pub fn apply_batch(
+        &mut self,
+        batch: u64,
+        writes: &[(ObjectId, Version, u64, ObjVal)],
+        decided: &[(TxId, Decision)],
+    ) {
+        for (oid, version, tag, val) in writes {
+            self.store.insert(
+                *oid,
+                Slot {
+                    version: *version,
+                    tag: *tag,
+                    batch,
+                    val: val.clone(),
+                },
+            );
+        }
+        for (tx, d) in decided {
+            self.decided.insert(*tx, d.clone());
+        }
+        self.applied = batch;
+        self.prune_spec(batch);
+        self.wal_records += 1;
+        self.wal_fsyncs += 1;
+    }
+
+    /// Wire-format dump of the committed store (for `FullSync`).
+    pub fn dump_store(&self) -> Vec<(ObjectId, Version, u64, u64, ObjVal)> {
+        self.store
+            .iter()
+            .map(|(oid, s)| (*oid, s.version, s.tag, s.batch, s.val.clone()))
+            .collect()
+    }
+}
+
+/// Membership view: who is alive, who plans, and the fencing epoch.
+/// The planner is sticky — it changes only when the current planner dies
+/// (new planner = lowest alive node).
+pub(crate) struct QView {
+    pub alive: Vec<bool>,
+    pub planner: usize,
+    pub epoch: u64,
+}
+
+impl QView {
+    pub fn alive_indices(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&i| self.alive[i]).collect()
+    }
+}
+
+/// A transaction parked in the open epoch.
+pub(crate) struct PendTxn {
+    pub tx: TxId,
+    pub reads: Vec<(ObjectId, u64)>,
+    /// `(object, assigned tag, value)` in program order.
+    pub writes: Vec<(ObjectId, u64, ObjVal)>,
+}
+
+/// Planner-local state. One shared instance; only the node the view
+/// names as planner touches it, and takeover reinitializes it wholesale.
+pub(crate) struct PlannerState {
+    pub open: Vec<PendTxn>,
+    pub pending: HashSet<TxId>,
+    pub sealing: bool,
+    pub last_sealed: u64,
+    pub decided_through: u64,
+    pub next_tag: u64,
+    pub ready: bool,
+    pub opened_at: SimTime,
+}
+
+impl PlannerState {
+    pub fn fresh(applied: u64) -> Self {
+        PlannerState {
+            open: Vec::new(),
+            pending: HashSet::new(),
+            sealing: false,
+            last_sealed: applied,
+            decided_through: applied,
+            next_tag: 0,
+            ready: true,
+            opened_at: SimTime::ZERO,
+        }
+    }
+}
+
+/// Commit/abort/batch counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QStoreStats {
+    /// Committed transactions (counted at batch quorum-ack).
+    pub commits: u64,
+    /// Requeued attempts (the family's abort analogue).
+    pub aborts: u64,
+    /// Quorum-acknowledged batches.
+    pub batches: u64,
+    /// Transactions carried by those batches.
+    pub batch_txns: u64,
+}
+
+/// Timing/latency knobs resolved from the public config.
+pub(crate) struct Tunables {
+    pub nodes: usize,
+    pub batch_size: usize,
+    pub epoch_timeout: SimDuration,
+    pub rpc_timeout: SimDuration,
+    pub backoff: SimDuration,
+    pub wal_cost: SimDuration,
+    pub transfer_cost: SimDuration,
+    pub bug: Option<QStoreBug>,
+}
+
+/// Everything handlers, background tasks and the cluster handle share.
+pub(crate) struct Shared {
+    pub nodes: Vec<NodeId>,
+    pub view: RefCell<QView>,
+    pub planner: RefCell<PlannerState>,
+    pub replicas: Vec<Rc<RefCell<ReplicaState>>>,
+    pub stats: RefCell<QStoreStats>,
+    pub records: RefCell<Vec<CommitRecord>>,
+    pub recorded: RefCell<HashSet<TxId>>,
+    pub requeue_seen: RefCell<HashSet<TxId>>,
+    pub recording: Cell<bool>,
+    /// Quorum-acknowledged batch ids (0 = preload). Checker feed.
+    pub acked: RefCell<BTreeSet<u64>>,
+    /// `(reader's batch, newest batch observed by its reads)` per commit.
+    pub atomicity: RefCell<Vec<(u64, u64)>>,
+    /// Seal-to-quorum-ack latency per batch, ns.
+    pub epoch_lat: RefCell<Vec<u64>>,
+    /// `(object, write tag) -> version installed by that tag` — lets the
+    /// seal record the version a client *actually observed* through its
+    /// read tag (not the store's current version), so a stale read that
+    /// slips past validation corrupts the history visibly.
+    pub tag_vers: RefCell<HashMap<(ObjectId, u64), Version>>,
+    pub next_seq: Cell<u64>,
+    pub cfg: Tunables,
+}
+
+impl Shared {
+    pub fn view_snapshot(&self) -> (Vec<usize>, usize) {
+        let v = self.view.borrow();
+        (v.alive_indices(), v.planner)
+    }
+}
+
+/// A sealed batch awaiting quorum replication.
+pub(crate) struct BatchJob {
+    pub batch: u64,
+    pub sealed_at: SimTime,
+    pub writes: Vec<(ObjectId, Version, u64, ObjVal)>,
+    pub decided: Vec<(TxId, Decision)>,
+}
+
+/// Install the per-node message handlers.
+pub(crate) fn install_handlers(sim: &Sim<QMsg>, shared: &Rc<Shared>) {
+    for me in 0..shared.cfg.nodes {
+        let sh = Rc::clone(shared);
+        let sim2 = sim.clone();
+        let node = shared.nodes[me];
+        sim.set_handler(node, move |ctx, env| match &env.msg {
+            QMsg::Read { oid } => {
+                let r = sh.replicas[me].borrow();
+                if let Some((tag, val)) = r.speculative_top(*oid) {
+                    ctx.respond(&env, QMsg::ReadOk { tag, val });
+                }
+            }
+            QMsg::ReadCommitted { oid } => {
+                let r = sh.replicas[me].borrow();
+                if let Some(s) = r.store.get(oid) {
+                    ctx.respond(
+                        &env,
+                        QMsg::ReadOk {
+                            tag: s.tag,
+                            val: s.val.clone(),
+                        },
+                    );
+                }
+            }
+            QMsg::Speculate {
+                oid,
+                tag,
+                batch,
+                val,
+            } => {
+                let mut r = sh.replicas[me].borrow_mut();
+                if *batch > r.applied {
+                    r.spec.entry(*oid).or_default().push(SpecEntry {
+                        tag: *tag,
+                        batch: *batch,
+                        val: val.clone(),
+                    });
+                }
+            }
+            QMsg::Submit { tx, reads, writes } => {
+                let status = planner_submit(&sh, &sim2, me, ctx, tx, reads, writes);
+                ctx.respond(&env, QMsg::SubmitAck { status });
+            }
+            QMsg::Poll { tx } => {
+                let status = planner_poll(&sh, me, tx);
+                ctx.respond(&env, QMsg::SubmitAck { status });
+            }
+            QMsg::ApplyBatch {
+                batch,
+                view,
+                writes,
+                decided,
+            } => {
+                let current = sh.view.borrow().epoch;
+                let mut r = sh.replicas[me].borrow_mut();
+                if *view != current {
+                    let applied = r.applied;
+                    ctx.respond(&env, QMsg::ApplyAck { ok: false, applied });
+                } else if *batch <= r.applied {
+                    let applied = r.applied;
+                    ctx.respond(&env, QMsg::ApplyAck { ok: true, applied });
+                } else if *batch == r.applied + 1 {
+                    r.apply_batch(*batch, writes, decided);
+                    let applied = r.applied;
+                    drop(r);
+                    // One group-committed WAL record per replica per batch.
+                    ctx.occupy(sh.cfg.wal_cost);
+                    ctx.respond(&env, QMsg::ApplyAck { ok: true, applied });
+                } else {
+                    let applied = r.applied;
+                    ctx.respond(&env, QMsg::ApplyAck { ok: false, applied });
+                }
+            }
+            QMsg::SyncPull => {
+                let applied = sh.replicas[me].borrow().applied;
+                ctx.respond(&env, QMsg::SyncInfo { applied });
+            }
+            QMsg::FullSync {
+                view,
+                applied,
+                store,
+                decided,
+            } => {
+                let current = sh.view.borrow().epoch;
+                let mut r = sh.replicas[me].borrow_mut();
+                if *view == current && *applied > r.applied {
+                    r.store = store
+                        .iter()
+                        .map(|(oid, version, tag, batch, val)| {
+                            (
+                                *oid,
+                                Slot {
+                                    version: *version,
+                                    tag: *tag,
+                                    batch: *batch,
+                                    val: val.clone(),
+                                },
+                            )
+                        })
+                        .collect();
+                    r.decided = decided.iter().cloned().collect();
+                    r.applied = *applied;
+                    r.prune_spec(*applied);
+                    r.wal_records += 1;
+                    r.wal_fsyncs += 1;
+                    let applied = r.applied;
+                    drop(r);
+                    ctx.occupy(sh.cfg.wal_cost);
+                    ctx.respond(&env, QMsg::ApplyAck { ok: true, applied });
+                } else {
+                    let ok = *view == current;
+                    let applied = r.applied;
+                    ctx.respond(&env, QMsg::ApplyAck { ok, applied });
+                }
+            }
+            // Reply payloads are consumed by the call futures.
+            QMsg::SubmitAck { .. }
+            | QMsg::ReadOk { .. }
+            | QMsg::ApplyAck { .. }
+            | QMsg::SyncInfo { .. } => {}
+        });
+    }
+}
+
+/// Status of a decided transaction, gated on its batch being
+/// quorum-acknowledged: nothing is reported committed before the epoch
+/// is durable on a majority.
+fn decided_status(d: &Decision, decided_through: u64) -> TxStatus {
+    match d {
+        Decision::Committed { batch, .. } if *batch <= decided_through => TxStatus::Committed,
+        Decision::Requeued { batch } if *batch <= decided_through => TxStatus::Requeued,
+        _ => TxStatus::Pending,
+    }
+}
+
+fn planner_poll(sh: &Rc<Shared>, me: usize, tx: &TxId) -> TxStatus {
+    {
+        let v = sh.view.borrow();
+        if v.planner != me || !v.alive[me] {
+            return TxStatus::NotPlanner;
+        }
+    }
+    let p = sh.planner.borrow();
+    if !p.ready {
+        return TxStatus::Busy;
+    }
+    if let Some(d) = sh.replicas[me].borrow().decided.get(tx) {
+        return decided_status(d, p.decided_through);
+    }
+    if p.pending.contains(tx) {
+        TxStatus::Pending
+    } else {
+        TxStatus::Unknown
+    }
+}
+
+fn planner_submit(
+    sh: &Rc<Shared>,
+    sim: &Sim<QMsg>,
+    me: usize,
+    ctx: &mut qrdtm_sim::HandlerCtx<'_, QMsg>,
+    tx: &TxId,
+    reads: &[(ObjectId, u64)],
+    writes: &[(ObjectId, ObjVal)],
+) -> TxStatus {
+    let epoch = {
+        let v = sh.view.borrow();
+        if v.planner != me || !v.alive[me] {
+            return TxStatus::NotPlanner;
+        }
+        v.epoch
+    };
+    {
+        let p = sh.planner.borrow();
+        if !p.ready {
+            return TxStatus::Busy;
+        }
+        if let Some(d) = sh.replicas[me].borrow().decided.get(tx) {
+            return decided_status(d, p.decided_through);
+        }
+        if p.pending.contains(tx) {
+            return TxStatus::Pending;
+        }
+    }
+    // Accept: assign queue positions (tags) and forward the speculative
+    // writes to each object's home executor.
+    let (alive, _) = sh.view_snapshot();
+    let (open_batch, was_empty, tagged) = {
+        let mut p = sh.planner.borrow_mut();
+        let open_batch = p.last_sealed + 1;
+        let was_empty = p.open.is_empty();
+        if was_empty {
+            p.opened_at = sim.now();
+        }
+        let tagged: Vec<(ObjectId, u64, ObjVal)> = writes
+            .iter()
+            .map(|(oid, val)| {
+                p.next_tag += 1;
+                ((epoch << 24) | p.next_tag, (*oid, val.clone()))
+            })
+            .map(|(tag, (oid, val))| (oid, tag, val))
+            .collect();
+        p.pending.insert(*tx);
+        p.open.push(PendTxn {
+            tx: *tx,
+            reads: reads.to_vec(),
+            writes: tagged.clone(),
+        });
+        (open_batch, was_empty, tagged)
+    };
+    for (oid, tag, val) in &tagged {
+        let home = alive[(oid.0 as usize) % alive.len()];
+        if home == me {
+            sh.replicas[me]
+                .borrow_mut()
+                .spec
+                .entry(*oid)
+                .or_default()
+                .push(SpecEntry {
+                    tag: *tag,
+                    batch: open_batch,
+                    val: val.clone(),
+                });
+        } else {
+            ctx.send(
+                sh.nodes[home],
+                QMsg::Speculate {
+                    oid: *oid,
+                    tag: *tag,
+                    batch: open_batch,
+                    val: val.clone(),
+                },
+            );
+        }
+    }
+    if was_empty {
+        // Arm the epoch-timeout sealer exactly once per opened epoch.
+        let sh2 = Rc::clone(sh);
+        let sim3 = sim.clone();
+        sim.spawn(async move {
+            sealer(sh2, sim3, me, open_batch).await;
+        });
+    }
+    let full = {
+        let p = sh.planner.borrow();
+        p.open.len() >= sh.cfg.batch_size && !p.sealing
+    };
+    if full {
+        if let Some(job) = seal(sh, sim, me) {
+            let sh2 = Rc::clone(sh);
+            let sim3 = sim.clone();
+            sim.spawn(async move {
+                run_batches(sh2, sim3, me, job).await;
+            });
+        }
+    }
+    TxStatus::Pending
+}
+
+/// Seal the open epoch: validate every transaction in planner-assigned
+/// order against the (self-applied) committed store, install the valid
+/// writes locally, and hand back the replication job. Returns `None` if
+/// there is nothing to seal or a replication round is already in flight.
+pub(crate) fn seal(sh: &Rc<Shared>, sim: &Sim<QMsg>, me: usize) -> Option<BatchJob> {
+    let mut p = sh.planner.borrow_mut();
+    if p.sealing || !p.ready || p.open.is_empty() {
+        return None;
+    }
+    let batch = p.last_sealed + 1;
+    let sealed_at = sim.now();
+    let open = std::mem::take(&mut p.open);
+    p.last_sealed = batch;
+    p.sealing = true;
+    drop(p);
+
+    let mut r = sh.replicas[me].borrow_mut();
+    let mut wire_writes: Vec<(ObjectId, Version, u64, ObjVal)> = Vec::new();
+    let mut decided: Vec<(TxId, Decision)> = Vec::new();
+    for (seq, t) in open.iter().enumerate() {
+        let skip_check = sh.cfg.bug == Some(QStoreBug::SkipTagCheck);
+        let valid = skip_check
+            || t.reads
+                .iter()
+                .all(|(oid, tag)| r.store.get(oid).is_some_and(|s| s.tag == *tag));
+        if !valid {
+            decided.push((t.tx, Decision::Requeued { batch }));
+            continue;
+        }
+        let at = sealed_at + SimDuration::from_nanos(seq as u64 + 1);
+        let observed_batch_max = t
+            .reads
+            .iter()
+            .filter_map(|(oid, _)| r.store.get(oid).map(|s| s.batch))
+            .max()
+            .unwrap_or(0);
+        // Record the versions the client actually observed (resolved via
+        // its read tags): with validation on these equal the store's
+        // current versions, but a stale read that skips validation must
+        // surface in the history for the auditor to catch.
+        let tag_vers = sh.tag_vers.borrow();
+        let observed_via_tag = |oid: &ObjectId, rt: u64| -> Option<Version> {
+            tag_vers
+                .get(&(*oid, rt))
+                .copied()
+                .or_else(|| r.store.get(oid).map(|s| s.version))
+        };
+        let reads_res: Vec<(ObjectId, Version)> = t
+            .reads
+            .iter()
+            .filter(|(oid, _)| !t.writes.iter().any(|(o, _, _)| o == oid))
+            .filter_map(|(oid, rt)| observed_via_tag(oid, *rt).map(|v| (*oid, v)))
+            .collect();
+        drop(tag_vers);
+        let mut writes_res: Vec<(ObjectId, Version, Version)> = Vec::new();
+        for (oid, tag, val) in &t.writes {
+            let read_tag = t.reads.iter().find(|(o, _)| o == oid).map(|(_, rt)| *rt);
+            // A read-modify-write observed the version its read tag names;
+            // a blind write observes the store's current version. Unknown
+            // objects replay as implicitly preloaded at INITIAL, matching
+            // the auditor's model default.
+            let current = r.store.get(oid).map(|s| s.version);
+            let observed = read_tag
+                .and_then(|rt| sh.tag_vers.borrow().get(&(*oid, rt)).copied())
+                .or(current)
+                .unwrap_or(Version::INITIAL);
+            let installed = current.unwrap_or(Version::INITIAL).next();
+            writes_res.push((*oid, observed, installed));
+            wire_writes.push((*oid, installed, *tag, val.clone()));
+            sh.tag_vers.borrow_mut().insert((*oid, *tag), installed);
+            r.store.insert(
+                *oid,
+                Slot {
+                    version: installed,
+                    tag: *tag,
+                    batch,
+                    val: val.clone(),
+                },
+            );
+        }
+        decided.push((
+            t.tx,
+            Decision::Committed {
+                batch,
+                at,
+                reads: reads_res,
+                writes: writes_res,
+                observed_batch_max,
+            },
+        ));
+    }
+    // Self-apply bookkeeping: the planner is replica 1 of the quorum.
+    for (tx, d) in &decided {
+        r.decided.insert(*tx, d.clone());
+    }
+    r.applied = batch;
+    r.prune_spec(batch);
+    r.wal_records += 1;
+    r.wal_fsyncs += 1;
+    drop(r);
+    Some(BatchJob {
+        batch,
+        sealed_at,
+        writes: wire_writes,
+        decided,
+    })
+}
+
+/// Account a quorum-acknowledged batch: stats, commit history, and the
+/// batch-atomicity checker feed. Deduplicated by transaction id so a
+/// takeover that re-promotes an already-acked batch counts nothing twice.
+pub(crate) fn account_decisions(sh: &Shared, decided: &[(TxId, Decision)]) {
+    for (tx, d) in decided {
+        match d {
+            Decision::Committed {
+                batch,
+                at,
+                reads,
+                writes,
+                observed_batch_max,
+            } => {
+                if sh.recorded.borrow_mut().insert(*tx) {
+                    sh.stats.borrow_mut().commits += 1;
+                    sh.atomicity
+                        .borrow_mut()
+                        .push((*batch, *observed_batch_max));
+                    if sh.recording.get() {
+                        sh.records.borrow_mut().push(CommitRecord {
+                            tx: *tx,
+                            at: *at,
+                            reads: reads.clone(),
+                            writes: writes.clone(),
+                        });
+                    }
+                }
+            }
+            Decision::Requeued { .. } => {
+                if sh.requeue_seen.borrow_mut().insert(*tx) {
+                    sh.stats.borrow_mut().aborts += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Drive sealed batches to quorum, ack them, and chain straight into the
+/// next seal while demand is high. Terminates when the open epoch is
+/// empty or young (the armed sealer picks it up), when deposed, or when
+/// the planner node dies.
+pub(crate) async fn run_batches(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize, first: BatchJob) {
+    let sub = SimSubstrate::new(sim.clone());
+    let mut job = first;
+    loop {
+        // The planner's own group-commit fsync for this batch.
+        Substrate::<QMsg>::sleep(&sub, sh.cfg.wal_cost).await;
+        let maj = majority(sh.cfg.nodes);
+        let mut acked: HashSet<usize> = HashSet::from([me]);
+        loop {
+            if !sim.is_alive(sh.nodes[me]) || sh.view.borrow().planner != me {
+                return; // deposed mid-replication; takeover owns the rest
+            }
+            if acked.len() >= maj {
+                break;
+            }
+            let (alive, _) = sh.view_snapshot();
+            let view_epoch = sh.view.borrow().epoch;
+            let targets: Vec<NodeId> = alive
+                .iter()
+                .filter(|i| **i != me && !acked.contains(*i))
+                .map(|&i| sh.nodes[i])
+                .collect();
+            if targets.is_empty() {
+                Substrate::<QMsg>::sleep(&sub, sh.cfg.backoff).await;
+                continue;
+            }
+            let res = Substrate::<QMsg>::call(
+                &sub,
+                sh.nodes[me],
+                &targets,
+                QMsg::ApplyBatch {
+                    batch: job.batch,
+                    view: view_epoch,
+                    writes: job.writes.clone(),
+                    decided: job.decided.clone(),
+                },
+                Some(sh.cfg.rpc_timeout),
+            )
+            .await;
+            let mut lagging: Vec<usize> = Vec::new();
+            for (node, reply) in &res.replies {
+                let idx = node.0 as usize;
+                match reply {
+                    QMsg::ApplyAck { ok: true, .. } => {
+                        acked.insert(idx);
+                    }
+                    QMsg::ApplyAck { ok: false, applied } if *applied + 1 < job.batch => {
+                        lagging.push(idx);
+                    }
+                    _ => {}
+                }
+            }
+            // Gap-nacked replicas get the full committed state.
+            for idx in lagging {
+                let fs = {
+                    let v = sh.view.borrow();
+                    let r = sh.replicas[me].borrow();
+                    QMsg::FullSync {
+                        view: v.epoch,
+                        applied: r.applied,
+                        store: r.dump_store(),
+                        decided: r.decided.iter().map(|(t, d)| (*t, d.clone())).collect(),
+                    }
+                };
+                let res = Substrate::<QMsg>::call(
+                    &sub,
+                    sh.nodes[me],
+                    &[sh.nodes[idx]],
+                    fs,
+                    Some(sh.cfg.rpc_timeout),
+                )
+                .await;
+                if res
+                    .replies
+                    .iter()
+                    .any(|(_, m)| matches!(m, QMsg::ApplyAck { ok: true, .. }))
+                {
+                    acked.insert(idx);
+                }
+            }
+            if acked.len() < maj {
+                let jitter = Substrate::<QMsg>::jitter(&sub, 0.5, 1.5);
+                Substrate::<QMsg>::sleep(&sub, sh.cfg.backoff.mul_f64(jitter)).await;
+            }
+        }
+        // Quorum reached: acknowledge the whole epoch at once.
+        {
+            let mut p = sh.planner.borrow_mut();
+            p.decided_through = job.batch;
+            p.sealing = false;
+            for (tx, _) in &job.decided {
+                p.pending.remove(tx);
+            }
+        }
+        sh.acked.borrow_mut().insert(job.batch);
+        {
+            let mut st = sh.stats.borrow_mut();
+            st.batches += 1;
+            st.batch_txns += job.decided.len() as u64;
+        }
+        sh.epoch_lat
+            .borrow_mut()
+            .push((sim.now() - job.sealed_at).as_nanos());
+        account_decisions(&sh, &job.decided);
+        // Chain into the next epoch if it is already ripe.
+        let ripe = {
+            let p = sh.planner.borrow();
+            !p.open.is_empty()
+                && (p.open.len() >= sh.cfg.batch_size
+                    || sim.now() - p.opened_at >= sh.cfg.epoch_timeout)
+        };
+        if !ripe {
+            return;
+        }
+        match seal(&sh, &sim, me) {
+            Some(next) => job = next,
+            None => return,
+        }
+    }
+}
+
+/// One-shot epoch-timeout sealer, armed when an epoch first opens. Waits
+/// out `epoch_timeout`, then seals unless the epoch was already sealed
+/// (batch-full trigger or replication chaining) in the meantime.
+pub(crate) async fn sealer(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize, my_batch: u64) {
+    let sub = SimSubstrate::new(sim.clone());
+    loop {
+        Substrate::<QMsg>::sleep(&sub, sh.cfg.epoch_timeout).await;
+        if !sim.is_alive(sh.nodes[me]) || sh.view.borrow().planner != me {
+            return;
+        }
+        {
+            let p = sh.planner.borrow();
+            if p.last_sealed >= my_batch {
+                return;
+            }
+            if p.sealing {
+                continue; // earlier batch still replicating; retry
+            }
+        }
+        if let Some(job) = seal(&sh, &sim, me) {
+            run_batches(Rc::clone(&sh), sim.clone(), me, job).await;
+        }
+        return;
+    }
+}
+
+/// New-planner takeover: pull applied high-water marks from enough
+/// replicas to be certain of seeing every quorum-acknowledged batch,
+/// adopt the longest prefix (charged as a state transfer), promote it to
+/// acknowledged, rebuild the planner state, and push catch-up syncs to
+/// lagging replicas. The deposed planner's open epoch is lost by design;
+/// clients re-submit and are replanned from acknowledged state.
+pub(crate) async fn takeover(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize) {
+    let sub = SimSubstrate::new(sim.clone());
+    loop {
+        if !sim.is_alive(sh.nodes[me]) || sh.view.borrow().planner != me {
+            return;
+        }
+        let (alive, _) = sh.view_snapshot();
+        let targets: Vec<NodeId> = alive
+            .iter()
+            .filter(|&&i| i != me)
+            .map(|&i| sh.nodes[i])
+            .collect();
+        // A batch applied on a majority has at most `nodes - majority`
+        // non-holders; observing self plus `nodes - majority` others
+        // guarantees a holder is seen.
+        let need_others = sh.cfg.nodes - majority(sh.cfg.nodes);
+        let res = Substrate::<QMsg>::call(
+            &sub,
+            sh.nodes[me],
+            &targets,
+            QMsg::SyncPull,
+            Some(sh.cfg.rpc_timeout),
+        )
+        .await;
+        let infos: Vec<(u64, usize)> = res
+            .replies
+            .iter()
+            .filter_map(|(node, m)| match m {
+                QMsg::SyncInfo { applied } => Some((*applied, node.0 as usize)),
+                _ => None,
+            })
+            .collect();
+        if infos.len() < need_others {
+            let jitter = Substrate::<QMsg>::jitter(&sub, 0.5, 1.5);
+            Substrate::<QMsg>::sleep(&sub, sh.cfg.backoff.mul_f64(jitter)).await;
+            continue;
+        }
+        let my_applied = sh.replicas[me].borrow().applied;
+        let best = infos.iter().copied().max().unwrap_or((my_applied, me));
+        if best.0 > my_applied {
+            // Charged state transfer from the most advanced replica.
+            Substrate::<QMsg>::sleep(&sub, sh.cfg.transfer_cost).await;
+            if !sim.is_alive(sh.nodes[me]) || sh.view.borrow().planner != me {
+                return;
+            }
+            let donor = sh.replicas[best.1].borrow();
+            let mut r = sh.replicas[me].borrow_mut();
+            r.store = donor.store.clone();
+            r.decided = donor.decided.clone();
+            r.applied = donor.applied;
+            r.spec.clear();
+            r.wal_records += 1;
+            r.wal_fsyncs += 1;
+        }
+        let adopted = sh.replicas[me].borrow().applied;
+        {
+            let mut acked = sh.acked.borrow_mut();
+            for b in 1..=adopted {
+                acked.insert(b);
+            }
+        }
+        // Promote adopted decisions: batches the dead planner replicated
+        // but never acknowledged become acknowledged now (any majority
+        // intersects their apply set), so their commits must be counted
+        // and recorded exactly once.
+        {
+            let promoted: Vec<(TxId, Decision)> = sh.replicas[me]
+                .borrow()
+                .decided
+                .iter()
+                .map(|(t, d)| (*t, d.clone()))
+                .collect();
+            account_decisions(&sh, &promoted);
+        }
+        *sh.planner.borrow_mut() = PlannerState::fresh(adopted);
+        // Best-effort catch-up pushes to lagging alive replicas.
+        for (applied, idx) in infos {
+            if applied < adopted {
+                let fs = {
+                    let v = sh.view.borrow();
+                    let r = sh.replicas[me].borrow();
+                    QMsg::FullSync {
+                        view: v.epoch,
+                        applied: r.applied,
+                        store: r.dump_store(),
+                        decided: r.decided.iter().map(|(t, d)| (*t, d.clone())).collect(),
+                    }
+                };
+                let _ = Substrate::<QMsg>::call(
+                    &sub,
+                    sh.nodes[me],
+                    &[sh.nodes[idx]],
+                    fs,
+                    Some(sh.cfg.rpc_timeout),
+                )
+                .await;
+            }
+        }
+        return;
+    }
+}
+
+/// Push the committed prefix from the planner to a freshly recovered
+/// replica (retried a few times; the per-batch gap repair takes over if
+/// this loses the race with new traffic).
+pub(crate) async fn catch_up(sh: Rc<Shared>, sim: Sim<QMsg>, planner_idx: usize, node_idx: usize) {
+    let sub = SimSubstrate::new(sim.clone());
+    for _ in 0..5 {
+        {
+            let v = sh.view.borrow();
+            if v.planner != planner_idx || !v.alive[planner_idx] || !v.alive[node_idx] {
+                return;
+            }
+        }
+        if !sh.planner.borrow().ready {
+            Substrate::<QMsg>::sleep(&sub, sh.cfg.backoff).await;
+            continue;
+        }
+        if sh.replicas[node_idx].borrow().applied >= sh.replicas[planner_idx].borrow().applied {
+            return;
+        }
+        let fs = {
+            let v = sh.view.borrow();
+            let r = sh.replicas[planner_idx].borrow();
+            QMsg::FullSync {
+                view: v.epoch,
+                applied: r.applied,
+                store: r.dump_store(),
+                decided: r.decided.iter().map(|(t, d)| (*t, d.clone())).collect(),
+            }
+        };
+        let res = Substrate::<QMsg>::call(
+            &sub,
+            sh.nodes[planner_idx],
+            &[sh.nodes[node_idx]],
+            fs,
+            Some(sh.cfg.rpc_timeout),
+        )
+        .await;
+        if res
+            .replies
+            .iter()
+            .any(|(_, m)| matches!(m, QMsg::ApplyAck { ok: true, .. }))
+        {
+            return;
+        }
+        let jitter = Substrate::<QMsg>::jitter(&sub, 0.5, 1.5);
+        Substrate::<QMsg>::sleep(&sub, sh.cfg.backoff.mul_f64(jitter)).await;
+    }
+}

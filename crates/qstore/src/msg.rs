@@ -1,0 +1,171 @@
+//! Wire protocol of the Q-Store family: submission/poll between clients
+//! and the planner, speculative queue forwarding to executors, and the
+//! per-batch replication round.
+
+use qrdtm_core::{ObjVal, ObjectId, TxId, Version};
+use qrdtm_sim::{SimMessage, SimTime};
+
+/// The planner's verdict on one transaction, shipped inside the batch
+/// replication record so any replica can answer duplicate submissions
+/// (exactly-once across planner failover).
+#[derive(Clone, Debug)]
+pub enum Decision {
+    /// Validated in planner order; its writes are part of the batch.
+    Committed {
+        /// Batch (epoch) the transaction committed in.
+        batch: u64,
+        /// Serialization point: seal time plus the in-batch sequence.
+        at: SimTime,
+        /// `(object, version observed)` for reads of unwritten objects.
+        reads: Vec<(ObjectId, Version)>,
+        /// `(object, version observed, version installed)` per write.
+        writes: Vec<(ObjectId, Version, Version)>,
+        /// Newest batch id among the write tags this transaction read —
+        /// fed to the batch-atomicity checker.
+        observed_batch_max: u64,
+    },
+    /// A read tag went stale before the seal; the client must re-execute.
+    Requeued {
+        /// Batch that rejected the transaction.
+        batch: u64,
+    },
+}
+
+/// Reply status for `Submit`/`Poll`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Enqueued in the open epoch (or sealed but not yet quorum-acked).
+    Pending,
+    /// Planner is mid-takeover; retry shortly.
+    Busy,
+    /// This node is not the planner; re-read the view and retry.
+    NotPlanner,
+    /// The planner has no trace of this transaction (lost open epoch
+    /// after a planner crash); resubmit.
+    Unknown,
+    /// Acknowledged: the whole epoch reached a quorum.
+    Committed,
+    /// Deterministically rejected; restart with fresh reads.
+    Requeued,
+}
+
+/// Q-Store wire messages.
+#[derive(Clone, Debug)]
+pub enum QMsg {
+    /// Client -> planner: enqueue (idempotent — doubles as a poll for the
+    /// same `tx`).
+    Submit {
+        /// Root transaction id (stable across retransmissions of the same
+        /// attempt, fresh per restart).
+        tx: TxId,
+        /// `(object, write tag observed)` for every read.
+        reads: Vec<(ObjectId, u64)>,
+        /// Buffered writes in client program order.
+        writes: Vec<(ObjectId, ObjVal)>,
+    },
+    /// Client -> planner: outcome query for an already-submitted `tx`.
+    Poll {
+        /// Transaction being polled.
+        tx: TxId,
+    },
+    /// Planner -> client: submission/poll outcome.
+    SubmitAck {
+        /// Current status of the transaction.
+        status: TxStatus,
+    },
+    /// Client -> home executor: speculative read (newest queued write).
+    Read {
+        /// Object requested.
+        oid: ObjectId,
+    },
+    /// Client -> planner: authoritative read of the committed store
+    /// (requeue-escape hatch).
+    ReadCommitted {
+        /// Object requested.
+        oid: ObjectId,
+    },
+    /// Executor -> client: value plus the write tag to validate against.
+    ReadOk {
+        /// Tag of the write that produced `val` (0 for the preload).
+        tag: u64,
+        /// The value.
+        val: ObjVal,
+    },
+    /// Planner -> home executor (fire-and-forget): append a queued write
+    /// to the object's speculative chain.
+    Speculate {
+        /// Object written.
+        oid: ObjectId,
+        /// Planner-assigned write tag (view epoch in the high bits).
+        tag: u64,
+        /// Open batch the write belongs to.
+        batch: u64,
+        /// Speculative value.
+        val: ObjVal,
+    },
+    /// Planner -> replicas: install a sealed batch (one WAL record per
+    /// replica; group commit).
+    ApplyBatch {
+        /// Batch id (replicas apply strictly in sequence).
+        batch: u64,
+        /// Planner view epoch — stale batches from a deposed planner are
+        /// fenced here.
+        view: u64,
+        /// `(object, version, tag, value)` for every committed write.
+        writes: Vec<(ObjectId, Version, u64, ObjVal)>,
+        /// Outcome of every transaction in the batch.
+        decided: Vec<(TxId, Decision)>,
+    },
+    /// Replica -> planner: batch installation outcome.
+    ApplyAck {
+        /// True if applied (or already applied); false on a sequence gap
+        /// or a stale view stamp.
+        ok: bool,
+        /// The replica's applied-batch high-water mark.
+        applied: u64,
+    },
+    /// New planner -> replicas: which batch prefix do you hold?
+    SyncPull,
+    /// Replica -> new planner: applied-batch high-water mark.
+    SyncInfo {
+        /// Applied prefix.
+        applied: u64,
+    },
+    /// Planner -> lagging replica: full committed state (charged as one
+    /// snapshot-sized transfer).
+    FullSync {
+        /// Planner view epoch.
+        view: u64,
+        /// Batch prefix this state represents.
+        applied: u64,
+        /// `(object, version, tag, batch, value)` store dump.
+        store: Vec<(ObjectId, Version, u64, u64, ObjVal)>,
+        /// Full decision log.
+        decided: Vec<(TxId, Decision)>,
+    },
+}
+
+impl SimMessage for QMsg {
+    fn class(&self) -> u8 {
+        match self {
+            QMsg::Read { .. } | QMsg::ReadCommitted { .. } => 0,
+            QMsg::ReadOk { .. } => 1,
+            QMsg::Submit { .. } | QMsg::Poll { .. } => 2,
+            QMsg::SubmitAck { .. } => 3,
+            QMsg::Speculate { .. } => 4,
+            QMsg::ApplyBatch { .. } | QMsg::FullSync { .. } => 5,
+            QMsg::ApplyAck { .. } | QMsg::SyncPull | QMsg::SyncInfo { .. } => 6,
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            QMsg::Submit { reads, writes, .. } => 32 + 16 * reads.len() + 24 * writes.len(),
+            QMsg::ApplyBatch {
+                writes, decided, ..
+            } => 32 + 40 * writes.len() + 64 * decided.len(),
+            QMsg::FullSync { store, decided, .. } => 32 + 48 * store.len() + 64 * decided.len(),
+            _ => 32,
+        }
+    }
+}

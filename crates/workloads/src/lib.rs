@@ -24,5 +24,5 @@ pub mod vacation;
 
 pub use driver::{run, Benchmark, RunResult, RunSpec, WorkloadParams};
 pub use protocol_bank::{
-    run_bank, run_decent_bank, run_qr_bank, run_tfa_bank, BankRunResult, BankSpec,
+    run_bank, run_decent_bank, run_qr_bank, run_qstore_bank, run_tfa_bank, BankRunResult, BankSpec,
 };

@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
 use qrdtm_core::{Cluster, DtmConfig, DtmProtocol, ObjVal, ObjectId, SimHosted};
+use qrdtm_qstore::{QStoreCluster, QStoreConfig};
 use qrdtm_sim::{NodeId, SimDuration};
 
 /// Fig. 9 bank workload shape.
@@ -164,6 +165,14 @@ pub fn run_decent_bank(cfg: DecentConfig, spec: &BankSpec) -> BankRunResult {
     run_bank(Rc::new(DecentCluster::new(cfg)), nodes, spec)
 }
 
+/// Run the bank workload on a Q-Store cluster — the bodies in
+/// [`transfer`]/[`audit`] run unchanged; only the cluster assembly
+/// differs.
+pub fn run_qstore_bank(cfg: QStoreConfig, spec: &BankSpec) -> BankRunResult {
+    let nodes = cfg.nodes;
+    run_bank(Rc::new(QStoreCluster::new(cfg)), nodes, spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +226,20 @@ mod tests {
             &quick(),
         );
         assert!(r.commits > 0);
+    }
+
+    #[test]
+    fn qstore_bank_commits() {
+        let r = run_qstore_bank(
+            QStoreConfig {
+                nodes: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            &quick(),
+        );
+        assert!(r.commits > 0);
+        assert!(r.throughput > 0.0);
     }
 
     #[test]

@@ -17,8 +17,13 @@ cargo fmt --all --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> chaos smoke (fault injection + invariant checks)"
-cargo run --quiet --release -p qrdtm-bench -- chaos --smoke
+echo "==> chaos smoke (fault injection + invariant checks, incl. qstore batch atomicity)"
+chaos_out=$(cargo run --quiet --release -p qrdtm-bench -- chaos --smoke)
+echo "$chaos_out"
+grep -q '^\[qstore' <<<"$chaos_out" || {
+    echo "error: chaos smoke did not run the qstore arm" >&2
+    exit 1
+}
 
 echo "==> chaos detector smoke (self-healing membership, no oracle)"
 cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --detector
@@ -27,7 +32,14 @@ echo "==> chaos amnesia smoke (durable replicas, WAL replay + quorum repair)"
 cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --amnesia
 
 echo "==> mc smoke (bounded schedule exploration + checker validation)"
-cargo run --quiet --release -p qrdtm-bench -- mc --smoke
+mc_out=$(cargo run --quiet --release -p qrdtm-bench -- mc --smoke)
+echo "$mc_out"
+for want in '^\[qstore' 'skip-tag-check'; do
+    grep -q "$want" <<<"$mc_out" || {
+        echo "error: mc smoke output is missing $want (qstore arm not explored)" >&2
+        exit 1
+    }
+done
 
 echo "==> perf smoke (wall-clock baseline, TL2 backend, BENCH json)"
 # The CLI validates its own JSON and exits nonzero on serializability
@@ -35,7 +47,8 @@ echo "==> perf smoke (wall-clock baseline, TL2 backend, BENCH json)"
 # the keys downstream tooling reads.
 perf_json="${PERF_OUT:-target/BENCH_smoke.json}"
 cargo run --quiet --release -p qrdtm-bench -- perf --quick --out "$perf_json"
-for key in '"host"' '"sim"' '"par"' '"txns_per_sec"' '"peak_rss_kb"'; do
+for key in '"host"' '"sim"' '"par"' '"txns_per_sec"' '"peak_rss_kb"' \
+    '"write_heavy_grid"' '"batch_size"' '"epoch_latency_virtual_ns"'; do
     grep -q "$key" "$perf_json" || {
         echo "error: $perf_json is missing $key" >&2
         exit 1

@@ -17,6 +17,7 @@
 //! * [`workloads`] — Bank, Hashmap, Skiplist, RBTree, BST, Vacation and the
 //!   experiment driver.
 //! * [`baselines`] — TFA (HyFlow) and Decent-STM comparators.
+//! * [`qstore`] — queue-oriented speculative batching (Q-Store family).
 //!
 //! See the `examples/` directory for runnable entry points and
 //! `crates/bench` for the `repro` binary that regenerates every table and
@@ -25,6 +26,7 @@
 pub use qrdtm_baselines as baselines;
 pub use qrdtm_core as core;
 pub use qrdtm_par as par;
+pub use qrdtm_qstore as qstore;
 pub use qrdtm_quorum as quorum;
 pub use qrdtm_sim as sim;
 pub use qrdtm_workloads as workloads;

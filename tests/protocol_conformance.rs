@@ -1,6 +1,6 @@
 //! Protocol-conformance suite: one parameterized scenario set run against
 //! every [`DtmProtocol`] implementation — QR flat, QR-CN, QR-CHK, TFA
-//! (HyFlow) and Decent-STM.
+//! (HyFlow), Decent-STM and Q-Store.
 //!
 //! The trait promises begin/read/write/commit/restart semantics that the
 //! workload drivers rely on regardless of protocol:
@@ -18,6 +18,7 @@ use std::rc::Rc;
 use qr_dtm::baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
 use qr_dtm::core::{Cluster, DtmConfig, DtmProtocol, ObjVal, ObjectId, ProtocolStats, SimHosted};
 use qr_dtm::prelude::{Abort, NestingMode, NodeId};
+use qr_dtm::qstore::{QStoreCluster, QStoreConfig};
 use qr_dtm::workloads::protocol_bank::transfer;
 
 const ACCOUNTS: u64 = 8;
@@ -197,6 +198,75 @@ fn decent_conforms() {
     };
     assert_eq!(mk(1).protocol_name(), "Decent-STM");
     conforms(mk);
+}
+
+fn qstore(seed: u64) -> Rc<QStoreCluster> {
+    let c = Rc::new(QStoreCluster::new(QStoreConfig {
+        seed,
+        ..Default::default()
+    }));
+    for i in 0..ACCOUNTS {
+        DtmProtocol::preload(&*c, ObjectId(i), ObjVal::Int(INITIAL));
+    }
+    c
+}
+
+#[test]
+fn qstore_conforms() {
+    assert_eq!(qstore(1).protocol_name(), "Q-Store");
+    conforms(qstore);
+}
+
+/// Multi-seed high-contention stress for the batching family: many
+/// clients over few accounts, every run audited for serializability and
+/// batch atomicity, money conserved.
+#[test]
+fn qstore_high_contention_stress_stays_serializable() {
+    const HOT_ACCOUNTS: u64 = 4;
+    for seed in [2, 7, 19, 41, 97] {
+        let c = Rc::new(QStoreCluster::new(QStoreConfig {
+            seed,
+            ..Default::default()
+        }));
+        for i in 0..HOT_ACCOUNTS {
+            DtmProtocol::preload(&*c, ObjectId(i), ObjVal::Int(INITIAL));
+        }
+        c.begin_history();
+        for node in 0..8u32 {
+            let c2 = Rc::clone(&c);
+            c.sim().spawn(async move {
+                for i in 0..4u64 {
+                    let from = ObjectId((u64::from(node) + i) % HOT_ACCOUNTS);
+                    let to = ObjectId((u64::from(node) + i + 1) % HOT_ACCOUNTS);
+                    transfer(&*c2, NodeId(node), from, to, 5).await;
+                }
+            });
+        }
+        c.sim().run();
+        assert_eq!(
+            c.protocol_stats().commits,
+            32,
+            "seed {seed}: lost transfers"
+        );
+        let total: i64 = (0..HOT_ACCOUNTS)
+            .map(|i| c.latest(ObjectId(i)).unwrap().1.expect_int())
+            .sum();
+        assert_eq!(
+            total,
+            HOT_ACCOUNTS as i64 * INITIAL,
+            "seed {seed}: money not conserved"
+        );
+        assert_eq!(
+            c.verify_history(),
+            vec![],
+            "seed {seed}: serializability violated"
+        );
+        assert_eq!(
+            c.batch_atomicity_violations(),
+            Vec::<String>::new(),
+            "seed {seed}: batch atomicity violated"
+        );
+    }
 }
 
 /// The same scenario matrix against the multi-threaded TL2 backend. It is
