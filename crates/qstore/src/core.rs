@@ -238,20 +238,22 @@ pub(crate) fn install_handlers(sim: &Sim<QMsg>, shared: &Rc<Shared>) {
         sim.set_handler(node, move |ctx, env| match &env.msg {
             QMsg::Read { oid } => {
                 let r = sh.replicas[me].borrow();
-                if let Some((tag, val)) = r.speculative_top(*oid) {
-                    ctx.respond(&env, QMsg::ReadOk { tag, val });
+                match r.speculative_top(*oid) {
+                    Some((tag, val)) => ctx.respond(&env, QMsg::ReadOk { tag, val }),
+                    None => ctx.respond(&env, QMsg::ReadMiss),
                 }
             }
             QMsg::ReadCommitted { oid } => {
                 let r = sh.replicas[me].borrow();
-                if let Some(s) = r.store.get(oid) {
-                    ctx.respond(
+                match r.store.get(oid) {
+                    Some(s) => ctx.respond(
                         &env,
                         QMsg::ReadOk {
                             tag: s.tag,
                             val: s.val.clone(),
                         },
-                    );
+                    ),
+                    None => ctx.respond(&env, QMsg::ReadMiss),
                 }
             }
             QMsg::Speculate {
@@ -348,6 +350,7 @@ pub(crate) fn install_handlers(sim: &Sim<QMsg>, shared: &Rc<Shared>) {
             // Reply payloads are consumed by the call futures.
             QMsg::SubmitAck { .. }
             | QMsg::ReadOk { .. }
+            | QMsg::ReadMiss
             | QMsg::ApplyAck { .. }
             | QMsg::SyncInfo { .. } => {}
         });
@@ -428,6 +431,13 @@ fn planner_submit(
             .iter()
             .map(|(oid, val)| {
                 p.next_tag += 1;
+                // The view epoch lives in the high bits; a reign that
+                // assigns 2^24 tags would silently corrupt uniqueness
+                // and ordering, so fail loudly instead.
+                assert!(
+                    p.next_tag < (1 << 24),
+                    "write-tag counter overflowed into the view-epoch bits"
+                );
                 ((epoch << 24) | p.next_tag, (*oid, val.clone()))
             })
             .map(|(tag, (oid, val))| (oid, tag, val))
@@ -510,10 +520,13 @@ pub(crate) fn seal(sh: &Rc<Shared>, sim: &Sim<QMsg>, me: usize) -> Option<BatchJ
     let mut decided: Vec<(TxId, Decision)> = Vec::new();
     for (seq, t) in open.iter().enumerate() {
         let skip_check = sh.cfg.bug == Some(QStoreBug::SkipTagCheck);
+        // A tag-0 read of a still-absent object observed the implicit
+        // preload and stays valid; any installed write retags the slot
+        // and invalidates it.
         let valid = skip_check
             || t.reads
                 .iter()
-                .all(|(oid, tag)| r.store.get(oid).is_some_and(|s| s.tag == *tag));
+                .all(|(oid, tag)| r.store.get(oid).map_or(*tag == 0, |s| s.tag == *tag));
         if !valid {
             decided.push((t.tx, Decision::Requeued { batch }));
             continue;
@@ -787,7 +800,8 @@ pub(crate) async fn sealer(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize, my_batch: 
 
 /// New-planner takeover: pull applied high-water marks from enough
 /// replicas to be certain of seeing every quorum-acknowledged batch,
-/// adopt the longest prefix (charged as a state transfer), promote it to
+/// adopt the longest prefix (charged as a state transfer), re-replicate
+/// it until a majority holds it, and only then promote it to
 /// acknowledged, rebuild the planner state, and push catch-up syncs to
 /// lagging replicas. The deposed planner's open epoch is lost by design;
 /// clients re-submit and are replanned from acknowledged state.
@@ -846,29 +860,31 @@ pub(crate) async fn takeover(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize) {
             r.wal_fsyncs += 1;
         }
         let adopted = sh.replicas[me].borrow().applied;
-        {
-            let mut acked = sh.acked.borrow_mut();
-            for b in 1..=adopted {
-                acked.insert(b);
+        // The tail of the adopted prefix may have reached fewer than a
+        // majority before the old planner died (only quorum-acked batches
+        // are guaranteed durable; adopted-but-unacked ones are not).
+        // Nothing from it may be acknowledged — not the acked set, not
+        // stats/history, not a client-visible `Committed` — until the
+        // whole prefix is durable on a majority counting this planner,
+        // so push FullSync to lagging replicas until enough hold it.
+        let maj = majority(sh.cfg.nodes);
+        let mut holders: HashSet<usize> = HashSet::from([me]);
+        for (applied, idx) in &infos {
+            if *applied >= adopted {
+                holders.insert(*idx);
             }
         }
-        // Promote adopted decisions: batches the dead planner replicated
-        // but never acknowledged become acknowledged now (any majority
-        // intersects their apply set), so their commits must be counted
-        // and recorded exactly once.
-        {
-            let promoted: Vec<(TxId, Decision)> = sh.replicas[me]
-                .borrow()
-                .decided
+        while holders.len() < maj {
+            if !sim.is_alive(sh.nodes[me]) || sh.view.borrow().planner != me {
+                return;
+            }
+            let (alive, _) = sh.view_snapshot();
+            let lagging: Vec<(usize, NodeId)> = alive
                 .iter()
-                .map(|(t, d)| (*t, d.clone()))
+                .filter(|i| !holders.contains(i))
+                .map(|&i| (i, sh.nodes[i]))
                 .collect();
-            account_decisions(&sh, &promoted);
-        }
-        *sh.planner.borrow_mut() = PlannerState::fresh(adopted);
-        // Best-effort catch-up pushes to lagging alive replicas.
-        for (applied, idx) in infos {
-            if applied < adopted {
+            if !lagging.is_empty() {
                 let fs = {
                     let v = sh.view.borrow();
                     let r = sh.replicas[me].borrow();
@@ -879,15 +895,69 @@ pub(crate) async fn takeover(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize) {
                         decided: r.decided.iter().map(|(t, d)| (*t, d.clone())).collect(),
                     }
                 };
-                let _ = Substrate::<QMsg>::call(
+                let targets: Vec<NodeId> = lagging.iter().map(|(_, n)| *n).collect();
+                let res = Substrate::<QMsg>::call(
                     &sub,
                     sh.nodes[me],
-                    &[sh.nodes[idx]],
+                    &targets,
                     fs,
                     Some(sh.cfg.rpc_timeout),
                 )
                 .await;
+                for (node, m) in &res.replies {
+                    if let QMsg::ApplyAck { ok: true, applied } = m {
+                        if *applied >= adopted {
+                            holders.insert(node.0 as usize);
+                        }
+                    }
+                }
             }
+            if holders.len() < maj {
+                let jitter = Substrate::<QMsg>::jitter(&sub, 0.5, 1.5);
+                Substrate::<QMsg>::sleep(&sub, sh.cfg.backoff.mul_f64(jitter)).await;
+            }
+        }
+        {
+            let mut acked = sh.acked.borrow_mut();
+            for b in 1..=adopted {
+                acked.insert(b);
+            }
+        }
+        // Promote adopted decisions: batches the dead planner replicated
+        // but never acknowledged are now majority-durable (re-replicated
+        // above), so their commits are counted and recorded exactly once.
+        {
+            let promoted: Vec<(TxId, Decision)> = sh.replicas[me]
+                .borrow()
+                .decided
+                .iter()
+                .map(|(t, d)| (*t, d.clone()))
+                .collect();
+            account_decisions(&sh, &promoted);
+        }
+        *sh.planner.borrow_mut() = PlannerState::fresh(adopted);
+        // Best-effort catch-up push to any replica still behind; the
+        // per-batch gap repair finishes the job if this races new traffic.
+        let (alive, _) = sh.view_snapshot();
+        let behind: Vec<NodeId> = alive
+            .iter()
+            .filter(|i| !holders.contains(i))
+            .map(|&i| sh.nodes[i])
+            .collect();
+        if !behind.is_empty() {
+            let fs = {
+                let v = sh.view.borrow();
+                let r = sh.replicas[me].borrow();
+                QMsg::FullSync {
+                    view: v.epoch,
+                    applied: r.applied,
+                    store: r.dump_store(),
+                    decided: r.decided.iter().map(|(t, d)| (*t, d.clone())).collect(),
+                }
+            };
+            let _ =
+                Substrate::<QMsg>::call(&sub, sh.nodes[me], &behind, fs, Some(sh.cfg.rpc_timeout))
+                    .await;
         }
         return;
     }

@@ -381,7 +381,11 @@ impl QStoreCluster {
     /// Resolve one read: speculative from the object's home executor,
     /// or authoritative from the planner's committed store once an
     /// attempt has been requeued twice (the speculative chain it keeps
-    /// reading may be stale on a lagging executor).
+    /// reading may be stale on a lagging executor). An object absent
+    /// everywhere resolves as the implicit preload — tag 0 and
+    /// [`ObjVal::Unit`] — matching the seal's validation default, so
+    /// reads of never-written objects terminate instead of retrying
+    /// forever.
     async fn read_remote(&self, node: NodeId, oid: ObjectId, authoritative: bool) -> (u64, ObjVal) {
         let sub = &self.sub;
         let mut attempt = 0u32;
@@ -412,6 +416,7 @@ impl QStoreCluster {
                 .await;
             if let Some(hit) = res.replies.into_iter().find_map(|(_, m)| match m {
                 QMsg::ReadOk { tag, val } => Some((tag, val)),
+                QMsg::ReadMiss => Some((0, ObjVal::Unit)),
                 _ => None,
             }) {
                 return hit;
@@ -788,6 +793,27 @@ mod tests {
         let lag = c.shared.replicas[7].borrow().applied;
         let top = c.shared.replicas[0].borrow().applied;
         assert_eq!(lag, top, "catch-up sync must close the gap");
+    }
+
+    #[test]
+    fn read_of_absent_object_resolves_as_implicit_preload() {
+        let c = cluster(17);
+        let c2 = Rc::clone(&c);
+        c.sim().spawn(async move {
+            // ObjectId(100) was never preloaded or written: the read must
+            // terminate (no silent retry-forever) with the placeholder,
+            // and a commit that creates the object from it must succeed.
+            let mut h = c2.begin(NodeId(2));
+            let v = c2.read(&mut h, ObjectId(100)).await.unwrap();
+            assert_eq!(v, ObjVal::Unit);
+            c2.write(&mut h, ObjectId(100), ObjVal::Int(7))
+                .await
+                .unwrap();
+            c2.commit(&mut h).await.unwrap();
+        });
+        c.sim().run();
+        assert_eq!(c.latest(ObjectId(100)).unwrap().1, ObjVal::Int(7));
+        assert_eq!(c.stats().commits, 1);
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub enum QMsg {
         /// The value.
         val: ObjVal,
     },
+    /// Executor -> client: the object is absent from both the
+    /// speculative chain and the committed store (never preloaded or
+    /// written). The client resolves it as the implicit preload.
+    ReadMiss,
     /// Planner -> home executor (fire-and-forget): append a queued write
     /// to the object's speculative chain.
     Speculate {
@@ -149,7 +153,7 @@ impl SimMessage for QMsg {
     fn class(&self) -> u8 {
         match self {
             QMsg::Read { .. } | QMsg::ReadCommitted { .. } => 0,
-            QMsg::ReadOk { .. } => 1,
+            QMsg::ReadOk { .. } | QMsg::ReadMiss => 1,
             QMsg::Submit { .. } | QMsg::Poll { .. } => 2,
             QMsg::SubmitAck { .. } => 3,
             QMsg::Speculate { .. } => 4,
