@@ -67,19 +67,21 @@ impl Proto {
         match self {
             Proto::Qr | Proto::QrCn | Proto::QrChk if durable => FaultBudget::durable(events),
             Proto::Qr | Proto::QrCn | Proto::QrChk => FaultBudget::full(events),
-            // Q-Store tolerates crashes/partitions/drops but keeps no
-            // durable log — amnesia events in a full budget are skipped by
-            // its support mask, so hand it the full vocabulary minus
-            // durability.
+            // Q-Store keeps a per-replica batch WAL when durability is
+            // armed, so amnesiac restarts and torn tails are honest faults
+            // for it too; without the disk model it takes the full
+            // vocabulary minus durability.
+            Proto::QStore if durable => FaultBudget::durable(events),
             Proto::QStore => FaultBudget::full(events),
             Proto::Tfa | Proto::Decent => FaultBudget::gray(events),
         }
     }
 
     /// Whether this protocol can run with the failure detector in charge
-    /// (only the QR family keeps a reconfigurable quorum view).
+    /// (the QR family keeps a reconfigurable quorum view; Q-Store keeps a
+    /// reconfigurable planner view with heartbeat-driven failover).
     fn supports_detector(self) -> bool {
-        matches!(self, Proto::Qr | Proto::QrCn | Proto::QrChk)
+        matches!(self, Proto::Qr | Proto::QrCn | Proto::QrChk | Proto::QStore)
     }
 
     /// Build a fresh cluster and run `plan` against it. A new cluster per
@@ -129,11 +131,23 @@ impl Proto {
                 run_plan(cl, nodes, spec, plan)
             }
             Proto::QStore => {
-                let cl = Rc::new(QStoreCluster::new(QStoreConfig {
+                let mut cfg = QStoreConfig {
                     nodes,
                     seed,
                     ..Default::default()
-                }));
+                };
+                if det {
+                    // Oracle off: the heartbeat detector ejects a silent
+                    // planner and drives the successor's fenced takeover.
+                    cfg.detector = Some(DetectorConfig::default());
+                }
+                if durable {
+                    // Replicas append+fsync one batch record per epoch to
+                    // the simulated disk; crash-amnesia and corrupt-tail
+                    // faults become applicable.
+                    cfg.durability = Some(DurabilityConfig::default());
+                }
+                let cl = Rc::new(QStoreCluster::new(cfg));
                 run_plan(cl, nodes, spec, plan)
             }
         }
@@ -253,7 +267,7 @@ pub fn run(args: impl Iterator<Item = String>) -> i32 {
         let before = a.protos.len();
         a.protos.retain(|p| p.supports_detector());
         if a.protos.is_empty() {
-            eprintln!("chaos: --detector requires a QR protocol (qr, qr-cn, qr-chk)");
+            eprintln!("chaos: --detector requires a reconfigurable-view protocol (qr, qr-cn, qr-chk, qstore)");
             return 2;
         }
         if a.protos.len() < before {
@@ -553,6 +567,39 @@ fn detector_smoke() -> i32 {
         retries += r.metrics.rpc_retries;
         hedged += r.metrics.hedged_wins;
     }
+    // Q-Store keeps a reconfigurable planner view: a silently crashed
+    // planner (node 0) must be suspected and ejected by the heartbeat
+    // detector, the successor takes over behind a view-epoch fence, and
+    // the old planner rejoins as an ordinary replica once it heals.
+    let planner_crash = FaultPlan::new(vec![
+        FaultEvent {
+            at: ms(300),
+            kind: FaultKind::Crash { node: 0 },
+        },
+        FaultEvent {
+            at: ms(1_100),
+            kind: FaultKind::Recover { node: 0 },
+        },
+    ]);
+    for seed in 1..=2u64 {
+        println!("plan: planner-crash (batching family)");
+        let r = Proto::QStore.run(10, seed, &spec, &planner_crash, false);
+        ok &= report_one(
+            Proto::QStore,
+            seed,
+            10,
+            &spec,
+            &planner_crash,
+            None,
+            false,
+            &r,
+        );
+        hb += r.metrics.heartbeats_sent;
+        susp += r.metrics.suspicions;
+        false_susp += r.metrics.false_suspicions;
+        retries += r.metrics.rpc_retries;
+        hedged += r.metrics.hedged_wins;
+    }
     println!(
         "\naggregate: heartbeats={hb} suspicions={susp} false_suspicions={false_susp} \
          rpc_retries={retries} hedged_wins={hedged}"
@@ -586,6 +633,13 @@ fn detector_smoke() -> i32 {
 /// including the durability checker, which proves no acknowledged write
 /// was lost. The aggregated recovery counters then prove the log replay,
 /// torn-tail detection and quorum repair each actually fired.
+///
+/// The Q-Store arms then put the batch WAL through the same grinder
+/// across twenty seeds: each plan tears a replica's batch-log tail,
+/// amnesia-crashes that replica *and* the planner, and the restarted
+/// nodes must replay their fsynced batch prefix (dropping the torn batch
+/// whole), census the quorum-acked epoch frontier and pull what they
+/// lost — with the batch-atomicity and durability checkers watching.
 fn amnesia_smoke() -> i32 {
     let spec = ChaosSpec::smoke();
     let ms = SimDuration::from_millis;
@@ -654,6 +708,48 @@ fn amnesia_smoke() -> i32 {
         let plan = generate(seed, 10, spec.horizon, &FaultBudget::durable(5));
         let r = Proto::QrChk.run(10, seed, &spec, &plan, true);
         ok &= report_one(Proto::QrChk, seed, 10, &spec, &plan, None, true, &r);
+        tally(&r);
+    }
+    // Q-Store: twenty seeds of torn batch tails + amnesiac restarts. The
+    // victim replica rotates with the seed so the tear lands on different
+    // batch boundaries, and the planner (node 0) is amnesia-crashed in
+    // every plan so failover must adopt only the quorum-acked durable
+    // prefix before the old planner rejoins from its own batch log.
+    println!("\nbatch WAL (qstore): torn tails + planner amnesia across 20 seeds");
+    for seed in 1..=20u64 {
+        let victim = 1 + (seed % 9) as u32;
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: ms(400),
+                kind: FaultKind::CorruptTail { node: victim },
+            },
+            FaultEvent {
+                at: ms(400),
+                kind: FaultKind::CrashAmnesia { node: victim },
+            },
+            FaultEvent {
+                at: ms(700),
+                kind: FaultKind::CrashAmnesia { node: 0 },
+            },
+            FaultEvent {
+                at: ms(1_000),
+                kind: FaultKind::Recover { node: victim },
+            },
+            FaultEvent {
+                at: ms(1_200),
+                kind: FaultKind::Recover { node: 0 },
+            },
+        ]);
+        let r = Proto::QStore.run(10, seed, &spec, &plan, true);
+        ok &= report_one(Proto::QStore, seed, 10, &spec, &plan, None, true, &r);
+        tally(&r);
+    }
+    // And generated durable-budget plans for breadth on the batching
+    // family too.
+    for seed in 1..=3u64 {
+        let plan = generate(seed, 10, spec.horizon, &FaultBudget::durable(5));
+        let r = Proto::QStore.run(10, seed, &spec, &plan, true);
+        ok &= report_one(Proto::QStore, seed, 10, &spec, &plan, None, true, &r);
         tally(&r);
     }
     println!(

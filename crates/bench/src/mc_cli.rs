@@ -49,6 +49,7 @@ fn parse_bug(s: &str) -> Option<McBug> {
         "skip-vote-check" => Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
         "skip-epoch-fence" => Some(McBug::Qr(InjectedBug::SkipEpochFence)),
         "skip-tag-check" => Some(McBug::QStore(QStoreBug::SkipTagCheck)),
+        "ack-before-fsync" => Some(McBug::QStore(QStoreBug::AckBeforeFsync)),
         _ => None,
     }
 }
@@ -74,7 +75,8 @@ fn mc_usage() -> ! {
          \x20      repro mc [--proto qr|qr-cn|qr-chk|qstore|all] [--seed S] [--nodes N] \
          [--objects K] [--txns T]\n\
          \x20               [--dfs N] [--pct N] \
-         [--inject-bug skip-vote-check|skip-epoch-fence|skip-tag-check] [--save-trace FILE]"
+         [--inject-bug skip-vote-check|skip-epoch-fence|skip-tag-check|ack-before-fsync] \
+         [--save-trace FILE]"
     );
     std::process::exit(2);
 }
@@ -265,7 +267,8 @@ fn replay_file(path: &Path) -> i32 {
 /// The fixed smoke suite `scripts/check.sh` runs: ≥10k distinct schedules
 /// across the four protocols at the 3-node/2-object/2-txn scope with zero
 /// violations, plus a checker-validation stage where deliberately broken
-/// protocol variants (one QR, one Q-Store) must be caught with minimized,
+/// protocol variants (one QR, two Q-Store — including a planner that acks
+/// before its batch fsyncs are durable) must be caught with minimized,
 /// replayable traces.
 fn smoke() -> i32 {
     let t0 = std::time::Instant::now();
@@ -317,11 +320,12 @@ fn smoke() -> i32 {
         }
     }
 
-    // Checker validation: a protocol that trusts a failed vote round (QR)
-    // or seals epochs without read-tag validation (Q-Store) must be
-    // caught, and the minimized counterexample must still reproduce after
-    // a trace text round-trip — otherwise the zero violations above prove
-    // nothing.
+    // Checker validation: a protocol that trusts a failed vote round (QR),
+    // seals epochs without read-tag validation (Q-Store), or acknowledges
+    // an epoch before its quorum's fsyncs (Q-Store + amnesiac planner
+    // crash) must be caught, and the minimized counterexample must still
+    // reproduce after a trace text round-trip — otherwise the zero
+    // violations above prove nothing.
     let validations = [
         (
             "skip-vote-check",
@@ -334,6 +338,13 @@ fn smoke() -> i32 {
             "skip-tag-check",
             Scope {
                 injected_bug: Some(McBug::QStore(QStoreBug::SkipTagCheck)),
+                ..Scope::smoke(McProto::QStore)
+            },
+        ),
+        (
+            "ack-before-fsync",
+            Scope {
+                injected_bug: Some(McBug::QStore(QStoreBug::AckBeforeFsync)),
                 ..Scope::smoke(McProto::QStore)
             },
         ),

@@ -18,10 +18,11 @@
 //!   sampled reservoir.
 //! * **write-heavy grid** — QR vs Q-Store head to head on a write-heavy,
 //!   high-contention bank (few hot accounts, 10% reads): the workload
-//!   speculative batching is built for. Reports per-protocol virtual
+//!   speculative batching is built for. The Q-Store leg runs durable
+//!   (batch WAL on the simulated disk); it reports per-protocol virtual
 //!   txn/s plus Q-Store's batch size, realized batch occupancy, group
-//!   commit fsync totals and epoch (seal→quorum-ack) latency
-//!   percentiles.
+//!   commit fsync totals, epoch (seal→quorum-ack) latency percentiles
+//!   and the real per-fsync virtual latencies paid to the disk model.
 //! * **par ×1 / par ×N** — the TL2 backend at 1 thread and at
 //!   `PAR_THREADS` threads: wall txn/s, abort rate, wall latency
 //!   percentiles, and a full serializability audit of the recorded
@@ -34,7 +35,7 @@
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
-use qrdtm_core::{Cluster, DtmConfig, LatencySpec, NestingMode};
+use qrdtm_core::{Cluster, DtmConfig, DurabilityConfig, LatencySpec, NestingMode};
 use qrdtm_par::{run_par_bank, ParBankResult, ParBankSpec};
 use qrdtm_qstore::{QStoreCluster, QStoreConfig};
 use qrdtm_sim::SimDuration;
@@ -170,6 +171,10 @@ struct BatchTelemetry {
     wal_fsyncs: u64,
     epoch_p50_ns: Option<u64>,
     epoch_p99_ns: Option<u64>,
+    /// Per-fsync virtual latency percentiles from the simulated disks —
+    /// the group-commit cost actually paid, not the modelled constant.
+    fsync_p50_ns: Option<u64>,
+    fsync_p99_ns: Option<u64>,
 }
 
 /// Both write-heavy grid legs: QR (flat) and Q-Store on the same bank
@@ -229,6 +234,10 @@ fn write_heavy_grid(quick: bool) -> WriteHeavyGrid {
     let qs_cfg = QStoreConfig {
         nodes: 10,
         seed: 42,
+        // The grid leg runs durable: every epoch pays a real append+fsync
+        // on the simulated disk, so the reported throughput and fsync
+        // percentiles reflect the group-commit protocol, not a cost model.
+        durability: Some(DurabilityConfig::default()),
         ..QStoreConfig::default()
     };
     let batch_size = qs_cfg.batch_size;
@@ -247,6 +256,8 @@ fn write_heavy_grid(quick: bool) -> WriteHeavyGrid {
     let (_, wal_fsyncs) = qs_cluster.wal_totals();
     let mut epochs = qs_cluster.epoch_latencies();
     epochs.sort_unstable();
+    let mut fsyncs = qs_cluster.fsync_latencies();
+    fsyncs.sort_unstable();
     let batching = BatchTelemetry {
         batch_size,
         batches: stats.batches,
@@ -254,6 +265,8 @@ fn write_heavy_grid(quick: bool) -> WriteHeavyGrid {
         wal_fsyncs,
         epoch_p50_ns: percentile_ns(&epochs, 50.0),
         epoch_p99_ns: percentile_ns(&epochs, 99.0),
+        fsync_p50_ns: percentile_ns(&fsyncs, 50.0),
+        fsync_p99_ns: percentile_ns(&fsyncs, 99.0),
     };
     WriteHeavyGrid {
         qr,
@@ -333,13 +346,15 @@ fn render_json(
     ));
     let b = &grid.batching;
     let qstore_extra = format!(
-        ", \"batch_size\": {}, \"batches\": {}, \"batch_txns\": {}, \"wal_fsyncs\": {}, \"epoch_latency_virtual_ns\": {{\"p50\": {}, \"p99\": {}}}",
+        ", \"batch_size\": {}, \"batches\": {}, \"batch_txns\": {}, \"wal_fsyncs\": {}, \"epoch_latency_virtual_ns\": {{\"p50\": {}, \"p99\": {}}}, \"disk_fsync_virtual_ns\": {{\"p50\": {}, \"p99\": {}}}",
         b.batch_size,
         b.batches,
         b.batch_txns,
         b.wal_fsyncs,
         opt_u64(b.epoch_p50_ns),
-        opt_u64(b.epoch_p99_ns)
+        opt_u64(b.epoch_p99_ns),
+        opt_u64(b.fsync_p50_ns),
+        opt_u64(b.fsync_p99_ns)
     );
     s.push_str(&format!(
         "  \"write_heavy_grid\": {{\"accounts\": {GRID_ACCOUNTS}, \"read_pct\": {GRID_READ_PCT}, \"clients_per_node\": {GRID_CLIENTS_PER_NODE}, \"qr\": {}, \"qstore\": {}}},\n",
@@ -394,7 +409,7 @@ fn print_summary(
     let b = &grid.batching;
     println!(
         "       Q-Store batching: size {}, {} batches / {} batched txns ({:.1} avg), \
-         {} fsyncs, epoch p50 {} ms p99 {} ms",
+         {} fsyncs, epoch p50 {} ms p99 {} ms, fsync p50 {} µs p99 {} µs",
         b.batch_size,
         b.batches,
         b.batch_txns,
@@ -402,6 +417,8 @@ fn print_summary(
         b.wal_fsyncs,
         b.epoch_p50_ns.map_or(0, |n| n / 1_000_000),
         b.epoch_p99_ns.map_or(0, |n| n / 1_000_000),
+        b.fsync_p50_ns.map_or(0, |n| n / 1_000),
+        b.fsync_p99_ns.map_or(0, |n| n / 1_000),
     );
     println!(
         "       Q-Store vs QR: {:.2}x on the write-heavy grid\n",
@@ -620,6 +637,8 @@ mod tests {
                 wal_fsyncs: 700,
                 epoch_p50_ns: Some(33_000_000),
                 epoch_p99_ns: None,
+                fsync_p50_ns: Some(300_000),
+                fsync_p99_ns: Some(450_000),
             },
         };
         let json = render_json(true, 1, &sim, &grid, &[&par, &par], 1.0);
@@ -633,6 +652,7 @@ mod tests {
             "\"write_heavy_grid\"",
             "\"batch_size\"",
             "\"epoch_latency_virtual_ns\"",
+            "\"disk_fsync_virtual_ns\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

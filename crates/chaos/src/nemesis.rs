@@ -163,14 +163,17 @@ impl ChaosReport {
 
     /// The one-line summary `repro chaos` prints per run (minus the
     /// CLI-level `[proto seed nodes]` prefix): plan/application counts,
-    /// workload counters, drop tallies, drain status and the verdict.
-    /// Shared by the CLI and the plan round-trip snapshot test, so
-    /// "replaying a saved plan reproduces the identical line" is a stable,
-    /// testable contract.
+    /// workload counters, drop tallies, recovery counters (WAL replays,
+    /// torn tails dropped, repair rounds and repaired objects — nonzero
+    /// only under amnesia faults), drain status and the verdict. Shared
+    /// by the CLI and the plan round-trip snapshot test, so "replaying a
+    /// saved plan reproduces the identical line" is a stable, testable
+    /// contract.
     pub fn summary_line(&self) -> String {
         format!(
             "plan={:>2}ev applied={:>2} skipped={} commits={:>5} aborts={:>4} \
-             dropped dead:{} part:{} link:{} drained={} => {}",
+             dropped dead:{} part:{} link:{} \
+             recovery replay:{} torn:{} rounds:{} repaired:{} drained={} => {}",
             self.plan_events,
             self.applied,
             self.skipped,
@@ -179,6 +182,10 @@ impl ChaosReport {
             self.dropped,
             self.dropped_by_partition,
             self.dropped_by_link,
+            self.metrics.log_replays,
+            self.metrics.torn_tails,
+            self.metrics.repair_rounds,
+            self.metrics.repaired_objects,
             if self.drained { "yes" } else { "NO" },
             if self.ok() { "OK" } else { "VIOLATION" },
         )
@@ -878,6 +885,77 @@ mod tests {
         assert!(r.commits > 0);
         assert!(r.view_epoch >= 3, "each crash/recovery bumped the epoch");
         assert!(r.dropped_by_partition > 0, "partition saw no traffic");
+    }
+
+    #[test]
+    fn qstore_amnesia_crash_recovers_durably() {
+        use qrdtm_qstore::{QStoreCluster, QStoreConfig};
+        // Torn-tail + amnesiac restart of a replica, then an amnesiac
+        // planner crash: replay + epoch repair must restore everything the
+        // clients were acked, and the durability checker must stay clean.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(400),
+                kind: FaultKind::CorruptTail { node: 3 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(400),
+                kind: FaultKind::CrashAmnesia { node: 3 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(700),
+                kind: FaultKind::CrashAmnesia { node: 0 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_000),
+                kind: FaultKind::Recover { node: 3 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_200),
+                kind: FaultKind::Recover { node: 0 },
+            },
+        ]);
+        let c = Rc::new(QStoreCluster::new(QStoreConfig {
+            nodes: 10,
+            seed: 12,
+            durability: Some(qrdtm_core::DurabilityConfig::default()),
+            ..Default::default()
+        }));
+        let r = run_plan(c, 10, &quick_spec(), &plan);
+        assert!(
+            r.ok(),
+            "violations: {:?}\nfaults: {:?}",
+            r.violations,
+            r.fault_log
+        );
+        assert_eq!(r.applied, 5);
+        assert!(r.metrics.log_replays >= 2, "both restarts replayed the WAL");
+        assert!(r.metrics.torn_tails >= 1, "the corrupted tail was detected");
+        assert!(r.metrics.repair_rounds >= 1, "epoch repair ran");
+        assert!(r.commits > 0);
+        let line = r.summary_line();
+        assert!(
+            line.contains("recovery replay:") && line.contains("torn:"),
+            "recovery counters must surface in the summary: {line}"
+        );
+    }
+
+    #[test]
+    fn qstore_amnesia_is_skipped_without_durable_storage() {
+        use qrdtm_qstore::{QStoreCluster, QStoreConfig};
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: SimDuration::from_millis(300),
+            kind: FaultKind::CrashAmnesia { node: 1 },
+        }]);
+        let c = Rc::new(QStoreCluster::new(QStoreConfig {
+            nodes: 10,
+            seed: 13,
+            ..Default::default()
+        }));
+        let r = run_plan(c, 10, &quick_spec(), &plan);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.skipped, 1, "cost-modelled replicas cannot restart");
+        assert_eq!(r.applied, 0);
     }
 
     #[test]

@@ -332,10 +332,10 @@ impl ChaosTarget for DecentCluster {
 impl ChaosTarget for QStoreCluster {
     fn fault_support(&self) -> FaultSupport {
         // Crash-stop with planner failover, partitions and lossy links are
-        // tolerated by design; there is no durable log to restart a replica
-        // from, so amnesia faults do not apply.
+        // tolerated by design; amnesia additionally needs the per-replica
+        // batch WAL on the simulated disk to restart from.
         FaultSupport {
-            amnesia: false,
+            amnesia: self.config().durability.is_some(),
             ..FaultSupport::all()
         }
     }
@@ -363,6 +363,20 @@ impl ChaosTarget for QStoreCluster {
         self.latest(oid).map(|(_, v)| v.expect_int())
     }
 
+    fn crash_sim_only(&self, node: NodeId) -> bool {
+        QStoreCluster::crash_sim_only(self, node)
+    }
+
+    fn recover_sim_only(&self, node: NodeId) -> bool {
+        QStoreCluster::recover_sim_only(self, node)
+    }
+
+    fn start_detector(self: Rc<Self>) -> Option<DetectorHandle> {
+        self.config()
+            .detector
+            .map(|_| QStoreCluster::start_detector(&self))
+    }
+
     fn view_member(&self, node: NodeId) -> bool {
         self.view_alive(node)
     }
@@ -371,8 +385,37 @@ impl ChaosTarget for QStoreCluster {
         QStoreCluster::view_epoch(self)
     }
 
+    fn detection_bound(&self) -> Option<qrdtm_sim::SimDuration> {
+        self.config()
+            .detector
+            .map(|_| QStoreCluster::detection_bound(self))
+    }
+
+    fn crash_amnesia(&self, node: NodeId) -> bool {
+        self.config().durability.is_some() && QStoreCluster::crash_node_amnesia(self, node)
+    }
+
+    fn crash_amnesia_sim_only(&self, node: NodeId) -> bool {
+        self.config().durability.is_some() && QStoreCluster::crash_amnesia_sim_only(self, node)
+    }
+
+    fn corrupt_tail(&self, node: NodeId) -> bool {
+        self.config().durability.is_some() && QStoreCluster::corrupt_tail(self, node, 1)
+    }
+
     fn committed_version(&self, oid: ObjectId) -> Option<u64> {
         self.latest(oid).map(|(v, _)| v.0)
+    }
+
+    fn acked_write_versions(&self) -> Vec<(u64, u64)> {
+        self.history()
+            .iter()
+            .flat_map(|rec| {
+                rec.writes
+                    .iter()
+                    .map(|(oid, _, installed)| (oid.0, installed.0))
+            })
+            .collect()
     }
 
     fn batch_atomicity_violations(&self) -> Vec<String> {

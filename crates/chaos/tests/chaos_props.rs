@@ -196,6 +196,35 @@ proptest! {
         );
     }
 
+    /// Durable Q-Store clusters survive the same amnesia budgets: replay
+    /// of the fsynced batch prefix plus epoch repair keep every checked
+    /// invariant (balance conservation, serializability, batch atomicity,
+    /// durability of acked writes), and the runs — including the recovery
+    /// counters — are deterministic per seed.
+    #[test]
+    fn qstore_amnesia_plans_preserve_invariants_and_determinism(
+        seed in 0u64..1_000,
+        events in 2usize..8,
+    ) {
+        let a = run_qstore_durable(seed, events);
+        prop_assert!(
+            a.ok(),
+            "seed={seed} events={events}: {:?}\nfaults: {:?}",
+            a.violations, a.fault_log
+        );
+        prop_assert!(a.drained, "seed={seed}: did not quiesce");
+        let b = run_qstore_durable(seed, events);
+        prop_assert_eq!(&a.fingerprint, &b.fingerprint);
+        prop_assert_eq!(&a.fault_log, &b.fault_log);
+        prop_assert_eq!(a.summary_line(), b.summary_line());
+        prop_assert_eq!(
+            (a.metrics.log_replays, a.metrics.torn_tails, a.metrics.repair_rounds,
+             a.metrics.repaired_objects, a.metrics.repair_bytes),
+            (b.metrics.log_replays, b.metrics.torn_tails, b.metrics.repair_rounds,
+             b.metrics.repaired_objects, b.metrics.repair_bytes)
+        );
+    }
+
     /// The detector path is deterministic too: with the oracle disabled,
     /// identical seeds reproduce the identical suspicion/view-change trace
     /// (event-by-event, with timestamps), the same view epoch and the same
@@ -241,6 +270,27 @@ fn run_durable(seed: u64, events: usize) -> ChaosReport {
         durability: Some(DurabilityConfig::default()),
         ..Default::default()
     }));
+    run_plan(cl, NODES, &spec, &plan)
+}
+
+/// A durable Q-Store run under a budget that includes amnesiac restarts
+/// and torn tails (batch-WAL replay + epoch repair on every recovery).
+fn run_qstore_durable(seed: u64, events: usize) -> ChaosReport {
+    let spec = spec();
+    let plan = generate(
+        seed,
+        NODES as u32,
+        spec.horizon,
+        &FaultBudget::durable(events),
+    );
+    let cl = Rc::new(qrdtm_qstore::QStoreCluster::new(
+        qrdtm_qstore::QStoreConfig {
+            nodes: NODES,
+            seed,
+            durability: Some(DurabilityConfig::default()),
+            ..Default::default()
+        },
+    ));
     run_plan(cl, NODES, &spec, &plan)
 }
 

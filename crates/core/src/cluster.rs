@@ -10,10 +10,9 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use qrdtm_quorum::{QuorumError, Tree, TreeQuorum};
-use qrdtm_sim::{
-    ConstLatency, Counter, EngineEventKind, JitteredLatency, NodeId, Sim, SimConfig, SimDuration,
-};
+use qrdtm_sim::{ConstLatency, JitteredLatency, NodeId, Sim, SimConfig, SimDuration};
 
+use crate::engine::repair;
 use crate::engine::wal::ReplicaWal;
 use crate::history::{CommitRecord, HistoryRecorder, Violation};
 use crate::msg::Msg;
@@ -742,12 +741,12 @@ impl Cluster {
             store.sync(oid, version, val);
         }
         let mut cost = img.cost;
-        self.sim.bump(Counter::LogReplays);
-        self.sim
-            .emit_engine_event(EngineEventKind::WalReplayed, node, img.records_replayed);
-        if img.torn_tail_detected {
-            self.sim.bump(Counter::TornTails);
-        }
+        repair::account_wal_replay(
+            &self.sim,
+            node,
+            img.records_replayed,
+            img.torn_tail_detected,
+        );
         // Full replication: any alive peer knows the object census (the
         // disk image alone cannot — that is the point of the repair).
         let census: Vec<ObjectId> = {
@@ -783,12 +782,7 @@ impl Cluster {
             }
         }
         let nominal = self.inner.cfg.latency.nominal();
-        cost += nominal * 2 + nominal * repaired;
-        self.sim.add(Counter::RepairRounds, 1);
-        self.sim.add(Counter::RepairedObjects, repaired);
-        self.sim.add(Counter::RepairBytes, bytes);
-        self.sim
-            .emit_engine_event(EngineEventKind::QuorumRepaired, node, repaired);
+        cost += repair::charge_quorum_repair(&self.sim, node, repaired, bytes, nominal);
         cost += wals[node.index()]
             .borrow_mut()
             .snapshot_now(store.entries());

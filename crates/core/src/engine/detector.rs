@@ -43,7 +43,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use qrdtm_sim::{Counter, EngineEventKind, HeartbeatConfig, NodeId, Sim, SimDuration, SimTime};
+use qrdtm_sim::{Counter, EngineEventKind, HeartbeatConfig, NodeId, SimDuration, SimTime};
 
 use crate::cluster::Cluster;
 use crate::msg::Msg;
@@ -97,17 +97,31 @@ impl DetectorConfig {
 }
 
 /// Handle on a running detector task (see [`spawn_detector`]).
+///
+/// The handle is deliberately message-type-agnostic (the teardown is a
+/// boxed callback, not a `Sim<Msg>`): other protocol families host their
+/// own detector task over their own wire type and hand back the same
+/// handle shape through `ChaosTarget::start_detector`.
 pub struct DetectorHandle {
     stop: Rc<Cell<bool>>,
-    sim: Sim<Msg>,
+    on_stop: Box<dyn Fn()>,
 }
 
 impl DetectorHandle {
+    /// Build a handle from a shared stop flag and a teardown callback run
+    /// on [`stop`](Self::stop) (typically `Sim::stop_heartbeats`).
+    pub fn new(stop: Rc<Cell<bool>>, on_stop: impl Fn() + 'static) -> Self {
+        DetectorHandle {
+            stop,
+            on_stop: Box::new(on_stop),
+        }
+    }
+
     /// Stop the detector task (at its next tick) and the heartbeat layer.
     /// The membership view stays as the detector last left it.
     pub fn stop(&self) {
         self.stop.set(true);
-        self.sim.stop_heartbeats();
+        (self.on_stop)();
     }
 }
 
@@ -126,10 +140,10 @@ pub fn spawn_detector(cluster: &Rc<Cluster>) -> DetectorHandle {
     let sim = cluster.sim().clone();
     sim.start_heartbeats(cfg.heartbeat());
     let stop = Rc::new(Cell::new(false));
-    let handle = DetectorHandle {
-        stop: Rc::clone(&stop),
-        sim: sim.clone(),
-    };
+    let handle = DetectorHandle::new(Rc::clone(&stop), {
+        let sim = sim.clone();
+        move || sim.stop_heartbeats()
+    });
     let cluster = Rc::clone(cluster);
     let sub = cluster.substrate().clone();
     sim.spawn(async move {
@@ -239,7 +253,14 @@ fn tick(cluster: &Cluster, sub: &SimSubstrate<Msg>, cfg: &DetectorConfig, st: &m
 
 /// Largest connected component of the bidirectional-freshness graph over
 /// `trusted`; ties break to the component containing the lowest node id.
-fn reference_component(trusted: &[NodeId], fresh: &dyn Fn(NodeId, NodeId) -> bool) -> Vec<NodeId> {
+///
+/// Public so every protocol family's detector picks the reference
+/// partition with the same rule (the Q-Store detector reuses it over its
+/// own heartbeat matrix).
+pub fn reference_component(
+    trusted: &[NodeId],
+    fresh: &dyn Fn(NodeId, NodeId) -> bool,
+) -> Vec<NodeId> {
     let mut best: Vec<NodeId> = Vec::new();
     let mut seen: Vec<NodeId> = Vec::new();
     for &start in trusted {

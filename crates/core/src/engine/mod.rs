@@ -40,11 +40,12 @@
 mod commit;
 mod detector;
 mod nesting;
+pub mod repair;
 mod transport;
 mod validation;
 pub(crate) mod wal;
 
-pub use detector::{spawn_detector, DetectorConfig, DetectorHandle};
+pub use detector::{reference_component, spawn_detector, DetectorConfig, DetectorHandle};
 pub use wal::DurabilityConfig;
 
 #[cfg(test)]

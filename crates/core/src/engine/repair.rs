@@ -1,0 +1,41 @@
+//! Shared accounting for amnesiac-restart recovery, used by every
+//! protocol family with durable replicas (the QR cluster's quorum repair
+//! and the Q-Store cluster's epoch repair).
+//!
+//! Both recoveries have the same shape — replay the durable image, census
+//! the committed frontier from alive peers, pull what the disk lost, then
+//! re-snapshot — and must charge and count it identically so the chaos
+//! report's recovery line and the per-seed determinism fingerprints mean
+//! the same thing for every protocol. The helpers here are generic over
+//! the wire-message type so each family calls them on its own simulator.
+
+use qrdtm_sim::{Counter, EngineEventKind, NodeId, Sim, SimDuration, SimMessage};
+
+/// Account one durable-log replay at restart: bump the replay counter,
+/// emit the [`EngineEventKind::WalReplayed`] event (detail = records
+/// replayed), and count a detected torn tail.
+pub fn account_wal_replay<M: SimMessage>(sim: &Sim<M>, node: NodeId, records: u64, torn: bool) {
+    sim.bump(Counter::LogReplays);
+    sim.emit_engine_event(EngineEventKind::WalReplayed, node, records);
+    if torn {
+        sim.bump(Counter::TornTails);
+    }
+}
+
+/// Account one census-and-pull repair round against alive peers and
+/// return the network cost to charge the restarting node: one census
+/// round trip (`2 × nominal`) plus one nominal link latency per repaired
+/// item. `bytes` is the approximate payload pulled.
+pub fn charge_quorum_repair<M: SimMessage>(
+    sim: &Sim<M>,
+    node: NodeId,
+    repaired: u64,
+    bytes: u64,
+    nominal: SimDuration,
+) -> SimDuration {
+    sim.add(Counter::RepairRounds, 1);
+    sim.add(Counter::RepairedObjects, repaired);
+    sim.add(Counter::RepairBytes, bytes);
+    sim.emit_engine_event(EngineEventKind::QuorumRepaired, node, repaired);
+    nominal * 2 + nominal * repaired
+}

@@ -54,6 +54,7 @@
 
 mod cluster;
 mod engine;
+pub use engine::repair;
 pub mod history;
 pub mod msg;
 mod object;
@@ -64,7 +65,10 @@ pub mod substrate;
 mod txid;
 
 pub use cluster::{Cluster, DtmConfig, InjectedBug, LatencySpec, LockPolicy, QuorumView};
-pub use engine::{spawn_detector, Client, DetectorConfig, DetectorHandle, DurabilityConfig, Tx};
+pub use engine::{
+    reference_component, spawn_detector, Client, DetectorConfig, DetectorHandle, DurabilityConfig,
+    Tx,
+};
 pub use history::{
     check_abort_targets, check_checkpoint_restores, CommitRecord, HistoryRecorder,
     StructuralViolation, Violation,

@@ -364,6 +364,10 @@ fn run_qstore_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutco
         backoff: SimDuration::from_millis(1),
         wal_cost: SimDuration::from_micros(100),
         transfer_cost: SimDuration::from_millis(1),
+        // Real per-replica batch WALs, so the planner-crash step below is
+        // an honest amnesiac restart and the durability checker bites.
+        durability: Some(qrdtm_core::DurabilityConfig::default()),
+        detector: None,
         injected_bug: match scope.injected_bug {
             Some(McBug::QStore(b)) => Some(b),
             _ => None,
@@ -383,6 +387,30 @@ fn run_qstore_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutco
         let to = ObjectId((i as u64 + 1) % scope.objects);
         let node = NodeId((i % scope.nodes) as u32);
         spawn_qstore_transfer(&cluster, node, from, to, 1 + i as i64);
+    }
+    // The ack-before-fsync bug is only observable through a crash: the
+    // buggy planner reports an epoch committed the moment it is sealed, so
+    // killing it with amnesia as soon as the first commit is visible lands
+    // inside the ack-vs-fsync window — the epoch clients already saw
+    // acknowledged dies with the planner's volatile log, and the
+    // durability/balance checkers catch the regression. A fixed planner
+    // never acks before the quorum's fsyncs, so the same crash loses
+    // nothing.
+    if matches!(
+        scope.injected_bug,
+        Some(McBug::QStore(QStoreBug::AckBeforeFsync))
+    ) {
+        let c = Rc::clone(&cluster);
+        let s = sim.clone();
+        sim.spawn(async move {
+            while c.stats().commits == 0 {
+                s.sleep(SimDuration::from_micros(200)).await;
+            }
+            if c.crash_node_amnesia(NodeId(0)) {
+                s.sleep(SimDuration::from_millis(20)).await;
+                c.recover_crashed_node(NodeId(0));
+            }
+        });
     }
     sim.run_until(SimTime::ZERO + HORIZON);
     sim.clear_scheduler();
@@ -411,6 +439,16 @@ fn run_qstore_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutco
             .into_iter()
             .map(|v| format!("batch atomicity broken: {v}")),
     );
+    // Durability no-regress: every write version acked to a client must
+    // still be committed state after any planner crash and takeover.
+    let acked = ChaosTarget::acked_write_versions(&*cluster);
+    violations.extend(
+        check_durability(&acked, |oid| {
+            ChaosTarget::committed_version(&*cluster, ObjectId(oid))
+        })
+        .iter()
+        .map(ToString::to_string),
+    );
 
     let (wal_records, wal_fsyncs) = cluster.wal_totals();
     let mut fp = Fnv::new();
@@ -425,6 +463,10 @@ fn run_qstore_schedule(scope: &Scope, policy: Box<dyn ChoicePolicy>) -> RunOutco
     for (o, b) in &balances {
         fp.write(*o);
         fp.write(b.map_or(u64::MAX, |b| b as u64));
+    }
+    for (o, v) in &acked {
+        fp.write(*o);
+        fp.write(*v);
     }
 
     let rec = rec.borrow();

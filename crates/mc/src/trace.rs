@@ -60,6 +60,7 @@ fn bug_label(b: McBug) -> &'static str {
         McBug::Qr(InjectedBug::SkipVoteCheck) => "skip-vote-check",
         McBug::Qr(InjectedBug::SkipEpochFence) => "skip-epoch-fence",
         McBug::QStore(QStoreBug::SkipTagCheck) => "skip-tag-check",
+        McBug::QStore(QStoreBug::AckBeforeFsync) => "ack-before-fsync",
     }
 }
 
@@ -68,6 +69,7 @@ fn parse_bug(s: &str) -> Option<McBug> {
         "skip-vote-check" => Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
         "skip-epoch-fence" => Some(McBug::Qr(InjectedBug::SkipEpochFence)),
         "skip-tag-check" => Some(McBug::QStore(QStoreBug::SkipTagCheck)),
+        "ack-before-fsync" => Some(McBug::QStore(QStoreBug::AckBeforeFsync)),
         _ => None,
     }
 }

@@ -148,3 +148,40 @@ fn qstore_injected_tag_skip_is_caught_minimized_and_replayable() {
     let replayed = replay(&parsed.scope, &parsed.choices);
     assert_eq!(replayed.violations, rerun.violations);
 }
+
+#[test]
+fn qstore_ack_before_fsync_is_caught_minimized_and_replayable() {
+    // A planner that acknowledges an epoch before its quorum's fsyncs is
+    // only wrong when it dies in that window: the runner injects an
+    // amnesiac planner crash right after the first visible commit, so the
+    // early-acked epoch evaporates with the planner's volatile log and
+    // the durability / conservation checkers must catch the regression in
+    // some explored schedule.
+    let scope = Scope {
+        injected_bug: Some(McBug::QStore(QStoreBug::AckBeforeFsync)),
+        ..Scope::smoke(McProto::QStore)
+    };
+    let mut seen = HashSet::new();
+    let mut cex = dfs_explore(&scope, 300, &mut seen).counterexample;
+    if cex.is_none() {
+        cex = pct_explore(&scope, 300, 1, &mut seen).counterexample;
+    }
+    let cex = cex.expect("AckBeforeFsync survived 600 schedules — checkers are blind to it");
+
+    let min = minimize(&scope, &cex.choices);
+    let rerun = replay(&scope, &min);
+    assert!(
+        !rerun.violations.is_empty(),
+        "minimized schedule no longer violates"
+    );
+
+    let trace = Trace {
+        scope,
+        choices: min,
+    };
+    let parsed = Trace::parse(&trace.to_string()).expect("trace round-trips");
+    assert_eq!(parsed, trace);
+    let replayed = replay(&parsed.scope, &parsed.choices);
+    assert_eq!(replayed.violations, rerun.violations);
+    assert_eq!(replayed.fingerprint, rerun.fingerprint);
+}

@@ -10,10 +10,11 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
-use qrdtm_core::{CommitRecord, ObjVal, ObjectId, SimSubstrate, Substrate, TxId, Version};
+use qrdtm_core::{repair, CommitRecord, ObjVal, ObjectId, SimSubstrate, Substrate, TxId, Version};
 use qrdtm_sim::{NodeId, Sim, SimDuration, SimTime};
 
 use crate::msg::{Decision, QMsg, TxStatus};
+use crate::wal::{BatchRecord, BatchWal, QSnapshot};
 use crate::QStoreBug;
 
 /// Quorum size over the *configured* node count (the planner counts
@@ -41,7 +42,7 @@ pub(crate) struct SpecEntry {
 
 /// Per-node replica state: the committed store (batch prefix), the
 /// speculative per-object queues this node executes, the decision log,
-/// and WAL accounting.
+/// and the durable batch log.
 #[derive(Default)]
 pub(crate) struct ReplicaState {
     pub store: HashMap<ObjectId, Slot>,
@@ -50,6 +51,17 @@ pub(crate) struct ReplicaState {
     pub applied: u64,
     pub wal_records: u64,
     pub wal_fsyncs: u64,
+    /// The real disk behind the counters above (`None` = cost-modelled
+    /// mode, PR-7 behaviour: the counters move but nothing is readable
+    /// back and a crash cannot be amnesiac).
+    pub wal: Option<BatchWal>,
+    /// Set between an amnesiac crash and the replay+repair at readmission.
+    pub amnesiac: bool,
+    /// View epoch under which this replica last applied state. A
+    /// `FullSync` may roll the replica back (shorter `applied`) only when
+    /// this is older than the current epoch — i.e. the replica's suffix
+    /// was applied under a dead planner and never quorum-acknowledged.
+    pub last_apply_epoch: u64,
 }
 
 impl ReplicaState {
@@ -76,13 +88,15 @@ impl ReplicaState {
     }
 
     /// Install one sealed batch unconditionally (sequencing checked by
-    /// the caller).
+    /// the caller) and log it durably in one group commit. Returns the
+    /// disk occupancy to charge (`fallback` in cost-modelled mode).
     pub fn apply_batch(
         &mut self,
         batch: u64,
         writes: &[(ObjectId, Version, u64, ObjVal)],
         decided: &[(TxId, Decision)],
-    ) {
+        fallback: SimDuration,
+    ) -> SimDuration {
         for (oid, version, tag, val) in writes {
             self.store.insert(
                 *oid,
@@ -99,8 +113,70 @@ impl ReplicaState {
         }
         self.applied = batch;
         self.prune_spec(batch);
+        self.append_record(batch, writes, decided);
+        self.group_commit().unwrap_or(fallback)
+    }
+
+    /// Append the batch record to the log buffer (volatile until the
+    /// matching [`group_commit`](Self::group_commit)). The planner calls
+    /// this at seal and fsyncs from the replication task — dying in
+    /// between loses the record, the append-vs-fsync crash window.
+    pub fn append_record(
+        &mut self,
+        batch: u64,
+        writes: &[(ObjectId, Version, u64, ObjVal)],
+        decided: &[(TxId, Decision)],
+    ) {
+        self.wal_records += 1;
+        match self.wal.as_mut() {
+            Some(w) => {
+                w.append(BatchRecord {
+                    batch,
+                    writes: writes.to_vec(),
+                    decided: decided.to_vec(),
+                });
+            }
+            // Cost-modelled mode has no buffer: the whole group commit is
+            // counted at the append site, exactly the PR-7 accounting.
+            None => self.wal_fsyncs += 1,
+        }
+    }
+
+    /// The group-commit fsync for the record(s) appended since the last
+    /// one, driving the snapshot policy. Returns the occupancy to charge,
+    /// or `None` in cost-modelled mode (caller charges `wal_cost`).
+    pub fn group_commit(&mut self) -> Option<SimDuration> {
+        self.wal.as_ref()?;
+        self.wal_fsyncs += 1;
+        let snap = self
+            .wal
+            .as_ref()
+            .unwrap()
+            .snapshot_due()
+            .then(|| self.snapshot_state());
+        Some(self.wal.as_mut().unwrap().sync(snap))
+    }
+
+    /// Persist a full-state install (`FullSync`, takeover adoption, or a
+    /// post-repair re-baseline): one snapshot superseding the log.
+    /// Returns the occupancy to charge (`fallback` in cost-modelled mode).
+    pub fn log_full_state(&mut self, fallback: SimDuration) -> SimDuration {
         self.wal_records += 1;
         self.wal_fsyncs += 1;
+        if self.wal.is_none() {
+            return fallback;
+        }
+        let snap = self.snapshot_state();
+        self.wal.as_mut().unwrap().install_state(snap)
+    }
+
+    /// The replica's full committed state, as a snapshot payload.
+    fn snapshot_state(&self) -> QSnapshot {
+        QSnapshot {
+            applied: self.applied,
+            store: self.store.clone(),
+            decided: self.decided.clone(),
+        }
     }
 
     /// Wire-format dump of the committed store (for `FullSync`).
@@ -185,6 +261,8 @@ pub(crate) struct Tunables {
     pub backoff: SimDuration,
     pub wal_cost: SimDuration,
     pub transfer_cost: SimDuration,
+    /// Nominal one-way link latency (drives epoch-repair charging).
+    pub nominal: SimDuration,
     pub bug: Option<QStoreBug>,
 }
 
@@ -294,11 +372,12 @@ pub(crate) fn install_handlers(sim: &Sim<QMsg>, shared: &Rc<Shared>) {
                     let applied = r.applied;
                     ctx.respond(&env, QMsg::ApplyAck { ok: true, applied });
                 } else if *batch == r.applied + 1 {
-                    r.apply_batch(*batch, writes, decided);
+                    // One group-committed WAL record per replica per batch.
+                    let cost = r.apply_batch(*batch, writes, decided, sh.cfg.wal_cost);
+                    r.last_apply_epoch = current;
                     let applied = r.applied;
                     drop(r);
-                    // One group-committed WAL record per replica per batch.
-                    ctx.occupy(sh.cfg.wal_cost);
+                    ctx.occupy(cost);
                     ctx.respond(&env, QMsg::ApplyAck { ok: true, applied });
                 } else {
                     let applied = r.applied;
@@ -317,7 +396,21 @@ pub(crate) fn install_handlers(sim: &Sim<QMsg>, shared: &Rc<Shared>) {
             } => {
                 let current = sh.view.borrow().epoch;
                 let mut r = sh.replicas[me].borrow_mut();
-                if *view == current && *applied > r.applied {
+                // A FullSync from the current view's planner is
+                // authoritative in *both* directions: it catches a lagging
+                // replica up, and it rolls back a replica whose applied
+                // prefix ran ahead of the quorum-acknowledged one (batches
+                // applied under a dead planner that were never acked, so
+                // the takeover adopted a shorter prefix). Keeping the
+                // longer divergent suffix would let the new planner's
+                // reuse of the same batch ids silently fork this replica.
+                // The rollback direction is gated on `last_apply_epoch` so
+                // a stale same-view FullSync that lost a race with normal
+                // ApplyBatch progress cannot undo acknowledged batches.
+                let install = *view == current
+                    && (*applied > r.applied
+                        || (*applied < r.applied && r.last_apply_epoch < current));
+                if install {
                     r.store = store
                         .iter()
                         .map(|(oid, version, tag, batch, val)| {
@@ -335,11 +428,11 @@ pub(crate) fn install_handlers(sim: &Sim<QMsg>, shared: &Rc<Shared>) {
                     r.decided = decided.iter().cloned().collect();
                     r.applied = *applied;
                     r.prune_spec(*applied);
-                    r.wal_records += 1;
-                    r.wal_fsyncs += 1;
+                    r.last_apply_epoch = current;
+                    let cost = r.log_full_state(sh.cfg.wal_cost);
                     let applied = r.applied;
                     drop(r);
-                    ctx.occupy(sh.cfg.wal_cost);
+                    ctx.occupy(cost);
                     ctx.respond(&env, QMsg::ApplyAck { ok: true, applied });
                 } else {
                     let ok = *view == current;
@@ -593,14 +686,17 @@ pub(crate) fn seal(sh: &Rc<Shared>, sim: &Sim<QMsg>, me: usize) -> Option<BatchJ
             },
         ));
     }
-    // Self-apply bookkeeping: the planner is replica 1 of the quorum.
+    // Self-apply bookkeeping: the planner is replica 1 of the quorum. The
+    // batch record is only *appended* here — the group-commit fsync runs
+    // at the head of the replication task, so a planner that dies in
+    // between loses the record (the append-vs-fsync crash window).
     for (tx, d) in &decided {
         r.decided.insert(*tx, d.clone());
     }
     r.applied = batch;
     r.prune_spec(batch);
-    r.wal_records += 1;
-    r.wal_fsyncs += 1;
+    r.last_apply_epoch = sh.view.borrow().epoch;
+    r.append_record(batch, &wire_writes, &decided);
     drop(r);
     Some(BatchJob {
         batch,
@@ -655,8 +751,29 @@ pub(crate) async fn run_batches(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize, first
     let sub = SimSubstrate::new(sim.clone());
     let mut job = first;
     loop {
-        // The planner's own group-commit fsync for this batch.
-        Substrate::<QMsg>::sleep(&sub, sh.cfg.wal_cost).await;
+        if sh.cfg.bug == Some(QStoreBug::AckBeforeFsync) {
+            // Injected bug: acknowledge the epoch the moment it is sealed
+            // — before the planner's own fsync completes and before any
+            // replica holds it. Clients polling now see `Committed`, and
+            // the history records it; a planner crash-with-amnesia inside
+            // this window loses the epoch everywhere (the record is still
+            // in the volatile disk buffer), a durability regression the
+            // model checker must catch. Replication still continues below
+            // for liveness.
+            {
+                let mut p = sh.planner.borrow_mut();
+                p.decided_through = p.decided_through.max(job.batch);
+            }
+            sh.acked.borrow_mut().insert(job.batch);
+            account_decisions(&sh, &job.decided);
+        }
+        // The planner's own group-commit fsync for this batch (appended
+        // at seal; cost-modelled mode charges the configured wal_cost).
+        let sync_cost = sh.replicas[me]
+            .borrow_mut()
+            .group_commit()
+            .unwrap_or(sh.cfg.wal_cost);
+        Substrate::<QMsg>::sleep(&sub, sync_cost).await;
         let maj = majority(sh.cfg.nodes);
         let mut acked: HashSet<usize> = HashSet::from([me]);
         loop {
@@ -850,14 +967,21 @@ pub(crate) async fn takeover(sh: Rc<Shared>, sim: Sim<QMsg>, me: usize) {
             if !sim.is_alive(sh.nodes[me]) || sh.view.borrow().planner != me {
                 return;
             }
-            let donor = sh.replicas[best.1].borrow();
-            let mut r = sh.replicas[me].borrow_mut();
-            r.store = donor.store.clone();
-            r.decided = donor.decided.clone();
-            r.applied = donor.applied;
-            r.spec.clear();
-            r.wal_records += 1;
-            r.wal_fsyncs += 1;
+            let log_cost = {
+                let donor = sh.replicas[best.1].borrow();
+                let mut r = sh.replicas[me].borrow_mut();
+                r.store = donor.store.clone();
+                r.decided = donor.decided.clone();
+                r.applied = donor.applied;
+                r.spec.clear();
+                r.last_apply_epoch = sh.view.borrow().epoch;
+                // The adopted prefix is durable on the new planner before
+                // anything is promoted: one state-sized snapshot. The old
+                // planner's unsynced tail (if this node was the planner's
+                // successor-by-disk) was already lost at its crash.
+                r.log_full_state(SimDuration::ZERO)
+            };
+            sim.occupy(sh.nodes[me], log_cost);
         }
         let adopted = sh.replicas[me].borrow().applied;
         // The tail of the adopted prefix may have reached fewer than a
@@ -1010,4 +1134,120 @@ pub(crate) async fn catch_up(sh: Rc<Shared>, sim: Sim<QMsg>, planner_idx: usize,
         let jitter = Substrate::<QMsg>::jitter(&sub, 0.5, 1.5);
         Substrate::<QMsg>::sleep(&sub, sh.cfg.backoff.mul_f64(jitter)).await;
     }
+}
+
+/// Amnesiac crash of `idx`'s replica: wipe the volatile state and crash
+/// the disk (a seeded portion of the unsynced buffer survives, possibly
+/// with a torn last record). Requires durability.
+pub(crate) fn forget_replica(sh: &Shared, sim: &Sim<QMsg>, idx: usize) {
+    let mut r = sh.replicas[idx].borrow_mut();
+    assert!(
+        r.wal.is_some(),
+        "crash-amnesia requires QStoreConfig::durability"
+    );
+    r.store.clear();
+    r.spec.clear();
+    r.decided.clear();
+    r.applied = 0;
+    r.last_apply_epoch = 0;
+    sim.with_rng(|rng| r.wal.as_mut().unwrap().crash(rng));
+    r.amnesiac = true;
+}
+
+/// Honest recovery of an amnesiac replica — the Q-Store face of the same
+/// replay → census → pull → re-baseline shape QR's quorum repair uses
+/// (accounted through the shared [`repair`] helpers):
+///
+/// 1. **Replay**: read snapshot + fsynced batch prefix back, truncating
+///    at a torn record — whole batches drop, never part of one.
+/// 2. **Epoch repair**: census the quorum-acknowledged epoch frontier
+///    from the planner's replica (authoritative for the acked prefix;
+///    most-advanced alive peer during a takeover gap) and pull every
+///    object the disk image is missing or behind on, charged one census
+///    round trip plus one nominal link latency per pulled object. A
+///    replayed prefix that runs *ahead* of the frontier resurrected
+///    batches that were never acknowledged; they are dropped wholesale.
+/// 3. **Re-baseline**: snapshot the repaired state so the disk is caught
+///    up too.
+///
+/// Returns the total occupancy to charge the restarting node.
+pub(crate) fn amnesia_recovery(sh: &Shared, sim: &Sim<QMsg>, idx: usize) -> SimDuration {
+    let img = {
+        let mut r = sh.replicas[idx].borrow_mut();
+        let img = r
+            .wal
+            .as_mut()
+            .expect("amnesiac replica implies durability")
+            .replay();
+        r.store = img.store.clone();
+        r.decided = img.decided.clone();
+        r.applied = img.applied;
+        r.spec.clear();
+        r.last_apply_epoch = 0;
+        img
+    };
+    let mut cost = img.cost;
+    repair::account_wal_replay(
+        sim,
+        sh.nodes[idx],
+        img.records_replayed,
+        img.torn_tail_detected,
+    );
+    let donor_idx = {
+        let v = sh.view.borrow();
+        let usable = |i: usize| i != idx && v.alive[i] && sim.is_alive(sh.nodes[i]);
+        if usable(v.planner) {
+            Some(v.planner)
+        } else {
+            (0..sh.cfg.nodes)
+                .filter(|&i| usable(i))
+                .max_by_key(|&i| (sh.replicas[i].borrow().applied, std::cmp::Reverse(i)))
+        }
+    };
+    let mut repaired = 0u64;
+    let mut bytes = 0u64;
+    if let Some(d) = donor_idx {
+        let donor = sh.replicas[d].borrow();
+        let mut r = sh.replicas[idx].borrow_mut();
+        if donor.applied >= r.applied {
+            // Behind (or level): pull missing/behind objects, merge the
+            // decision log for exactly-once answers across the repair.
+            let mut oids: Vec<ObjectId> = donor.store.keys().copied().collect();
+            oids.sort();
+            for oid in oids {
+                let ds = &donor.store[&oid];
+                let behind = r.store.get(&oid).is_none_or(|s| s.version < ds.version);
+                if behind {
+                    repaired += 1;
+                    bytes += ds.val.approx_size() as u64;
+                    r.store.insert(oid, ds.clone());
+                }
+            }
+            for (tx, dec) in donor.decided.iter() {
+                r.decided.entry(*tx).or_insert_with(|| dec.clone());
+            }
+            r.applied = donor.applied;
+        } else {
+            // The disk resurrected batches beyond the acked frontier
+            // (fsynced here, never quorum-acknowledged, and the view
+            // moved on without them). They must not survive: adopt the
+            // frontier state wholesale.
+            repaired = donor.store.len() as u64;
+            bytes = donor
+                .store
+                .values()
+                .map(|s| s.val.approx_size() as u64)
+                .sum();
+            r.store = donor.store.clone();
+            r.decided = donor.decided.clone();
+            r.applied = donor.applied;
+        }
+    }
+    cost += repair::charge_quorum_repair(sim, sh.nodes[idx], repaired, bytes, sh.cfg.nominal);
+    {
+        let mut r = sh.replicas[idx].borrow_mut();
+        cost += r.log_full_state(SimDuration::ZERO);
+        r.amnesiac = false;
+    }
+    cost
 }

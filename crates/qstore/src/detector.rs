@@ -1,0 +1,127 @@
+//! Heartbeat failure detection for the Q-Store family.
+//!
+//! Same manager model as the QR detector (one logical Cluster Manager:
+//! a single task reads the full heartbeat observation matrix and drives
+//! the shared view), re-hosted over the Q-Store wire type. Each tick it
+//! keeps the largest bidirectionally-fresh component as the reference
+//! partition — [`reference_component`] is imported from `qrdtm_core` so
+//! every family picks it with the same rule — ejects view-alive nodes
+//! outside it (a planner ejection triggers the epoch-fenced takeover),
+//! and rejoins view-dead nodes that are heard again strictly after their
+//! suspicion. An amnesiac joiner goes through the replay+repair
+//! readmission pipeline and its charged cost extends the post-rejoin
+//! grace window, so the detector does not flap on a replica that is busy
+//! recovering its own disk.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use qrdtm_core::{reference_component, DetectorConfig, DetectorHandle};
+use qrdtm_sim::{Counter, EngineEventKind, HeartbeatConfig, NodeId, SimTime};
+
+use crate::QStoreCluster;
+
+/// Per-node bookkeeping across ticks (mirrors the QR detector: ejection
+/// timestamps gate rejoins; grace windows suppress flapping on joiners
+/// still busy with their charged readmission).
+struct DetectorState {
+    suspected_at: Vec<SimTime>,
+    grace_until: Vec<SimTime>,
+}
+
+/// Start the heartbeat layer and the detector task for `cluster`
+/// (requires [`QStoreConfig::detector`](crate::QStoreConfig::detector)).
+pub(crate) fn spawn_qstore_detector(cluster: &Rc<QStoreCluster>) -> DetectorHandle {
+    let cfg = cluster
+        .config()
+        .detector
+        .expect("start_detector requires QStoreConfig::detector");
+    let sim = cluster.sim().clone();
+    // `DetectorConfig::heartbeat()` is core-private; the projection is
+    // field-for-field.
+    sim.start_heartbeats(HeartbeatConfig {
+        interval: cfg.interval,
+        jitter: cfg.jitter,
+        suspect_after: cfg.suspect_after,
+    });
+    let stop = Rc::new(Cell::new(false));
+    let handle = DetectorHandle::new(Rc::clone(&stop), {
+        let sim = sim.clone();
+        move || sim.stop_heartbeats()
+    });
+    let cluster = Rc::clone(cluster);
+    sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let nodes = cluster.config().nodes;
+            let mut st = DetectorState {
+                suspected_at: vec![SimTime::ZERO; nodes],
+                grace_until: vec![SimTime::ZERO; nodes],
+            };
+            loop {
+                sim.sleep(cfg.interval).await;
+                if stop.get() {
+                    return;
+                }
+                tick(&cluster, &cfg, &mut st);
+            }
+        }
+    });
+    handle
+}
+
+/// One detector evaluation over the current observation matrix.
+fn tick(cluster: &QStoreCluster, cfg: &DetectorConfig, st: &mut DetectorState) {
+    let sim = cluster.sim();
+    let nodes = cluster.config().nodes;
+    let now = sim.now();
+    let window = cfg.suspect_window();
+    let fresh = |observer: NodeId, sender: NodeId| {
+        now.saturating_since(sim.last_heartbeat(observer, sender)) <= window
+    };
+    let trusted: Vec<NodeId> = (0..nodes as u32)
+        .map(NodeId)
+        .filter(|&n| cluster.view_alive(n))
+        .collect();
+
+    let reference = reference_component(&trusted, &fresh);
+    for &n in &trusted {
+        if reference.contains(&n) {
+            continue;
+        }
+        if now < st.grace_until[n.index()] {
+            continue;
+        }
+        // Ejection is refused only when the survivors could not form a
+        // majority; then the suspect stays and is re-examined next tick.
+        if !cluster.eject_node(n) {
+            continue;
+        }
+        st.suspected_at[n.index()] = now;
+        sim.bump(Counter::Suspicions);
+        if sim.is_alive(n) {
+            sim.bump(Counter::FalseSuspicions);
+        }
+        sim.emit_engine_event(EngineEventKind::NodeSuspected, n, cluster.view_epoch());
+    }
+
+    // Rejoin: heard strictly after the ejection and within the window.
+    for v in (0..nodes as u32).map(NodeId) {
+        if cluster.view_alive(v) {
+            continue;
+        }
+        let heard = (0..nodes as u32)
+            .map(NodeId)
+            .filter(|&o| o != v && cluster.view_alive(o))
+            .map(|o| sim.last_heartbeat(o, v))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        if heard > st.suspected_at[v.index()] && now.saturating_since(heard) <= window {
+            if let Some(transfer) = cluster.rejoin_node(v) {
+                st.grace_until[v.index()] = now + transfer + window;
+                sim.bump(Counter::Rejoins);
+                sim.emit_engine_event(EngineEventKind::NodeRejoined, v, cluster.view_epoch());
+            }
+        }
+    }
+}

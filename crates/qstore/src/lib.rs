@@ -17,13 +17,22 @@
 //! nothing is reported committed before its batch is durable on a
 //! majority.
 //!
-//! Fault model: crash-stop with a membership oracle (like the QR
-//! cluster's pre-detector mode), partitions and link drops. The planner
-//! is sticky; when it dies, the lowest alive node pulls applied
-//! high-water marks from enough replicas to see every acknowledged
-//! batch, adopts the longest prefix (charged state transfer), and
-//! replans from acknowledged state — the dead planner's open epoch is
-//! lost by design and clients resubmit into it.
+//! Fault model: crash-stop plus, with [`QStoreConfig::durability`],
+//! crash-restart-with-amnesia — each replica keeps a real batch-granular
+//! WAL on the simulated disk (one appended+fsynced record per epoch per
+//! replica; a torn tail drops whole batches atomically on replay) and an
+//! amnesiac restart replays the fsynced prefix, then repairs the rest
+//! from the quorum-acknowledged epoch frontier. Membership is driven
+//! either by the oracle (tests and the nemesis call
+//! [`QStoreCluster::crash_node`] & co. directly) or, with
+//! [`QStoreConfig::detector`], by the same heartbeat failure detector
+//! the QR family uses — a silent planner is suspected, ejected, and
+//! failed over ([`QStoreCluster::start_detector`]). The planner is
+//! sticky; when it dies, the lowest alive node pulls applied high-water
+//! marks from enough replicas to see every acknowledged batch, adopts
+//! the longest prefix (charged state transfer), re-replicates it to a
+//! majority, and replans from acknowledged state — the dead planner's
+//! open epoch is lost by design and clients resubmit into it.
 //!
 //! Client-side transaction logic is written against the
 //! [`Substrate`] trait surface only (`call`/`sleep`/`jitter`/
@@ -36,21 +45,24 @@ use std::rc::Rc;
 
 use qrdtm_core::history::{verify, Violation};
 use qrdtm_core::{
-    Abort, DtmProtocol, LatencySpec, ObjVal, ObjectId, ProtocolStats, SimHosted, SimSubstrate,
-    Substrate, TxId, Version,
+    Abort, DetectorConfig, DetectorHandle, DtmProtocol, DurabilityConfig, LatencySpec, ObjVal,
+    ObjectId, ProtocolStats, SimHosted, SimSubstrate, Substrate, TxId, Version,
 };
 use qrdtm_sim::{NodeId, Sim, SimConfig, SimDuration};
 
 mod core;
+mod detector;
 mod msg;
+mod wal;
 
 pub use crate::core::QStoreStats;
 pub use msg::{Decision, QMsg, TxStatus};
 
 use crate::core::{
-    catch_up, install_handlers, majority, takeover, PlannerState, QView, ReplicaState, Shared,
-    Slot, Tunables,
+    amnesia_recovery, catch_up, forget_replica, install_handlers, majority, takeover, PlannerState,
+    QView, ReplicaState, Shared, Slot, Tunables,
 };
+use crate::wal::BatchWal;
 
 /// Protocol bugs that can be injected for model-checker validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +70,11 @@ pub enum QStoreBug {
     /// The planner skips read-tag validation at the epoch seal, so stale
     /// reads commit — classic lost updates the mc battery must catch.
     SkipTagCheck,
+    /// The planner acknowledges an epoch the moment it is sealed — before
+    /// its own group-commit fsync and before any replica's — so a planner
+    /// crash-with-amnesia in that window loses an epoch clients already
+    /// saw committed: the durability regression the mc battery must catch.
+    AckBeforeFsync,
 }
 
 /// Configuration for a Q-Store cluster.
@@ -88,6 +105,15 @@ pub struct QStoreConfig {
     pub wal_cost: SimDuration,
     /// Charged state-transfer cost for planner takeover adoption.
     pub transfer_cost: SimDuration,
+    /// Durable storage: give every replica a real batch-granular WAL on
+    /// the simulated disk instead of the cost-modelled `wal_cost` charge,
+    /// enabling crash-restart-with-amnesia. `None` = cost-modelled mode
+    /// (a crash is a pause; memory survives).
+    pub durability: Option<DurabilityConfig>,
+    /// Heartbeat failure detection: when set,
+    /// [`QStoreCluster::start_detector`] drives the membership view (and
+    /// planner failover) from missed heartbeats instead of the oracle.
+    pub detector: Option<DetectorConfig>,
     /// Injected protocol bug (mc validation only).
     pub injected_bug: Option<QStoreBug>,
 }
@@ -107,6 +133,8 @@ impl Default for QStoreConfig {
             backoff: SimDuration::from_millis(2),
             wal_cost: SimDuration::from_micros(300),
             transfer_cost: SimDuration::from_millis(3),
+            durability: None,
+            detector: None,
             injected_bug: None,
         }
     }
@@ -148,7 +176,12 @@ impl QStoreCluster {
             }),
             planner: RefCell::new(PlannerState::fresh(0)),
             replicas: (0..cfg.nodes)
-                .map(|_| Rc::new(RefCell::new(ReplicaState::default())))
+                .map(|_| {
+                    Rc::new(RefCell::new(ReplicaState {
+                        wal: cfg.durability.map(BatchWal::new),
+                        ..Default::default()
+                    }))
+                })
                 .collect(),
             stats: RefCell::new(QStoreStats::default()),
             records: RefCell::new(Vec::new()),
@@ -168,6 +201,7 @@ impl QStoreCluster {
                 backoff: cfg.backoff,
                 wal_cost: cfg.wal_cost,
                 transfer_cost: cfg.transfer_cost,
+                nominal: cfg.latency.nominal(),
                 bug: cfg.injected_bug,
             },
         });
@@ -198,7 +232,8 @@ impl QStoreCluster {
             .borrow_mut()
             .insert((oid, 0), Version::INITIAL);
         for r in &self.shared.replicas {
-            r.borrow_mut().store.insert(
+            let mut r = r.borrow_mut();
+            r.store.insert(
                 oid,
                 Slot {
                     version: Version::INITIAL,
@@ -207,6 +242,9 @@ impl QStoreCluster {
                     val: val.clone(),
                 },
             );
+            if let Some(w) = r.wal.as_mut() {
+                w.record_preload(oid, val.clone());
+            }
         }
     }
 
@@ -290,12 +328,11 @@ impl QStoreCluster {
             .collect()
     }
 
-    /// Crash-stop `node` through the membership oracle. Refused when the
-    /// remaining nodes could not form a majority. If the planner died,
-    /// the lowest alive node takes over and replans from acknowledged
-    /// state.
-    pub fn crash_node(&self, node: NodeId) -> bool {
-        let idx = node.index();
+    /// Remove `idx` from the view: epoch bump (fencing), planner handoff
+    /// plus an epoch-fenced takeover when the planner died. Refused when
+    /// the survivors could not form a majority. View-only — the network
+    /// is not touched, which is exactly what detector ejection needs.
+    fn evict_from_view(&self, idx: usize) -> bool {
         let new_planner = {
             let mut v = self.shared.view.borrow_mut();
             if idx >= v.alive.len() || !v.alive[idx] {
@@ -305,7 +342,6 @@ impl QStoreCluster {
             if alive_count - 1 < majority(self.cfg.nodes) {
                 return false;
             }
-            self.sim.fail_node(node);
             v.alive[idx] = false;
             v.epoch += 1;
             if v.planner == idx {
@@ -327,27 +363,203 @@ impl QStoreCluster {
         true
     }
 
-    /// Recover a crashed node (memory intact, speculation discarded);
-    /// the planner pushes it the committed prefix it missed.
-    pub fn recover_crashed_node(&self, node: NodeId) -> bool {
-        let idx = node.index();
+    /// Readmit `idx` to the view. An amnesiac replica first runs the
+    /// honest recovery pipeline — replay the fsynced prefix, repair from
+    /// the quorum frontier, re-snapshot — and is charged its cost as
+    /// occupancy; a memory-intact one only discards speculation. Either
+    /// way the planner then pushes the committed suffix it missed.
+    /// Returns the charged recovery cost.
+    fn readmit(&self, idx: usize) -> SimDuration {
+        let amnesiac = self.shared.replicas[idx].borrow().amnesiac;
+        let cost = if amnesiac {
+            amnesia_recovery(&self.shared, &self.sim, idx)
+        } else {
+            SimDuration::ZERO
+        };
         let planner_idx = {
             let mut v = self.shared.view.borrow_mut();
-            if idx >= v.alive.len() || v.alive[idx] {
-                return false;
-            }
-            self.sim.recover_node(node);
             v.alive[idx] = true;
             v.epoch += 1;
             v.planner
         };
         self.shared.replicas[idx].borrow_mut().spec.clear();
+        if cost > SimDuration::ZERO {
+            self.sim.occupy(self.shared.nodes[idx], cost);
+        }
         let sh = Rc::clone(&self.shared);
         let sim = self.sim.clone();
         self.sim.spawn(async move {
             catch_up(sh, sim, planner_idx, idx).await;
         });
+        cost
+    }
+
+    /// Crash-stop `node` through the membership oracle. Refused when the
+    /// remaining nodes could not form a majority. If the planner died,
+    /// the lowest alive node takes over and replans from acknowledged
+    /// state.
+    pub fn crash_node(&self, node: NodeId) -> bool {
+        let idx = node.index();
+        {
+            let v = self.shared.view.borrow();
+            if idx >= v.alive.len() || !v.alive[idx] {
+                return false;
+            }
+        }
+        if !self.evict_from_view(idx) {
+            return false;
+        }
+        self.sim.fail_node(node);
         true
+    }
+
+    /// Crash `node` *and wipe its memory*: only the durable disk image
+    /// (snapshot + fsynced batch prefix, possibly with a torn tail)
+    /// survives into the next [`recover_crashed_node`]. Requires
+    /// [`QStoreConfig::durability`]. Refused under the same majority rule
+    /// as [`crash_node`](Self::crash_node).
+    pub fn crash_node_amnesia(&self, node: NodeId) -> bool {
+        assert!(
+            self.cfg.durability.is_some(),
+            "crash_node_amnesia requires QStoreConfig::durability"
+        );
+        if !self.crash_node(node) {
+            return false;
+        }
+        forget_replica(&self.shared, &self.sim, node.index());
+        true
+    }
+
+    /// Network-kill `node` and wipe its memory *without* updating the
+    /// membership view — the failure detector must notice the silence and
+    /// eject it. Requires [`QStoreConfig::durability`]. Refused when the
+    /// other network-alive nodes could not form a majority.
+    pub fn crash_amnesia_sim_only(&self, node: NodeId) -> bool {
+        assert!(
+            self.cfg.durability.is_some(),
+            "crash_amnesia_sim_only requires QStoreConfig::durability"
+        );
+        if !self.crash_sim_only(node) {
+            return false;
+        }
+        forget_replica(&self.shared, &self.sim, node.index());
+        true
+    }
+
+    /// Network-kill `node` without updating the view (detector-mode
+    /// crash; memory survives). Refused when the remaining network-alive
+    /// nodes could not form a majority.
+    pub fn crash_sim_only(&self, node: NodeId) -> bool {
+        if !self.sim.is_alive(node) {
+            return false;
+        }
+        let alive = (0..self.cfg.nodes as u32)
+            .filter(|&i| self.sim.is_alive(NodeId(i)))
+            .count();
+        if alive - 1 < majority(self.cfg.nodes) {
+            return false;
+        }
+        self.sim.fail_node(node);
+        true
+    }
+
+    /// Restore `node`'s network without touching the view (detector-mode
+    /// recovery; its heartbeats resume and the detector rejoins it).
+    pub fn recover_sim_only(&self, node: NodeId) -> bool {
+        if self.sim.is_alive(node) {
+            return false;
+        }
+        self.sim.recover_node(node);
+        true
+    }
+
+    /// Detector ejection: remove a silent `node` from the view (epoch
+    /// fencing, planner failover) without touching the network. Refused
+    /// when the survivors could not form a majority.
+    pub fn eject_node(&self, node: NodeId) -> bool {
+        self.evict_from_view(node.index())
+    }
+
+    /// Detector rejoin: readmit a view-dead `node` that is heard again.
+    /// Amnesiacs go through the replay+repair pipeline. Returns the
+    /// readmission cost estimate (for the detector's grace window), or
+    /// `None` when the node is already in the view.
+    pub fn rejoin_node(&self, node: NodeId) -> Option<SimDuration> {
+        let idx = node.index();
+        {
+            let v = self.shared.view.borrow();
+            if idx >= v.alive.len() || v.alive[idx] {
+                return None;
+            }
+        }
+        Some(self.readmit(idx).max(self.cfg.transfer_cost))
+    }
+
+    /// Corrupt the last `records` durable batch records on `node`'s disk
+    /// (torn-tail injection: each corrupted record drops a whole batch on
+    /// the next amnesiac replay). Requires [`QStoreConfig::durability`].
+    /// Returns whether anything was corrupted.
+    pub fn corrupt_tail(&self, node: NodeId, records: usize) -> bool {
+        let mut r = self.shared.replicas[node.index()].borrow_mut();
+        let wal = r
+            .wal
+            .as_mut()
+            .expect("corrupt_tail requires QStoreConfig::durability");
+        wal.corrupt_tail(records)
+    }
+
+    /// Recover a crashed node; an amnesiac one replays its durable disk
+    /// image and repairs from the quorum frontier first, then the planner
+    /// pushes it the committed suffix it missed.
+    pub fn recover_crashed_node(&self, node: NodeId) -> bool {
+        let idx = node.index();
+        {
+            let v = self.shared.view.borrow();
+            if idx >= v.alive.len() || v.alive[idx] {
+                return false;
+            }
+        }
+        self.sim.recover_node(node);
+        self.readmit(idx);
+        true
+    }
+
+    /// Start the heartbeat failure detector (requires
+    /// [`QStoreConfig::detector`]). Same manager model as the QR family:
+    /// one task reads the observation matrix, keeps the largest
+    /// bidirectionally-fresh component, ejects outsiders (planner
+    /// ejection triggers the fenced takeover) and rejoins nodes that are
+    /// heard again. Returns a handle whose `stop()` halts detection.
+    pub fn start_detector(self: &Rc<Self>) -> DetectorHandle {
+        detector::spawn_qstore_detector(self)
+    }
+
+    /// Upper bound on oracle-free failure handling: how long after a
+    /// detector-mode fault until the view has converged and any readmitted
+    /// replica is caught up. Mirrors the QR bound.
+    pub fn detection_bound(&self) -> SimDuration {
+        let d = self
+            .cfg
+            .detector
+            .expect("detection_bound requires QStoreConfig::detector");
+        d.suspect_window() * 2 + d.interval * 4 + self.cfg.transfer_cost
+    }
+
+    /// Every group-commit fsync latency sampled across all replica disks,
+    /// in node order, ns — the telemetry behind the perf report's
+    /// `disk_fsync_virtual_ns` percentiles. Empty in cost-modelled mode.
+    pub fn fsync_latencies(&self) -> Vec<u64> {
+        self.shared
+            .replicas
+            .iter()
+            .flat_map(|r| {
+                r.borrow()
+                    .wal
+                    .as_ref()
+                    .map(|w| w.sync_latencies().to_vec())
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 
     /// Whether the membership view currently counts `node` alive.
@@ -843,6 +1055,114 @@ mod tests {
             !c.verify_history().is_empty(),
             "the auditor must catch the lost update"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "write-tag counter overflowed")]
+    fn write_tag_overflow_panics_instead_of_corrupting_epoch_bits() {
+        let c = cluster(11);
+        // Exhaust the 24-bit tag space: the next assigned tag would bleed
+        // into the view-epoch bits and silently break fencing.
+        c.shared.planner.borrow_mut().next_tag = (1 << 24) - 1;
+        let c2 = Rc::clone(&c);
+        c.sim().spawn(async move {
+            transfer(&c2, NodeId(3), ObjectId(0), ObjectId(1), 1).await;
+        });
+        c.sim().run();
+    }
+
+    #[test]
+    fn takeover_rereplicates_adopted_prefix_to_a_majority() {
+        let c = cluster(43);
+        let c2 = Rc::clone(&c);
+        c.sim().spawn(async move {
+            for i in 0..3u64 {
+                transfer(&c2, NodeId(2), ObjectId(i), ObjectId(i + 1), 4).await;
+            }
+            let frontier = c2.shared.replicas[0].borrow().applied;
+            assert!(frontier >= 1);
+            // Wind four replicas back to empty: the acknowledged prefix now
+            // lives on a minority (planner + 4 of 10, majority is 6).
+            for idx in 6..10 {
+                let mut r = c2.shared.replicas[idx].borrow_mut();
+                r.applied = 0;
+                r.store.clear();
+                r.decided.clear();
+            }
+            // The takeover must not promote until it has pushed the adopted
+            // prefix back onto a majority — otherwise a second crash could
+            // lose acknowledged batches.
+            assert!(c2.crash_node(NodeId(0)));
+        });
+        c.sim().run();
+        let frontier = c.shared.planner.borrow().decided_through;
+        assert!(frontier >= 3);
+        let holders = c
+            .shared
+            .replicas
+            .iter()
+            .filter(|r| r.borrow().applied >= frontier)
+            .count();
+        assert!(
+            holders >= majority(c.cfg.nodes),
+            "adopted prefix must be re-replicated to a majority, got {holders}"
+        );
+        assert_eq!(c.stats().commits, 3, "takeover must not double-count");
+    }
+
+    #[test]
+    fn authoritative_read_of_absent_object_returns_read_miss() {
+        let c = cluster(19);
+        let c2 = Rc::clone(&c);
+        c.sim().spawn(async move {
+            // Two requeues force the authoritative (planner) read path; an
+            // object absent from the committed store must resolve as the
+            // implicit preload instead of hanging the poll loop.
+            let mut h = c2.fresh_handle(NodeId(3), 2);
+            let v = c2.read(&mut h, ObjectId(200)).await.unwrap();
+            assert_eq!(v, ObjVal::Unit);
+            c2.write(&mut h, ObjectId(200), ObjVal::Int(5))
+                .await
+                .unwrap();
+            c2.commit(&mut h).await.unwrap();
+        });
+        c.sim().run();
+        assert_eq!(c.latest(ObjectId(200)).unwrap().1, ObjVal::Int(5));
+        assert_eq!(c.stats().commits, 1);
+    }
+
+    #[test]
+    fn detector_ejects_silent_planner_and_new_planner_commits() {
+        let c = cluster_with(QStoreConfig {
+            seed: 57,
+            durability: Some(DurabilityConfig::default()),
+            detector: Some(DetectorConfig::default()),
+            ..Default::default()
+        });
+        let handle = c.start_detector();
+        let c2 = Rc::clone(&c);
+        c.sim().spawn(async move {
+            transfer(&c2, NodeId(4), ObjectId(0), ObjectId(1), 10).await;
+            // Silence the planner without telling the view: only missed
+            // heartbeats can eject it and fail the planner role over.
+            assert!(c2.crash_amnesia_sim_only(NodeId(0)));
+            c2.sim().sleep(c2.detection_bound()).await;
+            assert!(!c2.view_alive(NodeId(0)), "detector must eject planner");
+            transfer(&c2, NodeId(4), ObjectId(2), ObjectId(3), 10).await;
+            // Heal the network: heartbeats resume and the detector rejoins
+            // the amnesiac through the replay+repair pipeline.
+            assert!(c2.recover_sim_only(NodeId(0)));
+            c2.sim().sleep(c2.detection_bound()).await;
+            assert!(c2.view_alive(NodeId(0)), "detector must rejoin planner");
+        });
+        c.sim().run_for(SimDuration::from_secs(10));
+        handle.stop();
+        assert_eq!(c.stats().commits, 2);
+        let m = c.sim().metrics();
+        assert!(m.suspicions >= 1, "planner suspicion must be counted");
+        assert!(m.rejoins >= 1, "rejoin must be counted");
+        assert!(m.log_replays >= 1, "amnesiac rejoin must replay its log");
+        assert_eq!(c.latest(ObjectId(2)).unwrap().1, ObjVal::Int(90));
     }
 
     #[test]

@@ -29,12 +29,24 @@ echo "==> chaos detector smoke (self-healing membership, no oracle)"
 cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --detector
 
 echo "==> chaos amnesia smoke (durable replicas, WAL replay + quorum repair)"
-cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --amnesia
+amnesia_out=$(cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --amnesia)
+echo "$amnesia_out"
+# The qstore arms (batch-WAL replay, torn batch tails, planner amnesia)
+# must actually have run — 20 seeds' worth of report lines.
+qstore_amnesia_runs=$(grep -c '^\[qstore' <<<"$amnesia_out" || true)
+if [ "$qstore_amnesia_runs" -lt 20 ]; then
+    echo "error: chaos amnesia smoke ran only $qstore_amnesia_runs qstore arm(s) (< 20)" >&2
+    exit 1
+fi
+grep -q 'batch WAL (qstore)' <<<"$amnesia_out" || {
+    echo "error: chaos amnesia smoke is missing the qstore batch-WAL section" >&2
+    exit 1
+}
 
 echo "==> mc smoke (bounded schedule exploration + checker validation)"
 mc_out=$(cargo run --quiet --release -p qrdtm-bench -- mc --smoke)
 echo "$mc_out"
-for want in '^\[qstore' 'skip-tag-check'; do
+for want in '^\[qstore' 'skip-tag-check' 'ack-before-fsync'; do
     grep -q "$want" <<<"$mc_out" || {
         echo "error: mc smoke output is missing $want (qstore arm not explored)" >&2
         exit 1
@@ -48,7 +60,8 @@ echo "==> perf smoke (wall-clock baseline, TL2 backend, BENCH json)"
 perf_json="${PERF_OUT:-target/BENCH_smoke.json}"
 cargo run --quiet --release -p qrdtm-bench -- perf --quick --out "$perf_json"
 for key in '"host"' '"sim"' '"par"' '"txns_per_sec"' '"peak_rss_kb"' \
-    '"write_heavy_grid"' '"batch_size"' '"epoch_latency_virtual_ns"'; do
+    '"write_heavy_grid"' '"batch_size"' '"epoch_latency_virtual_ns"' \
+    '"disk_fsync_virtual_ns"'; do
     grep -q "$key" "$perf_json" || {
         echo "error: $perf_json is missing $key" >&2
         exit 1
