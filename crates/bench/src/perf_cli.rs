@@ -27,6 +27,14 @@
 //!   `PAR_THREADS` threads: wall txn/s, abort rate, wall latency
 //!   percentiles, and a full serializability audit of the recorded
 //!   history (the run fails if any violation is found).
+//! * **overload grid** — the open-loop traffic generator sweeps offered
+//!   load from well under to well past the saturation knee on a QR-CN
+//!   cluster with the overload protections armed, plus one flash-crowd
+//!   surge point. Each point reports offered load vs goodput
+//!   (within-deadline commits), shed arrivals, deadline aborts,
+//!   retry-budget exhaustion and commit-latency percentiles; the run
+//!   fails if goodput at twice the knee has collapsed below 1/1.5 of the
+//!   peak — the graceful-degradation gate.
 //!
 //! The emitted JSON is validated by the built-in parser before the
 //! process exits (exit 1 on malformed output), so CI can gate on it.
@@ -35,11 +43,11 @@
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
-use qrdtm_core::{Cluster, DtmConfig, DurabilityConfig, LatencySpec, NestingMode};
+use qrdtm_core::{Cluster, DtmConfig, DurabilityConfig, LatencySpec, NestingMode, OverloadConfig};
 use qrdtm_par::{run_par_bank, ParBankResult, ParBankSpec};
 use qrdtm_qstore::{QStoreCluster, QStoreConfig};
 use qrdtm_sim::SimDuration;
-use qrdtm_workloads::{run_bank, BankSpec};
+use qrdtm_workloads::{run_bank, run_open_loop, BankSpec, OpenLoopSpec, RateSchedule};
 
 /// Threads for the scaled par leg.
 const PAR_THREADS: usize = 8;
@@ -75,10 +83,23 @@ pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
         );
         return 1;
     }
+    let overload = overload_grid(quick);
+    if let Err(msg) = overload.degradation_check() {
+        eprintln!("FAIL: {msg}");
+        return 1;
+    }
 
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let speedup = parn.throughput / par1.throughput.max(1e-9);
-    let json = render_json(quick, cores, &sim, &grid, &[&par1, &parn], speedup);
+    let json = render_json(
+        quick,
+        cores,
+        &sim,
+        &grid,
+        &overload,
+        &[&par1, &parn],
+        speedup,
+    );
     if let Err(e) = validate_json(&json) {
         eprintln!("FAIL: generated benchmark JSON is malformed: {e}");
         return 1;
@@ -94,7 +115,15 @@ pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
         return 1;
     }
 
-    print_summary(cores, &sim, &grid, &[&par1, &parn], speedup, &out);
+    print_summary(
+        cores,
+        &sim,
+        &grid,
+        &overload,
+        &[&par1, &parn],
+        speedup,
+        &out,
+    );
     0
 }
 
@@ -284,6 +313,172 @@ fn par_leg(quick: bool, threads: usize) -> ParBankResult {
     run_par_bank(42, threads, &spec)
 }
 
+/// Offered-load sweep for the overload grid, in arrivals/s. The low end
+/// sits well under capacity, the high end well past the saturation knee.
+const OVERLOAD_RATES: [u64; 6] = [100, 200, 400, 800, 1_600, 3_200];
+/// Surge factor for the flash-crowd point, in percent of the base rate.
+const SURGE_FACTOR_PCT: u32 = 400;
+
+/// One offered-load point of the overload grid.
+struct OverloadPoint {
+    /// Configured arrival rate (the open-loop generator's set point).
+    offered_tps: u64,
+    /// Arrivals actually generated during the measurement window.
+    offered: u64,
+    /// Within-deadline commits.
+    goodput: u64,
+    /// Arrivals rejected at the admission queue.
+    shed: u64,
+    /// Commits that landed past their deadline (wasted work).
+    late: u64,
+    /// Deadline-driven aborts/abandons (driver + engine).
+    deadline_aborts: u64,
+    /// Times a client wanted a retry token and the budget was dry.
+    retry_budget_exhausted: u64,
+    /// Deepest admission queue seen on any node.
+    max_queue_depth: u64,
+    offered_tps_measured: f64,
+    goodput_tps: f64,
+    p50_ns: Option<u64>,
+    p99_ns: Option<u64>,
+    p999_ns: Option<u64>,
+}
+
+/// The whole overload sweep plus the flash-crowd surge point and the
+/// knee statistics the degradation gate is judged on.
+struct OverloadGrid {
+    points: Vec<OverloadPoint>,
+    surge: OverloadPoint,
+    knee_offered_tps: u64,
+    peak_goodput_tps: f64,
+    goodput_at_2x_knee_tps: f64,
+}
+
+impl OverloadGrid {
+    /// The graceful-degradation gate: past twice the saturation knee,
+    /// goodput must stay within 1.5x of the peak — admission control and
+    /// deadline abandon are supposed to hold the floor, not merely delay
+    /// the collapse.
+    fn degradation_check(&self) -> Result<(), String> {
+        for p in self
+            .points
+            .iter()
+            .filter(|p| p.offered_tps >= 2 * self.knee_offered_tps)
+        {
+            if p.goodput_tps * 1.5 < self.peak_goodput_tps {
+                return Err(format!(
+                    "overload degradation: goodput {:.1} tps at {} tps offered is below \
+                     1/1.5 of the {:.1} tps peak (knee {} tps)",
+                    p.goodput_tps, p.offered_tps, self.peak_goodput_tps, self.knee_offered_tps
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run one open-loop point: a fresh protected QR-CN cluster, the given
+/// arrival rate and schedule, uniform keys over 64 accounts so the knee
+/// measures capacity rather than lock contention.
+fn overload_point(quick: bool, rate: u64, schedule: RateSchedule) -> OverloadPoint {
+    let cfg = DtmConfig {
+        nodes: 10,
+        mode: NestingMode::Closed,
+        seed: 42,
+        rpc_timeout: Some(SimDuration::from_millis(100)),
+        overload: Some(OverloadConfig::default()),
+        ..Default::default()
+    };
+    let nodes = cfg.nodes;
+    let proto = Rc::new(Cluster::new(cfg));
+    let spec = OpenLoopSpec {
+        accounts: 64,
+        zipf_milli: 0,
+        rate_tps: rate,
+        deadline: SimDuration::from_millis(500),
+        // The queue bound is the load-shedding knob: it must hold less
+        // work than a deadline's worth of service time, or admitted jobs
+        // are already doomed and goodput collapses past the knee.
+        queue_bound: 4,
+        schedule,
+        ..OpenLoopSpec::default()
+    };
+    let duration = if quick {
+        SimDuration::from_secs(2)
+    } else {
+        SimDuration::from_secs(6)
+    };
+    let r = run_open_loop(
+        Rc::clone(&proto),
+        nodes,
+        &spec,
+        SimDuration::from_millis(300),
+        duration,
+    );
+    let m = proto.sim().metrics();
+    OverloadPoint {
+        offered_tps: rate,
+        offered: r.offered,
+        goodput: r.goodput,
+        shed: r.shed,
+        late: r.late,
+        deadline_aborts: m.deadline_aborts,
+        retry_budget_exhausted: m.retry_budget_exhausted,
+        max_queue_depth: r.max_queue_depth,
+        offered_tps_measured: r.offered_tps,
+        goodput_tps: r.goodput_tps,
+        p50_ns: m.latency.percentile(50.0),
+        p99_ns: m.latency.percentile(99.0),
+        p999_ns: m.latency.percentile(99.9),
+    }
+}
+
+/// Sweep the offered-load grid and run the flash-crowd surge point (base
+/// rate at the knee, `SURGE_FACTOR_PCT` for the middle third of the run).
+fn overload_grid(quick: bool) -> OverloadGrid {
+    let points: Vec<OverloadPoint> = OVERLOAD_RATES
+        .iter()
+        .map(|&rate| overload_point(quick, rate, RateSchedule::Steady))
+        .collect();
+    let peak_goodput_tps = points.iter().map(|p| p.goodput_tps).fold(0.0, f64::max);
+    // The knee: the smallest offered rate already delivering 95% of peak
+    // goodput — beyond it, extra offered load is shed or times out.
+    let knee_offered_tps = points
+        .iter()
+        .find(|p| p.goodput_tps >= peak_goodput_tps * 0.95)
+        .map_or(OVERLOAD_RATES[0], |p| p.offered_tps);
+    let past_2x = points
+        .iter()
+        .filter(|p| p.offered_tps >= 2 * knee_offered_tps)
+        .map(|p| p.goodput_tps)
+        .fold(f64::INFINITY, f64::min);
+    // If the sweep never reaches twice the knee the gate is vacuous;
+    // report the top point so the JSON stays finite.
+    let goodput_at_2x_knee_tps = if past_2x.is_finite() {
+        past_2x
+    } else {
+        points.last().map_or(0.0, |p| p.goodput_tps)
+    };
+    let duration = if quick { 2u64 } else { 6 };
+    let surge_at = SimDuration::from_secs(duration / 3).max(SimDuration::from_millis(500));
+    let surge = overload_point(
+        quick,
+        knee_offered_tps,
+        RateSchedule::FlashCrowd {
+            at: surge_at,
+            lasting: surge_at,
+            factor_pct: SURGE_FACTOR_PCT,
+        },
+    );
+    OverloadGrid {
+        points,
+        surge,
+        knee_offered_tps,
+        peak_goodput_tps,
+        goodput_at_2x_knee_tps,
+    }
+}
+
 /// Peak resident set size of this process in kB, from `/proc/self/status`
 /// (`VmHWM`); 0 where procfs is unavailable.
 fn peak_rss_kb() -> u64 {
@@ -317,11 +512,32 @@ fn grid_leg_json(leg: &GridLeg, extra: &str) -> String {
     )
 }
 
+fn overload_point_json(p: &OverloadPoint) -> String {
+    format!(
+        "{{\"offered_load\": {}, \"offered_arrivals\": {}, \"offered_tps_measured\": {:.1}, \
+         \"goodput\": {}, \"goodput_tps\": {:.1}, \"shed\": {}, \"late\": {}, \
+         \"deadline_aborts\": {}, \"retry_budget_exhausted\": {}, \"max_queue_depth\": {}, \
+         \"latency_virtual_ns\": {}}}",
+        p.offered_tps,
+        p.offered,
+        p.offered_tps_measured,
+        p.goodput,
+        p.goodput_tps,
+        p.shed,
+        p.late,
+        p.deadline_aborts,
+        p.retry_budget_exhausted,
+        p.max_queue_depth,
+        latency_obj(p.p50_ns, p.p99_ns, p.p999_ns)
+    )
+}
+
 fn render_json(
     quick: bool,
     cores: usize,
     sim: &SimLeg,
     grid: &WriteHeavyGrid,
+    overload: &OverloadGrid,
     par: &[&ParBankResult],
     speedup: f64,
 ) -> String {
@@ -361,6 +577,28 @@ fn render_json(
         grid_leg_json(&grid.qr, ""),
         grid_leg_json(&grid.qstore, &qstore_extra)
     ));
+    s.push_str(
+        "  \"overload_grid\": {\"protocol\": \"QR-CN\", \"nodes\": 10, \"deadline_ms\": 500, \"points\": [\n",
+    );
+    for (i, p) in overload.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {}{}\n",
+            overload_point_json(p),
+            if i + 1 < overload.points.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str(&format!(
+        "  ], \"surge\": {{\"factor_pct\": {}, \"point\": {}}}, \"knee_offered_tps\": {}, \"peak_goodput_tps\": {:.1}, \"goodput_at_2x_knee_tps\": {:.1}}},\n",
+        SURGE_FACTOR_PCT,
+        overload_point_json(&overload.surge),
+        overload.knee_offered_tps,
+        overload.peak_goodput_tps,
+        overload.goodput_at_2x_knee_tps
+    ));
     s.push_str("  \"par\": [\n");
     for (i, r) in par.iter().enumerate() {
         s.push_str(&format!(
@@ -387,6 +625,7 @@ fn print_summary(
     cores: usize,
     sim: &SimLeg,
     grid: &WriteHeavyGrid,
+    overload: &OverloadGrid,
     par: &[&ParBankResult],
     speedup: f64,
     out: &Path,
@@ -423,6 +662,35 @@ fn print_summary(
     println!(
         "       Q-Store vs QR: {:.2}x on the write-heavy grid\n",
         grid.qstore.virtual_tps / grid.qr.virtual_tps.max(1e-9)
+    );
+    println!("overload open-loop grid (QR-CN, protections armed, 500 ms deadlines):");
+    for p in &overload.points {
+        println!(
+            "       offered {:>5} tps: goodput {:>7.1} tps, shed {:>6}, deadline aborts {:>6}, \
+             budget dry {:>4}, p99 {} ms",
+            p.offered_tps,
+            p.goodput_tps,
+            p.shed,
+            p.deadline_aborts,
+            p.retry_budget_exhausted,
+            p.p99_ns.map_or(0, |n| n / 1_000_000),
+        );
+    }
+    let s = &overload.surge;
+    println!(
+        "       flash-crowd {SURGE_FACTOR_PCT}% @ {} tps: goodput {:.1} tps, shed {}, \
+         deadline aborts {}, p99 {} ms p999 {} ms",
+        s.offered_tps,
+        s.goodput_tps,
+        s.shed,
+        s.deadline_aborts,
+        s.p99_ns.map_or(0, |n| n / 1_000_000),
+        s.p999_ns.map_or(0, |n| n / 1_000_000),
+    );
+    println!(
+        "       knee {} tps, peak goodput {:.1} tps, goodput past 2x knee {:.1} tps \
+         (graceful-degradation gate: within 1.5x of peak)\n",
+        overload.knee_offered_tps, overload.peak_goodput_tps, overload.goodput_at_2x_knee_tps
     );
     for r in par {
         println!(
@@ -641,7 +909,30 @@ mod tests {
                 fsync_p99_ns: Some(450_000),
             },
         };
-        let json = render_json(true, 1, &sim, &grid, &[&par, &par], 1.0);
+        let point = |offered_tps: u64, goodput_tps: f64| OverloadPoint {
+            offered_tps,
+            offered: offered_tps * 2,
+            goodput: (goodput_tps * 2.0) as u64,
+            shed: 40,
+            late: 12,
+            deadline_aborts: 30,
+            retry_budget_exhausted: 5,
+            max_queue_depth: 17,
+            offered_tps_measured: offered_tps as f64 * 0.99,
+            goodput_tps,
+            p50_ns: Some(4_000_000),
+            p99_ns: Some(60_000_000),
+            p999_ns: None,
+        };
+        let overload = OverloadGrid {
+            points: vec![point(100, 98.0), point(200, 180.0), point(400, 170.0)],
+            surge: point(200, 150.0),
+            knee_offered_tps: 200,
+            peak_goodput_tps: 180.0,
+            goodput_at_2x_knee_tps: 170.0,
+        };
+        assert!(overload.degradation_check().is_ok());
+        let json = render_json(true, 1, &sim, &grid, &overload, &[&par, &par], 1.0);
         validate_json(&json).expect("baseline JSON must validate");
         for key in [
             "\"host\"",
@@ -653,9 +944,44 @@ mod tests {
             "\"batch_size\"",
             "\"epoch_latency_virtual_ns\"",
             "\"disk_fsync_virtual_ns\"",
+            "\"overload_grid\"",
+            "\"offered_load\"",
+            "\"goodput\"",
+            "\"shed\"",
+            "\"deadline_aborts\"",
+            "\"retry_budget_exhausted\"",
+            "\"knee_offered_tps\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn degradation_gate_catches_a_goodput_collapse() {
+        let point = |offered_tps: u64, goodput_tps: f64| OverloadPoint {
+            offered_tps,
+            offered: offered_tps,
+            goodput: goodput_tps as u64,
+            shed: 0,
+            late: 0,
+            deadline_aborts: 0,
+            retry_budget_exhausted: 0,
+            max_queue_depth: 0,
+            offered_tps_measured: offered_tps as f64,
+            goodput_tps,
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
+        };
+        let collapsed = OverloadGrid {
+            points: vec![point(100, 100.0), point(200, 180.0), point(400, 40.0)],
+            surge: point(200, 150.0),
+            knee_offered_tps: 200,
+            peak_goodput_tps: 180.0,
+            goodput_at_2x_knee_tps: 40.0,
+        };
+        let err = collapsed.degradation_check().unwrap_err();
+        assert!(err.contains("overload degradation"), "got: {err}");
     }
 
     #[test]

@@ -87,6 +87,27 @@ pub enum ChaosViolation {
         /// The version committed state holds now (`None` = object gone).
         committed_version: Option<u64>,
     },
+    /// Overload: clients drew more retry tokens than the budget could
+    /// mathematically have supplied — the token bucket (or its refill
+    /// accounting) regressed and a retry storm slipped through.
+    RetryStorm {
+        /// Retry tokens actually drawn.
+        retries: u64,
+        /// The maximum the budget could have supplied.
+        budget: u64,
+    },
+    /// Overload: after the surge ended and the grace period passed,
+    /// within-deadline goodput never re-converged toward its pre-surge
+    /// baseline — the system went metastable (a backlog of already-dead
+    /// work keeps starving fresh arrivals).
+    Metastable {
+        /// Goodput rate before the surge, milli-transactions per second.
+        baseline_milli_tps: u64,
+        /// Goodput rate in the post-surge quiet tail, milli-tps.
+        recovered_milli_tps: u64,
+        /// Required recovery: `recovered * factor_pct >= baseline * 100`.
+        factor_pct: u32,
+    },
 }
 
 impl fmt::Display for ChaosViolation {
@@ -137,6 +158,19 @@ impl fmt::Display for ChaosViolation {
                     "durability lost: object {oid} was acknowledged at version {acked_version} but has no committed copy"
                 ),
             },
+            ChaosViolation::RetryStorm { retries, budget } => write!(
+                f,
+                "retry storm: {retries} retry tokens drawn but the budget could supply at most {budget}"
+            ),
+            ChaosViolation::Metastable {
+                baseline_milli_tps,
+                recovered_milli_tps,
+                factor_pct,
+            } => write!(
+                f,
+                "metastable after surge: goodput recovered to {recovered_milli_tps} milli-tps, \
+                 needed at least 100/{factor_pct} of the {baseline_milli_tps} milli-tps baseline"
+            ),
         }
     }
 }
@@ -148,6 +182,9 @@ pub struct Sample {
     pub at_ns: u64,
     /// Cumulative committed transactions at the probe.
     pub commits: u64,
+    /// Cumulative within-deadline commits at the probe (open-loop runs;
+    /// equals `commits` for closed-loop runs, which have no deadlines).
+    pub goodput: u64,
     /// Whether no fault was active at the probe.
     pub quiet: bool,
 }
@@ -345,6 +382,90 @@ pub fn check_durability(
     out
 }
 
+/// Check that the client retry budget held: `retries` tokens drawn must
+/// not exceed what the bucket could have supplied — the initial `cap`,
+/// plus `refill_per_commit` per commit, plus one time-drip token per
+/// `drip` of `elapsed` (plus one cap of slack for in-flight accounting at
+/// the measurement edges). More than that means budget enforcement
+/// regressed and a retry storm got through.
+pub fn check_retry_storm(
+    retries: u64,
+    cap: u64,
+    refill_per_commit: u64,
+    commits: u64,
+    elapsed: SimDuration,
+    drip: SimDuration,
+) -> Vec<ChaosViolation> {
+    let drip_tokens = elapsed.as_nanos() / drip.as_nanos().max(1);
+    let budget = cap
+        .saturating_add(commits.saturating_mul(refill_per_commit))
+        .saturating_add(drip_tokens)
+        .saturating_add(cap);
+    if retries > budget {
+        vec![ChaosViolation::RetryStorm { retries, budget }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Check post-surge re-convergence of within-deadline goodput: the rate
+/// over the final quiet tail (skipping `grace` after it begins) must be
+/// at least `100 / factor_pct` of the rate over the initial quiet prefix.
+/// A protected system sheds the surge and snaps back; a metastable one
+/// keeps servicing a backlog of already-expired work and never does.
+///
+/// Runs with no quiet prefix, a zero baseline, or tails too short to
+/// measure are not judged (empty result) — there is no baseline to hold
+/// the tail against.
+pub fn check_goodput_reconvergence(
+    samples: &[Sample],
+    grace: SimDuration,
+    factor_pct: u32,
+) -> Vec<ChaosViolation> {
+    // Milli-tps over a span of samples, `None` if the span is degenerate.
+    fn rate_milli_tps(run: &[Sample]) -> Option<u64> {
+        let (a, b) = (run.first()?, run.last()?);
+        let span = b.at_ns.checked_sub(a.at_ns)?;
+        if span == 0 {
+            return None;
+        }
+        let delta = b.goodput.saturating_sub(a.goodput) as u128;
+        Some((delta * 1_000_000_000_000 / span as u128) as u64)
+    }
+    // Initial maximal quiet prefix.
+    let prefix_len = samples.iter().take_while(|s| s.quiet).count();
+    // Final maximal quiet tail.
+    let tail_start = samples.len() - samples.iter().rev().take_while(|s| s.quiet).count();
+    if prefix_len == 0 || tail_start == 0 || tail_start <= prefix_len {
+        return Vec::new(); // no surge between two quiet spans to judge
+    }
+    let Some(baseline) = rate_milli_tps(&samples[..prefix_len]) else {
+        return Vec::new();
+    };
+    if baseline == 0 {
+        return Vec::new();
+    }
+    // Skip the grace period at the head of the tail: timeouts and
+    // backoffs from the surge need time to unwind.
+    let tail = &samples[tail_start..];
+    let judged_from = tail[0].at_ns + grace.as_nanos();
+    let Some(first) = tail.iter().position(|s| s.at_ns >= judged_from) else {
+        return Vec::new();
+    };
+    let Some(recovered) = rate_milli_tps(&tail[first..]) else {
+        return Vec::new();
+    };
+    if (recovered as u128) * u128::from(factor_pct) < (baseline as u128) * 100 {
+        vec![ChaosViolation::Metastable {
+            baseline_milli_tps: baseline,
+            recovered_milli_tps: recovered,
+            factor_pct,
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +474,7 @@ mod tests {
         Sample {
             at_ns: at_ms * 1_000_000,
             commits,
+            goodput: commits,
             quiet: true,
         }
     }
@@ -462,5 +584,59 @@ mod tests {
             check_balances(&missing, 2000),
             vec![ChaosViolation::MissingAccount { oid: 1 }]
         );
+    }
+
+    #[test]
+    fn retry_storm_checker_bounds_token_draws() {
+        let elapsed = SimDuration::from_secs(4);
+        let drip = SimDuration::from_millis(50);
+        // cap 64 + 100 commits * 2 + 4s/50ms = 80 drips + 64 slack = 408.
+        assert!(check_retry_storm(408, 64, 2, 100, elapsed, drip).is_empty());
+        assert_eq!(
+            check_retry_storm(409, 64, 2, 100, elapsed, drip),
+            vec![ChaosViolation::RetryStorm {
+                retries: 409,
+                budget: 408
+            }]
+        );
+        // Protection off: zero draws always pass.
+        assert!(check_retry_storm(0, 0, 0, 0, elapsed, drip).is_empty());
+    }
+
+    #[test]
+    fn goodput_reconvergence_passes_a_recovering_run() {
+        // 10/s baseline, surge stall, then full 10/s recovery.
+        let mut s: Vec<Sample> = (0..10).map(|i| q(i * 100, i)).collect();
+        s.extend((10..20).map(|i| noisy(i * 100, 9)));
+        s.extend((20..40).map(|i| q(i * 100, 9 + (i - 20))));
+        assert!(check_goodput_reconvergence(&s, GRACE, 150).is_empty());
+    }
+
+    #[test]
+    fn metastable_run_is_flagged() {
+        // 10/s baseline; after the surge the goodput rate stays near zero
+        // (the backlog starves fresh arrivals).
+        let mut s: Vec<Sample> = (0..10).map(|i| q(i * 100, i)).collect();
+        s.extend((10..20).map(|i| noisy(i * 100, 9)));
+        s.extend((20..40).map(|i| q(i * 100, 9 + (i - 20) / 10)));
+        let v = check_goodput_reconvergence(&s, GRACE, 300);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(v[0], ChaosViolation::Metastable { .. }));
+    }
+
+    #[test]
+    fn reconvergence_needs_a_baseline_and_a_tail() {
+        // No quiet prefix: not judged.
+        let mut s: Vec<Sample> = (0..5).map(|i| noisy(i * 100, 0)).collect();
+        s.extend((5..20).map(|i| q(i * 100, 0)));
+        assert!(check_goodput_reconvergence(&s, GRACE, 300).is_empty());
+        // Zero baseline: not judged.
+        let mut s: Vec<Sample> = (0..10).map(|i| q(i * 100, 0)).collect();
+        s.extend((10..15).map(|i| noisy(i * 100, 0)));
+        s.extend((15..30).map(|i| q(i * 100, 0)));
+        assert!(check_goodput_reconvergence(&s, GRACE, 300).is_empty());
+        // All-quiet run (no surge in the middle): not judged.
+        let s: Vec<Sample> = (0..30).map(|i| q(i * 100, i)).collect();
+        assert!(check_goodput_reconvergence(&s, GRACE, 300).is_empty());
     }
 }

@@ -32,6 +32,12 @@ pub struct FaultBudget {
     /// then the amnesiac crash, then a recover) — only meaningful against
     /// targets with durable storage armed.
     pub amnesia: usize,
+    /// Offered-load surges (each paired with a calm) — only applicable to
+    /// open-loop runs, skipped otherwise.
+    pub surges: usize,
+    /// Flash crowds converging on one node (each paired with a calm) —
+    /// only applicable to open-loop runs.
+    pub flash_crowds: usize,
 }
 
 impl FaultBudget {
@@ -80,9 +86,32 @@ impl FaultBudget {
         }
     }
 
+    /// Overload mix for open-loop runs: surges and flash crowds, plus
+    /// gray failures to compose with (a slow node under a flash crowd is
+    /// the scenario closed-loop drivers can never produce).
+    pub fn overload(n: usize) -> Self {
+        let mut b = FaultBudget::default();
+        for i in 0..n {
+            match i % 4 {
+                0 => b.surges += 1,
+                1 => b.flash_crowds += 1,
+                2 => b.slowdowns += 1,
+                _ => b.delays += 1,
+            }
+        }
+        b
+    }
+
     /// Total faults (not counting the paired cures).
     pub fn total(&self) -> usize {
-        self.crashes + self.partitions + self.drops + self.delays + self.slowdowns + self.amnesia
+        self.crashes
+            + self.partitions
+            + self.drops
+            + self.delays
+            + self.slowdowns
+            + self.amnesia
+            + self.surges
+            + self.flash_crowds
     }
 }
 
@@ -207,6 +236,30 @@ pub fn generate(seed: u64, nodes: u32, horizon: SimDuration, budget: &FaultBudge
             kind: FaultKind::Recover { node },
         });
     }
+    for _ in 0..budget.surges {
+        let factor_pct = rng.random_range(300..900);
+        let (at, cure) = window(&mut rng);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::Surge { factor_pct },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::Calm,
+        });
+    }
+    for _ in 0..budget.flash_crowds {
+        let node = rng.random_range(0..nodes);
+        let (at, cure) = window(&mut rng);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::FlashCrowd { node },
+        });
+        events.push(FaultEvent {
+            at: cure,
+            kind: FaultKind::Calm,
+        });
+    }
     FaultPlan::new(events)
 }
 
@@ -281,6 +334,38 @@ mod tests {
     fn generated_plans_round_trip_through_text() {
         for seed in 0..8 {
             let p = generate(seed, 13, SimDuration::from_secs(3), &FaultBudget::full(6));
+            assert_eq!(FaultPlan::parse(&p.to_text()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn overload_budget_pairs_every_surge_with_a_calm() {
+        let b = FaultBudget::overload(8);
+        assert_eq!(b.surges, 2);
+        assert_eq!(b.flash_crowds, 2);
+        assert_eq!(b.slowdowns, 2);
+        assert_eq!(b.delays, 2);
+        assert_eq!(b.total(), 8);
+        for seed in 0..6 {
+            let p = generate(seed, 10, SimDuration::from_secs(3), &b);
+            let mut loads = 0;
+            let mut calms = 0;
+            for ev in &p.events {
+                match ev.kind {
+                    FaultKind::Surge { factor_pct } => {
+                        assert!((300..900).contains(&factor_pct));
+                        loads += 1;
+                    }
+                    FaultKind::FlashCrowd { node } => {
+                        assert!(node < 10);
+                        loads += 1;
+                    }
+                    FaultKind::Calm => calms += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(loads, 4);
+            assert_eq!(calms, 4, "every overload verb comes with a calm");
             assert_eq!(FaultPlan::parse(&p.to_text()).unwrap(), p);
         }
     }

@@ -12,8 +12,10 @@
 //!   while applying a plan at virtual-time offsets, healing everything at
 //!   the horizon, and draining to quiescence.
 //! - **Checkers** ([`checkers`]): safety (balance conservation, 1-copy
-//!   serializability of the committed history) and liveness (progress in
-//!   fault-free windows, re-convergence after heal).
+//!   serializability of the committed history), liveness (progress in
+//!   fault-free windows, re-convergence after heal), and overload
+//!   robustness (no retry storms past the client budget, post-surge
+//!   goodput re-convergence — the metastability checker).
 //!
 //! Everything is deterministic per `(config, seed, plan)`, so any
 //! violation the nemesis finds comes with an exact textual repro.
@@ -27,8 +29,8 @@ pub mod plan;
 pub mod target;
 
 pub use checkers::{
-    check_balances, check_detection_latency, check_durability, check_liveness, ChaosViolation,
-    Sample,
+    check_balances, check_detection_latency, check_durability, check_goodput_reconvergence,
+    check_liveness, check_retry_storm, ChaosViolation, Sample,
 };
 pub use generate::{generate, shrink, FaultBudget};
 pub use nemesis::{run_plan, ChaosReport, ChaosSpec, Fingerprint};

@@ -27,11 +27,12 @@ use std::rc::Rc;
 
 use qrdtm_core::{ObjVal, ObjectId};
 use qrdtm_sim::{EngineEventKind, NodeId, Sim, SimDuration};
+use qrdtm_workloads::open_loop::{spawn_open_loop, LoadControl, LoadTallies, OpenLoopSpec};
 use qrdtm_workloads::protocol_bank::{audit, transfer};
 
 use crate::checkers::{
-    check_balances, check_detection_latency, check_durability, check_liveness, ChaosViolation,
-    Sample,
+    check_balances, check_detection_latency, check_durability, check_goodput_reconvergence,
+    check_liveness, check_retry_storm, ChaosViolation, Sample,
 };
 use crate::plan::{FaultKind, FaultPlan};
 use crate::target::ChaosTarget;
@@ -65,6 +66,16 @@ pub struct ChaosSpec {
     /// post-heal membership convergence. Requires a detector-capable
     /// target (a QR cluster built with `DtmConfig::detector` set).
     pub detector: bool,
+    /// Overload mode: replace the closed-loop clients with the open-loop
+    /// traffic generator (arrivals independent of completion), making the
+    /// `surge`/`flash-crowd`/`calm` plan verbs applicable and arming the
+    /// goodput re-convergence checker. The generator's `accounts` and
+    /// `read_pct` are overridden by this spec's, so the balance checkers
+    /// stay exact.
+    pub overload: Option<OpenLoopSpec>,
+    /// Metastability tolerance: post-surge goodput must recover to at
+    /// least `100 / reconverge_factor_pct` of the pre-surge baseline.
+    pub reconverge_factor_pct: u32,
 }
 
 impl Default for ChaosSpec {
@@ -81,6 +92,8 @@ impl Default for ChaosSpec {
             quiet_grace: SimDuration::from_millis(700),
             progress_window: SimDuration::from_millis(1_200),
             detector: false,
+            overload: None,
+            reconverge_factor_pct: 300,
         }
     }
 }
@@ -173,7 +186,8 @@ impl ChaosReport {
         format!(
             "plan={:>2}ev applied={:>2} skipped={} commits={:>5} aborts={:>4} \
              dropped dead:{} part:{} link:{} \
-             recovery replay:{} torn:{} rounds:{} repaired:{} drained={} => {}",
+             recovery replay:{} torn:{} rounds:{} repaired:{} \
+             overload shed:{} deadline:{} budget:{} retries:{} wasted:{} drained={} => {}",
             self.plan_events,
             self.applied,
             self.skipped,
@@ -186,6 +200,11 @@ impl ChaosReport {
             self.metrics.torn_tails,
             self.metrics.repair_rounds,
             self.metrics.repaired_objects,
+            self.metrics.admission_shed,
+            self.metrics.deadline_aborts,
+            self.metrics.retry_budget_exhausted,
+            self.metrics.client_retries,
+            self.metrics.wasted_retries,
             if self.drained { "yes" } else { "NO" },
             if self.ok() { "OK" } else { "VIOLATION" },
         )
@@ -198,6 +217,8 @@ struct NemesisState {
     partitioned: bool,
     links: BTreeSet<(u32, u32)>,
     slowed: BTreeSet<u32>,
+    surged: bool,
+    flashed: bool,
     applied: usize,
     skipped: usize,
     log: Vec<String>,
@@ -209,6 +230,8 @@ impl NemesisState {
             && !self.partitioned
             && self.links.is_empty()
             && self.slowed.is_empty()
+            && !self.surged
+            && !self.flashed
     }
 }
 
@@ -245,49 +268,76 @@ pub fn run_plan<P: ChaosTarget + 'static>(
     let stop = Rc::new(Cell::new(false));
     let state = Rc::new(RefCell::new(NemesisState::default()));
 
-    // Closed-loop bank clients, one set per node. A client whose node is
-    // down idles until it comes back (a crashed node runs no workload).
-    for node in 0..nodes as u32 {
-        for _ in 0..spec.clients_per_node {
-            let p = Rc::clone(&proto);
-            let stop = Rc::clone(&stop);
-            let s = sim.clone();
-            let spec = *spec;
-            sim.spawn(async move {
-                while !stop.get() {
-                    if !s.is_alive(NodeId(node)) {
-                        s.sleep(spec.probe).await;
-                        continue;
+    // Workload: either the open-loop traffic generator (overload mode —
+    // arrivals keep coming whether or not the cluster keeps up, and the
+    // surge/flash-crowd verbs steer them) or closed-loop bank clients.
+    let load: Option<(Rc<LoadControl>, Rc<LoadTallies>)> = if let Some(ospec) = spec.overload {
+        let control = Rc::new(LoadControl::default());
+        let tallies = Rc::new(LoadTallies::default());
+        spawn_open_loop(
+            &proto,
+            nodes,
+            OpenLoopSpec {
+                accounts: spec.accounts,
+                read_pct: spec.read_pct,
+                ..ospec
+            },
+            Rc::clone(&control),
+            Rc::clone(&tallies),
+            Rc::clone(&stop),
+        );
+        Some((control, tallies))
+    } else {
+        // One set of clients per node; a client whose node is down idles
+        // until it comes back (a crashed node runs no workload).
+        for node in 0..nodes as u32 {
+            for _ in 0..spec.clients_per_node {
+                let p = Rc::clone(&proto);
+                let stop = Rc::clone(&stop);
+                let s = sim.clone();
+                let spec = *spec;
+                sim.spawn(async move {
+                    while !stop.get() {
+                        if !s.is_alive(NodeId(node)) {
+                            s.sleep(spec.probe).await;
+                            continue;
+                        }
+                        let a = s.rand_below(spec.accounts);
+                        let mut b = s.rand_below(spec.accounts);
+                        if b == a {
+                            b = (b + 1) % spec.accounts;
+                        }
+                        if s.rand_below(100) < u64::from(spec.read_pct) {
+                            audit(&*p, NodeId(node), ObjectId(a), ObjectId(b)).await;
+                        } else {
+                            transfer(&*p, NodeId(node), ObjectId(a), ObjectId(b), 5).await;
+                        }
                     }
-                    let a = s.rand_below(spec.accounts);
-                    let mut b = s.rand_below(spec.accounts);
-                    if b == a {
-                        b = (b + 1) % spec.accounts;
-                    }
-                    if s.rand_below(100) < u64::from(spec.read_pct) {
-                        audit(&*p, NodeId(node), ObjectId(a), ObjectId(b)).await;
-                    } else {
-                        transfer(&*p, NodeId(node), ObjectId(a), ObjectId(b), 5).await;
-                    }
-                }
-            });
+                });
+            }
         }
-    }
+        None
+    };
 
-    // Progress monitor for the liveness checker.
+    // Progress monitor for the liveness and re-convergence checkers.
     let samples: Rc<RefCell<Vec<Sample>>> = Rc::new(RefCell::new(Vec::new()));
     {
         let p = Rc::clone(&proto);
         let stop = Rc::clone(&stop);
         let st = Rc::clone(&state);
         let out = Rc::clone(&samples);
+        let tallies = load.as_ref().map(|(_, t)| Rc::clone(t));
         let s = sim.clone();
         let probe = spec.probe;
         sim.spawn(async move {
             while !stop.get() {
+                let commits = p.protocol_stats().commits;
                 out.borrow_mut().push(Sample {
                     at_ns: s.now().as_nanos(),
-                    commits: p.protocol_stats().commits,
+                    commits,
+                    // Closed-loop runs have no deadlines: every commit is
+                    // good by definition.
+                    goodput: tallies.as_ref().map_or(commits, |t| t.goodput.get()),
                     quiet: st.borrow().quiet(),
                 });
                 s.sleep(probe).await;
@@ -305,6 +355,7 @@ pub fn run_plan<P: ChaosTarget + 'static>(
         let horizon = spec.horizon;
         let n = nodes as u32;
         let det_mode = spec.detector;
+        let control = load.as_ref().map(|(c, _)| Rc::clone(c));
         sim.spawn(async move {
             let t0 = s.now();
             for ev in plan.events {
@@ -312,13 +363,21 @@ pub fn run_plan<P: ChaosTarget + 'static>(
                 if due > s.now() {
                     s.sleep(due - s.now()).await;
                 }
-                apply_event(&*p, &s, &mut st.borrow_mut(), ev.kind, n, det_mode);
+                apply_event(
+                    &*p,
+                    &s,
+                    &mut st.borrow_mut(),
+                    ev.kind,
+                    n,
+                    det_mode,
+                    control.as_deref(),
+                );
             }
             let heal_at = t0 + horizon;
             if heal_at > s.now() {
                 s.sleep(heal_at - s.now()).await;
             }
-            heal_all(&*p, &s, &mut st.borrow_mut(), det_mode);
+            heal_all(&*p, &s, &mut st.borrow_mut(), det_mode, control.as_deref());
         });
     }
 
@@ -383,8 +442,29 @@ pub fn run_plan<P: ChaosTarget + 'static>(
         spec.quiet_grace,
         spec.progress_window,
     ));
+    if spec.overload.is_some() {
+        // Metastability: after the surge ends, within-deadline goodput
+        // must re-converge toward its pre-surge baseline.
+        violations.extend(check_goodput_reconvergence(
+            &samples.borrow(),
+            spec.quiet_grace,
+            spec.reconverge_factor_pct,
+        ));
+    }
 
     let m = sim.metrics();
+    if let Some((cap, refill, drip)) = proto.retry_budget() {
+        // No retry storm: clients cannot have drawn more retry tokens
+        // than the budget could supply over the run.
+        violations.extend(check_retry_storm(
+            m.client_retries,
+            cap,
+            refill,
+            proto.protocol_stats().commits,
+            sim.now().saturating_since(qrdtm_sim::SimTime::ZERO),
+            drip,
+        ));
+    }
     if spec.detector {
         if let Some(bound) = proto.detection_bound() {
             violations.extend(check_detection_latency(&m.engine_event_log, bound));
@@ -425,6 +505,7 @@ fn apply_event<P: ChaosTarget>(
     kind: FaultKind,
     nodes: u32,
     detector: bool,
+    load: Option<&LoadControl>,
 ) {
     let support = p.fault_support();
     let now_us = s.now().as_nanos() / 1_000;
@@ -555,6 +636,35 @@ fn apply_event<P: ChaosTarget>(
                 applied_on = Some(NodeId(*node));
             }
         }
+        // The overload verbs act on the open-loop traffic generator, not
+        // the protocol — without one (closed-loop run) they are
+        // inapplicable and skipped.
+        FaultKind::Surge { factor_pct } => {
+            if let Some(l) = load {
+                if *factor_pct > 0 {
+                    l.surge_pct.set(*factor_pct);
+                    st.surged = *factor_pct != 100;
+                    applied_on = Some(NodeId(0));
+                }
+            }
+        }
+        FaultKind::FlashCrowd { node } => {
+            if *node < nodes {
+                if let Some(l) = load {
+                    l.flash_node.set(Some(*node));
+                    st.flashed = true;
+                    applied_on = Some(NodeId(*node));
+                }
+            }
+        }
+        FaultKind::Calm => {
+            if let Some(l) = load {
+                l.calm();
+                st.surged = false;
+                st.flashed = false;
+                applied_on = Some(NodeId(0));
+            }
+        }
     }
     match applied_on {
         Some(n) => {
@@ -572,7 +682,13 @@ fn apply_event<P: ChaosTarget>(
 
 /// Cure everything still active: the backstop that guarantees the
 /// recovery tail and the final snapshot run on a healthy cluster.
-fn heal_all<P: ChaosTarget>(p: &P, s: &Sim<P::Msg>, st: &mut NemesisState, detector: bool) {
+fn heal_all<P: ChaosTarget>(
+    p: &P,
+    s: &Sim<P::Msg>,
+    st: &mut NemesisState,
+    detector: bool,
+    load: Option<&LoadControl>,
+) {
     let crashed: Vec<u32> = st.crashed.iter().copied().collect();
     for node in crashed {
         if detector {
@@ -591,6 +707,11 @@ fn heal_all<P: ChaosTarget>(p: &P, s: &Sim<P::Msg>, st: &mut NemesisState, detec
         s.set_service_factor(NodeId(node), 1.0);
     }
     st.slowed.clear();
+    if let Some(l) = load {
+        l.calm();
+    }
+    st.surged = false;
+    st.flashed = false;
     let now_us = s.now().as_nanos() / 1_000;
     st.log.push(format!("@{now_us}us heal-all"));
     s.emit_engine_event(EngineEventKind::FaultInjected, NodeId(0), 0);
@@ -956,6 +1077,152 @@ mod tests {
         assert!(r.ok(), "violations: {:?}", r.violations);
         assert_eq!(r.skipped, 1, "cost-modelled replicas cannot restart");
         assert_eq!(r.applied, 0);
+    }
+
+    fn surge_plan() -> FaultPlan {
+        FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(600),
+                kind: FaultKind::Surge { factor_pct: 600 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_400),
+                kind: FaultKind::Calm,
+            },
+        ])
+    }
+
+    fn overload_spec(protect: bool) -> ChaosSpec {
+        ChaosSpec {
+            accounts: 16,
+            horizon: SimDuration::from_secs(2),
+            recovery: SimDuration::from_secs(2),
+            overload: Some(OpenLoopSpec {
+                rate_tps: 150,
+                deadline: SimDuration::from_millis(300),
+                queue_bound: 32,
+                protect,
+                ..OpenLoopSpec::default()
+            }),
+            ..ChaosSpec::default()
+        }
+    }
+
+    fn qr_overload(seed: u64) -> Rc<Cluster> {
+        Rc::new(Cluster::new(DtmConfig {
+            nodes: 10,
+            mode: NestingMode::Closed,
+            seed,
+            rpc_timeout: Some(SimDuration::from_millis(100)),
+            overload: Some(qrdtm_core::OverloadConfig::default()),
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn protected_surge_degrades_gracefully_and_reconverges() {
+        let r = run_plan(qr_overload(20), 10, &overload_spec(true), &surge_plan());
+        assert!(
+            r.ok(),
+            "violations: {:?}\nfaults: {:?}",
+            r.violations,
+            r.fault_log
+        );
+        assert_eq!(r.applied, 2, "surge and calm both landed");
+        assert!(r.commits > 0);
+        assert!(
+            r.metrics.admission_shed > 0,
+            "the surge must hit the admission bound: {}",
+            r.summary_line()
+        );
+        let line = r.summary_line();
+        assert!(
+            line.contains("overload shed:") && line.contains("budget:"),
+            "overload counters must surface in the summary: {line}"
+        );
+    }
+
+    #[test]
+    fn unprotected_surge_goes_metastable() {
+        // Protection off on both sides: no engine budget/deadline (overload
+        // config None) and no driver shed/abandon (protect false). The
+        // surge builds an unbounded backlog of already-expired work, so
+        // post-surge within-deadline goodput never recovers — exactly what
+        // the metastability checker exists to catch. This validates the
+        // checker the same way the model checker validates injected bugs.
+        let proto = Rc::new(Cluster::new(DtmConfig {
+            nodes: 10,
+            mode: NestingMode::Closed,
+            seed: 21,
+            rpc_timeout: Some(SimDuration::from_millis(100)),
+            ..Default::default()
+        }));
+        let r = run_plan(proto, 10, &overload_spec(false), &surge_plan());
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, ChaosViolation::Metastable { .. })),
+            "expected a Metastable violation, got: {:?}\n{}",
+            r.violations,
+            r.summary_line()
+        );
+        assert_eq!(r.metrics.admission_shed, 0, "nothing sheds unprotected");
+    }
+
+    #[test]
+    fn overload_verbs_are_skipped_on_closed_loop_runs() {
+        // Without the open-loop generator there is no load to surge.
+        let r = run_plan(qr(22), 10, &quick_spec(), &surge_plan());
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.applied, 0);
+        assert_eq!(r.skipped, 2);
+    }
+
+    #[test]
+    fn overload_composes_with_gray_failures() {
+        // Flash crowd onto a node that is simultaneously running slow —
+        // overload and gray failure at once, the scenario the paper's
+        // fault model never priced in. All checkers must still pass.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimDuration::from_millis(400),
+                kind: FaultKind::Slow {
+                    node: 3,
+                    factor_pct: 300,
+                },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(600),
+                kind: FaultKind::FlashCrowd { node: 3 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_300),
+                kind: FaultKind::Calm,
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(1_500),
+                kind: FaultKind::Restore { node: 3 },
+            },
+        ]);
+        let r = run_plan(qr_overload(23), 10, &overload_spec(true), &plan);
+        assert!(
+            r.ok(),
+            "violations: {:?}\nfaults: {:?}",
+            r.violations,
+            r.fault_log
+        );
+        assert_eq!(r.applied, 4);
+        assert!(r.commits > 0);
+    }
+
+    #[test]
+    fn overload_runs_are_deterministic() {
+        let spec = overload_spec(true);
+        let plan = surge_plan();
+        let a = run_plan(qr_overload(24), 10, &spec, &plan);
+        let b = run_plan(qr_overload(24), 10, &spec, &plan);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.summary_line(), b.summary_line());
     }
 
     #[test]

@@ -93,6 +93,23 @@ pub enum FaultKind {
         /// Victim node index.
         node: u32,
     },
+    /// Overload: multiply the open-loop offered rate by `factor_pct`/100.
+    /// Only applicable when the run drives open-loop traffic; skipped
+    /// (counted) otherwise.
+    Surge {
+        /// Rate multiplier in percent (e.g. 300 = 3x the nominal rate).
+        factor_pct: u32,
+    },
+    /// Overload: funnel most open-loop arrivals to one node — a flash
+    /// crowd hammering a single entry point. Only applicable to open-loop
+    /// runs.
+    FlashCrowd {
+        /// The node the crowd converges on.
+        node: u32,
+    },
+    /// Return the offered load to nominal: clear any surge and flash
+    /// crowd.
+    Calm,
 }
 
 impl FaultKind {
@@ -113,6 +130,9 @@ impl FaultKind {
             FaultKind::Restore { .. } => 10,
             FaultKind::CrashAmnesia { .. } => 11,
             FaultKind::CorruptTail { .. } => 12,
+            FaultKind::Surge { .. } => 13,
+            FaultKind::FlashCrowd { .. } => 14,
+            FaultKind::Calm => 15,
         }
     }
 
@@ -125,6 +145,7 @@ impl FaultKind {
                 | FaultKind::Heal
                 | FaultKind::HealLink { .. }
                 | FaultKind::Restore { .. }
+                | FaultKind::Calm
         )
     }
 }
@@ -162,6 +183,9 @@ impl fmt::Display for FaultKind {
             FaultKind::Restore { node } => write!(f, "restore {node}"),
             FaultKind::CrashAmnesia { node } => write!(f, "crash-amnesia {node}"),
             FaultKind::CorruptTail { node } => write!(f, "corrupt-tail {node}"),
+            FaultKind::Surge { factor_pct } => write!(f, "surge {factor_pct}"),
+            FaultKind::FlashCrowd { node } => write!(f, "flash-crowd {node}"),
+            FaultKind::Calm => write!(f, "calm"),
         }
     }
 }
@@ -345,6 +369,13 @@ fn parse_event(line: &str) -> Result<FaultEvent, String> {
         "corrupt-tail" => FaultKind::CorruptTail {
             node: parse_u32(arg()?)?,
         },
+        "surge" => FaultKind::Surge {
+            factor_pct: parse_u32(arg()?)?,
+        },
+        "flash-crowd" => FaultKind::FlashCrowd {
+            node: parse_u32(arg()?)?,
+        },
+        "calm" => FaultKind::Calm,
         other => return Err(format!("unknown fault verb {other:?}")),
     };
     if let Some(extra) = toks.next() {
@@ -424,6 +455,18 @@ mod tests {
                 at: SimDuration::from_millis(950),
                 kind: FaultKind::Recover { node: 6 },
             },
+            FaultEvent {
+                at: SimDuration::from_millis(150),
+                kind: FaultKind::Surge { factor_pct: 400 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(250),
+                kind: FaultKind::FlashCrowd { node: 2 },
+            },
+            FaultEvent {
+                at: SimDuration::from_millis(850),
+                kind: FaultKind::Calm,
+            },
         ])
     }
 
@@ -493,6 +536,9 @@ mod tests {
         assert!(!FaultKind::CrashReadQuorum.is_cure());
         assert!(!FaultKind::CrashAmnesia { node: 1 }.is_cure());
         assert!(!FaultKind::CorruptTail { node: 1 }.is_cure());
+        assert!(FaultKind::Calm.is_cure());
+        assert!(!FaultKind::Surge { factor_pct: 300 }.is_cure());
+        assert!(!FaultKind::FlashCrowd { node: 1 }.is_cure());
     }
 
     #[test]
@@ -508,6 +554,29 @@ mod tests {
                 FaultEvent {
                     at: SimDuration::from_micros(200),
                     kind: FaultKind::CrashAmnesia { node: 4 },
+                },
+            ]
+        );
+        assert_eq!(FaultPlan::parse(&p.to_text()).unwrap(), p);
+    }
+
+    #[test]
+    fn overload_verbs_round_trip() {
+        let p = FaultPlan::parse("@100us surge 500\n@200us flash-crowd 3\n@900us calm\n").unwrap();
+        assert_eq!(
+            p.events,
+            vec![
+                FaultEvent {
+                    at: SimDuration::from_micros(100),
+                    kind: FaultKind::Surge { factor_pct: 500 },
+                },
+                FaultEvent {
+                    at: SimDuration::from_micros(200),
+                    kind: FaultKind::FlashCrowd { node: 3 },
+                },
+                FaultEvent {
+                    at: SimDuration::from_micros(900),
+                    kind: FaultKind::Calm,
                 },
             ]
         );

@@ -200,6 +200,13 @@ pub trait ChaosTarget: SimHosted {
     fn batch_atomicity_violations(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// The target's client retry budget as `(cap, refill_per_commit,
+    /// drip)`, when overload protection is armed — feeds the no-retry-storm
+    /// checker. `None` when the protocol has no budget (nothing to check).
+    fn retry_budget(&self) -> Option<(u64, u64, qrdtm_sim::SimDuration)> {
+        None
+    }
 }
 
 impl ChaosTarget for Cluster {
@@ -306,6 +313,12 @@ impl ChaosTarget for Cluster {
                     .map(|(oid, _, installed)| (oid.0, installed.0))
             })
             .collect()
+    }
+
+    fn retry_budget(&self) -> Option<(u64, u64, qrdtm_sim::SimDuration)> {
+        self.config()
+            .overload
+            .map(|o| (o.retry_budget_cap, o.retry_refill_per_commit, o.retry_drip))
     }
 }
 

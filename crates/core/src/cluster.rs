@@ -153,6 +153,67 @@ pub struct DtmConfig {
     /// Deliberately disable one safety mechanism (checker validation only —
     /// see [`InjectedBug`]). `None` (the default) is the correct protocol.
     pub injected_bug: Option<InjectedBug>,
+    /// Graceful-degradation machinery for open-loop overload: client-side
+    /// retry token budget, deadline-aware early abort, hedge suppression
+    /// under saturation pressure, and the admission-queue bound open-loop
+    /// drivers enforce. `None` (the default) keeps the engine's behaviour
+    /// byte-for-byte identical to the pre-overload model.
+    pub overload: Option<OverloadConfig>,
+}
+
+/// Knobs of the overload graceful-degradation layer
+/// ([`DtmConfig::overload`]). All decisions taken under these knobs are
+/// surfaced as engine events and metrics counters — nothing is silently
+/// dropped or suppressed.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadConfig {
+    /// Bound on each node's admission queue: open-loop drivers shed (count,
+    /// never enqueue) arrivals that would push the queue past this depth.
+    pub queue_bound: usize,
+    /// Capacity of the client-side retry token bucket. Every transaction
+    /// retry draws one token; an empty bucket delays the retry until a
+    /// token drips or a commit mints one, bounding the cluster-wide retry
+    /// rate under brown-out.
+    pub retry_budget_cap: u64,
+    /// Tokens minted into the bucket per committed transaction (successes
+    /// replenish the budget).
+    pub retry_refill_per_commit: u64,
+    /// Rate floor of the bucket: one token drips per this much elapsed
+    /// virtual time, so a drained bucket cannot deadlock a healthy cluster
+    /// whose clients are all waiting on tokens.
+    pub retry_drip: SimDuration,
+    /// Suppress hedged read rounds while at least this many RPC rounds are
+    /// concurrently in timeout/retry (the saturation-pressure gauge):
+    /// hedging helps tail latency at low load and must disappear at high
+    /// load, where it only amplifies pressure.
+    pub hedge_pressure_threshold: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_bound: 64,
+            retry_budget_cap: 64,
+            retry_refill_per_commit: 2,
+            retry_drip: SimDuration::from_millis(50),
+            hedge_pressure_threshold: 3,
+        }
+    }
+}
+
+/// Mutable overload bookkeeping shared by every endpoint of a cluster:
+/// the retry token bucket and the outstanding-retry pressure gauge.
+/// Present unconditionally (cheap cells); consulted only when
+/// [`DtmConfig::overload`] is armed.
+#[derive(Debug, Default)]
+pub(crate) struct OverloadState {
+    /// Retry tokens currently available (starts at the bucket capacity).
+    pub(crate) retry_tokens: Cell<u64>,
+    /// Virtual-time floor (ns) the time-drip refill has been accounted to.
+    pub(crate) last_drip_ns: Cell<u64>,
+    /// RPC rounds currently in timeout/retry — the saturation gauge hedge
+    /// suppression reads.
+    pub(crate) retry_pressure: Cell<u64>,
 }
 
 /// A deliberately broken protocol variant, used to validate that the
@@ -192,6 +253,7 @@ impl Default for DtmConfig {
             transfer_latency: None,
             durability: None,
             injected_bug: None,
+            overload: None,
         }
     }
 }
@@ -273,6 +335,9 @@ pub(crate) struct ClusterInner {
     /// readmission must replay+repair for them instead of the oracle-grade
     /// state transfer.
     pub(crate) amnesiac: RefCell<Vec<bool>>,
+    /// Retry token bucket + saturation pressure gauge (see
+    /// [`DtmConfig::overload`]).
+    pub(crate) overload: OverloadState,
 }
 
 impl ClusterInner {
@@ -386,6 +451,7 @@ impl Cluster {
             });
         }
         let amnesiac = RefCell::new(vec![false; cfg.nodes]);
+        let retry_cap = cfg.overload.map_or(0, |o| o.retry_budget_cap);
         let sub = SimSubstrate::new(sim.clone());
         Cluster {
             sim,
@@ -400,6 +466,11 @@ impl Cluster {
                 pending: RefCell::new(std::collections::BTreeMap::new()),
                 wals,
                 amnesiac,
+                overload: OverloadState {
+                    retry_tokens: Cell::new(retry_cap),
+                    last_drip_ns: Cell::new(0),
+                    retry_pressure: Cell::new(0),
+                },
             }),
         }
     }

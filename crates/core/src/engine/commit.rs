@@ -25,7 +25,7 @@ pub(super) async fn commit_root<S: Substrate<Msg>>(
     st: &RefCell<TxState>,
     pol: &dyn NestingPolicy,
 ) -> Result<(), Abort> {
-    let (root, reads, writes, payload) = {
+    let (root, reads, writes, payload, deadline) = {
         let st = st.borrow();
         debug_assert_eq!(st.frames.len(), 1, "all CTs completed before root commit");
         let f = &st.frames[0];
@@ -42,7 +42,7 @@ pub(super) async fn commit_root<S: Substrate<Msg>>(
             .iter()
             .map(|(o, c)| (*o, c.version.next(), c.val.clone()))
             .collect();
-        (st.root, reads, writes, payload)
+        (st.root, reads, writes, payload, st.deadline)
     };
     // Snapshot the view the decision is made under. The vote must go to
     // this exact quorum (locks will live on it), and the decision is only
@@ -90,7 +90,9 @@ pub(super) async fn commit_root<S: Substrate<Msg>>(
         // invalidate a read must serialize after the replica validations,
         // which happen after the send.
         let at = ep.sub.now();
-        let vote = ep.vote_round(&wq, root, reads.clone(), vec![]).await;
+        let vote = ep
+            .vote_round(&wq, root, reads.clone(), vec![], deadline)
+            .await;
         if ep.inner.cfg.injected_bug != Some(InjectedBug::SkipVoteCheck) {
             vote?;
         }
@@ -112,7 +114,7 @@ pub(super) async fn commit_root<S: Substrate<Msg>>(
         return Ok(());
     }
     let vote = ep
-        .vote_round(&wq, root, reads.clone(), writes.clone())
+        .vote_round(&wq, root, reads.clone(), writes.clone(), deadline)
         .await;
     let vote = if ep.inner.cfg.injected_bug == Some(InjectedBug::SkipVoteCheck) {
         // Injected bug: trust the round even when a replica voted no.

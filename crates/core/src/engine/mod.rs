@@ -56,7 +56,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 
-use qrdtm_sim::{EngineEventKind, NodeId, SimDuration};
+use qrdtm_sim::{Counter, EngineEventKind, NodeId, SimDuration, SimTime};
 
 use crate::cluster::{ClusterInner, LockPolicy};
 use crate::msg::{Msg, ValidationKind};
@@ -257,10 +257,10 @@ impl<S: Substrate<Msg>> Tx<S> {
             }
         }
         // Remote acquisition: validation payload, then read-quorum rounds.
-        let (root, cur_chk, entries, kind) = {
+        let (root, cur_chk, entries, kind, deadline) = {
             let st = self.st.borrow();
             let (kind, entries) = validation::read_validation(&st, self.ep.inner.cfg.rqv, pol);
-            (st.root, st.cur_chk(), entries, kind)
+            (st.root, st.cur_chk(), entries, kind, st.deadline)
         };
         let mut waits = 0u32;
         let (version, fetched) = loop {
@@ -274,6 +274,7 @@ impl<S: Substrate<Msg>> Tx<S> {
                     is_write,
                     entries.clone(),
                     kind,
+                    deadline,
                 )
                 .await?;
             if round.hedged {
@@ -520,15 +521,69 @@ impl<S: Substrate<Msg>> Tx<S> {
         Ok(())
     }
 
+    /// Arm (or clear) a completion deadline for this transaction. Quorum
+    /// rounds observe it: a round entered or retried past the deadline is
+    /// abandoned (`wasted_retries` counts the avoided work) so a request
+    /// the client already gave up on stops consuming cluster capacity.
+    /// The deadline survives retries — it belongs to the request, not the
+    /// attempt.
+    pub fn set_deadline(&self, deadline: Option<SimTime>) {
+        self.st.borrow_mut().deadline = deadline;
+    }
+
     /// Account a successful commit: one commit plus its latency measured
     /// from `started` (the begin instant, spanning every retry).
     pub(crate) fn record_commit(&self, started: qrdtm_sim::SimTime) {
         let lat = self.ep.sub.now().saturating_since(started).as_nanos();
         self.ep.sub.observe_latency(lat);
+        // Successes replenish the shared retry budget: the token-bucket
+        // refill that lets retries scale with how fast the cluster is
+        // actually completing work (and starves them when it is not).
+        if let Some(o) = self.ep.inner.cfg.overload {
+            let ov = &self.ep.inner.overload;
+            ov.retry_tokens
+                .set((ov.retry_tokens.get() + o.retry_refill_per_commit).min(o.retry_budget_cap));
+        }
         let mut stats = self.ep.inner.stats.borrow_mut();
         stats.commits += 1;
         stats.latency_sum_ns += lat;
         stats.latency_max_ns = stats.latency_max_ns.max(lat);
+    }
+
+    /// Draw one token from the client-side retry budget before a full root
+    /// retry proceeds. Tokens are minted by commits
+    /// ([`crate::OverloadConfig::retry_refill_per_commit`] each) and by a
+    /// slow time drip (one per `retry_drip`), so the cluster-wide retry
+    /// rate is bounded under brown-out while liveness is preserved even
+    /// when every client is blocked on the budget at once. Denials bump
+    /// `retry_budget_exhausted` and wait out a drip period.
+    async fn acquire_retry_token(&self) {
+        let Some(o) = self.ep.inner.cfg.overload else {
+            return;
+        };
+        let drip = o.retry_drip.max(SimDuration::from_millis(1));
+        loop {
+            let ov = &self.ep.inner.overload;
+            // Lazy drip accounting: credit whole periods elapsed since the
+            // last accounting instant, advancing it by exactly what was
+            // credited so fractional progress is never lost.
+            let drip_ns = drip.as_nanos();
+            let last = ov.last_drip_ns.get();
+            let earned = self.ep.sub.now().as_nanos().saturating_sub(last) / drip_ns;
+            if earned > 0 {
+                ov.last_drip_ns.set(last + earned * drip_ns);
+                ov.retry_tokens
+                    .set((ov.retry_tokens.get() + earned).min(o.retry_budget_cap));
+            }
+            let tokens = ov.retry_tokens.get();
+            if tokens > 0 {
+                ov.retry_tokens.set(tokens - 1);
+                self.ep.sub.bump(Counter::ClientRetries);
+                return;
+            }
+            self.ep.sub.bump(Counter::RetryBudgetExhausted);
+            self.ep.sub.sleep(drip).await;
+        }
     }
 
     /// Prepare the next attempt after an aborted one: emit the abort event,
@@ -559,10 +614,13 @@ impl<S: Substrate<Msg>> Tx<S> {
             }
             None => {
                 // Root-targeted abort (level 0), or a stray target that
-                // nothing below caught: full retry.
+                // nothing below caught: full retry — which must first draw
+                // from the retry budget when overload protection is armed
+                // (partial aborts above are cheap and exempt).
                 self.ep.inner.stats.borrow_mut().root_aborts += 1;
                 self.run_compensations().await;
                 self.full_reset();
+                self.acquire_retry_token().await;
                 self.backoff(true).await;
             }
         }

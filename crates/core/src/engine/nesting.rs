@@ -70,6 +70,11 @@ pub(super) struct TxState {
     /// Rqv read-only commit is disabled for the attempt (the vote round
     /// re-validates everything and remains safe).
     pub(super) hedged_reads: bool,
+    /// Completion deadline, if the client armed one: quorum rounds past
+    /// this instant are abandoned instead of burning retries (deadline-
+    /// aware early abort). Survives retries — the deadline belongs to the
+    /// *request*, not the attempt.
+    pub(super) deadline: Option<SimTime>,
 }
 
 impl TxState {
@@ -89,6 +94,7 @@ impl TxState {
             attempt: 0,
             last_remote_read_at: SimTime::ZERO,
             hedged_reads: false,
+            deadline: None,
         }
     }
 
@@ -153,8 +159,10 @@ impl TxState {
     /// stale locks/metadata of the old attempt can never alias it.
     pub(super) fn reset_for_retry(&mut self, fresh: TxId) {
         let attempt = self.attempt + 1;
+        let deadline = self.deadline;
         *self = TxState::new(fresh);
         self.attempt = attempt;
+        self.deadline = deadline;
     }
 }
 

@@ -7,13 +7,68 @@
 //! in replies and outcomes, never in call plumbing; the plumbing itself
 //! goes through the [`Substrate`], never directly to a simulator.
 
-use qrdtm_sim::{Counter, EngineEventKind, NodeId};
+use std::cell::Cell;
+
+use qrdtm_sim::{Counter, EngineEventKind, NodeId, SimDuration, SimTime};
 
 use crate::cluster::ClusterInner;
 use crate::msg::{class, Msg, ValEntry, ValidationKind};
 use crate::object::{ObjVal, ObjectId, Version};
 use crate::substrate::{SimSubstrate, Substrate};
 use crate::txid::{Abort, TxId};
+
+/// Decorrelated-jitter step of the capped exponential retry backoff:
+/// `next = clamp(prev × mult, base, cap)` with `mult` drawn per step from
+/// the seeded substrate RNG in `[1, 3)`. Plain doubling keeps every client
+/// that timed out at the same instant in lockstep — they retry together,
+/// collide again, and double together (PR 6 measured exactly this livelock
+/// at zero backoff); a multiplier drawn per client per step decorrelates
+/// the herd while keeping the same `[base, cap]` envelope. Zero stays zero
+/// (the zero-cost path must not consume RNG draws — callers skip the draw).
+pub(crate) fn decorrelated_backoff(
+    prev: SimDuration,
+    base: SimDuration,
+    cap: SimDuration,
+    mult: f64,
+) -> SimDuration {
+    if prev == SimDuration::ZERO {
+        return SimDuration::ZERO;
+    }
+    prev.mul_f64(mult).max(base).min(cap)
+}
+
+/// Saturation-pressure bookkeeping for one RPC round: engaged the first
+/// time the round times out and retries, released (via `Drop`, so every
+/// exit path counts) when the round resolves. The gauge — concurrent
+/// rounds in timeout/retry — is what hedge suppression reads.
+struct PressureGuard<'a> {
+    gauge: &'a Cell<u64>,
+    active: bool,
+}
+
+impl<'a> PressureGuard<'a> {
+    fn new(gauge: &'a Cell<u64>) -> Self {
+        PressureGuard {
+            gauge,
+            active: false,
+        }
+    }
+
+    fn engage(&mut self) {
+        if !self.active {
+            self.active = true;
+            self.gauge.set(self.gauge.get() + 1);
+        }
+    }
+}
+
+impl Drop for PressureGuard<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            self.gauge.set(self.gauge.get().saturating_sub(1));
+        }
+    }
+}
 
 /// Outcome of a read round; `hedged` flags that the accepted reply set
 /// included a node outside the designated read quorum, so the set need not
@@ -47,6 +102,27 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         Endpoint { sub, inner, node }
     }
 
+    /// Next retry backoff after sleeping `prev`: decorrelated jitter within
+    /// `[backoff_base, backoff_max]`. The jitter draw is skipped entirely
+    /// for a zero backoff, preserving the zero-cost-path RNG discipline.
+    fn next_backoff(&self, prev: SimDuration) -> SimDuration {
+        if prev == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        decorrelated_backoff(
+            prev,
+            self.inner.cfg.backoff_base,
+            self.inner.cfg.backoff_max,
+            self.sub.jitter(1.0, 3.0),
+        )
+    }
+
+    /// Whether `deadline` (if any) has already passed on the substrate
+    /// clock — retry loops abandon rather than burn more quorum rounds.
+    fn past_deadline(&self, deadline: Option<SimTime>) -> bool {
+        deadline.is_some_and(|d| self.sub.now() > d)
+    }
+
     /// One read round against the current read quorum. Returns the raw
     /// replies for the validation layer to merge; a timeout is a root
     /// abort (an asynchronous system only learns of failures this way).
@@ -67,7 +143,15 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         want_write: bool,
         entries: Vec<ValEntry>,
         kind: ValidationKind,
+        deadline: Option<SimTime>,
     ) -> Result<ReadRound, Abort> {
+        // A transaction past its deadline gets no more quorum rounds: the
+        // driver is about to abandon it, so the round (and any hedges or
+        // retries it would spawn) is pure waste.
+        if self.past_deadline(deadline) {
+            self.sub.bump(Counter::WastedRetries);
+            return Err(Abort::root());
+        }
         let msg = Msg::ReadReq {
             root,
             cur_level,
@@ -86,6 +170,7 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         let det = self.inner.cfg.detector;
         let retries = det.map_or(0, |d| d.rpc_retries);
         let mut backoff = self.inner.cfg.backoff_base;
+        let mut pressure = PressureGuard::new(&self.inner.overload.retry_pressure);
         for attempt in 0..=retries {
             // Re-read per attempt: a retry's whole point is that the view
             // may have reconfigured around the member that timed us out.
@@ -93,20 +178,36 @@ impl<S: Substrate<Msg>> Endpoint<S> {
             let mut dests = rq.clone();
             if let Some(d) = det {
                 if d.hedge > 0 {
-                    let view = self.inner.quorum.borrow();
-                    let mut added = 0usize;
-                    for n in 0..self.inner.cfg.nodes {
-                        if added >= d.hedge {
-                            break;
+                    // Hedge suppression: under saturation (other rounds are
+                    // concurrently timing out and retrying) extra hedge
+                    // destinations only amplify the pressure, so they are
+                    // skipped — counted and event-logged, never silent.
+                    let suppress = self.inner.cfg.overload.is_some_and(|o| {
+                        self.inner.overload.retry_pressure.get() >= o.hedge_pressure_threshold
+                    });
+                    if suppress {
+                        self.sub.bump(Counter::HedgesSuppressed);
+                        self.sub.emit_engine_event(
+                            EngineEventKind::HedgeSuppressed,
+                            self.node,
+                            self.inner.overload.retry_pressure.get(),
+                        );
+                    } else {
+                        let view = self.inner.quorum.borrow();
+                        let mut added = 0usize;
+                        for n in 0..self.inner.cfg.nodes {
+                            if added >= d.hedge {
+                                break;
+                            }
+                            let id = NodeId(n as u32);
+                            if view.is_view_alive(n) && !rq.contains(&id) {
+                                dests.push(id);
+                                added += 1;
+                            }
                         }
-                        let id = NodeId(n as u32);
-                        if view.is_view_alive(n) && !rq.contains(&id) {
-                            dests.push(id);
-                            added += 1;
+                        if added > 0 {
+                            self.sub.bump(Counter::HedgedCalls);
                         }
-                    }
-                    if added > 0 {
-                        self.sub.bump(Counter::HedgedCalls);
                     }
                 }
             }
@@ -132,9 +233,16 @@ impl<S: Substrate<Msg>> Endpoint<S> {
             }
             self.inner.stats.borrow_mut().timeouts += 1;
             if attempt < retries {
+                // Cancel the remaining retries once the deadline passed
+                // mid-round — the timeout already burned past it.
+                if self.past_deadline(deadline) {
+                    self.sub.bump(Counter::WastedRetries);
+                    return Err(Abort::root());
+                }
+                pressure.engage();
                 self.sub.bump(Counter::RpcRetries);
                 self.sub.sleep(backoff).await;
-                backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
+                backoff = self.next_backoff(backoff);
             }
         }
         Err(Abort::root())
@@ -151,7 +259,12 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         root: TxId,
         reads: Vec<(ObjectId, Version)>,
         writes: Vec<(ObjectId, Version)>,
+        deadline: Option<SimTime>,
     ) -> Result<(), Abort> {
+        if self.past_deadline(deadline) {
+            self.sub.bump(Counter::WastedRetries);
+            return Err(Abort::root());
+        }
         self.inner.stats.borrow_mut().commit_rounds += 1;
         self.sub.emit_engine_event(
             EngineEventKind::QuorumRound,
@@ -170,6 +283,7 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         // not an abort. No hedging here — every member of `wq` must vote.
         let retries = self.inner.cfg.detector.map_or(0, |d| d.rpc_retries);
         let mut backoff = self.inner.cfg.backoff_base;
+        let mut pressure = PressureGuard::new(&self.inner.overload.retry_pressure);
         for attempt in 0..=retries {
             let res = self
                 .sub
@@ -184,9 +298,14 @@ impl<S: Substrate<Msg>> Endpoint<S> {
             }
             self.inner.stats.borrow_mut().timeouts += 1;
             if attempt < retries {
+                if self.past_deadline(deadline) {
+                    self.sub.bump(Counter::WastedRetries);
+                    return Err(Abort::root());
+                }
+                pressure.engage();
                 self.sub.bump(Counter::RpcRetries);
                 self.sub.sleep(backoff).await;
-                backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
+                backoff = self.next_backoff(backoff);
             }
         }
         Err(Abort::root())
@@ -257,7 +376,72 @@ impl<S: Substrate<Msg>> Endpoint<S> {
             self.inner.stats.borrow_mut().timeouts += 1;
             self.sub.bump(Counter::RpcRetries);
             self.sub.sleep(backoff).await;
-            backoff = (backoff + backoff).min(self.inner.cfg.backoff_max);
+            backoff = self.next_backoff(backoff);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1;
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n * MS)
+    }
+
+    #[test]
+    fn decorrelated_backoff_stays_in_envelope() {
+        let base = ms(4);
+        let cap = ms(120);
+        let mut prev = base;
+        for i in 0..32 {
+            let mult = 1.0 + (i as f64 % 20.0) / 10.0; // sweeps [1.0, 3.0)
+            prev = decorrelated_backoff(prev, base, cap, mult);
+            assert!(prev >= base, "never below base");
+            assert!(prev <= cap, "never above cap");
+        }
+        assert_eq!(prev, cap, "repeated growth saturates at the cap");
+    }
+
+    #[test]
+    fn decorrelated_backoff_zero_stays_zero() {
+        // The zero-cost path: zero backoff must stay zero (and callers skip
+        // the RNG draw entirely), so zero-backoff configs replay the exact
+        // event order of runs that never backed off.
+        let z = SimDuration::ZERO;
+        assert_eq!(decorrelated_backoff(z, z, ms(120), 2.5), z);
+        assert_eq!(decorrelated_backoff(z, ms(4), ms(120), 2.5), z);
+    }
+
+    #[test]
+    fn decorrelated_backoff_desynchronizes_identical_clients() {
+        // Two clients that timed out at the same instant with the same
+        // prev: plain doubling keeps them in lockstep forever; distinct
+        // jitter draws separate their next sleeps immediately.
+        let base = ms(4);
+        let cap = ms(120);
+        let a = decorrelated_backoff(ms(8), base, cap, 1.3);
+        let b = decorrelated_backoff(ms(8), base, cap, 2.7);
+        assert_ne!(a, b, "different draws, different sleeps");
+    }
+
+    #[test]
+    fn pressure_guard_engages_once_and_releases_on_drop() {
+        let gauge = Cell::new(0u64);
+        {
+            let mut g = PressureGuard::new(&gauge);
+            g.engage();
+            g.engage();
+            assert_eq!(gauge.get(), 1, "idempotent engage");
+            let mut g2 = PressureGuard::new(&gauge);
+            g2.engage();
+            assert_eq!(gauge.get(), 2, "two rounds under retry");
+        }
+        assert_eq!(gauge.get(), 0, "drop released both");
+        {
+            let _unused = PressureGuard::new(&gauge);
+        }
+        assert_eq!(gauge.get(), 0, "unengaged guard releases nothing");
     }
 }

@@ -64,7 +64,9 @@ mod store;
 pub mod substrate;
 mod txid;
 
-pub use cluster::{Cluster, DtmConfig, InjectedBug, LatencySpec, LockPolicy, QuorumView};
+pub use cluster::{
+    Cluster, DtmConfig, InjectedBug, LatencySpec, LockPolicy, OverloadConfig, QuorumView,
+};
 pub use engine::{
     reference_component, spawn_detector, Client, DetectorConfig, DetectorHandle, DurabilityConfig,
     Tx,

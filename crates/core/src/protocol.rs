@@ -75,6 +75,15 @@ pub trait DtmProtocol {
     /// rollback or reset) — the retry edge of the attempt loop.
     async fn restart(&self, tx: &mut Self::TxHandle, abort: Abort);
 
+    /// Arm (or clear) a completion deadline on an in-flight transaction.
+    ///
+    /// Protocols with deadline-aware early abort (the QR engine) abandon
+    /// quorum rounds past this instant instead of burning retries on a
+    /// request the client already gave up on. The default is a no-op so
+    /// protocols without the machinery (the baselines, Q-Store) stay
+    /// correct — an ignored deadline only wastes work, never safety.
+    fn set_deadline(&self, _tx: &mut Self::TxHandle, _deadline: Option<SimTime>) {}
+
     /// Commit/abort counters since the last reset.
     fn protocol_stats(&self) -> ProtocolStats;
 
@@ -149,6 +158,10 @@ impl DtmProtocol for Cluster {
 
     async fn restart(&self, tx: &mut QrTxHandle, abort: Abort) {
         tx.tx.restart_after(abort).await;
+    }
+
+    fn set_deadline(&self, tx: &mut QrTxHandle, deadline: Option<SimTime>) {
+        tx.tx.set_deadline(deadline);
     }
 
     fn protocol_stats(&self) -> ProtocolStats {

@@ -236,6 +236,80 @@ fn default_transfer_latency_scales_with_object_count() {
 }
 
 #[test]
+fn slow_node_under_surge_is_not_falsely_ejected() {
+    use qrdtm_core::OverloadConfig;
+    use qrdtm_workloads::{spawn_open_loop, LoadControl, LoadTallies, OpenLoopSpec};
+    use std::cell::Cell;
+
+    // Open-loop overload: 600 arrivals/s — far past capacity — while one
+    // read-quorum member runs 3x slow but stays alive and keeps
+    // heartbeating. Queue pressure and late replies must not look like
+    // death to the detector: the node stays in the view (or at worst is
+    // briefly suspected and rejoins), and the false-suspicion counter
+    // stays bounded instead of climbing with the backlog.
+    let mut cfg = detector_cfg(19);
+    cfg.overload = Some(OverloadConfig::default());
+    let nodes = cfg.nodes;
+    let cluster = Rc::new(Cluster::new(cfg));
+    bank_accounts(&cluster, 16);
+    let det = spawn_detector(&cluster);
+    let sim = cluster.sim().clone();
+
+    let spec = OpenLoopSpec {
+        accounts: 16,
+        rate_tps: 600,
+        deadline: SimDuration::from_millis(400),
+        queue_bound: 16,
+        protect: true,
+        ..OpenLoopSpec::default()
+    };
+    let control = Rc::new(LoadControl::default());
+    let tallies = Rc::new(LoadTallies::default());
+    let stop = Rc::new(Cell::new(false));
+    spawn_open_loop(
+        &cluster,
+        nodes,
+        spec,
+        Rc::clone(&control),
+        Rc::clone(&tallies),
+        Rc::clone(&stop),
+    );
+
+    let victim = cluster.read_quorum()[0];
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        sim2.sleep(SimDuration::from_millis(400)).await;
+        sim2.set_service_factor(victim, 3.0);
+        sim2.sleep(SimDuration::from_millis(1_600)).await;
+        sim2.set_service_factor(victim, 1.0);
+    });
+    sim.run_for(SimDuration::from_secs(3));
+    stop.set(true);
+    det.stop();
+    sim.run_for(SimDuration::from_secs(2));
+
+    assert!(
+        cluster.view_alive(victim),
+        "slow-but-alive node must be in the view once the surge drains"
+    );
+    let m = sim.metrics();
+    assert!(
+        m.false_suspicions <= 2,
+        "false suspicions must stay bounded under surge, got {}",
+        m.false_suspicions
+    );
+    assert!(
+        tallies.goodput.get() > 0,
+        "cluster kept meeting deadlines under surge"
+    );
+    assert!(
+        tallies.shed.get() > 0,
+        "surge past capacity must hit the admission queue bound"
+    );
+    assert_eq!(total_balance(&cluster, 16), 16 * 1000, "conservation");
+}
+
+#[test]
 fn detector_runs_are_deterministic_per_seed() {
     fn trace(seed: u64) -> (u64, u64, u64, u64, u64) {
         let cluster = Rc::new(Cluster::new(detector_cfg(seed)));

@@ -12,7 +12,7 @@
 pub const MAX_CLASSES: usize = 16;
 
 /// Number of [`EngineEventKind`] variants (size of the counter array).
-pub const ENGINE_EVENT_KINDS: usize = 10;
+pub const ENGINE_EVENT_KINDS: usize = 13;
 
 /// Structured events a protocol engine emits at its layer boundaries.
 ///
@@ -56,6 +56,18 @@ pub enum EngineEventKind {
     /// the [`EngineEventKind::CheckpointTaken`] encoding so checkers can
     /// match restores against captures.
     CheckpointRestored = 9,
+    /// Admission control shed an arriving transaction because the node's
+    /// admission queue was at its bound; `detail` is the queue depth at
+    /// the shed decision. Shedding happens *before* acknowledgment — a
+    /// shed arrival was never accepted, so nothing is silently dropped.
+    OverloadShed = 10,
+    /// A transaction was abandoned because it blew its deadline; `detail`
+    /// is how far past the deadline it was, in nanoseconds.
+    DeadlineAbort = 11,
+    /// A read round skipped its hedge destinations because outstanding
+    /// RPC-retry pressure indicated saturation; `detail` is the pressure
+    /// reading at the decision.
+    HedgeSuppressed = 12,
 }
 
 /// One recorded engine event (see [`Metrics::engine_event_log`]).
@@ -138,6 +150,26 @@ pub struct Metrics {
     pub repaired_objects: u64,
     /// Payload bytes transferred by quorum repair.
     pub repair_bytes: u64,
+    /// Arrivals shed by admission control at a full admission queue
+    /// ([`Counter::AdmissionShed`]).
+    pub admission_shed: u64,
+    /// Transactions abandoned past their deadline instead of burning more
+    /// quorum rounds ([`Counter::DeadlineAborts`]).
+    pub deadline_aborts: u64,
+    /// Retry attempts denied because the client-side retry token bucket
+    /// was empty ([`Counter::RetryBudgetExhausted`]).
+    pub retry_budget_exhausted: u64,
+    /// RPC retries / hedge rounds cancelled because their transaction was
+    /// already past its deadline — work that would have been wasted
+    /// ([`Counter::WastedRetries`]).
+    pub wasted_retries: u64,
+    /// Read rounds that skipped hedging under saturation pressure
+    /// ([`Counter::HedgesSuppressed`]).
+    pub hedges_suppressed: u64,
+    /// Transaction-level retry attempts that drew a retry-budget token
+    /// ([`Counter::ClientRetries`]) — the no-retry-storm checker compares
+    /// this against the minted token supply.
+    pub client_retries: u64,
     /// Sampled end-to-end commit latencies (engines report through
     /// [`Sim::observe_latency`](crate::Sim::observe_latency)).
     pub latency: LatencyReservoir,
@@ -255,6 +287,18 @@ pub enum Counter {
     RepairedObjects,
     /// Payload bytes transferred by quorum repair (add by amount).
     RepairBytes,
+    /// Admission control shed an arrival at a full admission queue.
+    AdmissionShed,
+    /// A transaction was abandoned past its deadline.
+    DeadlineAborts,
+    /// A retry was denied because the retry token bucket was empty.
+    RetryBudgetExhausted,
+    /// An RPC retry/hedge round was cancelled for a past-deadline txn.
+    WastedRetries,
+    /// A read round skipped hedging under saturation pressure.
+    HedgesSuppressed,
+    /// A transaction-level retry drew a retry-budget token.
+    ClientRetries,
 }
 
 impl Metrics {
@@ -296,6 +340,12 @@ impl Metrics {
             Counter::RepairRounds => self.repair_rounds += n,
             Counter::RepairedObjects => self.repaired_objects += n,
             Counter::RepairBytes => self.repair_bytes += n,
+            Counter::AdmissionShed => self.admission_shed += n,
+            Counter::DeadlineAborts => self.deadline_aborts += n,
+            Counter::RetryBudgetExhausted => self.retry_budget_exhausted += n,
+            Counter::WastedRetries => self.wasted_retries += n,
+            Counter::HedgesSuppressed => self.hedges_suppressed += n,
+            Counter::ClientRetries => self.client_retries += n,
         }
     }
 
@@ -442,6 +492,48 @@ mod tests {
         assert_eq!(m.repair_bytes, 4096);
         m.reset();
         assert_eq!(m.repaired_objects, 0);
+    }
+
+    #[test]
+    fn overload_counters_accumulate_and_reset() {
+        let mut m = Metrics::new(1);
+        m.bump(Counter::AdmissionShed);
+        m.add(Counter::AdmissionShed, 2);
+        m.bump(Counter::DeadlineAborts);
+        m.bump(Counter::RetryBudgetExhausted);
+        m.bump(Counter::WastedRetries);
+        m.bump(Counter::HedgesSuppressed);
+        m.add(Counter::ClientRetries, 5);
+        assert_eq!(m.admission_shed, 3);
+        assert_eq!(m.deadline_aborts, 1);
+        assert_eq!(m.retry_budget_exhausted, 1);
+        assert_eq!(m.wasted_retries, 1);
+        assert_eq!(m.hedges_suppressed, 1);
+        assert_eq!(m.client_retries, 5);
+        m.on_engine_event(EngineEvent {
+            at_ns: 1,
+            node: 0,
+            kind: EngineEventKind::OverloadShed,
+            detail: 64,
+        });
+        m.on_engine_event(EngineEvent {
+            at_ns: 2,
+            node: 0,
+            kind: EngineEventKind::DeadlineAbort,
+            detail: 1000,
+        });
+        m.on_engine_event(EngineEvent {
+            at_ns: 3,
+            node: 0,
+            kind: EngineEventKind::HedgeSuppressed,
+            detail: 9,
+        });
+        assert_eq!(m.engine_events(EngineEventKind::OverloadShed), 1);
+        assert_eq!(m.engine_events(EngineEventKind::DeadlineAbort), 1);
+        assert_eq!(m.engine_events(EngineEventKind::HedgeSuppressed), 1);
+        m.reset();
+        assert_eq!(m.admission_shed, 0);
+        assert_eq!(m.client_retries, 0);
     }
 
     #[test]

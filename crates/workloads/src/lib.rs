@@ -17,12 +17,17 @@ pub mod bank;
 pub mod bst;
 pub mod driver;
 pub mod hashmap;
+pub mod open_loop;
 pub mod protocol_bank;
 pub mod rbtree;
 pub mod skiplist;
 pub mod vacation;
 
 pub use driver::{run, Benchmark, RunResult, RunSpec, WorkloadParams};
+pub use open_loop::{
+    run_open_loop, spawn_open_loop, LoadControl, LoadTallies, OpenLoopResult, OpenLoopSpec,
+    RateSchedule,
+};
 pub use protocol_bank::{
     run_bank, run_decent_bank, run_qr_bank, run_qstore_bank, run_tfa_bank, BankRunResult, BankSpec,
 };

@@ -1,0 +1,593 @@
+//! Open-loop traffic: a seeded arrival process that enqueues transactions
+//! at virtual-time instants **independent of completion**.
+//!
+//! Every other driver in this crate is closed-loop — each client politely
+//! waits for its commit before issuing the next transaction, so offered
+//! load can never exceed capacity and the system is never pushed past
+//! saturation. Real front-ends are not so polite: arrivals keep coming
+//! whether or not the cluster keeps up. This module models that world:
+//!
+//! * a Poisson **arrival process** at a configurable rate, with Zipfian
+//!   key popularity and flash-crowd / diurnal rate schedules,
+//! * a bounded per-node **admission queue** — arrivals past the bound are
+//!   shed *before* acknowledgment (counted, never silently dropped after),
+//! * a per-transaction **deadline** — work the client has already given
+//!   up on is abandoned instead of burning quorum rounds,
+//! * live **surge controls** ([`LoadControl`]) the chaos nemesis pokes to
+//!   compose overload with gray failures,
+//! * goodput / offered-load / queue-depth / timeout tallies
+//!   ([`LoadTallies`]), sampled while the run is in flight.
+//!
+//! Setting [`OpenLoopSpec::protect`] to `false` disables the admission
+//! bound and deadline abandonment (every arrival is queued and retried to
+//! completion) — the *unprotected* arm that makes metastable collapse
+//! observable, used to validate the overload checkers the same way the
+//! model checker validates its injected bugs.
+//!
+//! Everything draws from the protocol's own simulator RNG, so runs stay
+//! deterministic per seed.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use qrdtm_core::{ObjVal, ObjectId, SimHosted};
+use qrdtm_sim::{Counter, EngineEventKind, NodeId, SimDuration, SimTime};
+use rand::RngExt;
+
+/// How the offered arrival rate evolves over the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateSchedule {
+    /// Constant rate for the whole run.
+    Steady,
+    /// A flash crowd: `factor_pct`/100 times the base rate between `at`
+    /// and `at + lasting`, base rate elsewhere.
+    FlashCrowd {
+        /// Offset of the spike from the start of the arrival process.
+        at: SimDuration,
+        /// How long the spike lasts.
+        lasting: SimDuration,
+        /// Rate multiplier during the spike, percent (e.g. 500 = 5x).
+        factor_pct: u32,
+    },
+    /// A diurnal curve: the rate swings sinusoidally between 25% and 175%
+    /// of the base rate with the given period, starting at the trough.
+    Diurnal {
+        /// Length of one full day/night cycle.
+        period: SimDuration,
+    },
+}
+
+/// Shape of an open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopSpec {
+    /// Number of account objects.
+    pub accounts: u64,
+    /// Percentage of read-only audits in the mix.
+    pub read_pct: u32,
+    /// Base offered load, transactions per virtual second (cluster-wide).
+    pub rate_tps: u64,
+    /// Zipfian skew exponent ×1000 (0 = uniform; 900 ≈ web-like skew).
+    pub zipf_milli: u32,
+    /// Per-transaction completion deadline, measured from arrival.
+    pub deadline: SimDuration,
+    /// Admission-queue bound per node; arrivals past it are shed.
+    pub queue_bound: usize,
+    /// Concurrent executors per node draining the admission queue.
+    pub workers_per_node: usize,
+    /// Rate schedule over the run.
+    pub schedule: RateSchedule,
+    /// Overload protection: `true` enforces the admission bound and
+    /// abandons past-deadline work; `false` is the unprotected validation
+    /// arm (unbounded queue, retry to completion, no deadline set on the
+    /// engine) that demonstrably goes metastable under surge.
+    pub protect: bool,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        OpenLoopSpec {
+            accounts: 32,
+            read_pct: 40,
+            rate_tps: 200,
+            zipf_milli: 900,
+            deadline: SimDuration::from_millis(400),
+            queue_bound: 64,
+            workers_per_node: 2,
+            schedule: RateSchedule::Steady,
+            protect: true,
+        }
+    }
+}
+
+/// Live load controls the chaos nemesis pokes while the run is in flight
+/// (`surge`, `flash-crowd` and `calm` plan verbs).
+#[derive(Debug)]
+pub struct LoadControl {
+    /// Multiplier on the offered rate, percent (100 = nominal).
+    pub surge_pct: Cell<u32>,
+    /// When set, most arrivals are funneled to this node (a flash crowd
+    /// hammering one entry point); `None` spreads them uniformly.
+    pub flash_node: Cell<Option<u32>>,
+}
+
+impl Default for LoadControl {
+    fn default() -> Self {
+        LoadControl {
+            surge_pct: Cell::new(100),
+            flash_node: Cell::new(None),
+        }
+    }
+}
+
+impl LoadControl {
+    /// Back to nominal: no surge, no flash focus.
+    pub fn calm(&self) {
+        self.surge_pct.set(100);
+        self.flash_node.set(None);
+    }
+}
+
+/// Running tallies of the arrival process, readable while in flight (the
+/// nemesis monitor samples `goodput` for the re-convergence checker).
+#[derive(Debug, Default)]
+pub struct LoadTallies {
+    /// Arrivals generated.
+    pub offered: Cell<u64>,
+    /// Arrivals accepted into an admission queue.
+    pub admitted: Cell<u64>,
+    /// Arrivals shed at the admission bound (before acknowledgment).
+    pub shed: Cell<u64>,
+    /// Transactions committed within their deadline.
+    pub goodput: Cell<u64>,
+    /// Transactions committed, but past their deadline.
+    pub late: Cell<u64>,
+    /// Admitted transactions abandoned because their deadline passed.
+    pub abandoned: Cell<u64>,
+    /// Deepest admission queue observed on any node.
+    pub max_queue_depth: Cell<u64>,
+}
+
+impl LoadTallies {
+    /// Zero every tally (measurement-window start).
+    pub fn reset(&self) {
+        self.offered.set(0);
+        self.admitted.set(0);
+        self.shed.set(0);
+        self.goodput.set(0);
+        self.late.set(0);
+        self.abandoned.set(0);
+        self.max_queue_depth.set(0);
+    }
+}
+
+/// Zipfian cumulative distribution over `n` keys with exponent
+/// `s_milli`/1000: weight of key `i` is `1/(i+1)^s`, normalized. A zero
+/// exponent degenerates to uniform.
+pub fn zipf_cdf(n: u64, s_milli: u32) -> Vec<f64> {
+    let s = f64::from(s_milli) / 1_000.0;
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += 1.0 / ((i + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Draw a key from the Zipfian CDF given a uniform `u` in `[0, 1)`.
+pub fn zipf_draw(cdf: &[f64], u: f64) -> u64 {
+    cdf.partition_point(|&c| c <= u) as u64
+}
+
+/// One admitted request waiting in a node's admission queue.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    deadline: SimTime,
+    a: u64,
+    b: u64,
+    read: bool,
+}
+
+/// Sleeps longer than this are chopped so the arrival loop re-samples the
+/// schedule and surge controls promptly (a nemesis `surge` verb must take
+/// effect within one chunk, not one full low-rate inter-arrival gap).
+const SCHEDULE_RESOLUTION: SimDuration = SimDuration::from_millis(25);
+
+/// Queue-empty poll interval for workers.
+const WORKER_POLL: SimDuration = SimDuration::from_millis(1);
+
+/// Spawn the arrival process and per-node workers on the protocol's
+/// simulator. The caller pumps virtual time and flips `stop` to wind the
+/// tasks down (workers finish their in-flight transaction first).
+pub fn spawn_open_loop<P: SimHosted + 'static>(
+    proto: &Rc<P>,
+    nodes: usize,
+    spec: OpenLoopSpec,
+    control: Rc<LoadControl>,
+    tallies: Rc<LoadTallies>,
+    stop: Rc<Cell<bool>>,
+) {
+    assert!(nodes >= 1 && spec.workers_per_node >= 1 && spec.accounts >= 2);
+    let sim = proto.sim().clone();
+    let queues: Rc<Vec<RefCell<VecDeque<Job>>>> =
+        Rc::new((0..nodes).map(|_| RefCell::new(VecDeque::new())).collect());
+
+    // The arrival process: Poisson gaps at the scheduled rate, Zipfian
+    // keys, admission (or shedding) into the per-node queues.
+    {
+        let s = sim.clone();
+        let queues = Rc::clone(&queues);
+        let control = Rc::clone(&control);
+        let tallies = Rc::clone(&tallies);
+        let stop = Rc::clone(&stop);
+        let cdf = zipf_cdf(spec.accounts, spec.zipf_milli);
+        sim.spawn(async move {
+            let t0 = s.now();
+            loop {
+                if stop.get() {
+                    return;
+                }
+                let elapsed = s.now().saturating_since(t0);
+                let rate = spec.rate_tps as f64
+                    * schedule_factor(spec.schedule, elapsed)
+                    * f64::from(control.surge_pct.get())
+                    / 100.0;
+                if rate < 1e-6 {
+                    s.sleep(SCHEDULE_RESOLUTION).await;
+                    continue;
+                }
+                // Exponential inter-arrival gap, chopped to the schedule
+                // resolution. Chopping truncates the tail of the
+                // exponential (slightly inflating low offered rates), but
+                // keeps surge response latency bounded by one chunk.
+                let u = s.with_rng(|r| r.random_range(0.0f64..1.0));
+                let gap_ns = (-(1.0 - u).ln() / rate * 1e9) as u64;
+                let gap = SimDuration::from_nanos(gap_ns.max(1));
+                s.sleep(gap.min(SCHEDULE_RESOLUTION)).await;
+                if gap > SCHEDULE_RESOLUTION {
+                    continue; // gap not yet elapsed; re-sample the schedule
+                }
+                // One arrival: pick the entry node (flash crowds funnel
+                // 80% of traffic to the hot node), keys and mix.
+                let node = match control.flash_node.get() {
+                    Some(hot) if (hot as usize) < nodes && s.rand_below(100) < 80 => hot,
+                    _ => s.rand_below(nodes as u64) as u32,
+                };
+                let u1 = s.with_rng(|r| r.random_range(0.0f64..1.0));
+                let a = zipf_draw(&cdf, u1);
+                let u2 = s.with_rng(|r| r.random_range(0.0f64..1.0));
+                let mut b = zipf_draw(&cdf, u2);
+                if b == a {
+                    b = (b + 1) % spec.accounts;
+                }
+                let read = s.rand_below(100) < u64::from(spec.read_pct);
+                tallies.offered.set(tallies.offered.get() + 1);
+                let mut q = queues[node as usize].borrow_mut();
+                if spec.protect && q.len() >= spec.queue_bound {
+                    // Shed before acknowledgment: the request never enters
+                    // the system, and the rejection is counted + surfaced.
+                    tallies.shed.set(tallies.shed.get() + 1);
+                    s.add(Counter::AdmissionShed, 1);
+                    s.emit_engine_event(
+                        EngineEventKind::OverloadShed,
+                        NodeId(node),
+                        q.len() as u64,
+                    );
+                    continue;
+                }
+                q.push_back(Job {
+                    deadline: s.now() + spec.deadline,
+                    a,
+                    b,
+                    read,
+                });
+                tallies.admitted.set(tallies.admitted.get() + 1);
+                let depth = q.len() as u64;
+                if depth > tallies.max_queue_depth.get() {
+                    tallies.max_queue_depth.set(depth);
+                }
+            }
+        });
+    }
+
+    // Workers: drain the admission queues, abandoning work whose deadline
+    // already passed (protected arm only).
+    for node in 0..nodes as u32 {
+        for _ in 0..spec.workers_per_node {
+            let p = Rc::clone(proto);
+            let s = sim.clone();
+            let queues = Rc::clone(&queues);
+            let tallies = Rc::clone(&tallies);
+            let stop = Rc::clone(&stop);
+            sim.spawn(async move {
+                loop {
+                    if stop.get() {
+                        return;
+                    }
+                    if !s.is_alive(NodeId(node)) {
+                        s.sleep(WORKER_POLL).await;
+                        continue;
+                    }
+                    let job = queues[node as usize].borrow_mut().pop_front();
+                    let Some(job) = job else {
+                        s.sleep(WORKER_POLL).await;
+                        continue;
+                    };
+                    if spec.protect && s.now() > job.deadline {
+                        abandon(&s, &tallies, node, job.deadline);
+                        continue;
+                    }
+                    let mut h = p.begin(NodeId(node));
+                    if spec.protect {
+                        // Deadline-aware early abort: the engine stops
+                        // burning quorum rounds once this instant passes.
+                        p.set_deadline(&mut h, Some(job.deadline));
+                    }
+                    loop {
+                        let r = async {
+                            if job.read {
+                                let va = p.read(&mut h, ObjectId(job.a)).await?.expect_int();
+                                let vb = p.read(&mut h, ObjectId(job.b)).await?.expect_int();
+                                let _ = va + vb;
+                            } else {
+                                let va = p.read(&mut h, ObjectId(job.a)).await?.expect_int();
+                                let vb = p.read(&mut h, ObjectId(job.b)).await?.expect_int();
+                                p.write(&mut h, ObjectId(job.a), ObjVal::Int(va - 5))
+                                    .await?;
+                                p.write(&mut h, ObjectId(job.b), ObjVal::Int(vb + 5))
+                                    .await?;
+                            }
+                            p.commit(&mut h).await
+                        }
+                        .await;
+                        match r {
+                            Ok(()) => {
+                                if s.now() <= job.deadline {
+                                    tallies.goodput.set(tallies.goodput.get() + 1);
+                                } else {
+                                    tallies.late.set(tallies.late.get() + 1);
+                                }
+                                break;
+                            }
+                            Err(e) => {
+                                if spec.protect && s.now() > job.deadline {
+                                    abandon(&s, &tallies, node, job.deadline);
+                                    break;
+                                }
+                                p.restart(&mut h, e).await;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Account one abandoned transaction: the deadline passed, so the client
+/// has already given up — count it and stop spending capacity on it.
+fn abandon<M: qrdtm_sim::SimMessage>(
+    s: &qrdtm_sim::Sim<M>,
+    tallies: &LoadTallies,
+    node: u32,
+    deadline: SimTime,
+) {
+    tallies.abandoned.set(tallies.abandoned.get() + 1);
+    s.add(Counter::DeadlineAborts, 1);
+    s.emit_engine_event(
+        EngineEventKind::DeadlineAbort,
+        NodeId(node),
+        s.now().saturating_since(deadline).as_nanos(),
+    );
+}
+
+/// The schedule's rate multiplier at `elapsed` since the run began.
+fn schedule_factor(schedule: RateSchedule, elapsed: SimDuration) -> f64 {
+    match schedule {
+        RateSchedule::Steady => 1.0,
+        RateSchedule::FlashCrowd {
+            at,
+            lasting,
+            factor_pct,
+        } => {
+            if elapsed >= at && elapsed < at + lasting {
+                f64::from(factor_pct) / 100.0
+            } else {
+                1.0
+            }
+        }
+        RateSchedule::Diurnal { period } => {
+            let x = elapsed.as_nanos() as f64 / period.as_nanos().max(1) as f64;
+            // Trough 0.25x at the start, peak 1.75x half a period in.
+            1.0 - 0.75 * (x * std::f64::consts::TAU).cos()
+        }
+    }
+}
+
+/// Measured outcome of a standalone open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopResult {
+    /// Arrivals generated in the measurement window.
+    pub offered: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals shed at the admission bound.
+    pub shed: u64,
+    /// Commits within deadline.
+    pub goodput: u64,
+    /// Commits past deadline.
+    pub late: u64,
+    /// Admitted transactions abandoned at their deadline.
+    pub abandoned: u64,
+    /// Deepest admission queue observed.
+    pub max_queue_depth: u64,
+    /// Offered load, transactions per virtual second.
+    pub offered_tps: f64,
+    /// Goodput, within-deadline commits per virtual second.
+    pub goodput_tps: f64,
+}
+
+/// Run the open-loop mix standalone on any simulator-hosted protocol:
+/// preload, warm up, measure for `duration`. The perf harness sweeps
+/// `spec.rate_tps` through the saturation knee with this.
+pub fn run_open_loop<P: SimHosted + 'static>(
+    proto: Rc<P>,
+    nodes: usize,
+    spec: &OpenLoopSpec,
+    warmup: SimDuration,
+    duration: SimDuration,
+) -> OpenLoopResult {
+    for i in 0..spec.accounts {
+        proto.preload(ObjectId(i), ObjVal::Int(1_000));
+    }
+    let sim = proto.sim().clone();
+    let control = Rc::new(LoadControl::default());
+    let tallies = Rc::new(LoadTallies::default());
+    let stop = Rc::new(Cell::new(false));
+    spawn_open_loop(
+        &proto,
+        nodes,
+        *spec,
+        control,
+        Rc::clone(&tallies),
+        Rc::clone(&stop),
+    );
+    sim.run_for(warmup);
+    tallies.reset();
+    proto.reset_protocol_stats();
+    sim.reset_metrics();
+    sim.run_for(duration);
+    stop.set(true);
+    let secs = duration.as_secs_f64();
+    OpenLoopResult {
+        offered: tallies.offered.get(),
+        admitted: tallies.admitted.get(),
+        shed: tallies.shed.get(),
+        goodput: tallies.goodput.get(),
+        late: tallies.late.get(),
+        abandoned: tallies.abandoned.get(),
+        max_queue_depth: tallies.max_queue_depth.get(),
+        offered_tps: tallies.offered.get() as f64 / secs,
+        goodput_tps: tallies.goodput.get() as f64 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrdtm_core::{Cluster, DtmConfig, OverloadConfig};
+
+    fn overload_cluster(seed: u64) -> Rc<Cluster> {
+        Rc::new(Cluster::new(DtmConfig {
+            nodes: 10,
+            seed,
+            rpc_timeout: Some(SimDuration::from_millis(100)),
+            overload: Some(OverloadConfig::default()),
+            ..Default::default()
+        }))
+    }
+
+    fn quick(rate_tps: u64, protect: bool) -> OpenLoopSpec {
+        OpenLoopSpec {
+            accounts: 16,
+            rate_tps,
+            queue_bound: 16,
+            protect,
+            ..OpenLoopSpec::default()
+        }
+    }
+
+    const WARM: SimDuration = SimDuration::from_millis(500);
+    const RUN: SimDuration = SimDuration::from_secs(4);
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_skewed() {
+        let cdf = zipf_cdf(100, 900);
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(cdf[9] > 0.5, "top 10 of 100 keys carry most of the mass");
+        let uniform = zipf_cdf(100, 0);
+        assert!((uniform[9] - 0.1).abs() < 1e-9);
+        assert_eq!(zipf_draw(&cdf, 0.0), 0);
+        assert_eq!(zipf_draw(&cdf, 0.999_999_999), 99);
+    }
+
+    #[test]
+    fn under_capacity_goodput_tracks_offered_load() {
+        // Uniform keys over a wide key space and a roomy deadline: light
+        // load, negligible contention.
+        let spec = OpenLoopSpec {
+            accounts: 64,
+            zipf_milli: 0,
+            deadline: SimDuration::from_secs(2),
+            ..quick(30, true)
+        };
+        let r = run_open_loop(overload_cluster(1), 10, &spec, WARM, RUN);
+        assert!(r.offered > 0);
+        assert_eq!(r.shed, 0, "no shedding under light load: {r:?}");
+        assert!(
+            r.goodput * 10 >= r.offered * 8,
+            "goodput within 80% of offered under light load: {r:?}"
+        );
+    }
+
+    #[test]
+    fn saturation_sheds_and_degrades_gracefully() {
+        let r = run_open_loop(overload_cluster(2), 10, &quick(3_000, true), WARM, RUN);
+        assert!(r.shed > 0, "overload must hit the admission bound: {r:?}");
+        assert!(
+            r.goodput > 0,
+            "graceful degradation keeps committing: {r:?}"
+        );
+        assert!(r.max_queue_depth <= 16, "admission bound holds: {r:?}");
+        assert_eq!(r.offered, r.admitted + r.shed, "every arrival accounted");
+    }
+
+    #[test]
+    fn unprotected_arm_backs_up_instead_of_shedding() {
+        let r = run_open_loop(overload_cluster(3), 10, &quick(3_000, false), WARM, RUN);
+        assert_eq!(r.shed, 0, "no admission control in the unprotected arm");
+        assert!(r.max_queue_depth > 16, "queues grow past the bound: {r:?}");
+    }
+
+    #[test]
+    fn open_loop_runs_are_deterministic() {
+        let run = || {
+            let r = run_open_loop(overload_cluster(4), 10, &quick(800, true), WARM, RUN);
+            (r.offered, r.shed, r.goodput, r.abandoned, r.max_queue_depth)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flash_crowd_schedule_spikes_offered_load() {
+        let steady = run_open_loop(overload_cluster(5), 10, &quick(100, true), WARM, RUN);
+        let flash = run_open_loop(
+            overload_cluster(5),
+            10,
+            &OpenLoopSpec {
+                schedule: RateSchedule::FlashCrowd {
+                    at: SimDuration::from_millis(500),
+                    lasting: SimDuration::from_secs(2),
+                    factor_pct: 800,
+                },
+                ..quick(100, true)
+            },
+            WARM,
+            RUN,
+        );
+        assert!(
+            flash.offered > steady.offered * 2,
+            "flash window multiplies arrivals: {} vs {}",
+            flash.offered,
+            steady.offered
+        );
+    }
+}

@@ -43,6 +43,25 @@ grep -q 'batch WAL (qstore)' <<<"$amnesia_out" || {
     exit 1
 }
 
+echo "==> chaos overload smoke (open-loop surges, admission control, retry budgets)"
+overload_out=$(cargo run --quiet --release -p qrdtm-bench -- chaos --smoke --overload)
+echo "$overload_out"
+# All six families must take the open-loop grid, the metastability
+# checker must prove it can catch an unprotected collapse, and the
+# protection counters must all have fired.
+overload_runs=$(grep -c 'overload shed:' <<<"$overload_out" || true)
+if [ "$overload_runs" -lt 120 ]; then
+    echo "error: chaos overload smoke ran only $overload_runs runs (< 120)" >&2
+    exit 1
+fi
+for want in 'metastable=yes (expected)' 'admission_shed=' \
+    'chaos overload smoke: all invariants held'; do
+    grep -q "$want" <<<"$overload_out" || {
+        echo "error: chaos overload smoke output is missing $want" >&2
+        exit 1
+    }
+done
+
 echo "==> mc smoke (bounded schedule exploration + checker validation)"
 mc_out=$(cargo run --quiet --release -p qrdtm-bench -- mc --smoke)
 echo "$mc_out"
@@ -61,7 +80,8 @@ perf_json="${PERF_OUT:-target/BENCH_smoke.json}"
 cargo run --quiet --release -p qrdtm-bench -- perf --quick --out "$perf_json"
 for key in '"host"' '"sim"' '"par"' '"txns_per_sec"' '"peak_rss_kb"' \
     '"write_heavy_grid"' '"batch_size"' '"epoch_latency_virtual_ns"' \
-    '"disk_fsync_virtual_ns"'; do
+    '"disk_fsync_virtual_ns"' '"overload_grid"' '"offered_load"' \
+    '"goodput"' '"shed"' '"deadline_aborts"' '"retry_budget_exhausted"'; do
     grep -q "$key" "$perf_json" || {
         echo "error: $perf_json is missing $key" >&2
         exit 1
