@@ -182,6 +182,7 @@ fn explore(a: &McArgs) -> i32 {
             txns: a.txns,
             seed: a.seed,
             injected_bug: a.bug,
+            queue: qrdtm_sim::EventQueueKind::default(),
         };
         let mut seen = HashSet::new();
         let dfs = dfs_explore(&scope, a.dfs, &mut seen);

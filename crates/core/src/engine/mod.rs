@@ -260,6 +260,10 @@ impl<S: Substrate<Msg>> Tx<S> {
         let (root, cur_chk, entries, kind, deadline) = {
             let st = self.st.borrow();
             let (kind, entries) = validation::read_validation(&st, self.ep.inner.cfg.rqv, pol);
+            // Freeze the validation payload once: the wait-retry loop below
+            // re-sends it every round, and each send clones per quorum
+            // member — all of which now share this one allocation.
+            let entries: crate::pool::Payload<_> = entries.into();
             (st.root, st.cur_chk(), entries, kind, st.deadline)
         };
         let mut waits = 0u32;

@@ -14,6 +14,7 @@ use qrdtm_sim::{Counter, EngineEventKind, NodeId, SimDuration, SimTime};
 use crate::cluster::ClusterInner;
 use crate::msg::{class, Msg, ValEntry, ValidationKind};
 use crate::object::{ObjVal, ObjectId, Version};
+use crate::pool::Payload;
 use crate::substrate::{SimSubstrate, Substrate};
 use crate::txid::{Abort, TxId};
 
@@ -141,7 +142,7 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         cur_chk: u32,
         oid: ObjectId,
         want_write: bool,
-        entries: Vec<ValEntry>,
+        entries: Payload<ValEntry>,
         kind: ValidationKind,
         deadline: Option<SimTime>,
     ) -> Result<ReadRound, Abort> {
@@ -273,8 +274,8 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         );
         let msg = Msg::CommitReq {
             root,
-            reads,
-            writes,
+            reads: reads.into(),
+            writes: writes.into(),
         };
         // With a detector configured, a timed-out vote round is retried
         // against the same quorum: the replica-side vote is idempotent for
@@ -321,6 +322,9 @@ impl<S: Substrate<Msg>> Endpoint<S> {
         root: TxId,
         writes: Vec<(ObjectId, Version, ObjVal)>,
     ) {
+        // Freeze once; every retry attempt and per-destination copy of the
+        // fan-out shares the same allocation.
+        let writes: Payload<_> = writes.into();
         self.fanout_until_acked(voted, || Msg::Apply {
             root,
             writes: writes.clone(),
@@ -331,6 +335,7 @@ impl<S: Substrate<Msg>> Endpoint<S> {
     /// 2PC phase two, failure: release any locks granted in phase one on
     /// `voted`, the quorum the vote round was sent to.
     pub(super) async fn release(&self, voted: &[NodeId], root: TxId, oids: Vec<ObjectId>) {
+        let oids: Payload<_> = oids.into();
         self.fanout_until_acked(voted, || Msg::AbortReq {
             root,
             oids: oids.clone(),

@@ -58,6 +58,7 @@ pub use engine::repair;
 pub mod history;
 pub mod msg;
 mod object;
+pub mod pool;
 pub mod protocol;
 mod stats;
 mod store;
@@ -77,6 +78,7 @@ pub use history::{
 };
 pub use msg::{Msg, ValEntry, ValidationKind};
 pub use object::{ObjVal, ObjectId, Replica, SkipNode, TableRow, TreeNode, Version};
+pub use pool::Payload;
 pub use protocol::{DtmProtocol, ProtocolStats, QrTxHandle, SimHosted};
 pub use stats::DtmStats;
 pub use store::{NodeStore, ReadOutcome};

@@ -17,6 +17,8 @@
 
 use qrdtm_sim::SimMessage;
 
+use crate::pool::Payload;
+
 use crate::object::{ObjVal, ObjectId, Version};
 use crate::txid::{AbortTarget, TxId};
 
@@ -82,8 +84,9 @@ pub enum Msg {
         oid: ObjectId,
         /// Register the requester in PW (true) or PR (false).
         want_write: bool,
-        /// Rqv data set (empty under flat QR).
-        entries: Vec<ValEntry>,
+        /// Rqv data set (empty under flat QR); shared, not copied,
+        /// across the quorum fan-out and every retry attempt.
+        entries: Payload<ValEntry>,
         /// Validation flavour.
         kind: ValidationKind,
     },
@@ -110,9 +113,9 @@ pub enum Msg {
         /// Committing root transaction.
         root: TxId,
         /// Read-set versions to validate.
-        reads: Vec<(ObjectId, Version)>,
+        reads: Payload<(ObjectId, Version)>,
         /// Write-set versions to validate and lock.
-        writes: Vec<(ObjectId, Version)>,
+        writes: Payload<(ObjectId, Version)>,
     },
     /// Phase-one vote.
     Vote {
@@ -124,14 +127,14 @@ pub enum Msg {
         /// Committing root transaction.
         root: TxId,
         /// `(object, new version, new value)` triples.
-        writes: Vec<(ObjectId, Version, ObjVal)>,
+        writes: Payload<(ObjectId, Version, ObjVal)>,
     },
     /// 2PC phase two after an abort: release locks held by `root`.
     AbortReq {
         /// Aborting root transaction.
         root: TxId,
         /// Objects whose locks to release.
-        oids: Vec<ObjectId>,
+        oids: Payload<ObjectId>,
     },
     /// Phase-two acknowledgement.
     Ack,
@@ -186,13 +189,13 @@ mod tests {
             cur_chk: 0,
             oid: ObjectId(1),
             want_write: false,
-            entries: vec![],
+            entries: Payload::empty(),
             kind: ValidationKind::None,
         };
         let commit = Msg::CommitReq {
             root: dummy_tx(),
-            reads: vec![],
-            writes: vec![],
+            reads: Payload::empty(),
+            writes: Payload::empty(),
         };
         assert_eq!(read.class(), class::READ_REQ);
         assert_eq!(commit.class(), class::COMMIT_REQ);
@@ -221,7 +224,7 @@ mod tests {
             cur_chk: 0,
             oid: ObjectId(1),
             want_write: false,
-            entries: vec![],
+            entries: Payload::empty(),
             kind: ValidationKind::Closed,
         };
         let big = Msg::ReadReq {
@@ -238,7 +241,8 @@ mod tests {
                     owner_chk: 0
                 };
                 8
-            ],
+            ]
+            .into(),
             kind: ValidationKind::Closed,
         };
         assert!(big.size_hint() > small.size_hint());
@@ -248,11 +252,11 @@ mod tests {
     fn apply_size_includes_payload() {
         let a = Msg::Apply {
             root: dummy_tx(),
-            writes: vec![(ObjectId(1), Version(2), ObjVal::IntList(vec![0; 100]))],
+            writes: vec![(ObjectId(1), Version(2), ObjVal::IntList(vec![0; 100]))].into(),
         };
         let b = Msg::Apply {
             root: dummy_tx(),
-            writes: vec![(ObjectId(1), Version(2), ObjVal::Int(0))],
+            writes: vec![(ObjectId(1), Version(2), ObjVal::Int(0))].into(),
         };
         assert!(a.size_hint() > b.size_hint());
     }

@@ -152,6 +152,9 @@ impl Trace {
                 txns: txns.ok_or_else(|| require("txns"))?,
                 seed: seed.ok_or_else(|| require("seed"))?,
                 injected_bug: bug,
+                // Not serialized: heap and wheel replay identically, so a
+                // trace is queue-agnostic and replays on the default.
+                queue: qrdtm_sim::EventQueueKind::default(),
             },
             choices: choices.ok_or_else(|| require("choices"))?,
         })
@@ -175,6 +178,7 @@ mod tests {
                 txns: 2,
                 seed: 7,
                 injected_bug: Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
+                queue: qrdtm_sim::EventQueueKind::default(),
             },
             choices: vec![0, 2, 1, 0, 3],
         }

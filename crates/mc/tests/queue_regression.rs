@@ -1,0 +1,171 @@
+//! Model-checker regression for the event-queue swap: exploration on the
+//! timing wheel must visit *exactly* the schedules the heap visited —
+//! same distinct-schedule sets, same choice vectors, same counterexamples
+//! for every injected bug — and a trace saved from a heap run must replay
+//! on the wheel (the text format deliberately does not record the queue
+//! kind, so every archived trace replays on the current default).
+//!
+//! These are the strongest equivalence checks in the repo: the mc runner
+//! derives its tie groups directly from same-instant event ordering, so
+//! any divergence in queue pop order changes the choice-point structure
+//! and shows up here as a different schedule key or counterexample.
+
+use std::collections::HashSet;
+
+use qrdtm_core::{InjectedBug, NestingMode};
+use qrdtm_mc::{
+    dfs_explore, pct_explore, replay, run_schedule, ForcedPolicy, McBug, McProto, Scope, Trace,
+};
+use qrdtm_qstore::QStoreBug;
+use qrdtm_sim::EventQueueKind;
+
+fn scoped(proto: McProto, bug: Option<McBug>, queue: EventQueueKind) -> Scope {
+    Scope {
+        injected_bug: bug,
+        queue,
+        ..Scope::smoke(proto)
+    }
+}
+
+/// `(runs, distinct, exhausted, max_depth)`, the full sorted
+/// distinct-schedule key set, and the counterexample if any.
+type ExploreDigest = (
+    (u64, u64, bool, u64),
+    Vec<u64>,
+    Option<(Vec<usize>, Vec<String>)>,
+);
+
+/// DFS + PCT exploration digest under one queue kind.
+fn explore_digest(
+    proto: McProto,
+    bug: Option<McBug>,
+    budget: u64,
+    queue: EventQueueKind,
+) -> ExploreDigest {
+    let scope = scoped(proto, bug, queue);
+    let mut seen = HashSet::new();
+    let dfs = dfs_explore(&scope, budget, &mut seen);
+    let mut cex = dfs.counterexample.clone();
+    let pct = pct_explore(&scope, budget, 1, &mut seen);
+    if cex.is_none() {
+        cex = pct.counterexample.clone();
+    }
+    let mut keys: Vec<u64> = seen.into_iter().collect();
+    keys.sort_unstable();
+    (
+        (
+            dfs.runs + pct.runs,
+            dfs.distinct + pct.distinct,
+            dfs.exhausted,
+            dfs.max_depth.max(pct.max_depth) as u64,
+        ),
+        keys,
+        cex.map(|c| (c.choices, c.violations)),
+    )
+}
+
+#[test]
+fn healthy_exploration_visits_identical_schedules() {
+    for proto in [
+        McProto::Qr(NestingMode::Flat),
+        McProto::Qr(NestingMode::Closed),
+        McProto::Qr(NestingMode::Checkpoint),
+        McProto::QStore,
+    ] {
+        let heap = explore_digest(proto, None, 40, EventQueueKind::Heap);
+        let wheel = explore_digest(proto, None, 40, EventQueueKind::Wheel);
+        assert_eq!(heap.0, wheel.0, "{proto:?}: explore report shape diverged");
+        assert_eq!(
+            heap.1, wheel.1,
+            "{proto:?}: distinct schedule sets diverged"
+        );
+        assert!(
+            heap.2.is_none(),
+            "{proto:?}: healthy run violated: {:?}",
+            heap.2
+        );
+        assert_eq!(heap.2, wheel.2);
+    }
+}
+
+#[test]
+fn injected_bug_catches_reproduce_identically_on_the_wheel() {
+    // Every injected bug the mc battery knows: the wheel must find the
+    // same counterexample (or the same absence of one) as the heap, with
+    // byte-identical choice vectors and violation strings.
+    for bug in [
+        McBug::Qr(InjectedBug::SkipVoteCheck),
+        McBug::Qr(InjectedBug::SkipEpochFence),
+        McBug::QStore(QStoreBug::SkipTagCheck),
+        McBug::QStore(QStoreBug::AckBeforeFsync),
+    ] {
+        let proto = match bug {
+            McBug::Qr(_) => McProto::Qr(NestingMode::Flat),
+            McBug::QStore(_) => McProto::QStore,
+        };
+        let heap = explore_digest(proto, Some(bug), 120, EventQueueKind::Heap);
+        let wheel = explore_digest(proto, Some(bug), 120, EventQueueKind::Wheel);
+        assert_eq!(heap.0, wheel.0, "{bug:?}: explore report shape diverged");
+        assert_eq!(heap.1, wheel.1, "{bug:?}: distinct schedule sets diverged");
+        assert_eq!(heap.2, wheel.2, "{bug:?}: counterexamples diverged");
+    }
+}
+
+#[test]
+fn forced_schedules_match_group_by_group() {
+    // Beyond whole-run fingerprints: the per-decision tie-group structure
+    // (how many same-instant events each choice point saw) must be
+    // identical, since that is the surface the scheduler hooks into.
+    for prefix in [vec![], vec![1], vec![2, 1], vec![1, 0, 2], vec![3, 1, 4, 1]] {
+        let run = |queue| {
+            let scope = scoped(McProto::Qr(NestingMode::Closed), None, queue);
+            run_schedule(&scope, Box::new(ForcedPolicy::new(prefix.clone())))
+        };
+        let heap = run(EventQueueKind::Heap);
+        let wheel = run(EventQueueKind::Wheel);
+        assert_eq!(heap.choices, wheel.choices, "choice vectors diverged");
+        assert_eq!(heap.groups, wheel.groups, "tie-group sizes diverged");
+        assert_eq!(heap.fingerprint, wheel.fingerprint, "fingerprints diverged");
+        assert_eq!(
+            (heap.commits, heap.aborts, heap.violations),
+            (wheel.commits, wheel.aborts, wheel.violations)
+        );
+    }
+}
+
+#[test]
+fn saved_heap_trace_replays_on_the_wheel() {
+    // Record a counterexample under the heap, archive it through the text
+    // format, and replay the parsed trace — which comes back under the
+    // default (wheel) queue because traces are queue-agnostic — expecting
+    // the identical violation and fingerprint.
+    let heap_scope = scoped(
+        McProto::Qr(NestingMode::Flat),
+        Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
+        EventQueueKind::Heap,
+    );
+    let mut seen = HashSet::new();
+    let mut cex = dfs_explore(&heap_scope, 300, &mut seen).counterexample;
+    if cex.is_none() {
+        cex = pct_explore(&heap_scope, 300, 1, &mut seen).counterexample;
+    }
+    let cex = cex.expect("SkipVoteCheck not caught on the heap");
+    let on_heap = replay(&heap_scope, &cex.choices);
+    assert!(!on_heap.violations.is_empty());
+
+    let text = Trace {
+        scope: scoped(
+            McProto::Qr(NestingMode::Flat),
+            Some(McBug::Qr(InjectedBug::SkipVoteCheck)),
+            EventQueueKind::default(),
+        ),
+        choices: cex.choices.clone(),
+    }
+    .to_string();
+    let parsed = Trace::parse(&text).expect("trace round-trips");
+    assert_eq!(parsed.scope.queue, EventQueueKind::Wheel);
+    let on_wheel = replay(&parsed.scope, &parsed.choices);
+    assert_eq!(on_heap.violations, on_wheel.violations);
+    assert_eq!(on_heap.fingerprint, on_wheel.fingerprint);
+    assert_eq!(on_heap.choices, on_wheel.choices);
+}

@@ -28,6 +28,10 @@ pub(crate) type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 #[derive(Default)]
 pub(crate) struct TaskStore {
     tasks: HashMap<TaskId, LocalFuture>,
+    /// One waker per live task, created lazily on first poll. A waker is
+    /// two `Arc`s; allocating a fresh one per poll dominated the hot loop
+    /// for long-lived tasks that suspend thousands of times.
+    wakers: HashMap<TaskId, Waker>,
     next: TaskId,
 }
 
@@ -46,6 +50,22 @@ impl TaskStore {
 
     pub(crate) fn put_back(&mut self, id: TaskId, fut: LocalFuture) {
         self.tasks.insert(id, fut);
+    }
+
+    /// The task's cached waker, created on first use and dropped by
+    /// [`TaskStore::finish`] when the task completes.
+    pub(crate) fn waker(&mut self, id: TaskId, ready: &ReadyQueue) -> Waker {
+        self.wakers
+            .entry(id)
+            .or_insert_with(|| ready.waker(id))
+            .clone()
+    }
+
+    /// Forget a completed task's waker (stale wake-ups for a finished id
+    /// are harmless — [`TaskStore::take`] returns `None` — but the cache
+    /// must not grow with the lifetime total of tasks).
+    pub(crate) fn finish(&mut self, id: TaskId) {
+        self.wakers.remove(&id);
     }
 
     pub(crate) fn live(&self) -> usize {
@@ -138,6 +158,20 @@ mod tests {
         assert_eq!(q.pop(), Some(42));
         assert_eq!(q.pop(), Some(42));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cached_waker_is_reused_until_finish() {
+        let q = ReadyQueue::default();
+        let mut store = TaskStore::default();
+        let id = store.insert(Box::pin(async {}));
+        let a = store.waker(id, &q);
+        let b = store.waker(id, &q);
+        assert!(a.will_wake(&b), "same task, same waker");
+        store.finish(id);
+        let c = store.waker(id, &q);
+        c.wake();
+        assert_eq!(q.pop(), Some(id), "recreated waker still targets the task");
     }
 
     #[test]

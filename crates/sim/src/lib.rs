@@ -53,6 +53,7 @@ mod latency;
 mod metrics;
 mod sim;
 mod time;
+pub mod wheel;
 
 pub use disk::{Disk, DiskConfig, DiskImage};
 pub use latency::{ConstLatency, JitteredLatency, LatencyModel, MetricSpace};
@@ -61,10 +62,11 @@ pub use metrics::{
     MAX_CLASSES, RESERVOIR_CAP,
 };
 pub use sim::{
-    CallFuture, CallId, CallResult, Envelope, EventInfo, EventTag, HandlerCtx, HeartbeatConfig,
-    Scheduler, Sim, SimConfig, SimMessage, Sleep,
+    CallFuture, CallId, CallResult, Envelope, EventInfo, EventQueueKind, EventTag, HandlerCtx,
+    HeartbeatConfig, Scheduler, Sim, SimConfig, SimMessage, Sleep,
 };
 pub use time::{SimDuration, SimTime};
+pub use wheel::{ArenaStats, EventArena, TimingWheel, WheelHandle, WheelStats};
 
 use std::fmt;
 

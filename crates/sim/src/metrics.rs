@@ -173,6 +173,10 @@ pub struct Metrics {
     /// Sampled end-to-end commit latencies (engines report through
     /// [`Sim::observe_latency`](crate::Sim::observe_latency)).
     pub latency: LatencyReservoir,
+    /// Event-queue internals when the sim runs on the timing wheel
+    /// (promotions, bucket sorts, arena high-water; all zero on the heap).
+    /// Lifetime counters: snapshot-merged, unaffected by [`Metrics::reset`].
+    pub queue: crate::wheel::WheelStats,
 }
 
 /// Default sample capacity of a [`LatencyReservoir`].

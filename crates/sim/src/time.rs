@@ -35,6 +35,15 @@ impl SimTime {
         self.0 as f64 / 1e9
     }
 
+    /// The timing-wheel page this instant falls on: its nanosecond count
+    /// divided by the bucket width `2^shift`. All events whose instants
+    /// share a page land in the same wheel bucket (see
+    /// [`TimingWheel`](crate::TimingWheel)).
+    #[inline]
+    pub fn wheel_page(self, shift: u32) -> u64 {
+        self.0 >> shift
+    }
+
     /// Span from `earlier` to `self`; saturates to zero if `earlier` is later.
     #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {

@@ -1,0 +1,548 @@
+//! Bucketed timing wheel with an overflow level — the O(1) event core.
+//!
+//! A calendar queue in the NS-3 / shadow lineage: virtual time is divided
+//! into power-of-two *pages* of `1 << bucket_shift` nanoseconds, and a
+//! window of `1 << bucket_bits` consecutive pages (the *horizon*) maps onto
+//! a circular array of buckets. Scheduling an event inside the horizon is
+//! an O(1) append; events beyond the horizon go to a small overflow heap
+//! (the second, coarse level of the hierarchy) and are *promoted* into the
+//! wheel as the cursor approaches their page.
+//!
+//! Popping walks an occupancy bitmap to the next non-empty bucket, sorts
+//! that bucket once by `(time, seq)` into the *run*, and then drains the
+//! run front to back. Because the simulator's sequence numbers are
+//! globally monotonic, appends within a bucket arrive nearly sorted and
+//! the sort is usually a no-op scan.
+//!
+//! ## Tie-order contract
+//!
+//! The wheel is a drop-in replacement for a `BinaryHeap` ordered by
+//! `(time, seq)`: pops come out in exactly that total order, including
+//! FIFO (`seq`) order among events due at the same instant. Events
+//! scheduled *at* the instant currently being drained are inserted into
+//! the undrained suffix of the run by binary search, which preserves the
+//! invariant — this is what keeps [`Scheduler`](crate::Scheduler)
+//! tie-groups and model-checker choice vectors byte-identical between the
+//! heap and the wheel.
+//!
+//! ## Arena lifetimes
+//!
+//! Payloads live in a pre-allocated free-list arena ([`EventArena`]); the
+//! buckets, run, and overflow heap hold 24-byte keys only, so sorting
+//! never moves payload bytes and popping never allocates. A slot is
+//! recycled the moment its event is popped or cancelled; the `seq`
+//! stamped into both the key and the slot guards against stale handles
+//! (an old key can never resurrect a recycled slot).
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default page width: 2^16 ns = 65.536 µs per bucket.
+pub const DEFAULT_BUCKET_SHIFT: u32 = 16;
+/// Default wheel size: 2^12 = 4096 buckets (horizon ≈ 268 ms).
+pub const DEFAULT_BUCKET_BITS: u32 = 12;
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Key of one scheduled event: total order is `(time, seq)`; `idx` is the
+/// arena slot holding the payload and never participates in ordering.
+#[derive(Clone, Copy, Debug)]
+struct EvKey {
+    time: SimTime,
+    seq: u64,
+    idx: u32,
+}
+
+impl EvKey {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl PartialEq for EvKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for EvKey {}
+impl PartialOrd for EvKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Handle returned by [`TimingWheel::push`]; lets the caller cancel the
+/// event later. Stale handles (already popped or cancelled) are detected
+/// via the embedded `seq` and rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WheelHandle {
+    idx: u32,
+    seq: u64,
+}
+
+enum Slot<T> {
+    Vacant { next_free: u32 },
+    Full { seq: u64, payload: T },
+}
+
+/// Free-list slab holding event payloads; see the module docs for the
+/// lifetime story.
+pub struct EventArena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    live: usize,
+    stats: ArenaStats,
+}
+
+/// Occupancy telemetry of an [`EventArena`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Most slots ever live at once (arena high-water mark).
+    pub high_water: u64,
+    /// Allocations served by recycling a freed slot instead of growing.
+    pub recycled: u64,
+}
+
+impl<T> Default for EventArena<T> {
+    fn default() -> Self {
+        EventArena::new()
+    }
+}
+
+impl<T> EventArena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        EventArena {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            live: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Store `payload` stamped with `seq`, returning its slot index.
+    pub fn alloc(&mut self, seq: u64, payload: T) -> u32 {
+        self.live += 1;
+        self.stats.high_water = self.stats.high_water.max(self.live as u64);
+        if self.free_head != NO_SLOT {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            match slot {
+                Slot::Vacant { next_free } => self.free_head = *next_free,
+                Slot::Full { .. } => unreachable!("free list points at a full slot"),
+            }
+            *slot = Slot::Full { seq, payload };
+            self.stats.recycled += 1;
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena overflow");
+            self.slots.push(Slot::Full { seq, payload });
+            idx
+        }
+    }
+
+    /// Remove and return the payload at `idx` if it still holds the event
+    /// stamped `seq`; `None` means the slot was already freed (and possibly
+    /// recycled by a newer event).
+    pub fn take(&mut self, idx: u32, seq: u64) -> Option<T> {
+        let slot = self.slots.get_mut(idx as usize)?;
+        match slot {
+            Slot::Full { seq: s, .. } if *s == seq => {}
+            _ => return None,
+        }
+        let old = std::mem::replace(
+            slot,
+            Slot::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = idx;
+        self.live -= 1;
+        match old {
+            Slot::Full { payload, .. } => Some(payload),
+            Slot::Vacant { .. } => unreachable!("checked Full above"),
+        }
+    }
+
+    /// Live (allocated, not yet taken) payload count.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Occupancy telemetry.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+/// Lifetime telemetry of a [`TimingWheel`] (surfaced through
+/// [`Metrics::queue`](crate::Metrics)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Events pushed.
+    pub pushes: u64,
+    /// Events pushed beyond the horizon, into the overflow level.
+    pub overflow_pushes: u64,
+    /// Events promoted overflow → wheel as the cursor advanced.
+    pub promotions: u64,
+    /// Buckets drained into the run and sorted.
+    pub bucket_sorts: u64,
+    /// Drained buckets that were already in `(time, seq)` order (the sort
+    /// was a verification scan only).
+    pub sorts_skipped: u64,
+    /// Events inserted into the live run (same-page scheduling while that
+    /// page drains) by binary search.
+    pub run_inserts: u64,
+    /// Largest run (sorted bucket) ever drained.
+    pub max_run: u64,
+    /// Arena telemetry.
+    pub arena: ArenaStats,
+}
+
+/// The two-level timing wheel. Generic over the payload so property tests
+/// can drive it with plain integers; the simulator instantiates it with
+/// its event kind.
+pub struct TimingWheel<T> {
+    bucket_shift: u32,
+    slot_mask: u64,
+    buckets: Box<[Vec<EvKey>]>,
+    /// One bit per bucket: set iff the bucket Vec is non-empty.
+    occupied: Box<[u64]>,
+    overflow: BinaryHeap<Reverse<EvKey>>,
+    /// The current page's events, sorted ascending by `(time, seq)`;
+    /// `run[..run_idx]` is already popped.
+    run: Vec<EvKey>,
+    run_idx: usize,
+    /// Page of the run being drained; every live event has page >= this.
+    cursor_page: u64,
+    arena: EventArena<T>,
+    /// Keys resident in `buckets` (may include lazily-cancelled ones).
+    wheel_count: usize,
+    stats: WheelStats,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        TimingWheel::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// A wheel with the default geometry (4096 buckets of 65.536 µs).
+    pub fn new() -> Self {
+        TimingWheel::with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_BUCKET_BITS)
+    }
+
+    /// A wheel with `1 << bucket_bits` buckets of `1 << bucket_shift`
+    /// nanoseconds each. Small geometries stress the overflow level in
+    /// tests; `bucket_shift + bucket_bits` must stay below 64.
+    pub fn with_geometry(bucket_shift: u32, bucket_bits: u32) -> Self {
+        assert!(bucket_bits >= 6 && bucket_shift + bucket_bits < 64);
+        let n = 1usize << bucket_bits;
+        TimingWheel {
+            bucket_shift,
+            slot_mask: (n as u64) - 1,
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; n / 64].into_boxed_slice(),
+            overflow: BinaryHeap::new(),
+            run: Vec::new(),
+            run_idx: 0,
+            cursor_page: 0,
+            arena: EventArena::new(),
+            wheel_count: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    #[inline]
+    fn page(&self, t: SimTime) -> u64 {
+        t.wheel_page(self.bucket_shift)
+    }
+
+    #[inline]
+    fn slot(&self, page: u64) -> usize {
+        (page & self.slot_mask) as usize
+    }
+
+    #[inline]
+    fn horizon(&self) -> u64 {
+        self.slot_mask + 1
+    }
+
+    /// Live event count.
+    pub fn len(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> WheelStats {
+        let mut s = self.stats;
+        s.arena = self.arena.stats();
+        s
+    }
+
+    /// Schedule `payload` at `(time, seq)`. `seq` must be unique across the
+    /// wheel's lifetime and callers must never schedule before an already
+    /// popped instant's page (the simulator guarantees both: `seq` is its
+    /// global creation counter and events are never scheduled in the past).
+    pub fn push(&mut self, time: SimTime, seq: u64, payload: T) -> WheelHandle {
+        self.stats.pushes += 1;
+        let idx = self.arena.alloc(seq, payload);
+        let key = EvKey { time, seq, idx };
+        let p = self.page(time);
+        if p <= self.cursor_page {
+            // The event lands on the page currently draining (or, under a
+            // clock anomaly, behind it): keep the run sorted by inserting
+            // into the undrained suffix. Everything before `run_idx` is
+            // strictly older in (time, seq), so total order is preserved.
+            let at = self.run[self.run_idx..].partition_point(|k| k.key() < key.key());
+            self.run.insert(self.run_idx + at, key);
+            self.stats.run_inserts += 1;
+        } else if p - self.cursor_page < self.horizon() {
+            self.bucket_insert(key, p);
+        } else {
+            self.overflow.push(Reverse(key));
+            self.stats.overflow_pushes += 1;
+        }
+        WheelHandle { idx, seq }
+    }
+
+    /// Cancel a previously pushed event, returning its payload. Lazy: the
+    /// key stays queued and is skipped when encountered. `None` if the
+    /// event already popped (or was already cancelled).
+    pub fn cancel(&mut self, h: WheelHandle) -> Option<T> {
+        self.arena.take(h.idx, h.seq)
+    }
+
+    /// Key `(time, seq)` of the next event, without consuming it. May
+    /// internally advance the cursor, promote overflow entries, and sort
+    /// a bucket.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.position().map(|k| k.key())
+    }
+
+    /// Pop the globally minimum `(time, seq)` event.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        let k = self.position()?;
+        self.run_idx += 1;
+        let payload = self
+            .arena
+            .take(k.idx, k.seq)
+            .expect("positioned key is live");
+        Some((k.time, k.seq, payload))
+    }
+
+    #[inline]
+    fn bucket_insert(&mut self, key: EvKey, page: u64) {
+        let s = self.slot(page);
+        if self.buckets[s].is_empty() {
+            self.occupied[s / 64] |= 1u64 << (s % 64);
+        }
+        self.buckets[s].push(key);
+        self.wheel_count += 1;
+    }
+
+    /// Advance `run_idx` past cancelled keys and exhausted pages until it
+    /// rests on a live key; returns that key.
+    fn position(&mut self) -> Option<EvKey> {
+        loop {
+            while self.run_idx < self.run.len() {
+                let k = self.run[self.run_idx];
+                if self.arena_has(k) {
+                    return Some(k);
+                }
+                self.run_idx += 1; // lazily-cancelled key
+            }
+            if self.is_empty() {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    #[inline]
+    fn arena_has(&self, k: EvKey) -> bool {
+        matches!(self.arena.slots.get(k.idx as usize), Some(Slot::Full { seq, .. }) if *seq == k.seq)
+    }
+
+    /// Move the cursor to the next non-empty page and drain its bucket
+    /// into the run. Caller ensures at least one live event exists.
+    fn advance(&mut self) {
+        self.promote();
+        if self.wheel_count == 0 {
+            // Nothing within the horizon: jump the cursor so the earliest
+            // overflow page becomes the next scan position, then pull the
+            // newly in-horizon entries in.
+            let min_page = self.page(self.overflow.peek().expect("live events exist").0.time);
+            self.cursor_page = min_page - 1;
+            self.promote();
+        }
+        let s0 = self.slot(self.cursor_page + 1);
+        let s = self
+            .next_occupied_slot(s0)
+            .expect("wheel_count > 0 after promotion");
+        // Within the horizon every resident page maps to a distinct slot,
+        // so the wrap distance from the scan origin recovers the page.
+        let delta = (s as u64).wrapping_sub(s0 as u64) & self.slot_mask;
+        self.cursor_page = self.cursor_page + 1 + delta;
+        let bucket = &mut self.buckets[s];
+        self.run.clear();
+        self.run.append(bucket);
+        self.occupied[s / 64] &= !(1u64 << (s % 64));
+        self.wheel_count -= self.run.len();
+        self.run_idx = 0;
+        self.stats.bucket_sorts += 1;
+        self.stats.max_run = self.stats.max_run.max(self.run.len() as u64);
+        // Appends arrive in seq order and times within one page correlate
+        // with creation order, so the common case is already sorted.
+        if self.run.windows(2).all(|w| w[0].key() <= w[1].key()) {
+            self.stats.sorts_skipped += 1;
+        } else {
+            self.run.sort_unstable();
+        }
+    }
+
+    /// First occupied bucket slot at or after `from`, scanning the bitmap
+    /// circularly (one full lap); `None` when every bucket is empty.
+    fn next_occupied_slot(&self, from: usize) -> Option<usize> {
+        let words = self.occupied.len();
+        let n = words * 64;
+        // Partial first word: mask off bits below `from`.
+        let w0 = from / 64;
+        let first = self.occupied[w0] & (!0u64 << (from % 64));
+        if first != 0 {
+            return Some(w0 * 64 + first.trailing_zeros() as usize);
+        }
+        for step in 1..=words {
+            let wi = (w0 + step) % words;
+            let w = if wi == w0 {
+                // Wrapped back to the origin word: only bits below `from`
+                // remain unexamined.
+                self.occupied[wi] & !(!0u64 << (from % 64))
+            } else {
+                self.occupied[wi]
+            };
+            if w != 0 {
+                return Some((wi * 64 + w.trailing_zeros() as usize) % n);
+            }
+        }
+        None
+    }
+
+    /// Pull every overflow entry whose page is now within the horizon into
+    /// its bucket.
+    fn promote(&mut self) {
+        let limit = self.cursor_page + self.horizon();
+        while let Some(Reverse(k)) = self.overflow.peek() {
+            let p = self.page(k.time);
+            if p >= limit {
+                break;
+            }
+            let Reverse(k) = self.overflow.pop().expect("peeked");
+            self.bucket_insert(k, p);
+            self.stats.promotions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w: TimingWheel<u32> = TimingWheel::with_geometry(4, 6);
+        w.push(t(100), 0, 0);
+        w.push(t(50), 1, 1);
+        w.push(t(100), 2, 2);
+        w.push(t(50), 3, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn overflow_promotion_is_exact() {
+        // Tiny wheel: 64 buckets of 16 ns → horizon 1024 ns.
+        let mut w: TimingWheel<u64> = TimingWheel::with_geometry(4, 6);
+        for i in 0..200u64 {
+            w.push(t(i * 37 % 5000), i, i);
+        }
+        assert!(w.stats().overflow_pushes > 0, "sweep crosses the horizon");
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        while let Some((time, seq, _)) = w.pop() {
+            assert!((time, seq) > last || n == 0, "order regressed");
+            last = (time, seq);
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn same_instant_insert_during_drain_keeps_fifo() {
+        let mut w: TimingWheel<u32> = TimingWheel::with_geometry(4, 6);
+        w.push(t(32), 0, 0);
+        w.push(t(32), 1, 1);
+        assert_eq!(w.pop().map(|x| x.2), Some(0));
+        // Schedule at the instant being drained: must slot between the
+        // remaining seq-1 event only per (time, seq) order.
+        w.push(t(32), 2, 2);
+        w.push(t(33), 3, 3);
+        assert_eq!(w.pop().map(|x| x.2), Some(1));
+        assert_eq!(w.pop().map(|x| x.2), Some(2));
+        assert_eq!(w.pop().map(|x| x.2), Some(3));
+        assert!(w.stats().run_inserts >= 2);
+    }
+
+    #[test]
+    fn cancel_is_lazy_and_exact() {
+        let mut w: TimingWheel<&str> = TimingWheel::new();
+        let a = w.push(t(10), 0, "a");
+        let b = w.push(t(20), 1, "b");
+        assert_eq!(w.cancel(a), Some("a"));
+        assert_eq!(w.cancel(a), None, "double cancel rejected");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop().map(|x| x.2), Some("b"));
+        assert_eq!(w.cancel(b), None, "cancel after pop rejected");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn arena_recycles_without_stale_payloads() {
+        let mut a: EventArena<String> = EventArena::new();
+        let i0 = a.alloc(0, "first".into());
+        assert_eq!(a.take(i0, 0), Some("first".into()));
+        let i1 = a.alloc(1, "second".into());
+        assert_eq!(i1, i0, "slot recycled");
+        assert_eq!(a.take(i0, 0), None, "stale handle cannot steal the slot");
+        assert_eq!(a.take(i1, 1), Some("second".into()));
+        assert_eq!(a.stats().recycled, 1);
+        assert_eq!(a.stats().high_water, 1);
+    }
+
+    #[test]
+    fn far_future_jump_lands_on_the_right_page() {
+        let mut w: TimingWheel<u32> = TimingWheel::with_geometry(4, 6);
+        w.push(t(1 << 30), 0, 7);
+        w.push(t((1 << 30) + 1), 1, 8);
+        assert_eq!(w.peek_key(), Some((t(1 << 30), 0)));
+        assert_eq!(w.pop().map(|x| x.2), Some(7));
+        assert_eq!(w.pop().map(|x| x.2), Some(8));
+    }
+}

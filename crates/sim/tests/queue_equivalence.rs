@@ -1,0 +1,315 @@
+//! Queue-equivalence battery: the timing wheel must be *observationally
+//! identical* to the binary heap it replaced, not merely "correct".
+//!
+//! Every test here runs the same seeded workload twice — once on
+//! [`EventQueueKind::Heap`], once on [`EventQueueKind::Wheel`] — and
+//! asserts byte-identical engine-event streams, final object stores, and
+//! metrics counters. Coverage spans all six protocol families (QR flat,
+//! QR-CN, QR-CHK, TFA, Decent-STM, Q-Store) under the closed-loop bank,
+//! an open-loop leg through admission control, and a chaos-smoke leg with
+//! crashes, partitions, and recovery.
+//!
+//! The `queue` field of [`Metrics`] is the one *intentional* divergence
+//! (the heap reports zeroed wheel stats), so the digest below compares
+//! every counter except it.
+
+use std::rc::Rc;
+
+use qrdtm_baselines::{DecentCluster, DecentConfig, TfaCluster, TfaConfig};
+use qrdtm_chaos::{generate, run_plan, ChaosSpec, ChaosTarget, FaultBudget};
+use qrdtm_core::{Cluster, DtmConfig, NestingMode, ObjectId};
+use qrdtm_qstore::{QStoreCluster, QStoreConfig};
+use qrdtm_sim::{EngineEvent, EventQueueKind, Metrics, SimDuration};
+use qrdtm_workloads::{run_bank, run_open_loop, BankSpec, OpenLoopSpec};
+
+const NODES: usize = 6;
+const ACCOUNTS: u64 = 8;
+
+/// Every named counter in [`Metrics`] except the queue-implementation
+/// stats, as `(name, value)` pairs so a mismatch names the counter.
+fn digest(m: &Metrics) -> Vec<(&'static str, u64)> {
+    let mut d = vec![
+        ("sent_total", m.sent_total),
+        ("bytes_total", m.bytes_total),
+        ("dropped", m.dropped),
+        ("dropped_by_partition", m.dropped_by_partition),
+        ("dropped_by_link", m.dropped_by_link),
+        ("events", m.events),
+        ("heartbeats_sent", m.heartbeats_sent),
+        ("heartbeats_delivered", m.heartbeats_delivered),
+        ("suspicions", m.suspicions),
+        ("false_suspicions", m.false_suspicions),
+        ("rejoins", m.rejoins),
+        ("rpc_retries", m.rpc_retries),
+        ("hedged_calls", m.hedged_calls),
+        ("hedged_wins", m.hedged_wins),
+        ("wasted_replies", m.wasted_replies),
+        ("no_timeout_dead_calls", m.no_timeout_dead_calls),
+        ("log_replays", m.log_replays),
+        ("torn_tails", m.torn_tails),
+        ("repair_rounds", m.repair_rounds),
+        ("repaired_objects", m.repaired_objects),
+        ("repair_bytes", m.repair_bytes),
+        ("admission_shed", m.admission_shed),
+        ("deadline_aborts", m.deadline_aborts),
+        ("retry_budget_exhausted", m.retry_budget_exhausted),
+        ("wasted_retries", m.wasted_retries),
+        ("hedges_suppressed", m.hedges_suppressed),
+        ("client_retries", m.client_retries),
+        ("latency_count", m.latency.count()),
+    ];
+    for (i, &v) in m.sent_by_class.iter().enumerate() {
+        if v != 0 {
+            d.push(("sent_by_class[i]", (i as u64) << 48 | v));
+        }
+    }
+    for (i, &v) in m.processed_by_node.iter().enumerate() {
+        d.push(("processed_by_node[i]", (i as u64) << 48 | v));
+    }
+    for (i, &v) in m.engine_events_by_kind.iter().enumerate() {
+        if v != 0 {
+            d.push(("engine_events_by_kind[i]", (i as u64) << 48 | v));
+        }
+    }
+    d
+}
+
+/// One observed execution: everything a queue swap could possibly
+/// perturb, normalized to comparable form.
+#[derive(PartialEq, Debug)]
+struct Observation {
+    commits: u64,
+    aborts: u64,
+    messages: u64,
+    engine_log: Vec<EngineEvent>,
+    store: Vec<String>,
+    counters: Vec<(&'static str, u64)>,
+}
+
+/// Run the closed-loop bank on protocol `build(queue)` and capture the
+/// full observation. `store` reads back every account through the
+/// family's own committed-state accessor.
+fn observe_bank<P, B, S>(queue: EventQueueKind, build: B, store: S) -> Observation
+where
+    P: qrdtm_core::SimHosted + 'static,
+    B: FnOnce(EventQueueKind) -> Rc<P>,
+    S: Fn(&P, ObjectId) -> String,
+{
+    let proto = build(queue);
+    proto.sim().record_engine_events(true);
+    let spec = BankSpec {
+        accounts: ACCOUNTS,
+        read_pct: 50,
+        warmup: SimDuration::from_millis(500),
+        duration: SimDuration::from_secs(2),
+        clients_per_node: 1,
+    };
+    let r = run_bank(Rc::clone(&proto), NODES, &spec);
+    let m = proto.sim().metrics();
+    Observation {
+        commits: r.commits,
+        aborts: r.aborts,
+        messages: r.messages,
+        engine_log: m.engine_event_log.clone(),
+        store: (0..ACCOUNTS).map(|i| store(&proto, ObjectId(i))).collect(),
+        counters: digest(&m),
+    }
+}
+
+fn assert_equivalent(family: &str, heap: Observation, wheel: Observation) {
+    assert_eq!(
+        heap.counters, wheel.counters,
+        "{family}: metrics counters diverged between heap and wheel"
+    );
+    assert_eq!(
+        heap.engine_log, wheel.engine_log,
+        "{family}: engine-event streams diverged between heap and wheel"
+    );
+    assert_eq!(heap.store, wheel.store, "{family}: final stores diverged");
+    assert_eq!(
+        (heap.commits, heap.aborts, heap.messages),
+        (wheel.commits, wheel.aborts, wheel.messages),
+        "{family}: workload tallies diverged"
+    );
+    assert!(
+        heap.commits > 0,
+        "{family}: degenerate run, nothing committed"
+    );
+}
+
+fn qr(mode: NestingMode, queue: EventQueueKind) -> Rc<Cluster> {
+    Rc::new(Cluster::new(DtmConfig {
+        nodes: NODES,
+        mode,
+        seed: 7,
+        queue,
+        ..Default::default()
+    }))
+}
+
+fn qr_store(c: &Cluster, oid: ObjectId) -> String {
+    format!("{:?}@{:?}", c.committed_int(oid), c.committed_version(oid))
+}
+
+#[test]
+fn bank_is_identical_on_qr_flat() {
+    let run = |q| observe_bank(q, |q| qr(NestingMode::Flat, q), qr_store);
+    assert_equivalent("QR", run(EventQueueKind::Heap), run(EventQueueKind::Wheel));
+}
+
+#[test]
+fn bank_is_identical_on_qr_closed() {
+    let run = |q| observe_bank(q, |q| qr(NestingMode::Closed, q), qr_store);
+    assert_equivalent(
+        "QR-CN",
+        run(EventQueueKind::Heap),
+        run(EventQueueKind::Wheel),
+    );
+}
+
+#[test]
+fn bank_is_identical_on_qr_checkpoint() {
+    let run = |q| observe_bank(q, |q| qr(NestingMode::Checkpoint, q), qr_store);
+    assert_equivalent(
+        "QR-CHK",
+        run(EventQueueKind::Heap),
+        run(EventQueueKind::Wheel),
+    );
+}
+
+#[test]
+fn bank_is_identical_on_tfa() {
+    let run = |q| {
+        observe_bank(
+            q,
+            |queue| {
+                Rc::new(TfaCluster::new(TfaConfig {
+                    nodes: NODES,
+                    seed: 7,
+                    queue,
+                    ..Default::default()
+                }))
+            },
+            |c: &TfaCluster, oid| format!("{:?}", c.latest(oid)),
+        )
+    };
+    assert_equivalent("TFA", run(EventQueueKind::Heap), run(EventQueueKind::Wheel));
+}
+
+#[test]
+fn bank_is_identical_on_decent() {
+    let run = |q| {
+        observe_bank(
+            q,
+            |queue| {
+                Rc::new(DecentCluster::new(DecentConfig {
+                    nodes: NODES,
+                    seed: 7,
+                    queue,
+                    ..Default::default()
+                }))
+            },
+            |c: &DecentCluster, oid| format!("{:?}", c.latest(oid)),
+        )
+    };
+    assert_equivalent(
+        "Decent-STM",
+        run(EventQueueKind::Heap),
+        run(EventQueueKind::Wheel),
+    );
+}
+
+#[test]
+fn bank_is_identical_on_qstore() {
+    let run = |q| {
+        observe_bank(
+            q,
+            |queue| {
+                Rc::new(QStoreCluster::new(QStoreConfig {
+                    nodes: NODES,
+                    seed: 7,
+                    queue,
+                    ..Default::default()
+                }))
+            },
+            |c: &QStoreCluster, oid| format!("{:?}", c.latest(oid)),
+        )
+    };
+    assert_equivalent(
+        "Q-Store",
+        run(EventQueueKind::Heap),
+        run(EventQueueKind::Wheel),
+    );
+}
+
+/// Open-loop leg: the admission-control path (shedding, deadlines, retry
+/// budgets) is timer-heavy and exercises cancel/lazy-skip in the wheel.
+#[test]
+fn open_loop_is_identical_on_qr_closed() {
+    let run = |queue| {
+        let proto = qr(NestingMode::Closed, queue);
+        proto.sim().record_engine_events(true);
+        let spec = OpenLoopSpec {
+            accounts: ACCOUNTS,
+            rate_tps: 400,
+            ..Default::default()
+        };
+        let r = run_open_loop(
+            Rc::clone(&proto),
+            NODES,
+            &spec,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+        );
+        let m = proto.sim().metrics();
+        (
+            (
+                r.offered,
+                r.admitted,
+                r.shed,
+                r.goodput,
+                r.late,
+                r.abandoned,
+            ),
+            digest(&m),
+            m.engine_event_log.clone(),
+            (0..ACCOUNTS)
+                .map(|i| qr_store(&proto, ObjectId(i)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let heap = run(EventQueueKind::Heap);
+    let wheel = run(EventQueueKind::Wheel);
+    assert_eq!(heap.0, wheel.0, "open-loop tallies diverged");
+    assert_eq!(heap.1, wheel.1, "open-loop counters diverged");
+    assert_eq!(heap.2, wheel.2, "open-loop engine streams diverged");
+    assert_eq!(heap.3, wheel.3, "open-loop final stores diverged");
+    assert!(heap.0 .3 > 0, "open-loop run committed nothing");
+}
+
+/// Chaos-smoke leg: crashes, partitions, and recovery drive the
+/// failure-detector timer plane (heartbeats, suspicions, call timeouts)
+/// far harder than the healthy bank does.
+#[test]
+fn chaos_smoke_is_identical_on_qr_closed() {
+    let spec = ChaosSpec::smoke();
+    let plan = generate(11, NODES as u32, spec.horizon, &FaultBudget::full(5));
+    let run = |queue| {
+        let report = run_plan(qr(NestingMode::Closed, queue), NODES, &spec, &plan);
+        assert!(report.ok(), "chaos violations: {:?}", report.violations);
+        (
+            report.fingerprint,
+            report.summary_line(),
+            digest(&report.metrics),
+            report.metrics.engine_event_log.clone(),
+            report.fault_log.clone(),
+        )
+    };
+    let heap = run(EventQueueKind::Heap);
+    let wheel = run(EventQueueKind::Wheel);
+    assert_eq!(heap.0, wheel.0, "chaos fingerprints diverged");
+    assert_eq!(heap.1, wheel.1, "chaos summary lines diverged");
+    assert_eq!(heap.2, wheel.2, "chaos counters diverged");
+    assert_eq!(heap.3, wheel.3, "chaos engine streams diverged");
+    assert_eq!(heap.4, wheel.4, "chaos fault logs diverged");
+}

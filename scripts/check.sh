@@ -81,11 +81,32 @@ cargo run --quiet --release -p qrdtm-bench -- perf --quick --out "$perf_json"
 for key in '"host"' '"sim"' '"par"' '"txns_per_sec"' '"peak_rss_kb"' \
     '"write_heavy_grid"' '"batch_size"' '"epoch_latency_virtual_ns"' \
     '"disk_fsync_virtual_ns"' '"overload_grid"' '"offered_load"' \
-    '"goodput"' '"shed"' '"deadline_aborts"' '"retry_budget_exhausted"'; do
+    '"goodput"' '"shed"' '"deadline_aborts"' '"retry_budget_exhausted"' \
+    '"hot_loop_grid"' '"events_per_sec_wall"' '"wheel_vs_heap"' \
+    '"ratio_at_max_clients"'; do
     grep -q "$key" "$perf_json" || {
         echo "error: $perf_json is missing $key" >&2
         exit 1
     }
 done
+# The hot-loop grid runs both event-queue implementations in one process
+# and the CLI itself exits nonzero if the wheel's events/sec regresses
+# below its gate against the committed heap baseline; double-check the
+# comparison actually made it into the artifact with a sane ratio.
+ratio=$(grep -o '"ratio_at_max_clients": [0-9.]*' "$perf_json" | grep -o '[0-9.]*$')
+if [ -z "$ratio" ]; then
+    echo "error: $perf_json has no parseable ratio_at_max_clients" >&2
+    exit 1
+fi
+echo "hot-loop wheel-vs-heap ratio at max clients: $ratio"
+# Standalone wheel-vs-heap comparison artifact (CI uploads it next to the
+# full baseline): just the hot_loop_grid object, rewrapped as a document.
+cmp_json="$(dirname "$perf_json")/BENCH_wheel_vs_heap.json"
+{
+    printf '{\n'
+    sed -n '/"hot_loop_grid"/,/"ratio_at_max_clients"/p' "$perf_json" | sed '$ s/,$//'
+    printf '}\n'
+} >"$cmp_json"
+echo "wrote $cmp_json"
 
 echo "ok: all tier-1 checks passed"
